@@ -1,0 +1,12 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Benchmark *fn* with a single measured execution.
+
+    The experiments are macro-benchmarks (seconds to minutes); repeating
+    them for statistics would multiply the suite's runtime for no insight.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

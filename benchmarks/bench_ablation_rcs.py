@@ -1,0 +1,27 @@
+"""Ablation bench: RCS construction path, pivot strategy, rating threshold."""
+
+import pytest
+
+from repro.core.rcs import build_rcs, build_rcs_reference
+from repro.experiments import EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+@pytest.mark.parametrize("path", ["matmul", "reference"])
+def test_rcs_path(benchmark, context, path):
+    """Fast (sparse matmul) vs faithful (Algorithm 1) counting phase."""
+    benchmark.group = "ablation:rcs-path"
+    dataset = context.dataset("wikipedia")
+    builder = build_rcs if path == "matmul" else build_rcs_reference
+    run_once(benchmark, lambda: builder(dataset))
+
+
+def test_ablation_report(benchmark, context, save_report):
+    benchmark.group = "ablation:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["ablation"].run(context))
+    save_report("ablation", report)
+    assert report.data["rcs_path"]["identical"]
+    assert report.data["rcs_path"]["speedup"] > 1.0
+    assert report.data["pivot"]["memory_ratio"] == pytest.approx(2.0)
+    assert report.data["min_rating"]["rcs_shrinkage"] > 0

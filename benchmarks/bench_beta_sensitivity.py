@@ -1,0 +1,18 @@
+"""Beta-sensitivity bench (Section V-B2 in-text experiment)."""
+
+from repro.experiments import EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+def test_beta_report(benchmark, context, save_report):
+    benchmark.group = "beta:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["beta"].run(context))
+    save_report("beta", report)
+    loose = report.data[0.1]
+    tight = report.data[0.001]
+    # Paper shape: beta=0.1 converges with a lower scan rate at a small
+    # recall cost (paper: -0.01 recall, half the scan rate, on Arxiv).
+    assert loose.scan_rate <= tight.scan_rate + 1e-9
+    assert loose.recall >= tight.recall - 0.05
+    assert loose.iterations <= tight.iterations

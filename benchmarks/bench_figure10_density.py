@@ -1,0 +1,23 @@
+"""Figure 10 bench: KIFF vs NN-Descent across dataset density."""
+
+from repro.experiments import EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+def test_figure10_report(benchmark, context, save_report):
+    benchmark.group = "figure10:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["figure10"].run(context))
+    save_report("figure10", report)
+
+    kiff_scans = [report.data[f"ml-{i}"]["kiff"].scan_rate for i in range(1, 6)]
+    nnd_scans = [report.data[f"ml-{i}"]["nnd"].scan_rate for i in range(1, 6)]
+    # Paper shape (Fig. 10b): KIFF's scan rate falls sharply with density;
+    # NN-Descent's moves far less.
+    assert kiff_scans[0] > kiff_scans[-1]
+    kiff_span = kiff_scans[0] / max(kiff_scans[-1], 1e-9)
+    nnd_span = max(nnd_scans) / max(min(nnd_scans), 1e-9)
+    assert kiff_span > nnd_span
+    # Paper shape (Fig. 10a): KIFF wins on the sparse end.
+    sparse = report.data["ml-5"]
+    assert sparse["kiff"].wall_time <= sparse["nnd"].wall_time

@@ -1,0 +1,35 @@
+"""Figure 4 bench: profile-size CCDFs."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import EVALUATION_SUITE
+from repro.datasets.stats import profile_size_ccdf
+from repro.experiments import EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+@pytest.mark.parametrize("name", EVALUATION_SUITE)
+def test_ccdf_computation(benchmark, context, name):
+    benchmark.group = "figure4:ccdf"
+    dataset = context.dataset(name)
+    run_once(
+        benchmark,
+        lambda: (
+            profile_size_ccdf(dataset, "user"),
+            profile_size_ccdf(dataset, "item"),
+        ),
+    )
+
+
+def test_figure4_report(benchmark, context, save_report):
+    benchmark.group = "figure4:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["figure4"].run(context))
+    save_report("figure4", report)
+    # Paper shape: long-tailed curves on every dataset and axis.
+    for name in EVALUATION_SUITE:
+        for axis in ("user", "item"):
+            xs, ps = report.data[f"{name}/{axis}"]
+            assert ps[0] == 1.0
+            assert np.all(np.diff(ps) <= 0)

@@ -1,0 +1,19 @@
+"""Figure 5 bench: per-activity breakdown across algorithms/datasets."""
+
+from repro.datasets.registry import EVALUATION_SUITE
+from repro.experiments import EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+def test_figure5_report(benchmark, context, save_report):
+    benchmark.group = "figure5:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["figure5"].run(context))
+    save_report("figure5", report)
+    # Paper shape: KIFF carries the largest preprocessing share yet the
+    # smallest total on each dataset.
+    for name in EVALUATION_SUITE:
+        kiff_breakdown = report.data[f"{name}/kiff"]
+        nnd_breakdown = report.data[f"{name}/nn-descent"]
+        assert kiff_breakdown["preprocessing"] >= nnd_breakdown["preprocessing"]
+        assert sum(kiff_breakdown.values()) < sum(nnd_breakdown.values())

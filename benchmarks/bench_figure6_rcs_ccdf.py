@@ -1,0 +1,18 @@
+"""Figure 6 bench: RCS-size CCDF with termination cut-offs."""
+
+import numpy as np
+
+from repro.datasets.registry import EVALUATION_SUITE
+from repro.experiments import EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+def test_figure6_report(benchmark, context, save_report):
+    benchmark.group = "figure6:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["figure6"].run(context))
+    save_report("figure6", report)
+    for name in EVALUATION_SUITE:
+        xs, ps = report.data[name]["ccdf"]
+        assert np.all(np.diff(ps) <= 0)
+        assert report.data[name]["cut"] > 0

@@ -1,0 +1,30 @@
+"""Figure 8 bench: convergence traces on Arxiv."""
+
+import pytest
+
+from repro.experiments import ALGORITHMS, EXPERIMENTS
+from repro.experiments.exp_figure8 import DATASET, convergence_series
+
+from _bench_utils import run_once
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_traced_construction(benchmark, context, algorithm):
+    """Construction with per-iteration snapshots + recall attribution."""
+    benchmark.group = "figure8:trace"
+    series = run_once(
+        benchmark, lambda: convergence_series(context, DATASET, algorithm)
+    )
+    assert len(series["scan_rate"]) >= 1
+
+
+def test_figure8_report(benchmark, context, save_report):
+    benchmark.group = "figure8:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["figure8"].run(context))
+    save_report("figure8", report)
+    kiff_series = report.data["kiff"]
+    nnd_series = report.data["nn-descent"]
+    # Paper shape: KIFF starts high (RCS init) and finishes at a far
+    # smaller scan rate than NN-Descent.
+    assert kiff_series["recall"][0] > nnd_series["recall"][0]
+    assert kiff_series["scan_rate"][-1] < nnd_series["scan_rate"][-1]

@@ -1,0 +1,34 @@
+"""Figure 9 bench: impact of gamma on KIFF's wall-time."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.exp_figure9 import GAMMAS
+
+from _bench_utils import run_once
+
+
+@pytest.mark.parametrize("gamma", GAMMAS)
+def test_kiff_gamma(benchmark, context, gamma):
+    """KIFF on Wikipedia at one gamma (the measured sweep point)."""
+    benchmark.group = "figure9:gamma"
+    outcome = run_once(
+        benchmark, lambda: context.run("wikipedia", "kiff", gamma=gamma)
+    )
+    benchmark.extra_info["iterations"] = outcome.iterations
+
+
+def test_figure9_report(benchmark, context, save_report):
+    benchmark.group = "figure9:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["figure9"].run(context))
+    save_report("figure9", report)
+    # Paper shape: recall is essentially flat across gamma, and the
+    # wall-time spread stays bounded (the paper: "impact remains low").
+    for name, sweep in report.data.items():
+        recalls = [p["recall"] for p in sweep]
+        assert max(recalls) - min(recalls) < 0.1
+        times = [p["wall_time"] for p in sweep]
+        # Measured spread is ~4x worst-case (gamma=5 on DBLP, where
+        # Python's per-iteration overhead bites); 8x leaves headroom for
+        # machine noise while still catching pathological regressions.
+        assert max(times) < 8 * max(min(times), 1e-6)

@@ -1,0 +1,24 @@
+"""Table I bench: dataset generation and statistics."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.registry import EVALUATION_SUITE
+from repro.experiments import EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+@pytest.mark.parametrize("name", EVALUATION_SUITE)
+def test_generate_dataset(benchmark, context, name):
+    """Cost of generating one evaluation dataset from scratch."""
+    benchmark.group = "table1:generate"
+    run_once(benchmark, lambda: load_dataset(name, scale=context.scale))
+
+
+def test_table1_report(benchmark, context, save_report):
+    """Regenerate Table I and archive the rendering."""
+    benchmark.group = "table1:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["table1"].run(context))
+    save_report("table1", report)
+    assert len(report.rows) == len(EVALUATION_SUITE)

@@ -1,0 +1,39 @@
+"""Table II bench: the paper's main comparison.
+
+Benchmarks each algorithm on each evaluation dataset (the measured time
+IS the wall-time column of Table II, re-measured by pytest-benchmark),
+then regenerates the full table from the cached outcomes.
+"""
+
+import pytest
+
+from repro.datasets.registry import EVALUATION_SUITE
+from repro.experiments import ALGORITHMS, EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+@pytest.mark.parametrize("dataset", EVALUATION_SUITE)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_construction(benchmark, context, dataset, algorithm):
+    """One Table II cell: construct the KNN graph on one dataset."""
+    benchmark.group = f"table2:{dataset}"
+    outcome = run_once(benchmark, lambda: context.run(dataset, algorithm))
+    benchmark.extra_info["recall"] = round(outcome.recall, 4)
+    benchmark.extra_info["scan_rate"] = round(outcome.scan_rate, 4)
+    benchmark.extra_info["iterations"] = outcome.iterations
+    assert outcome.recall > 0.2
+
+
+def test_table2_report(benchmark, context, save_report):
+    """Regenerate Table II (cheap: reuses the cells benchmarked above)."""
+    benchmark.group = "table2:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["table2"].run(context))
+    save_report("table2", report)
+    # The paper's headline shape: KIFF has the best recall and the lowest
+    # scan rate on every dataset.
+    for name in EVALUATION_SUITE:
+        outcomes = {o.algorithm: o for o in report.data[name]}
+        assert outcomes["kiff"].scan_rate < outcomes["nn-descent"].scan_rate
+        assert outcomes["kiff"].scan_rate < outcomes["hyrec"].scan_rate
+        assert outcomes["kiff"].recall >= outcomes["nn-descent"].recall - 0.02

@@ -1,0 +1,15 @@
+"""Table III bench: KIFF's aggregate speed-up and recall gain."""
+
+from repro.experiments import EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+def test_table3_report(benchmark, context, save_report):
+    benchmark.group = "table3:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["table3"].run(context))
+    save_report("table3", report)
+    # Paper shape: KIFF is faster than both competitors on average.
+    assert report.data["average"]["speedup"] > 1.0
+    assert report.data["nn-descent"]["speedup"] > 1.0
+    assert report.data["hyrec"]["speedup"] > 1.0

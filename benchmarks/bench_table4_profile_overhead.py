@@ -1,0 +1,26 @@
+"""Table IV bench: overhead of item-profile construction."""
+
+import pytest
+
+from repro.datasets.registry import EVALUATION_SUITE
+from repro.experiments import EXPERIMENTS
+from repro.experiments.exp_table4 import measure_profile_build
+
+from _bench_utils import run_once
+
+
+@pytest.mark.parametrize("name", EVALUATION_SUITE)
+def test_profile_construction(benchmark, context, name):
+    """User+item profile build for one dataset (the measured quantity)."""
+    benchmark.group = "table4:profiles"
+    dataset = context.dataset(name)
+    run_once(benchmark, lambda: measure_profile_build(dataset, repeats=1))
+
+
+def test_table4_report(benchmark, context, save_report):
+    benchmark.group = "table4:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["table4"].run(context))
+    save_report("table4", report)
+    # Paper shape: item profiles cost a negligible share of KIFF's total.
+    for name in EVALUATION_SUITE:
+        assert report.data[name]["pct_total"] < 10.0

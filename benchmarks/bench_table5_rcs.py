@@ -1,0 +1,30 @@
+"""Table V bench: RCS construction cost and statistics."""
+
+import pytest
+
+from repro.core.rcs import build_rcs
+from repro.datasets.registry import EVALUATION_SUITE
+from repro.experiments import EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+@pytest.mark.parametrize("name", EVALUATION_SUITE)
+def test_rcs_construction(benchmark, context, name):
+    """The counting phase on one dataset (the measured quantity)."""
+    benchmark.group = "table5:rcs"
+    dataset = context.dataset(name)
+    rcs = run_once(benchmark, lambda: build_rcs(dataset))
+    benchmark.extra_info["avg_rcs"] = round(rcs.avg_size, 1)
+    benchmark.extra_info["max_scan_rate"] = round(rcs.max_scan_rate(), 4)
+
+
+def test_table5_report(benchmark, context, save_report):
+    benchmark.group = "table5:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["table5"].run(context))
+    save_report("table5", report)
+    # Paper shape: the actual scan rate sits close to the RCS-induced max.
+    for name in EVALUATION_SUITE:
+        entry = report.data[name]
+        assert entry["actual_scan"] <= entry["max_scan"] + 1e-9
+        assert entry["actual_scan"] >= 0.5 * entry["max_scan"]

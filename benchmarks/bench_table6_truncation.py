@@ -1,0 +1,16 @@
+"""Table VI bench: KIFF's termination mechanism."""
+
+from repro.datasets.registry import EVALUATION_SUITE
+from repro.experiments import EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+def test_table6_report(benchmark, context, save_report):
+    benchmark.group = "table6:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["table6"].run(context))
+    save_report("table6", report)
+    # Paper shape: only a minority of users have truncated RCSs.
+    for name in EVALUATION_SUITE:
+        assert report.data[name]["pct_truncated"] < 50.0
+        assert report.data[name]["rcs_cut"] > 0

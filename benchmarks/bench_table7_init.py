@@ -1,0 +1,29 @@
+"""Table VII bench: initialisation quality (top-k-of-RCS vs random)."""
+
+import pytest
+
+from repro.datasets.registry import EVALUATION_SUITE
+from repro.experiments import EXPERIMENTS
+from repro.experiments.exp_table7 import rcs_top_k_graph
+
+from _bench_utils import run_once
+
+
+@pytest.mark.parametrize("name", EVALUATION_SUITE)
+def test_rcs_initialisation(benchmark, context, name):
+    """Building the top-k-of-RCS graph (the measured quantity)."""
+    benchmark.group = "table7:init"
+    engine = context.engine(name)
+    k = context.k_for(name)
+    graph = run_once(benchmark, lambda: rcs_top_k_graph(engine, k))
+    assert graph.edge_count() > 0
+
+
+def test_table7_report(benchmark, context, save_report):
+    benchmark.group = "table7:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["table7"].run(context))
+    save_report("table7", report)
+    # Paper shape: RCS initialisation starts far above a random graph.
+    for name in EVALUATION_SUITE:
+        entry = report.data[name]
+        assert entry["rcs_init"] > entry["random_init"]

@@ -1,0 +1,33 @@
+"""Table VIII bench: impact of halving k."""
+
+import pytest
+
+from repro.datasets.registry import EVALUATION_SUITE
+from repro.experiments import ALGORITHMS, EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+@pytest.mark.parametrize("dataset", EVALUATION_SUITE)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_construction_halved_k(benchmark, context, dataset, algorithm):
+    """One Table VIII cell: construction at the reduced k."""
+    benchmark.group = f"table8:{dataset}"
+    half_k = context.k_for(dataset, reduced=True)
+    outcome = run_once(
+        benchmark, lambda: context.run(dataset, algorithm, k=half_k)
+    )
+    benchmark.extra_info["recall"] = round(outcome.recall, 4)
+
+
+def test_table8_report(benchmark, context, save_report):
+    benchmark.group = "table8:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["table8"].run(context))
+    save_report("table8", report)
+    # Paper shape: KIFF's recall is insensitive to k; the greedy
+    # baselines lose recall when k halves.
+    for name in EVALUATION_SUITE:
+        kiff_entry = report.data[f"{name}/kiff"]
+        assert abs(kiff_entry["delta_recall"]) < 0.1
+        nnd_entry = report.data[f"{name}/nn-descent"]
+        assert kiff_entry["delta_recall"] >= nnd_entry["delta_recall"] - 0.05

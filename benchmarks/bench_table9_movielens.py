@@ -1,0 +1,18 @@
+"""Table IX bench: MovieLens density family statistics."""
+
+from repro.experiments import EXPERIMENTS
+
+from _bench_utils import run_once
+
+
+def test_table9_report(benchmark, context, save_report):
+    benchmark.group = "table9:report"
+    report = run_once(benchmark, lambda: EXPERIMENTS["table9"].run(context))
+    save_report("table9", report)
+    # Paper shape: densities follow the published keep-fractions and the
+    # average RCS size shrinks monotonically with density.
+    entries = [report.data[f"ml-{i}"] for i in range(1, 6)]
+    densities = [e["density_percent"] for e in entries]
+    rcs_sizes = [e["avg_rcs"] for e in entries]
+    assert all(a > b for a, b in zip(densities, densities[1:]))
+    assert all(a >= b for a, b in zip(rcs_sizes, rcs_sizes[1:]))

@@ -1,0 +1,51 @@
+"""Benchmark fixtures.
+
+The benchmark suite regenerates every table and figure of the paper.  One
+:class:`ExperimentContext` is shared across the whole session so that
+expensive artefacts (datasets, exact ground-truth graphs, algorithm runs)
+are computed exactly once and reused by the tables that share them — the
+same measurement-reuse the paper's evaluation implies.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``laptop`` (default) — full laptop-scale datasets; the complete suite
+  takes tens of minutes, dominated by NN-Descent/HyRec on DBLP (k=50),
+  exactly as the paper's Table II is dominated by DBLP.
+* ``tiny`` — a smoke run of every bench in a couple of minutes.
+
+Rendered reports are written to ``benchmarks/reports/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "laptop")
+    return ExperimentContext(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    path = Path(__file__).parent / "reports"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def save_report(report_dir):
+    """Write an ExperimentReport's rendering next to the benchmarks."""
+
+    def _save(name: str, report) -> None:
+        (report_dir / f"{name}.txt").write_text(
+            report.render() + "\n", encoding="utf-8"
+        )
+
+    return _save

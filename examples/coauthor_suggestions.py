@@ -1,0 +1,65 @@
+"""Collaborator suggestion on a co-authorship network (Arxiv-style).
+
+In the paper's Arxiv and DBLP datasets, authors are both users and items:
+an author's profile is the set of her co-authors.  A KNN graph over that
+similarity is a "people who collaborate like you" graph, and its
+neighbours who are *not yet* co-authors are natural collaboration
+suggestions (link prediction).
+
+This example also shows KIFF running with a different metric
+(Adamic-Adar), exercising the paper's claim that KIFF "can be applied to
+any similarity metric".
+
+Run with::
+
+    python examples/coauthor_suggestions.py
+"""
+
+from repro import KiffConfig, SimilarityEngine, kiff
+from repro.datasets import arxiv_like
+
+
+def suggest_collaborators(dataset, graph, author, top_n=5):
+    """Neighbours in similarity order who are not already co-authors."""
+    current = set(dataset.user_items(author).tolist())
+    suggestions = []
+    for neighbor, sim in zip(graph.neighbors_of(author), graph.sims_of(author)):
+        if int(neighbor) in current or sim <= 0:
+            continue
+        suggestions.append((int(neighbor), sim))
+        if len(suggestions) == top_n:
+            break
+    return suggestions
+
+
+def main() -> None:
+    dataset = arxiv_like(n_authors=800, avg_coauthors=10.0, seed=21)
+    print(f"Co-authorship network: {dataset}")
+
+    for metric in ("cosine", "adamic_adar"):
+        engine = SimilarityEngine(dataset, metric=metric)
+        result = kiff(engine, KiffConfig(k=10))
+        print(
+            f"\n[{metric}] KIFF: {result.iterations} iterations, "
+            f"scan rate {result.scan_rate:.2%}"
+        )
+
+        # Pick the most collaborative author as the running example.
+        author = int(dataset.user_profile_sizes().argmax())
+        print(
+            f"Author {author} has {dataset.user_profile_sizes()[author]} "
+            f"co-authors; suggested new collaborators:"
+        )
+        for neighbor, sim in suggest_collaborators(dataset, result.graph, author):
+            shared = len(
+                set(dataset.user_items(author).tolist())
+                & set(dataset.user_items(neighbor).tolist())
+            )
+            print(
+                f"  author {neighbor:4d}  {metric}={sim:.3f} "
+                f"({shared} shared co-authors)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Head-to-head comparison: KIFF vs NN-Descent vs HyRec vs LSH.
+
+Reproduces the spirit of the paper's Table II on one dataset, with the
+MinHash-LSH extension baseline added, and prints a breakdown of where
+each algorithm spends its time (the paper's Figures 1 and 5).
+
+Run with::
+
+    python examples/compare_algorithms.py [dataset] [scale]
+
+where ``dataset`` is one of wikipedia / arxiv / gowalla / dblp (default
+wikipedia) and ``scale`` is tiny or laptop (default tiny, so the script
+finishes in seconds).
+"""
+
+import sys
+
+from repro import (
+    HyRecConfig,
+    KiffConfig,
+    LshConfig,
+    NNDescentConfig,
+    SimilarityEngine,
+    brute_force_knn,
+    hyrec,
+    kiff,
+    lsh_knn,
+    nn_descent,
+    recall,
+)
+from repro.datasets import load_dataset
+from repro.experiments.report import render_table
+
+
+def main() -> None:
+    dataset_name = sys.argv[1] if len(sys.argv) > 1 else "wikipedia"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "tiny"
+    dataset = load_dataset(dataset_name, scale=scale)
+    k = 10 if scale == "tiny" else 20
+    print(f"Dataset: {dataset} (k={k})\n")
+
+    exact = brute_force_knn(SimilarityEngine(dataset), k)
+
+    runs = [
+        ("kiff", lambda: kiff(SimilarityEngine(dataset), KiffConfig(k=k))),
+        (
+            "nn-descent",
+            lambda: nn_descent(
+                SimilarityEngine(dataset), NNDescentConfig(k=k, seed=0)
+            ),
+        ),
+        (
+            "hyrec",
+            lambda: hyrec(SimilarityEngine(dataset), HyRecConfig(k=k, seed=0)),
+        ),
+        ("lsh", lambda: lsh_knn(SimilarityEngine(dataset), LshConfig(k=k, seed=0))),
+    ]
+
+    rows = []
+    for name, runner in runs:
+        result = runner()
+        breakdown = result.timer.as_breakdown()
+        rows.append(
+            [
+                name,
+                round(recall(result.graph, exact.graph), 3),
+                round(result.wall_time, 3),
+                f"{result.scan_rate:.2%}",
+                result.iterations,
+                f"{breakdown['preprocessing']:.3f}",
+                f"{breakdown['candidate_selection']:.3f}",
+                f"{breakdown['similarity']:.3f}",
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "approach",
+                "recall",
+                "time (s)",
+                "scan rate",
+                "iters",
+                "preproc (s)",
+                "cand sel (s)",
+                "similarity (s)",
+            ],
+            rows,
+            title=f"KNN graph construction on {dataset_name} ({scale})",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

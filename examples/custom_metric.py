@@ -1,0 +1,90 @@
+"""Plugging a custom similarity metric into KIFF.
+
+The paper stresses that KIFF is generic: any item-based metric satisfying
+properties (5)/(6) — zero without shared items, non-negative with them —
+keeps KIFF's pruning lossless.  This example registers a *weighted
+overlap* metric (rating-weighted common-item count), runs KIFF with it,
+and verifies the result against brute force.
+
+Run with::
+
+    python examples/custom_metric.py
+"""
+
+import numpy as np
+
+from repro import (
+    KiffConfig,
+    SimilarityEngine,
+    brute_force_knn,
+    kiff,
+    recall,
+    register_metric,
+)
+from repro.datasets import load_dataset
+from repro.similarity.base import SimilarityMetric, _pairwise_dot, intersect_profiles
+
+
+@register_metric
+class WeightedOverlap(SimilarityMetric):
+    """Sum of min(rating_u, rating_v) over common items.
+
+    Satisfies the paper's properties: no common items -> 0, any common
+    item with positive ratings -> positive.
+    """
+
+    name = "weighted_overlap"
+    satisfies_overlap_properties = True
+
+    def score_pair(self, index, u, v):
+        _, ratings_u, ratings_v = intersect_profiles(index, u, v)
+        if ratings_u.size == 0:
+            return 0.0
+        return float(np.minimum(ratings_u, ratings_v).sum())
+
+    def score_batch(self, index, us, vs):
+        # min(a, b) = (a + b - |a - b|) / 2, computed sparsely: on common
+        # items both entries are present; elsewhere the product is zero,
+        # so we mask with the binary intersection.
+        rows_u = index.matrix[us]
+        rows_v = index.matrix[vs]
+        common = index.binary[us].multiply(index.binary[vs])
+        sum_part = (rows_u + rows_v).multiply(common)
+        diff_part = abs(rows_u - rows_v).multiply(common)
+        return np.asarray((sum_part - diff_part).sum(axis=1)).ravel() / 2.0
+
+    def score_block(self, index, us):
+        out = np.zeros((len(us), index.n_users))
+        for row, u in enumerate(us):
+            for v in range(index.n_users):
+                if v != u:
+                    out[row, v] = self.score_pair(index, int(u), v)
+        return out
+
+
+def main() -> None:
+    dataset = load_dataset("gowalla", scale="tiny")
+    print(f"Dataset: {dataset} (count-valued ratings)")
+
+    engine = SimilarityEngine(dataset, metric="weighted_overlap")
+    result = kiff(engine, KiffConfig(k=8))
+    print(
+        f"KIFF with custom metric: {result.iterations} iterations, "
+        f"scan rate {result.scan_rate:.2%}"
+    )
+
+    exact = brute_force_knn(
+        SimilarityEngine(dataset, metric="weighted_overlap"), 8
+    )
+    print(f"Recall vs brute force: {recall(result.graph, exact.graph):.3f}")
+
+    user = int(dataset.user_profile_sizes().argmax())
+    print(f"\nTop neighbours of the most active user ({user}):")
+    for neighbor, sim in zip(
+        result.graph.neighbors_of(user)[:5], result.graph.sims_of(user)[:5]
+    ):
+        print(f"  user {neighbor:4d}  weighted overlap {sim:.1f}")
+
+
+if __name__ == "__main__":
+    main()

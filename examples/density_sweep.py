@@ -1,0 +1,68 @@
+"""Density sweep: when does KIFF beat NN-Descent?
+
+A miniature of the paper's Figure 10: derive progressively sparser
+versions of one MovieLens-like dataset (the paper's exact random-removal
+procedure), run both algorithms at matched recall, and watch KIFF's scan
+rate collapse with density while NN-Descent's stays flat.
+
+Run with::
+
+    python examples/density_sweep.py
+"""
+
+from repro import KiffConfig, NNDescentConfig, SimilarityEngine, brute_force_knn, kiff, nn_descent, recall
+from repro.datasets import movielens_family, movielens_like
+from repro.experiments.report import render_table
+
+
+def main() -> None:
+    base = movielens_like(n_users=500, n_items=320, density=0.05, seed=33)
+    family = movielens_family(base=base)
+    k = 10
+
+    rows = []
+    for dataset in family:
+        exact = brute_force_knn(SimilarityEngine(dataset), k)
+        nnd = nn_descent(SimilarityEngine(dataset), NNDescentConfig(k=k, seed=0))
+        nnd_recall = recall(nnd.graph, exact.graph)
+
+        kf = kiff(SimilarityEngine(dataset), KiffConfig(k=k))
+        kf_recall = recall(kf.graph, exact.graph)
+
+        rows.append(
+            [
+                dataset.name,
+                f"{dataset.density_percent:.2f}%",
+                round(nnd_recall, 3),
+                f"{nnd.scan_rate:.1%}",
+                round(nnd.wall_time, 2),
+                round(kf_recall, 3),
+                f"{kf.scan_rate:.1%}",
+                round(kf.wall_time, 2),
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "dataset",
+                "density",
+                "NND recall",
+                "NND scan",
+                "NND time",
+                "KIFF recall",
+                "KIFF scan",
+                "KIFF time",
+            ],
+            rows,
+            title="KIFF vs NN-Descent across density (Figure 10 miniature)",
+        )
+    )
+    print(
+        "\nExpected shape: KIFF's scan rate falls steeply as density "
+        "drops; NN-Descent's barely moves."
+    )
+
+
+if __name__ == "__main__":
+    main()

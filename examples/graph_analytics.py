@@ -1,0 +1,65 @@
+"""Analysing and persisting a constructed KNN graph.
+
+Shows the post-construction workflow: build once with KIFF, save the
+graph to disk, reload it, and inspect its structure — reciprocity,
+in-degree concentration, similarity-by-rank profile, and connectivity —
+comparing against a random graph to see what "a good KNN graph" looks
+like quantitatively.
+
+Run with::
+
+    python examples/graph_analytics.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import KiffConfig, SimilarityEngine, kiff, random_knn_graph
+from repro.datasets import load_dataset
+from repro.experiments.report import render_table
+from repro.graph import analyze, load_graph, save_graph, similarity_by_rank
+
+
+def main() -> None:
+    dataset = load_dataset("arxiv", scale="tiny")
+    print(f"Dataset: {dataset}\n")
+
+    engine = SimilarityEngine(dataset)
+    result = kiff(engine, KiffConfig(k=8))
+
+    # Persist and reload: the graph you paid to build is reusable.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_graph(result.graph, Path(tmp) / "arxiv-knn.npz")
+        graph = load_graph(path)
+        print(f"Graph saved to and reloaded from {path.name}: {graph}")
+
+    kiff_stats = analyze(result.graph)
+    random_graph = random_knn_graph(SimilarityEngine(dataset), 8, seed=0)
+    random_stats = analyze(random_graph)
+
+    rows = [
+        [label, kiff_value, random_value]
+        for (label, kiff_value), (_, random_value) in zip(
+            kiff_stats.as_rows(), random_stats.as_rows()
+        )
+    ]
+    print()
+    print(
+        render_table(
+            ["Statistic", "KIFF graph", "Random graph"],
+            rows,
+            title="KNN graph quality, KIFF vs random edges",
+        )
+    )
+
+    by_rank = similarity_by_rank(result.graph)
+    print("\nMean similarity by neighbourhood rank (best slot first):")
+    print("  " + "  ".join(f"{value:.3f}" for value in by_rank))
+    print(
+        "\nReading: high reciprocity and a decaying rank profile are the "
+        "signatures of a converged KNN graph; random edges show neither."
+    )
+
+
+if __name__ == "__main__":
+    main()

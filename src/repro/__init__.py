@@ -1,0 +1,101 @@
+"""KIFF: KNN graph construction for sparse datasets.
+
+A complete reproduction of Boutet, Kermarrec, Mittal & Taïani, *Being
+prepared in a sparse world: the case of KNN graph construction*
+(ICDE 2016): the KIFF algorithm, its greedy competitors (NN-Descent,
+HyRec), an exact brute-force baseline, synthetic datasets matching the
+paper's evaluation suite, and a harness regenerating every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import KiffConfig, SimilarityEngine, kiff, load_dataset
+
+    dataset = load_dataset("wikipedia", scale="tiny")
+    engine = SimilarityEngine(dataset, metric="cosine")
+    result = kiff(engine, KiffConfig(k=10))
+    print(result.graph.neighbors_of(0), result.scan_rate)
+"""
+
+from .baselines import (
+    HyRecConfig,
+    LshConfig,
+    NNDescentConfig,
+    brute_force_knn,
+    hyrec,
+    lsh_knn,
+    nn_descent,
+    random_knn_graph,
+)
+from .core import (
+    ConstructionResult,
+    KiffConfig,
+    KnnHeap,
+    RankedCandidateSets,
+    build_rcs,
+    build_rcs_reference,
+    kiff,
+)
+from .datasets import (
+    BipartiteDataset,
+    DatasetError,
+    load_dataset,
+    load_evaluation_suite,
+    load_movielens_family,
+)
+from .graph import KnnGraph, average_similarity, per_user_recall, recall, strict_recall
+from .instrumentation import (
+    ConvergenceTrace,
+    PhaseTimer,
+    SimilarityCounter,
+    scan_rate,
+)
+from .similarity import (
+    ProfileIndex,
+    SimilarityEngine,
+    SimilarityMetric,
+    get_metric,
+    metric_names,
+    register_metric,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BipartiteDataset",
+    "ConstructionResult",
+    "ConvergenceTrace",
+    "DatasetError",
+    "HyRecConfig",
+    "KiffConfig",
+    "KnnGraph",
+    "KnnHeap",
+    "LshConfig",
+    "NNDescentConfig",
+    "PhaseTimer",
+    "ProfileIndex",
+    "RankedCandidateSets",
+    "SimilarityCounter",
+    "SimilarityEngine",
+    "SimilarityMetric",
+    "__version__",
+    "average_similarity",
+    "brute_force_knn",
+    "build_rcs",
+    "build_rcs_reference",
+    "get_metric",
+    "hyrec",
+    "kiff",
+    "load_dataset",
+    "load_evaluation_suite",
+    "load_movielens_family",
+    "lsh_knn",
+    "metric_names",
+    "nn_descent",
+    "per_user_recall",
+    "random_knn_graph",
+    "recall",
+    "register_metric",
+    "scan_rate",
+    "strict_recall",
+]

@@ -1,0 +1,11 @@
+"""Offline analysis helpers: CCDFs and rank correlations."""
+
+from .ccdf import ccdf, ccdf_at
+from .spearman import rcs_metric_correlations, spearman_rank_correlation
+
+__all__ = [
+    "ccdf",
+    "ccdf_at",
+    "rcs_metric_correlations",
+    "spearman_rank_correlation",
+]

@@ -1,0 +1,18 @@
+"""Competitor algorithms: brute force, NN-Descent, HyRec, MinHash-LSH."""
+
+from .brute_force import brute_force_knn
+from .hyrec import HyRecConfig, hyrec
+from .lsh import LshConfig, lsh_knn
+from .nndescent import NNDescentConfig, nn_descent
+from .random_graph import random_knn_graph
+
+__all__ = [
+    "HyRecConfig",
+    "LshConfig",
+    "NNDescentConfig",
+    "brute_force_knn",
+    "hyrec",
+    "lsh_knn",
+    "nn_descent",
+    "random_knn_graph",
+]

@@ -1,0 +1,171 @@
+"""MinHash-LSH KNN graph construction (extension baseline).
+
+The KIFF paper's related work positions Locality-Sensitive Hashing as the
+classic alternative NN-Descent was originally validated against (Dong et
+al. showed NN-Descent beats multi-probe LSH).  This module implements the
+standard MinHash banding scheme over item *sets*:
+
+1. compute ``num_hashes`` min-hash signatures per user (a signature is the
+   minimum of a universal hash over the user's item ids);
+2. split signatures into ``bands`` bands of ``rows`` hashes; users that
+   collide in any band become candidate pairs;
+3. evaluate the true similarity of candidate pairs (counted, like every
+   other algorithm) and keep each user's top-k.
+
+The default banding (12 bands of 1 row) is tuned for the sparse, low-
+Jaccard datasets this library targets: with ``rows`` hashes per band a
+pair collides in one band with probability ``J**rows``, so multi-row
+bands almost never fire when typical Jaccard similarities sit below 0.2.
+
+MinHash collisions estimate *Jaccard* similarity, so this baseline is a
+natural fit for the paper's sparse binary datasets and showcases why
+KIFF's exact counting phase beats hashing approximations on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.result import ConstructionResult
+from ..graph.knn_graph import KnnGraph
+from ..graph.updates import merge_topk
+from ..instrumentation.trace import ConvergenceTrace
+from ..similarity.engine import SimilarityEngine
+
+__all__ = ["LshConfig", "lsh_knn"]
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+@dataclass(frozen=True)
+class LshConfig:
+    """MinHash-LSH parameters."""
+
+    k: int = 20
+    bands: int = 12
+    rows: int = 1
+    seed: int = 0
+    max_pairs_per_bucket: int = 2_000
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.bands <= 0 or self.rows <= 0:
+            raise ValueError(
+                f"bands and rows must be positive, got {self.bands}, {self.rows}"
+            )
+        if self.max_pairs_per_bucket <= 0:
+            raise ValueError("max_pairs_per_bucket must be positive")
+
+    @property
+    def num_hashes(self) -> int:
+        return self.bands * self.rows
+
+
+def _minhash_signatures(
+    engine: SimilarityEngine, num_hashes: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``(n_users, num_hashes)`` MinHash signature matrix."""
+    n_users = engine.n_users
+    a = rng.integers(1, _MERSENNE_PRIME, size=num_hashes, dtype=np.int64)
+    b = rng.integers(0, _MERSENNE_PRIME, size=num_hashes, dtype=np.int64)
+    signatures = np.full((n_users, num_hashes), np.iinfo(np.int64).max)
+    matrix = engine.index.matrix
+    for user in range(n_users):
+        items = matrix.indices[matrix.indptr[user] : matrix.indptr[user + 1]]
+        if items.size == 0:
+            continue
+        # hash_j(i) = (a_j * i + b_j) mod p ; signature = min over items.
+        hashed = (
+            items[:, None].astype(np.int64) * a[None, :] + b[None, :]
+        ) % _MERSENNE_PRIME
+        signatures[user] = hashed.min(axis=0)
+    return signatures
+
+
+def lsh_knn(
+    engine: SimilarityEngine, config: LshConfig | None = None
+) -> ConstructionResult:
+    """Build an approximate KNN graph with MinHash LSH."""
+    config = config or LshConfig()
+    n_users = engine.n_users
+    rng = np.random.default_rng(config.seed)
+    trace = ConvergenceTrace()
+
+    with engine.timer.phase("preprocessing"):
+        signatures = _minhash_signatures(engine, config.num_hashes, rng)
+
+    with engine.timer.phase("candidate_selection"):
+        pair_lo, pair_hi = _banded_candidates(signatures, config, n_users)
+
+    neighbors = np.full((n_users, config.k), -1, dtype=np.int64)
+    sims = np.full((n_users, config.k), -np.inf, dtype=np.float64)
+    if pair_lo.size:
+        pair_sims = engine.batch(pair_lo, pair_hi)
+        with engine.timer.phase("candidate_selection"):
+            cand_users = np.concatenate([pair_lo, pair_hi])
+            cand_ids = np.concatenate([pair_hi, pair_lo])
+            cand_sims = np.concatenate([pair_sims, pair_sims])
+            neighbors, sims, changes = merge_topk(
+                neighbors, sims, cand_users, cand_ids, cand_sims
+            )
+        trace.record(1, engine.counter.evaluations, changes)
+
+    return ConstructionResult(
+        graph=KnnGraph(neighbors, sims),
+        iterations=1,
+        counter=engine.counter,
+        timer=engine.timer,
+        trace=trace,
+        algorithm="lsh",
+        extras={
+            "k": config.k,
+            "bands": config.bands,
+            "rows": config.rows,
+            "candidate_pairs": int(pair_lo.size),
+        },
+    )
+
+
+def _banded_candidates(
+    signatures: np.ndarray, config: LshConfig, n_users: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Candidate pairs from banded signature collisions (deduplicated)."""
+    pair_lo: list[np.ndarray] = []
+    pair_hi: list[np.ndarray] = []
+    for band in range(config.bands):
+        cols = slice(band * config.rows, (band + 1) * config.rows)
+        band_sig = signatures[:, cols]
+        # Bucket users by identical band signature.
+        order = np.lexsort(band_sig.T[::-1])
+        sorted_sig = band_sig[order]
+        boundaries = np.ones(n_users, dtype=bool)
+        boundaries[1:] = np.any(sorted_sig[1:] != sorted_sig[:-1], axis=1)
+        starts = np.flatnonzero(boundaries)
+        lengths = np.diff(np.append(starts, n_users))
+        for start, length in zip(starts, lengths):
+            if length < 2:
+                continue
+            bucket = order[start : start + length]
+            # Cap pathological buckets (all-identical signatures).
+            n_pairs = length * (length - 1) // 2
+            if n_pairs > config.max_pairs_per_bucket:
+                bucket = bucket[
+                    : int((2 * config.max_pairs_per_bucket) ** 0.5) + 2
+                ]
+                length = bucket.size
+            grid_a = np.repeat(bucket, length)
+            grid_b = np.tile(bucket, length)
+            upper = grid_a < grid_b
+            pair_lo.append(grid_a[upper])
+            pair_hi.append(grid_b[upper])
+    if not pair_lo:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    lo = np.concatenate(pair_lo)
+    hi = np.concatenate(pair_hi)
+    keys = lo.astype(np.int64) * n_users + hi
+    _, unique_idx = np.unique(keys, return_index=True)
+    return lo[unique_idx], hi[unique_idx]

@@ -1,0 +1,49 @@
+"""Random k-neighbour initial graphs.
+
+NN-Descent and HyRec both "start from a random graph" (Sections II, VI of
+the paper); Table VII additionally measures the recall of such a random
+initialisation against KIFF's top-k-of-RCS initialisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.knn_graph import KnnGraph
+from ..similarity.engine import SimilarityEngine
+
+__all__ = ["random_knn_graph"]
+
+
+def random_knn_graph(
+    engine: SimilarityEngine,
+    k: int,
+    seed: int | np.random.Generator = 0,
+    compute_sims: bool = True,
+) -> KnnGraph:
+    """A graph whose every user gets k distinct uniform-random neighbours.
+
+    With ``compute_sims=True`` the true similarity of each random edge is
+    evaluated (and counted — the greedy baselines must pay for scoring
+    their initial graph, as their published implementations do).  With
+    ``compute_sims=False`` edges carry similarity 0.0; Table VII uses this
+    cheaper form since it only inspects neighbour ids.
+    """
+    n_users = engine.n_users
+    if not 0 < k < n_users:
+        raise ValueError(f"need 0 < k < n_users, got k={k}, n_users={n_users}")
+    rng = np.random.default_rng(seed)
+    neighbors = np.empty((n_users, k), dtype=np.int64)
+    for user in range(n_users):
+        # Sample from [0, n_users - 1) and shift to skip the user itself:
+        # uniform over all other users, no self-loops, no duplicates.
+        draw = rng.choice(n_users - 1, size=k, replace=False)
+        draw[draw >= user] += 1
+        neighbors[user] = draw
+    if compute_sims:
+        us = np.repeat(np.arange(n_users, dtype=np.int64), k)
+        vs = neighbors.ravel()
+        sims = engine.batch(us, vs).reshape(n_users, k)
+    else:
+        sims = np.zeros((n_users, k), dtype=np.float64)
+    return KnnGraph(neighbors, sims)

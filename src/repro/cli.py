@@ -1,0 +1,146 @@
+"""Command-line interface: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    repro-kiff table2 --scale laptop
+    repro-kiff all --scale tiny
+    python -m repro figure8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import EXPERIMENTS, ExperimentContext
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-kiff",
+        description=(
+            "Regenerate the evaluation tables and figures of the KIFF "
+            "paper (Boutet et al., ICDE 2016)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "datasets", "graph-stats"],
+        help=(
+            "which paper artefact to regenerate ('all' runs everything; "
+            "'datasets' prints Table-I statistics for every registry "
+            "preset and can cache them to disk; 'graph-stats' builds a "
+            "KNN graph with KIFF and prints its analytics)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        default="laptop",
+        choices=("tiny", "laptop", "paper"),
+        help="dataset scale (default: laptop; 'paper' is very slow)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="cosine",
+        help="similarity metric (default: cosine)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for randomised baselines"
+    )
+    parser.add_argument(
+        "--save-dir",
+        default=None,
+        help="with 'datasets': also write each preset as an edge list here",
+    )
+    parser.add_argument(
+        "--dataset",
+        default="wikipedia",
+        help="with 'graph-stats': the registry preset to build on",
+    )
+    parser.add_argument(
+        "--k", type=int, default=None, help="with 'graph-stats': neighbourhood size"
+    )
+    return parser
+
+
+def _run_datasets(args) -> int:
+    """The 'datasets' utility command: stats (+ optional disk cache)."""
+    from .datasets import dataset_names, describe, load_dataset, save_dataset
+    from .experiments.report import render_table
+
+    rows = []
+    for name in dataset_names():
+        dataset = load_dataset(name, scale=args.scale)
+        rows.append(describe(dataset).as_row())
+        if args.save_dir:
+            save_dataset(dataset, args.save_dir)
+    print(
+        render_table(
+            ["Dataset", "|U|", "|I|", "|E|", "Density", "Avg |UPu|", "Avg |IPi|"],
+            rows,
+            title=f"Registry presets at scale={args.scale!r}",
+        )
+    )
+    if args.save_dir:
+        print(f"\nEdge lists written to {args.save_dir}")
+    return 0
+
+
+def _run_graph_stats(args) -> int:
+    """The 'graph-stats' utility: build with KIFF, print analytics."""
+    from .core import KiffConfig, kiff
+    from .datasets import load_dataset
+    from .experiments.report import render_table
+    from .graph import analyze
+    from .similarity import SimilarityEngine
+
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    k = args.k if args.k is not None else (8 if args.scale == "tiny" else 20)
+    engine = SimilarityEngine(dataset, metric=args.metric)
+    result = kiff(engine, KiffConfig(k=k))
+    stats = analyze(result.graph)
+    print(
+        render_table(
+            ["Statistic", "Value"],
+            stats.as_rows(),
+            title=(
+                f"KIFF graph on {args.dataset} ({args.scale}), "
+                f"metric={args.metric}, k={k}"
+            ),
+        )
+    )
+    print(
+        f"\nConstruction: {result.iterations} iterations, "
+        f"{result.evaluations:,} evaluations "
+        f"(scan rate {result.scan_rate:.2%}), {result.wall_time:.2f}s"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "datasets":
+        return _run_datasets(args)
+    if args.experiment == "graph-stats":
+        return _run_graph_stats(args)
+    context = ExperimentContext(
+        scale=args.scale, metric=args.metric, seed=args.seed
+    )
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.perf_counter()
+        report = module.run(context)
+        elapsed = time.perf_counter() - start
+        print(report.render())
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Bounded KNN heap — the ``UPDATENN`` structure of Algorithm 1.
+
+The paper stores each user's approximate neighbourhood as "a heap of
+maximum size k, with the similarity between u and its neighbors used as
+priority" (Section III-C).  :class:`KnnHeap` reproduces that structure: a
+min-heap on similarity holding at most ``k`` distinct neighbours, whose
+:meth:`update` returns 1 when the heap changed and 0 otherwise — the value
+``UPDATENN`` feeds into the change counter ``c``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["KnnHeap"]
+
+
+class KnnHeap:
+    """Bounded min-heap of ``(similarity, neighbour)`` pairs.
+
+    Ties at the eviction boundary are broken by ascending neighbour id
+    (an entry only displaces the current minimum if it is strictly better
+    under the ``(sim, -id)`` order), matching the canonical ordering of
+    :class:`repro.graph.KnnGraph` so reference and fast paths agree
+    entry-for-entry, not just in similarity values.
+    """
+
+    __slots__ = ("k", "_heap", "_members")
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        # Heap entries are (sim, -neighbor): the heap minimum is the entry
+        # with the lowest similarity, highest id among equals — exactly the
+        # entry canonical ordering evicts first.
+        self._heap: list[tuple[float, int]] = []
+        self._members: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, neighbor: int) -> bool:
+        return neighbor in self._members
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._members) >= self.k
+
+    def update(self, neighbor: int, sim: float) -> int:
+        """Offer ``(neighbor, sim)``; return 1 if the heap changed.
+
+        Implements ``UPDATENN`` (Algorithm 1 lines 14-16):
+
+        * a neighbour already present is refreshed only if the new
+          similarity is higher (profiles are static in this paper, so in
+          practice re-offers carry the same value and return 0);
+        * when not full, any new neighbour is inserted;
+        * when full, the new entry must beat the current minimum under the
+          ``(sim, -id)`` order to displace it.
+        """
+        if neighbor in self._members:
+            if sim > self._members[neighbor]:
+                self._remove(neighbor)
+                self._insert(neighbor, sim)
+                return 1
+            return 0
+        if not self.is_full:
+            self._insert(neighbor, sim)
+            return 1
+        worst_sim, neg_worst_id = self._heap[0]
+        if (sim, -neighbor) > (worst_sim, neg_worst_id):
+            self._remove(-neg_worst_id)
+            self._insert(neighbor, sim)
+            return 1
+        return 0
+
+    def _insert(self, neighbor: int, sim: float) -> None:
+        heapq.heappush(self._heap, (sim, -neighbor))
+        self._members[neighbor] = sim
+
+    def _remove(self, neighbor: int) -> None:
+        sim = self._members.pop(neighbor)
+        self._heap.remove((sim, -neighbor))
+        heapq.heapify(self._heap)
+
+    def entries(self) -> list[tuple[int, float]]:
+        """``(neighbor, sim)`` pairs, best first (canonical order)."""
+        return sorted(self._members.items(), key=lambda item: (-item[1], item[0]))
+
+    def min_similarity(self) -> float:
+        """Similarity of the weakest kept neighbour (-inf when empty)."""
+        if not self._heap:
+            return -np.inf
+        return self._heap[0][0]
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Canonical ``(neighbors, sims)`` rows padded to length k."""
+        from ..graph.knn_graph import MISSING
+
+        neighbors = np.full(self.k, MISSING, dtype=np.int64)
+        sims = np.full(self.k, -np.inf, dtype=np.float64)
+        for slot, (neighbor, sim) in enumerate(self.entries()):
+            neighbors[slot] = neighbor
+            sims[slot] = sim
+        return neighbors, sims

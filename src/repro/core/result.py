@@ -1,0 +1,59 @@
+"""Common result type returned by every graph-construction algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.knn_graph import KnnGraph
+from ..instrumentation.counters import SimilarityCounter
+from ..instrumentation.timers import PhaseTimer
+from ..instrumentation.trace import ConvergenceTrace
+
+__all__ = ["ConstructionResult"]
+
+
+@dataclass
+class ConstructionResult:
+    """Everything a construction run produced, measurements included.
+
+    ``extras`` carries algorithm-specific facts (e.g. KIFF's RCS statistics
+    or NN-Descent's sampling configuration) that individual experiments
+    report on.
+    """
+
+    graph: KnnGraph
+    iterations: int
+    counter: SimilarityCounter
+    timer: PhaseTimer
+    trace: ConvergenceTrace
+    algorithm: str = "unknown"
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def evaluations(self) -> int:
+        """Total similarity evaluations performed."""
+        return self.counter.evaluations
+
+    @property
+    def scan_rate(self) -> float:
+        """Scan rate over the run (the paper's cost metric)."""
+        return self.counter.scan_rate(self.graph.n_users)
+
+    @property
+    def wall_time(self) -> float:
+        """Total measured wall-time across phases, in seconds."""
+        return self.timer.total
+
+    def summary(self) -> dict:
+        """Flat dictionary for report tables."""
+        return {
+            "algorithm": self.algorithm,
+            "iterations": self.iterations,
+            "evaluations": self.evaluations,
+            "scan_rate": self.scan_rate,
+            "wall_time": self.wall_time,
+            **{
+                f"time_{name}": value
+                for name, value in self.timer.as_breakdown().items()
+            },
+        }

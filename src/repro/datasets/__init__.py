@@ -1,0 +1,54 @@
+"""Dataset substrate: bipartite user-item datasets, generators, presets."""
+
+from .bipartite import BipartiteDataset, DatasetError
+from .checkins import gowalla_like
+from .coauthorship import arxiv_like, dblp_like
+from .generators import GeneratorConfig, power_law_bipartite
+from .loaders import load_dataset_dir, load_edge_list, save_dataset, save_edge_list
+from .movielens import movielens_family, movielens_like
+from .registry import (
+    EVALUATION_SUITE,
+    SCALES,
+    dataset_names,
+    load_dataset,
+    load_evaluation_suite,
+    load_movielens_family,
+)
+from .stats import DatasetStats, describe, profile_size_ccdf
+from .transforms import (
+    filter_items,
+    filter_users,
+    iterative_core,
+    train_test_split,
+)
+from .votes import wikipedia_like
+
+__all__ = [
+    "BipartiteDataset",
+    "DatasetError",
+    "DatasetStats",
+    "EVALUATION_SUITE",
+    "GeneratorConfig",
+    "SCALES",
+    "arxiv_like",
+    "dataset_names",
+    "dblp_like",
+    "describe",
+    "filter_items",
+    "filter_users",
+    "iterative_core",
+    "gowalla_like",
+    "load_dataset",
+    "load_dataset_dir",
+    "load_edge_list",
+    "load_evaluation_suite",
+    "load_movielens_family",
+    "movielens_family",
+    "movielens_like",
+    "power_law_bipartite",
+    "profile_size_ccdf",
+    "save_dataset",
+    "save_edge_list",
+    "train_test_split",
+    "wikipedia_like",
+]

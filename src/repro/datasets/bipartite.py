@@ -1,0 +1,380 @@
+"""Bipartite user-item dataset substrate.
+
+Every algorithm in this library operates on a :class:`BipartiteDataset`: a
+set of *users* connected to a set of *items* through weighted edges
+(ratings), exactly the labelled bipartite graph ``G = (V, E, rho)`` of
+Section III-A of the KIFF paper.  The dataset is stored as a
+``scipy.sparse.csr_matrix`` of shape ``(n_users, n_items)`` whose row ``u``
+is the *user profile* ``UP_u`` and, after a CSC conversion, whose column
+``i`` is the *item profile* ``IP_i``.
+
+The class is deliberately immutable: derivation helpers such as
+:meth:`BipartiteDataset.sparsify` return new datasets, never mutate in
+place, so experiment sweeps (e.g. the MovieLens density family of Table IX)
+can share one parent dataset safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "BipartiteDataset",
+    "DatasetError",
+]
+
+
+class DatasetError(ValueError):
+    """Raised when a dataset is malformed or an operation is invalid."""
+
+
+def _canonicalize(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Return *matrix* as a canonical CSR matrix.
+
+    Canonical means: CSR format, float64 data, duplicate entries summed,
+    explicit zeros removed, and column indices sorted within each row.
+    All downstream code (profile views, merge-based similarity) relies on
+    these invariants.
+    """
+    csr = sp.csr_matrix(matrix, dtype=np.float64, copy=True)
+    csr.sum_duplicates()
+    csr.eliminate_zeros()
+    csr.sort_indices()
+    return csr
+
+
+@dataclass(frozen=True)
+class BipartiteDataset:
+    """An immutable user-item rating dataset.
+
+    Parameters
+    ----------
+    matrix:
+        Sparse ``(n_users, n_items)`` rating matrix.  A stored entry
+        ``matrix[u, i] = r`` means user ``u`` rated item ``i`` with value
+        ``r`` (``r = 1.0`` for binary / single-valued datasets).
+    name:
+        Human-readable dataset name, used by reports and the registry.
+    symmetric:
+        True for co-authorship style datasets (Arxiv, DBLP) where users and
+        items are the same population and the matrix is square.
+    """
+
+    matrix: sp.csr_matrix
+    name: str = "unnamed"
+    symmetric: bool = False
+    _csc_cache: list = field(default_factory=list, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        canonical = _canonicalize(self.matrix)
+        if canonical.shape[0] == 0 or canonical.shape[1] == 0:
+            raise DatasetError(
+                f"dataset {self.name!r} must have at least one user and one "
+                f"item, got shape {canonical.shape}"
+            )
+        if canonical.data.size and not np.all(np.isfinite(canonical.data)):
+            raise DatasetError(f"dataset {self.name!r} contains non-finite ratings")
+        if self.symmetric and canonical.shape[0] != canonical.shape[1]:
+            raise DatasetError(
+                f"symmetric dataset {self.name!r} must be square, got shape "
+                f"{canonical.shape}"
+            )
+        object.__setattr__(self, "matrix", canonical)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        users: np.ndarray | list,
+        items: np.ndarray | list,
+        ratings: np.ndarray | list | None = None,
+        n_users: int | None = None,
+        n_items: int | None = None,
+        name: str = "unnamed",
+        symmetric: bool = False,
+    ) -> "BipartiteDataset":
+        """Build a dataset from parallel edge arrays.
+
+        ``ratings`` defaults to all-ones (binary dataset).  ``n_users`` /
+        ``n_items`` default to ``max(id) + 1``; passing them explicitly
+        keeps users or items with no edges in the universe.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape:
+            raise DatasetError(
+                f"users and items must have equal length, got "
+                f"{users.size} vs {items.size}"
+            )
+        if ratings is None:
+            ratings = np.ones(users.size, dtype=np.float64)
+        else:
+            ratings = np.asarray(ratings, dtype=np.float64)
+            if ratings.shape != users.shape:
+                raise DatasetError(
+                    f"ratings length {ratings.size} does not match edge "
+                    f"count {users.size}"
+                )
+        if users.size and (users.min() < 0 or items.min() < 0):
+            raise DatasetError("user and item ids must be non-negative")
+        shape_users = n_users if n_users is not None else (int(users.max()) + 1 if users.size else 1)
+        shape_items = n_items if n_items is not None else (int(items.max()) + 1 if items.size else 1)
+        if users.size and users.max() >= shape_users:
+            raise DatasetError(
+                f"user id {int(users.max())} out of range for n_users={shape_users}"
+            )
+        if items.size and items.max() >= shape_items:
+            raise DatasetError(
+                f"item id {int(items.max())} out of range for n_items={shape_items}"
+            )
+        matrix = sp.csr_matrix(
+            (ratings, (users, items)), shape=(shape_users, shape_items)
+        )
+        return cls(matrix=matrix, name=name, symmetric=symmetric)
+
+    @classmethod
+    def from_profiles(
+        cls,
+        profiles: dict[int, dict[int, float]] | list[dict[int, float]],
+        n_users: int | None = None,
+        n_items: int | None = None,
+        name: str = "unnamed",
+        symmetric: bool = False,
+    ) -> "BipartiteDataset":
+        """Build a dataset from per-user ``{item: rating}`` dictionaries.
+
+        This mirrors the paper's ``UP_u`` dictionaries and is the most
+        convenient constructor for hand-written fixtures in tests.
+        """
+        if isinstance(profiles, dict):
+            pairs = profiles.items()
+        else:
+            pairs = enumerate(profiles)
+        users: list[int] = []
+        items: list[int] = []
+        ratings: list[float] = []
+        max_user = -1
+        for user, profile in pairs:
+            max_user = max(max_user, int(user))
+            for item, rating in profile.items():
+                users.append(int(user))
+                items.append(int(item))
+                ratings.append(float(rating))
+        return cls.from_edges(
+            users,
+            items,
+            ratings,
+            n_users=n_users if n_users is not None else max(max_user + 1, 1),
+            n_items=n_items,
+            name=name,
+            symmetric=symmetric,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic shape / statistics
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        """Number of users ``|U|`` (rows)."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def n_items(self) -> int:
+        """Number of items ``|I|`` (columns)."""
+        return int(self.matrix.shape[1])
+
+    @property
+    def n_ratings(self) -> int:
+        """Number of ratings ``|E|`` (stored entries)."""
+        return int(self.matrix.nnz)
+
+    @property
+    def density(self) -> float:
+        """Bipartite density ``|E| / (|U| * |I|)`` as a fraction in [0, 1]."""
+        return self.n_ratings / (self.n_users * self.n_items)
+
+    @property
+    def density_percent(self) -> float:
+        """Density expressed in percent, as Table I of the paper reports it."""
+        return 100.0 * self.density
+
+    def user_profile_sizes(self) -> np.ndarray:
+        """Array of ``|UP_u|`` for every user (length ``n_users``)."""
+        return np.diff(self.matrix.indptr)
+
+    def item_profile_sizes(self) -> np.ndarray:
+        """Array of ``|IP_i|`` for every item (length ``n_items``)."""
+        return np.diff(self.csc.indptr)
+
+    @property
+    def avg_user_profile_size(self) -> float:
+        """Mean ``|UP_u|`` — the "Avg |UPu|" column of Table I."""
+        return self.n_ratings / self.n_users
+
+    @property
+    def avg_item_profile_size(self) -> float:
+        """Mean ``|IP_i|`` — the "Avg |IPi|" column of Table I."""
+        return self.n_ratings / self.n_items
+
+    # ------------------------------------------------------------------
+    # Profile access
+    # ------------------------------------------------------------------
+    @property
+    def csc(self) -> sp.csc_matrix:
+        """CSC view of the matrix: column ``i`` is the item profile ``IP_i``.
+
+        Computed lazily and cached; the conversion is the "item profile
+        construction" overhead the paper measures in Table IV.
+        """
+        if not self._csc_cache:
+            self._csc_cache.append(self.matrix.tocsc())
+        return self._csc_cache[0]
+
+    def user_items(self, user: int) -> np.ndarray:
+        """Sorted item ids rated by *user* (a zero-copy CSR slice)."""
+        self._check_user(user)
+        start, end = self.matrix.indptr[user], self.matrix.indptr[user + 1]
+        return self.matrix.indices[start:end]
+
+    def user_ratings(self, user: int) -> np.ndarray:
+        """Ratings aligned with :meth:`user_items` for *user*."""
+        self._check_user(user)
+        start, end = self.matrix.indptr[user], self.matrix.indptr[user + 1]
+        return self.matrix.data[start:end]
+
+    def user_profile(self, user: int) -> dict[int, float]:
+        """The profile ``UP_u`` as a plain ``{item: rating}`` dictionary."""
+        return dict(
+            zip(self.user_items(user).tolist(), self.user_ratings(user).tolist())
+        )
+
+    def item_users(self, item: int) -> np.ndarray:
+        """Sorted user ids that rated *item* — the item profile ``IP_i``."""
+        self._check_item(item)
+        csc = self.csc
+        start, end = csc.indptr[item], csc.indptr[item + 1]
+        return csc.indices[start:end]
+
+    def iter_user_profiles(self):
+        """Yield ``(user, item_ids, ratings)`` for every user, in order."""
+        indptr, indices, data = (
+            self.matrix.indptr,
+            self.matrix.indices,
+            self.matrix.data,
+        )
+        for user in range(self.n_users):
+            start, end = indptr[user], indptr[user + 1]
+            yield user, indices[start:end], data[start:end]
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+    def binarized(self, name: str | None = None) -> "BipartiteDataset":
+        """Return a copy with all ratings replaced by 1.0."""
+        matrix = self.matrix.copy()
+        matrix.data = np.ones_like(matrix.data)
+        return BipartiteDataset(
+            matrix=matrix,
+            name=name or f"{self.name}-binary",
+            symmetric=self.symmetric,
+        )
+
+    def sparsify(
+        self,
+        keep_fraction: float,
+        seed: int | np.random.Generator = 0,
+        name: str | None = None,
+        min_profile_size: int = 0,
+    ) -> "BipartiteDataset":
+        """Randomly keep *keep_fraction* of the ratings.
+
+        This is exactly the procedure the paper uses to derive the ML-2 to
+        ML-5 datasets from ML-1 (Section V-B3): "we progressively remove
+        randomly chosen ratings".  ``min_profile_size`` optionally protects
+        that many ratings per user from removal, so no user drops to an
+        empty profile.
+        """
+        if not 0.0 < keep_fraction <= 1.0:
+            raise DatasetError(
+                f"keep_fraction must be in (0, 1], got {keep_fraction}"
+            )
+        rng = np.random.default_rng(seed)
+        coo = self.matrix.tocoo()
+        n_keep = int(round(keep_fraction * coo.nnz))
+        keep_mask = np.zeros(coo.nnz, dtype=bool)
+        if min_profile_size > 0:
+            # Protect a random min_profile_size ratings per user first.
+            order = rng.permutation(coo.nnz)
+            protected_count = np.zeros(self.n_users, dtype=np.int64)
+            for idx in order:
+                user = coo.row[idx]
+                if protected_count[user] < min_profile_size:
+                    protected_count[user] += 1
+                    keep_mask[idx] = True
+        n_protected = int(keep_mask.sum())
+        remaining = np.flatnonzero(~keep_mask)
+        extra = max(n_keep - n_protected, 0)
+        if extra > 0 and remaining.size:
+            chosen = rng.choice(remaining, size=min(extra, remaining.size), replace=False)
+            keep_mask[chosen] = True
+        matrix = sp.csr_matrix(
+            (coo.data[keep_mask], (coo.row[keep_mask], coo.col[keep_mask])),
+            shape=self.matrix.shape,
+        )
+        return BipartiteDataset(
+            matrix=matrix,
+            name=name or f"{self.name}-keep{keep_fraction:g}",
+            symmetric=self.symmetric,
+        )
+
+    def subset_users(
+        self, users: np.ndarray | list, name: str | None = None
+    ) -> "BipartiteDataset":
+        """Restrict the dataset to the given user rows (items unchanged)."""
+        users = np.asarray(users, dtype=np.int64)
+        if users.size == 0:
+            raise DatasetError("cannot subset to zero users")
+        if users.min() < 0 or users.max() >= self.n_users:
+            raise DatasetError("user ids out of range in subset_users")
+        matrix = self.matrix[users]
+        return BipartiteDataset(
+            matrix=matrix, name=name or f"{self.name}-subset", symmetric=False
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def _check_user(self, user: int) -> None:
+        if not 0 <= user < self.n_users:
+            raise DatasetError(
+                f"user id {user} out of range [0, {self.n_users})"
+            )
+
+    def _check_item(self, item: int) -> None:
+        if not 0 <= item < self.n_items:
+            raise DatasetError(
+                f"item id {item} out of range [0, {self.n_items})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BipartiteDataset(name={self.name!r}, users={self.n_users}, "
+            f"items={self.n_items}, ratings={self.n_ratings}, "
+            f"density={self.density_percent:.4f}%)"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BipartiteDataset):
+            return NotImplemented
+        if self.matrix.shape != other.matrix.shape:
+            return False
+        diff = self.matrix - other.matrix
+        return diff.nnz == 0
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.matrix.shape, self.n_ratings))

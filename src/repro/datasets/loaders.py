@@ -1,0 +1,131 @@
+"""Dataset persistence: plain-text edge lists and JSON metadata.
+
+The paper's datasets ship as SNAP-style whitespace-separated edge lists.
+This module round-trips :class:`BipartiteDataset` through that format (plus
+a small JSON sidecar capturing name/shape/symmetry) so generated datasets
+can be cached on disk and reloaded instead of regenerated.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .bipartite import BipartiteDataset, DatasetError
+
+__all__ = ["save_edge_list", "load_edge_list", "save_dataset", "load_dataset_dir"]
+
+_META_SUFFIX = ".meta.json"
+
+
+def save_edge_list(dataset: BipartiteDataset, path: str | Path) -> Path:
+    """Write ``user item rating`` lines (SNAP-style, ``#`` comments).
+
+    Ratings equal to 1 are written as integers to keep binary datasets
+    compact and diff-friendly.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    coo = dataset.matrix.tocoo()
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# dataset: {dataset.name}\n")
+        handle.write(
+            f"# users: {dataset.n_users} items: {dataset.n_items} "
+            f"ratings: {dataset.n_ratings}\n"
+        )
+        for user, item, rating in zip(coo.row, coo.col, coo.data):
+            if rating == int(rating):
+                handle.write(f"{user}\t{item}\t{int(rating)}\n")
+            else:
+                # repr precision: float ratings must round-trip exactly.
+                handle.write(f"{user}\t{item}\t{float(rating)!r}\n")
+    return path
+
+
+def load_edge_list(
+    path: str | Path,
+    n_users: int | None = None,
+    n_items: int | None = None,
+    name: str | None = None,
+    symmetric: bool = False,
+) -> BipartiteDataset:
+    """Parse a SNAP-style edge list written by :func:`save_edge_list`.
+
+    Lines are ``user item [rating]``; a missing rating column means 1.0.
+    ``#`` lines are comments.  Malformed lines raise :class:`DatasetError`
+    with the offending line number.
+    """
+    path = Path(path)
+    users: list[int] = []
+    items: list[int] = []
+    ratings: list[float] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise DatasetError(
+                    f"{path}:{lineno}: expected 'user item [rating]', got {line!r}"
+                )
+            try:
+                users.append(int(parts[0]))
+                items.append(int(parts[1]))
+                ratings.append(float(parts[2]) if len(parts) == 3 else 1.0)
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{lineno}: {exc}") from exc
+    if not users:
+        raise DatasetError(f"{path}: no edges found")
+    return BipartiteDataset.from_edges(
+        np.asarray(users),
+        np.asarray(items),
+        np.asarray(ratings),
+        n_users=n_users,
+        n_items=n_items,
+        name=name or path.stem,
+        symmetric=symmetric,
+    )
+
+
+def save_dataset(dataset: BipartiteDataset, directory: str | Path) -> Path:
+    """Persist *dataset* as ``<name>.edges`` + ``<name>.meta.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    edge_path = directory / f"{dataset.name}.edges"
+    save_edge_list(dataset, edge_path)
+    meta = {
+        "name": dataset.name,
+        "n_users": dataset.n_users,
+        "n_items": dataset.n_items,
+        "n_ratings": dataset.n_ratings,
+        "symmetric": dataset.symmetric,
+    }
+    meta_path = directory / f"{dataset.name}{_META_SUFFIX}"
+    meta_path.write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    return edge_path
+
+
+def load_dataset_dir(directory: str | Path, name: str) -> BipartiteDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    meta_path = directory / f"{name}{_META_SUFFIX}"
+    edge_path = directory / f"{name}.edges"
+    if not meta_path.exists() or not edge_path.exists():
+        raise DatasetError(f"no saved dataset {name!r} under {directory}")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    dataset = load_edge_list(
+        edge_path,
+        n_users=meta["n_users"],
+        n_items=meta["n_items"],
+        name=meta["name"],
+        symmetric=meta["symmetric"],
+    )
+    if dataset.n_ratings != meta["n_ratings"]:
+        raise DatasetError(
+            f"{edge_path}: expected {meta['n_ratings']} ratings, "
+            f"loaded {dataset.n_ratings}"
+        )
+    return dataset

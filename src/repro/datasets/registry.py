@@ -1,0 +1,165 @@
+"""Named dataset presets.
+
+The experiment harness and benchmarks refer to datasets by name
+(``"arxiv"``, ``"wikipedia"``, ``"gowalla"``, ``"dblp"``, ``"ml-1"`` ..
+``"ml-5"``).  Each name maps to a seeded generator call, so every run of a
+given preset at a given scale produces the identical dataset.
+
+Two scales are provided:
+
+``laptop`` (default)
+    1.5k-9k users; every table and figure regenerates in minutes of pure
+    Python.  Shapes preserve the paper's *orderings* (density, item-profile
+    size, user/item ratio) rather than absolute counts.
+``paper``
+    The published Table I shapes.  Generation is fast but running the
+    greedy baselines on DBLP-paper in pure Python takes hours; reserved
+    for patient offline validation.
+``tiny``
+    A few hundred users, for unit tests and smoke benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .bipartite import BipartiteDataset, DatasetError
+from .checkins import GOWALLA_PAPER_SHAPE, gowalla_like
+from .coauthorship import (
+    ARXIV_PAPER_SHAPE,
+    DBLP_PAPER_SHAPE,
+    arxiv_like,
+    dblp_like,
+)
+from .movielens import movielens_family, movielens_like
+from .votes import WIKIPEDIA_PAPER_SHAPE, wikipedia_like
+
+__all__ = [
+    "SCALES",
+    "dataset_names",
+    "load_dataset",
+    "load_evaluation_suite",
+    "load_movielens_family",
+]
+
+SCALES = ("tiny", "laptop", "paper")
+
+#: The four datasets of the paper's main evaluation, in Table I order.
+EVALUATION_SUITE = ("wikipedia", "arxiv", "gowalla", "dblp")
+
+
+def _wikipedia(scale: str) -> BipartiteDataset:
+    if scale == "tiny":
+        return wikipedia_like(n_users=300, n_items=150, density=0.02)
+    if scale == "laptop":
+        return wikipedia_like()
+    return wikipedia_like(
+        n_users=WIKIPEDIA_PAPER_SHAPE["n_users"],
+        n_items=WIKIPEDIA_PAPER_SHAPE["n_items"],
+        density=WIKIPEDIA_PAPER_SHAPE["n_ratings"]
+        / (WIKIPEDIA_PAPER_SHAPE["n_users"] * WIKIPEDIA_PAPER_SHAPE["n_items"]),
+    )
+
+
+def _arxiv(scale: str) -> BipartiteDataset:
+    if scale == "tiny":
+        return arxiv_like(n_authors=400, avg_coauthors=8.0)
+    if scale == "laptop":
+        return arxiv_like()
+    return arxiv_like(
+        n_authors=ARXIV_PAPER_SHAPE["n_users"],
+        avg_coauthors=ARXIV_PAPER_SHAPE["n_ratings"] / ARXIV_PAPER_SHAPE["n_users"],
+    )
+
+
+def _gowalla(scale: str) -> BipartiteDataset:
+    if scale == "tiny":
+        return gowalla_like(n_users=400, n_items=3_000, avg_checkins=12.0)
+    if scale == "laptop":
+        return gowalla_like()
+    return gowalla_like(
+        n_users=GOWALLA_PAPER_SHAPE["n_users"],
+        n_items=GOWALLA_PAPER_SHAPE["n_items"],
+        avg_checkins=GOWALLA_PAPER_SHAPE["n_ratings"] / GOWALLA_PAPER_SHAPE["n_users"],
+    )
+
+
+def _dblp(scale: str) -> BipartiteDataset:
+    if scale == "tiny":
+        return dblp_like(n_authors=500, avg_coauthors=6.0)
+    if scale == "laptop":
+        return dblp_like()
+    return dblp_like(
+        n_authors=DBLP_PAPER_SHAPE["n_users"],
+        avg_coauthors=DBLP_PAPER_SHAPE["n_ratings"] / DBLP_PAPER_SHAPE["n_users"],
+    )
+
+
+def _ml(index: int) -> Callable[[str], BipartiteDataset]:
+    def build(scale: str) -> BipartiteDataset:
+        family = load_movielens_family(scale)
+        return family[index - 1]
+
+    return build
+
+
+_REGISTRY: dict[str, Callable[[str], BipartiteDataset]] = {
+    "wikipedia": _wikipedia,
+    "arxiv": _arxiv,
+    "gowalla": _gowalla,
+    "dblp": _dblp,
+    "ml-1": _ml(1),
+    "ml-2": _ml(2),
+    "ml-3": _ml(3),
+    "ml-4": _ml(4),
+    "ml-5": _ml(5),
+}
+
+
+def dataset_names() -> list[str]:
+    """All registered preset names, in registry order."""
+    return list(_REGISTRY)
+
+
+def load_dataset(name: str, scale: str = "laptop") -> BipartiteDataset:
+    """Instantiate the named preset at the given scale.
+
+    Raises :class:`DatasetError` for unknown names or scales so callers
+    fail fast on typos.
+    """
+    if scale not in SCALES:
+        raise DatasetError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; expected one of {dataset_names()}"
+        ) from None
+    return builder(scale)
+
+
+def load_evaluation_suite(scale: str = "laptop") -> list[BipartiteDataset]:
+    """The paper's four evaluation datasets, in Table I order."""
+    return [load_dataset(name, scale) for name in EVALUATION_SUITE]
+
+
+def load_movielens_family(scale: str = "laptop") -> list[BipartiteDataset]:
+    """The ML-1..ML-5 density family of Table IX at the given scale."""
+    if scale == "tiny":
+        base = movielens_like(
+            n_users=250, n_items=160, density=0.05, min_ratings_per_user=8
+        )
+    elif scale == "laptop":
+        base = movielens_like()
+    elif scale == "paper":
+        from .movielens import ML_PAPER_SHAPE
+
+        base = movielens_like(
+            n_users=ML_PAPER_SHAPE["n_users"],
+            n_items=ML_PAPER_SHAPE["n_items"],
+            density=ML_PAPER_SHAPE["n_ratings"]
+            / (ML_PAPER_SHAPE["n_users"] * ML_PAPER_SHAPE["n_items"]),
+        )
+    else:
+        raise DatasetError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    return movielens_family(base=base)

@@ -1,0 +1,69 @@
+"""Dataset statistics: the columns of Table I and the CCDFs of Figure 4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bipartite import BipartiteDataset
+
+__all__ = ["DatasetStats", "describe", "profile_size_ccdf"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """One row of the paper's Table I."""
+
+    name: str
+    n_users: int
+    n_items: int
+    n_ratings: int
+    density_percent: float
+    avg_user_profile: float
+    avg_item_profile: float
+
+    def as_row(self) -> list:
+        """Values in Table I column order."""
+        return [
+            self.name,
+            self.n_users,
+            self.n_items,
+            self.n_ratings,
+            f"{self.density_percent:.4f}%",
+            f"{self.avg_user_profile:.1f}",
+            f"{self.avg_item_profile:.1f}",
+        ]
+
+
+def describe(dataset: BipartiteDataset) -> DatasetStats:
+    """Compute the Table I statistics of *dataset*."""
+    return DatasetStats(
+        name=dataset.name,
+        n_users=dataset.n_users,
+        n_items=dataset.n_items,
+        n_ratings=dataset.n_ratings,
+        density_percent=dataset.density_percent,
+        avg_user_profile=dataset.avg_user_profile_size,
+        avg_item_profile=dataset.avg_item_profile_size,
+    )
+
+
+def profile_size_ccdf(
+    dataset: BipartiteDataset, axis: str = "user"
+) -> tuple[np.ndarray, np.ndarray]:
+    """CCDF of profile sizes, as plotted in Figure 4 of the paper.
+
+    Returns ``(sizes, probabilities)`` where ``probabilities[j]`` is
+    ``P(|profile| >= sizes[j])``.  ``axis`` selects ``"user"`` (``|UP_u|``,
+    Fig. 4a) or ``"item"`` (``|IP_i|``, Fig. 4b).
+    """
+    if axis == "user":
+        sizes = dataset.user_profile_sizes()
+    elif axis == "item":
+        sizes = dataset.item_profile_sizes()
+    else:
+        raise ValueError(f"axis must be 'user' or 'item', got {axis!r}")
+    from ..analysis.ccdf import ccdf
+
+    return ccdf(sizes)

@@ -1,0 +1,134 @@
+"""Dataset transformations: filtering, splitting, relabelling.
+
+Real KNN-graph pipelines rarely consume a dataset raw: cold items are
+dropped, inactive users pruned (the paper's own DBLP snapshot keeps only
+authors with >= 5 co-publications), and ratings are split for held-out
+evaluation.  These helpers perform those steps while preserving the
+:class:`BipartiteDataset` invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bipartite import BipartiteDataset, DatasetError
+
+__all__ = [
+    "filter_items",
+    "filter_users",
+    "iterative_core",
+    "train_test_split",
+]
+
+
+def filter_items(
+    dataset: BipartiteDataset,
+    min_degree: int = 1,
+    max_degree: int | None = None,
+    name: str | None = None,
+) -> BipartiteDataset:
+    """Keep items whose profile size lies in ``[min_degree, max_degree]``.
+
+    The item universe keeps its size (columns are zeroed, not removed) so
+    item ids stay stable — important when datasets are compared before
+    and after filtering.
+    """
+    degrees = dataset.item_profile_sizes()
+    keep = degrees >= min_degree
+    if max_degree is not None:
+        keep &= degrees <= max_degree
+    if not keep.any():
+        raise DatasetError("item filter removed every rating")
+    mask_matrix = dataset.matrix.copy().tocsc()
+    for item in np.flatnonzero(~keep):
+        start, end = mask_matrix.indptr[item], mask_matrix.indptr[item + 1]
+        mask_matrix.data[start:end] = 0.0
+    matrix = mask_matrix.tocsr()
+    return BipartiteDataset(
+        matrix=matrix,
+        name=name or f"{dataset.name}-itemfiltered",
+        symmetric=False,
+    )
+
+
+def filter_users(
+    dataset: BipartiteDataset,
+    min_profile: int = 1,
+    name: str | None = None,
+) -> BipartiteDataset:
+    """Drop users with fewer than *min_profile* ratings (rows removed).
+
+    User ids are compacted; the mapping back to original ids is not kept
+    (use :func:`iterative_core` when symmetric id stability matters).
+    """
+    sizes = dataset.user_profile_sizes()
+    keep = np.flatnonzero(sizes >= min_profile)
+    if keep.size == 0:
+        raise DatasetError("user filter removed every user")
+    return dataset.subset_users(keep, name=name or f"{dataset.name}-userfiltered")
+
+
+def iterative_core(
+    dataset: BipartiteDataset,
+    min_user_profile: int,
+    min_item_profile: int,
+    max_rounds: int = 50,
+    name: str | None = None,
+) -> BipartiteDataset:
+    """Iteratively prune until every user and item meets its floor.
+
+    The classic "k-core" style cleaning: removing cold items can push
+    users below their floor and vice versa, so the filters alternate
+    until a fixed point (or *max_rounds*).
+    """
+    current = dataset
+    for _ in range(max_rounds):
+        item_degrees = current.item_profile_sizes()
+        user_sizes = current.user_profile_sizes()
+        items_ok = np.all(
+            (item_degrees == 0) | (item_degrees >= min_item_profile)
+        )
+        users_ok = np.all(user_sizes >= min_user_profile)
+        if items_ok and users_ok:
+            break
+        if not items_ok:
+            current = filter_items(current, min_degree=min_item_profile)
+        user_sizes = current.user_profile_sizes()
+        if np.any(user_sizes < min_user_profile):
+            current = filter_users(current, min_profile=min_user_profile)
+    return BipartiteDataset(
+        matrix=current.matrix,
+        name=name or f"{dataset.name}-core",
+        symmetric=False,
+    )
+
+
+def train_test_split(
+    dataset: BipartiteDataset,
+    holdout_fraction: float = 0.2,
+    min_train_profile: int = 1,
+    seed: int = 0,
+) -> tuple[BipartiteDataset, dict[int, set[int]]]:
+    """Hide a fraction of each user's ratings for held-out evaluation.
+
+    Returns ``(train_dataset, held_out)`` where ``held_out[u]`` is the set
+    of item ids hidden from user ``u``.  At least *min_train_profile*
+    ratings per user are protected from removal, so no training profile
+    goes empty.
+    """
+    if not 0.0 < holdout_fraction < 1.0:
+        raise DatasetError(
+            f"holdout_fraction must be in (0, 1), got {holdout_fraction}"
+        )
+    train = dataset.sparsify(
+        1.0 - holdout_fraction,
+        seed=seed,
+        min_profile_size=min_train_profile,
+        name=f"{dataset.name}-train",
+    )
+    held_out: dict[int, set[int]] = {}
+    for user in range(dataset.n_users):
+        full = set(dataset.user_items(user).tolist())
+        kept = set(train.user_items(user).tolist())
+        held_out[user] = full - kept
+    return train, held_out

@@ -1,0 +1,47 @@
+"""Wikipedia-adminship-vote style dataset generator.
+
+The paper's Wikipedia dataset records editors (users) voting in support of
+adminship candidates (items); a positive vote is a binary rating of 1.  It
+is the *densest* of the four evaluation datasets (0.71%), with 6,110 users,
+2,381 items, and 103,689 votes.
+"""
+
+from __future__ import annotations
+
+from .bipartite import BipartiteDataset
+from .generators import GeneratorConfig, power_law_bipartite
+
+__all__ = ["wikipedia_like"]
+
+#: Published shape of the paper's Wikipedia dataset (Table I).
+WIKIPEDIA_PAPER_SHAPE = {"n_users": 6_110, "n_items": 2_381, "n_ratings": 103_689}
+
+
+def wikipedia_like(
+    n_users: int = 1_500,
+    n_items: int = 600,
+    density: float = 0.0125,
+    seed: int = 43,
+    name: str = "wikipedia",
+) -> BipartiteDataset:
+    """Generate a Wikipedia-vote-like binary bipartite dataset.
+
+    Keeps the key properties of the original: binary ratings, the highest
+    density of the evaluation suite, and heavily skewed item popularity
+    (a few candidacies attract most votes; the paper's avg ``|IP_i|`` is
+    43.5 versus avg ``|UP_u|`` of 17).
+    """
+    n_ratings = int(density * n_users * n_items)
+    config = GeneratorConfig(
+        name=name,
+        n_users=n_users,
+        n_items=n_items,
+        n_ratings=n_ratings,
+        user_exponent=0.85,
+        item_exponent=0.7,
+        rating_model="binary",
+        symmetric=False,
+        seed=seed,
+        min_profile_size=4,
+    )
+    return power_law_bipartite(config)

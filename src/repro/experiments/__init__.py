@@ -1,0 +1,58 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from . import (
+    exp_ablation,
+    exp_beta,
+    exp_figure1,
+    exp_figure4,
+    exp_figure5,
+    exp_figure6,
+    exp_figure7,
+    exp_figure8,
+    exp_figure9,
+    exp_figure10,
+    exp_table1,
+    exp_table2,
+    exp_table3,
+    exp_table4,
+    exp_table5,
+    exp_table6,
+    exp_table7,
+    exp_table8,
+    exp_table9,
+)
+from .harness import ALGORITHMS, ExperimentContext, RunOutcome, default_k
+from .report import ExperimentReport, render_table
+
+#: Experiment registry: CLI name -> module with a ``run(context)`` function.
+EXPERIMENTS = {
+    "table1": exp_table1,
+    "table2": exp_table2,
+    "table3": exp_table3,
+    "table4": exp_table4,
+    "table5": exp_table5,
+    "table6": exp_table6,
+    "table7": exp_table7,
+    "table8": exp_table8,
+    "table9": exp_table9,
+    "figure1": exp_figure1,
+    "figure4": exp_figure4,
+    "figure5": exp_figure5,
+    "figure6": exp_figure6,
+    "figure7": exp_figure7,
+    "figure8": exp_figure8,
+    "figure9": exp_figure9,
+    "figure10": exp_figure10,
+    "beta": exp_beta,
+    "ablation": exp_ablation,
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "ExperimentReport",
+    "RunOutcome",
+    "default_k",
+    "render_table",
+]

@@ -1,0 +1,61 @@
+"""Figure 5 — per-activity time breakdown, all algorithms, all datasets.
+
+The paper's stacked bars: although KIFF pays a visible preprocessing cost
+(its counting phase), that cost is repaid by far less similarity and
+candidate-selection time than NN-Descent and HyRec.
+"""
+
+from __future__ import annotations
+
+from .harness import ALGORITHMS, ExperimentContext
+from .report import ExperimentReport
+
+__all__ = ["run"]
+
+
+def run(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Build the Figure 5 report."""
+    context = context or ExperimentContext()
+    headers = [
+        "Dataset",
+        "Approach",
+        "preprocessing (s)",
+        "candidate sel. (s)",
+        "similarity (s)",
+        "total (s)",
+        "preproc share",
+    ]
+    rows = []
+    data = {}
+    for name in context.suite():
+        for algorithm in ALGORITHMS:
+            outcome = context.run(name, algorithm)
+            breakdown = outcome.breakdown
+            total = sum(breakdown.values())
+            preproc_share = (
+                breakdown["preprocessing"] / total if total > 0 else float("nan")
+            )
+            data[f"{name}/{algorithm}"] = breakdown
+            rows.append(
+                [
+                    name,
+                    algorithm,
+                    round(breakdown["preprocessing"], 3),
+                    round(breakdown["candidate_selection"], 2),
+                    round(breakdown["similarity"], 2),
+                    round(total, 2),
+                    f"{preproc_share:.1%}",
+                ]
+            )
+    return ExperimentReport(
+        experiment="Figure 5",
+        title="Computation time breakdown by activity",
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Expectation: KIFF's preprocessing share is the largest of the "
+            "three approaches, but its total time is the smallest — the "
+            "counting phase buys cheaper refinement."
+        ),
+        data=data,
+    )

@@ -1,0 +1,82 @@
+"""Figure 7 — rank correlation between RCS order and true metric order.
+
+For Wikipedia users whose RCS exceeds the termination cut, the paper
+correlates (Spearman) the RCS ordering (shared-item counts) with the
+ordering of the same candidates under cosine and Jaccard.  High, size-
+increasing correlations justify truncating RCS tails: the counting phase
+rarely buries good candidates deep in the list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.spearman import rcs_metric_correlations
+from ..core.rcs import build_rcs
+from ..similarity.engine import SimilarityEngine
+from .harness import ExperimentContext
+from .report import ExperimentReport
+
+__all__ = ["run", "DATASET"]
+
+DATASET = "wikipedia"
+
+
+def run(
+    context: ExperimentContext | None = None,
+    max_users: int | None = 400,
+) -> ExperimentReport:
+    """Build the Figure 7 report (Wikipedia by default, like the paper)."""
+    context = context or ExperimentContext()
+    dataset = context.dataset(DATASET)
+    outcome = context.run(DATASET, "kiff")
+    cut = int(outcome.iterations * outcome.result.extras["gamma"])
+    rcs = build_rcs(dataset)
+
+    rows = []
+    data = {"cut": cut}
+    for metric in ("cosine", "jaccard"):
+        engine = SimilarityEngine(dataset, metric=metric)
+        points = rcs_metric_correlations(
+            engine, rcs, min_size=max(cut, 1), max_users=max_users
+        )
+        if not points:
+            # No user exceeds the cut at this scale; fall back to the
+            # largest RCSs so the correlation is still measured.
+            sizes = rcs.sizes()
+            fallback = int(np.quantile(sizes[sizes > 1], 0.9))
+            points = rcs_metric_correlations(
+                engine, rcs, min_size=max(fallback, 2), max_users=max_users
+            )
+        rhos = np.array([rho for (_, _, rho) in points])
+        sizes = np.array([size for (_, size, _) in points])
+        data[metric] = points
+        rows.append(
+            [
+                metric,
+                len(points),
+                round(float(rhos.mean()), 3) if rhos.size else float("nan"),
+                round(float(rhos.min()), 3) if rhos.size else float("nan"),
+                round(float(np.corrcoef(sizes, rhos)[0, 1]), 3)
+                if rhos.size > 2 and np.ptp(sizes) > 0
+                else float("nan"),
+            ]
+        )
+    return ExperimentReport(
+        experiment="Figure 7",
+        title="Spearman correlation: RCS order vs metric order (Wikipedia)",
+        headers=[
+            "Metric",
+            "#users",
+            "mean rho",
+            "min rho",
+            "corr(size, rho)",
+        ],
+        rows=rows,
+        notes=(
+            "Paper expectation: mean rho around 0.6 for both metrics, "
+            "increasing with RCS size. Per-user points in "
+            "report.data['cosine'|'jaccard']."
+        ),
+        data=data,
+    )

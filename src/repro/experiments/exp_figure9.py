@@ -1,0 +1,85 @@
+"""Figure 9 — impact of gamma on KIFF's wall-time.
+
+Sweeps the number of candidates popped per iteration.  The paper finds a
+shallow U-shape: very small gamma inflates iteration overhead, very large
+gamma over-shoots the termination check, but overall "the impact of gamma
+on the wall-time remains low".
+"""
+
+from __future__ import annotations
+
+from .harness import ExperimentContext
+from .report import ExperimentReport
+
+__all__ = ["run", "GAMMAS", "gamma_sweep"]
+
+GAMMAS = (5, 10, 20, 40, 80)
+
+
+def gamma_sweep(
+    context: ExperimentContext, dataset_name: str, gammas=GAMMAS
+) -> list[dict]:
+    """KIFF wall-time / scan-rate / recall per gamma on one dataset.
+
+    The counting phase is rebuilt inside each run (it is part of KIFF's
+    wall-time), but the exact graph for recall is shared via the context.
+    """
+    k = context.k_for(dataset_name)
+    exact = context.exact(dataset_name, k)
+    results = []
+    for gamma in gammas:
+        outcome = context.run(dataset_name, "kiff", k=k, gamma=gamma)
+        results.append(
+            {
+                "gamma": gamma,
+                "wall_time": outcome.wall_time,
+                "scan_rate": outcome.scan_rate,
+                "recall": outcome.recall,
+                "iterations": outcome.iterations,
+            }
+        )
+    return results
+
+
+def run(
+    context: ExperimentContext | None = None,
+    datasets: tuple[str, ...] | None = None,
+) -> ExperimentReport:
+    """Build the Figure 9 report."""
+    context = context or ExperimentContext()
+    datasets = datasets or context.suite()
+    headers = [
+        "Dataset",
+        "gamma",
+        "wall-time (s)",
+        "scan rate",
+        "recall",
+        "#iters",
+    ]
+    rows = []
+    data = {}
+    for name in datasets:
+        sweep = gamma_sweep(context, name)
+        data[name] = sweep
+        for point in sweep:
+            rows.append(
+                [
+                    name,
+                    point["gamma"],
+                    round(point["wall_time"], 2),
+                    f"{point['scan_rate']:.2%}",
+                    round(point["recall"], 3),
+                    point["iterations"],
+                ]
+            )
+    return ExperimentReport(
+        experiment="Figure 9",
+        title="Impact of gamma on KIFF's wall-time",
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Expectation: wall-time varies mildly across gamma (the paper "
+            "reports a low impact, with small-gamma iteration overhead)."
+        ),
+        data=data,
+    )

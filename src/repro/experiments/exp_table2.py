@@ -1,0 +1,96 @@
+"""Table II — overall performance of NN-Descent, HyRec and KIFF.
+
+The paper's main result: recall, wall-time, scan rate and iteration count
+of the three algorithms on the four evaluation datasets, plus per-dataset
+"KIFF's gain" rows (recall improvement and speed-up over the average
+competitor).
+
+Shape expectations (paper): KIFF achieves ~0.99 recall everywhere, a scan
+rate several times below the greedy baselines', and the best wall-time on
+every dataset — with the margin growing as datasets get sparser.
+"""
+
+from __future__ import annotations
+
+from .harness import ExperimentContext, RunOutcome
+from .paper_values import TABLE2
+from .report import ExperimentReport
+
+__all__ = ["run", "kiff_gains"]
+
+
+def kiff_gains(outcomes: list[RunOutcome]) -> tuple[float, float]:
+    """The paper's per-dataset "KIFF's Gain" row.
+
+    Returns ``(delta_recall, speedup)`` of KIFF against the *average* of
+    the other algorithms in *outcomes*.
+    """
+    kiff_runs = [o for o in outcomes if o.algorithm == "kiff"]
+    others = [o for o in outcomes if o.algorithm != "kiff"]
+    if not kiff_runs or not others:
+        raise ValueError("need a kiff run and at least one competitor")
+    kiff_run = kiff_runs[0]
+    avg_recall = sum(o.recall for o in others) / len(others)
+    avg_time = sum(o.wall_time for o in others) / len(others)
+    delta_recall = kiff_run.recall - avg_recall
+    speedup = avg_time / kiff_run.wall_time if kiff_run.wall_time > 0 else float("inf")
+    return delta_recall, speedup
+
+
+def run(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Build the Table II report."""
+    context = context or ExperimentContext()
+    headers = [
+        "Dataset",
+        "Approach",
+        "recall",
+        "wall-time (s)",
+        "scan rate",
+        "#iter",
+        "paper recall",
+        "paper scan",
+    ]
+    rows: list[list] = []
+    data: dict = {}
+    for name in context.suite():
+        outcomes = context.run_all(name)
+        data[name] = outcomes
+        for outcome in outcomes:
+            paper = TABLE2[name][outcome.algorithm]
+            rows.append(
+                [
+                    name,
+                    outcome.algorithm,
+                    round(outcome.recall, 3),
+                    round(outcome.wall_time, 2),
+                    f"{outcome.scan_rate:.2%}",
+                    outcome.iterations,
+                    paper["recall"],
+                    f"{paper['scan_rate']:.2%}",
+                ]
+            )
+        delta_recall, speedup = kiff_gains(outcomes)
+        data[f"{name}/gain"] = {"delta_recall": delta_recall, "speedup": speedup}
+        rows.append(
+            [
+                name,
+                "KIFF's gain",
+                f"+{delta_recall:.2f}",
+                f"x{speedup:.1f}",
+                "",
+                "",
+                "",
+                "",
+            ]
+        )
+    return ExperimentReport(
+        experiment="Table II",
+        title="Overall perf. of NN-Descent, HyRec & KIFF",
+        headers=headers,
+        rows=rows,
+        notes=(
+            "k=20 (DBLP: k=50), beta=0.001, gamma=2k, NN-Descent without "
+            "sampling, HyRec r=0 — the paper's Section IV-D defaults."
+        ),
+        data=data,
+    )

@@ -1,0 +1,85 @@
+"""Table III — average speed-up and recall gain of KIFF.
+
+Aggregates Table II: KIFF's speed-up factor and recall improvement against
+each competitor, averaged over the four datasets, plus the overall average
+(the paper's headline "speed-up of 14, recall +0.19").
+"""
+
+from __future__ import annotations
+
+from .exp_table2 import run as run_table2
+from .harness import ExperimentContext
+from .paper_values import TABLE3
+from .report import ExperimentReport
+
+__all__ = ["run", "aggregate_gains"]
+
+
+def aggregate_gains(table2_data: dict) -> dict[str, dict[str, float]]:
+    """Per-competitor average speed-up and recall gain across datasets."""
+    gains: dict[str, dict[str, list[float]]] = {}
+    for name, outcomes in table2_data.items():
+        if name.endswith("/gain"):
+            continue
+        kiff_run = next(o for o in outcomes if o.algorithm == "kiff")
+        for outcome in outcomes:
+            if outcome.algorithm == "kiff":
+                continue
+            entry = gains.setdefault(
+                outcome.algorithm, {"speedup": [], "recall_gain": []}
+            )
+            if kiff_run.wall_time > 0:
+                entry["speedup"].append(outcome.wall_time / kiff_run.wall_time)
+            entry["recall_gain"].append(kiff_run.recall - outcome.recall)
+    aggregated = {
+        algorithm: {
+            "speedup": sum(v["speedup"]) / len(v["speedup"]),
+            "recall_gain": sum(v["recall_gain"]) / len(v["recall_gain"]),
+        }
+        for algorithm, v in gains.items()
+    }
+    aggregated["average"] = {
+        "speedup": sum(a["speedup"] for a in aggregated.values()) / len(aggregated),
+        "recall_gain": sum(a["recall_gain"] for a in aggregated.values())
+        / len(aggregated),
+    }
+    return aggregated
+
+
+def run(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Build the Table III report (runs/reuses Table II)."""
+    context = context or ExperimentContext()
+    table2 = run_table2(context)
+    gains = aggregate_gains(table2.data)
+    headers = [
+        "Competitor",
+        "speed-up",
+        "recall gain",
+        "paper speed-up",
+        "paper recall gain",
+    ]
+    rows = []
+    for competitor in ("nn-descent", "hyrec", "average"):
+        measured = gains[competitor]
+        paper = TABLE3[competitor]
+        rows.append(
+            [
+                competitor,
+                f"x{measured['speedup']:.2f}",
+                f"+{measured['recall_gain']:.2f}",
+                f"x{paper['speedup']:.2f}",
+                f"+{paper['recall_gain']:.2f}",
+            ]
+        )
+    return ExperimentReport(
+        experiment="Table III",
+        title="Average speed-up and recall gain of KIFF",
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Averaged over the four evaluation datasets. Paper recall gains "
+            "are larger because NN-Descent/HyRec degrade more on the "
+            "paper's 100k-700k user datasets than on laptop-scale replicas."
+        ),
+        data=gains,
+    )

@@ -1,0 +1,98 @@
+"""Table VII — impact of the initialisation method on initial recall.
+
+The paper compares the recall of KIFF's implicit initialisation — each
+user's top-k RCS candidates, before any refinement (``beta = inf``) —
+against the random initial graph the greedy approaches start from.  The
+RCS initialisation lands at 0.54-0.82 recall while random peaks at 0.15:
+KIFF starts where its competitors hope to converge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.random_graph import random_knn_graph
+from ..core.rcs import build_rcs
+from ..graph.knn_graph import KnnGraph
+from ..graph.metrics import recall
+from ..similarity.engine import SimilarityEngine
+from .harness import ExperimentContext
+from .paper_values import TABLE7
+from .report import ExperimentReport
+
+__all__ = ["run", "rcs_top_k_graph"]
+
+
+def rcs_top_k_graph(engine: SimilarityEngine, k: int) -> KnnGraph:
+    """The KNN graph formed by each user's k most-shared-item candidates.
+
+    Uses the *symmetric* (un-pivoted) candidate sets — "the top k users of
+    each RCS" in the paper's sense refers to each user's full candidate
+    ranking, before the pivot memory optimisation splits storage.
+    Similarities of the selected edges are evaluated so recall can be
+    measured on similarity values.
+    """
+    rcs = build_rcs(engine.dataset, pivot=False)
+    n_users = engine.n_users
+    neighbors = np.full((n_users, k), -1, dtype=np.int64)
+    sims = np.full((n_users, k), -np.inf, dtype=np.float64)
+    users = []
+    cands = []
+    slots = []
+    for user in range(n_users):
+        top = rcs.candidates_of(user)[:k]
+        users.extend([user] * top.size)
+        cands.extend(top.tolist())
+        slots.extend(range(top.size))
+    if users:
+        users_arr = np.asarray(users, dtype=np.int64)
+        cands_arr = np.asarray(cands, dtype=np.int64)
+        values = engine.batch(users_arr, cands_arr)
+        neighbors[users_arr, slots] = cands_arr
+        sims[users_arr, slots] = values
+    return KnnGraph(neighbors, sims)
+
+
+def run(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Build the Table VII report."""
+    context = context or ExperimentContext()
+    headers = [
+        "Dataset",
+        "top-k from RCS",
+        "random",
+        "paper RCS",
+        "paper random",
+    ]
+    rows = []
+    data = {}
+    for name in context.suite():
+        k = context.k_for(name)
+        exact = context.exact(name, k)
+        engine = context.engine(name)
+        rcs_graph = rcs_top_k_graph(engine, k)
+        rcs_recall = recall(rcs_graph, exact)
+        random_graph = random_knn_graph(
+            context.engine(name), k, seed=context.seed
+        )
+        random_recall = recall(random_graph, exact)
+        data[name] = {"rcs_init": rcs_recall, "random_init": random_recall}
+        rows.append(
+            [
+                name,
+                round(rcs_recall, 3),
+                round(random_recall, 3),
+                TABLE7[name]["rcs_init"],
+                TABLE7[name]["random_init"],
+            ]
+        )
+    return ExperimentReport(
+        experiment="Table VII",
+        title="Impact of initialization method on initial recall",
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Expectation: RCS top-k initialisation starts several times "
+            "higher than a random graph on every dataset."
+        ),
+        data=data,
+    )

@@ -1,0 +1,83 @@
+"""Plain-text report rendering for experiment output.
+
+Every experiment produces an :class:`ExperimentReport`: a titled table
+whose rows mirror the corresponding table or figure of the paper, plus a
+``data`` payload with the raw series for programmatic use (tests assert on
+``data``; humans read ``render()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentReport", "render_table", "format_value"]
+
+
+def format_value(value) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    headers: list[str], rows: list[list], title: str = ""
+) -> str:
+    """Render an ASCII table with padded columns."""
+    cells = [[format_value(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """Result of one experiment: a rendered table plus raw data.
+
+    ``experiment`` identifies the paper artefact (e.g. ``"Table II"``),
+    ``data`` holds raw numbers keyed by series name, and ``notes`` records
+    caveats (scale, substitutions) that belong next to the numbers.
+    """
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: str = ""
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The full printable report."""
+        out = render_table(
+            self.headers, self.rows, title=f"{self.experiment}: {self.title}"
+        )
+        if self.notes:
+            out += f"\n\n{self.notes}"
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,35 @@
+"""KNN graph representation, metrics, analytics, I/O, update kernels."""
+
+from .analysis import (
+    GraphStats,
+    analyze,
+    in_degrees,
+    reciprocity,
+    similarity_by_rank,
+    weakly_connected_components,
+)
+from .io import load_graph, save_graph, to_networkx, write_edge_list
+from .knn_graph import MISSING, KnnGraph
+from .metrics import average_similarity, per_user_recall, recall, strict_recall
+from .updates import dedupe_pairs, merge_topk
+
+__all__ = [
+    "GraphStats",
+    "KnnGraph",
+    "MISSING",
+    "analyze",
+    "average_similarity",
+    "dedupe_pairs",
+    "in_degrees",
+    "load_graph",
+    "merge_topk",
+    "per_user_recall",
+    "recall",
+    "reciprocity",
+    "save_graph",
+    "similarity_by_rank",
+    "strict_recall",
+    "to_networkx",
+    "weakly_connected_components",
+    "write_edge_list",
+]

@@ -1,0 +1,133 @@
+"""KNN graph analytics.
+
+Descriptive statistics of a constructed graph: in-degree concentration
+(popular neighbours), edge reciprocity (symmetric neighbourhoods),
+similarity-by-rank profiles, and weak connectivity.  These are the
+standard sanity checks one runs on a KNN graph before shipping it to a
+recommender, and they power the ``graph-stats`` CLI command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .knn_graph import MISSING, KnnGraph
+
+__all__ = [
+    "GraphStats",
+    "analyze",
+    "in_degrees",
+    "reciprocity",
+    "similarity_by_rank",
+    "weakly_connected_components",
+]
+
+
+def in_degrees(graph: KnnGraph) -> np.ndarray:
+    """How many users point at each user (length ``n_users``)."""
+    valid = graph.neighbors[graph.neighbors != MISSING]
+    return np.bincount(valid, minlength=graph.n_users)
+
+
+def reciprocity(graph: KnnGraph) -> float:
+    """Fraction of directed KNN edges whose reverse edge also exists.
+
+    Similarity is symmetric, so high reciprocity indicates the graph is
+    close to its exact fixed point; random graphs sit near ``k / n``.
+    Returns 0.0 for an edgeless graph.
+    """
+    edges = set()
+    for user in range(graph.n_users):
+        for neighbor in graph.neighbors_of(user):
+            edges.add((user, int(neighbor)))
+    if not edges:
+        return 0.0
+    mutual = sum((b, a) in edges for a, b in edges)
+    return mutual / len(edges)
+
+
+def similarity_by_rank(graph: KnnGraph) -> np.ndarray:
+    """Mean similarity at each neighbourhood rank (best slot first).
+
+    A well-formed KNN graph is non-increasing in rank.  Slots that are
+    empty for a user are excluded from that rank's mean; ranks empty for
+    every user yield NaN.
+    """
+    sims = np.where(graph.valid_mask, graph.sims, np.nan)
+    with np.errstate(invalid="ignore"):
+        return np.nanmean(sims, axis=0)
+
+
+def weakly_connected_components(graph: KnnGraph) -> list[int]:
+    """Sizes of weakly-connected components, largest first.
+
+    Union-find over the undirected version of the KNN edges; isolated
+    users form singleton components.
+    """
+    parent = np.arange(graph.n_users, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for user in range(graph.n_users):
+        for neighbor in graph.neighbors_of(user):
+            ru, rv = find(user), find(int(neighbor))
+            if ru != rv:
+                parent[rv] = ru
+    roots = np.array([find(int(u)) for u in range(graph.n_users)])
+    _, counts = np.unique(roots, return_counts=True)
+    return sorted(counts.tolist(), reverse=True)
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of one KNN graph."""
+
+    n_users: int
+    k: int
+    edges: int
+    completeness: float
+    reciprocity: float
+    max_in_degree: int
+    mean_similarity: float
+    largest_component: int
+    n_components: int
+
+    def as_rows(self) -> list[list]:
+        """Key/value rows for report rendering."""
+        return [
+            ["users", self.n_users],
+            ["k", self.k],
+            ["edges", self.edges],
+            ["completeness", f"{self.completeness:.1%}"],
+            ["reciprocity", f"{self.reciprocity:.1%}"],
+            ["max in-degree", self.max_in_degree],
+            ["mean similarity", round(self.mean_similarity, 4)],
+            ["largest component", self.largest_component],
+            ["#components", self.n_components],
+        ]
+
+
+def analyze(graph: KnnGraph) -> GraphStats:
+    """Compute a :class:`GraphStats` summary."""
+    components = weakly_connected_components(graph)
+    mask = graph.valid_mask
+    mean_sim = float(graph.sims[mask].mean()) if mask.any() else 0.0
+    return GraphStats(
+        n_users=graph.n_users,
+        k=graph.k,
+        edges=graph.edge_count(),
+        completeness=graph.edge_count() / (graph.n_users * graph.k),
+        reciprocity=reciprocity(graph),
+        max_in_degree=int(in_degrees(graph).max()),
+        mean_similarity=mean_sim,
+        largest_component=components[0] if components else 0,
+        n_components=len(components),
+    )

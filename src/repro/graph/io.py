@@ -1,0 +1,76 @@
+"""KNN graph persistence and interchange.
+
+Graphs are expensive to build (the whole point of the paper), so users
+need to keep them: ``save_graph``/``load_graph`` round-trip through a
+single compressed ``.npz``; ``write_edge_list`` emits the
+``user neighbor similarity`` text format common in graph tooling; and
+``to_networkx`` hands the graph to `networkx` for downstream analysis.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .knn_graph import KnnGraph
+
+__all__ = ["save_graph", "load_graph", "write_edge_list", "to_networkx"]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: KnnGraph, path: str | Path) -> Path:
+    """Write *graph* to a compressed ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        neighbors=graph.neighbors,
+        sims=graph.sims,
+    )
+    # np.savez appends .npz when missing; report the real location.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_graph(path: str | Path) -> KnnGraph:
+    """Load a graph written by :func:`save_graph`."""
+    with np.load(Path(path)) as archive:
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported graph file version {version} "
+                f"(this library writes version {_FORMAT_VERSION})"
+            )
+        return KnnGraph(archive["neighbors"], archive["sims"])
+
+
+def write_edge_list(graph: KnnGraph, path: str | Path) -> Path:
+    """Write ``user neighbor similarity`` lines (one directed edge each)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# knn graph: {graph.n_users} users, k={graph.k}\n")
+        for user in range(graph.n_users):
+            for neighbor, sim in zip(
+                graph.neighbors_of(user), graph.sims_of(user)
+            ):
+                handle.write(f"{user}\t{neighbor}\t{sim:.9g}\n")
+    return path
+
+
+def to_networkx(graph: KnnGraph):
+    """Convert to a directed ``networkx`` graph with ``weight`` attributes.
+
+    Users with no neighbours still appear as isolated nodes, so node
+    counts are preserved.
+    """
+    import networkx as nx
+
+    out = nx.DiGraph()
+    out.add_nodes_from(range(graph.n_users))
+    for user in range(graph.n_users):
+        for neighbor, sim in zip(graph.neighbors_of(user), graph.sims_of(user)):
+            out.add_edge(user, int(neighbor), weight=float(sim))
+    return out

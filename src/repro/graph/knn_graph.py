@@ -1,0 +1,167 @@
+"""KNN graph representation.
+
+A :class:`KnnGraph` is the object every construction algorithm in this
+library produces: for each user, up to ``k`` neighbour ids with their
+similarities, stored as dense ``(n_users, k)`` arrays.  Rows are kept in
+canonical form — valid entries first, sorted by decreasing similarity with
+ascending-id tie-breaks — so graphs can be compared entry-wise.
+
+Missing entries (a user with fewer than ``k`` discovered neighbours) are
+id ``-1`` with similarity ``-inf``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KnnGraph", "MISSING"]
+
+#: Sentinel id for an absent neighbour slot.
+MISSING = -1
+
+
+class KnnGraph:
+    """A directed k-nearest-neighbour graph over users.
+
+    Parameters
+    ----------
+    neighbors:
+        ``(n_users, k)`` int array; ``MISSING`` marks empty slots.
+    sims:
+        ``(n_users, k)`` float array aligned with ``neighbors``; empty
+        slots carry ``-inf``.
+    """
+
+    def __init__(self, neighbors: np.ndarray, sims: np.ndarray):
+        neighbors = np.asarray(neighbors, dtype=np.int64)
+        sims = np.asarray(sims, dtype=np.float64)
+        if neighbors.ndim != 2 or neighbors.shape != sims.shape:
+            raise ValueError(
+                f"neighbors and sims must be equal-shape 2-D arrays, got "
+                f"{neighbors.shape} vs {sims.shape}"
+            )
+        self.neighbors, self.sims = _canonical_rows(neighbors, sims)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, n_users: int, k: int) -> "KnnGraph":
+        """A graph with all slots empty."""
+        if n_users <= 0 or k <= 0:
+            raise ValueError(
+                f"n_users and k must be positive, got {n_users}, {k}"
+            )
+        neighbors = np.full((n_users, k), MISSING, dtype=np.int64)
+        sims = np.full((n_users, k), -np.inf, dtype=np.float64)
+        return cls(neighbors, sims)
+
+    @classmethod
+    def from_neighbor_dict(
+        cls, mapping: dict[int, list[tuple[int, float]]], n_users: int, k: int
+    ) -> "KnnGraph":
+        """Build from ``{user: [(neighbor, sim), ...]}`` (test-friendly)."""
+        graph = cls.empty(n_users, k)
+        neighbors = graph.neighbors.copy()
+        sims = graph.sims.copy()
+        for user, entries in mapping.items():
+            if len(entries) > k:
+                raise ValueError(
+                    f"user {user} has {len(entries)} entries, more than k={k}"
+                )
+            for slot, (neighbor, sim) in enumerate(entries):
+                neighbors[user, slot] = neighbor
+                sims[user, slot] = sim
+        return cls(neighbors, sims)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return int(self.neighbors.shape[0])
+
+    @property
+    def k(self) -> int:
+        return int(self.neighbors.shape[1])
+
+    @property
+    def valid_mask(self) -> np.ndarray:
+        """Boolean mask of filled slots."""
+        return self.neighbors != MISSING
+
+    def degree(self) -> np.ndarray:
+        """Number of filled slots per user."""
+        return self.valid_mask.sum(axis=1)
+
+    def edge_count(self) -> int:
+        """Total number of directed KNN edges."""
+        return int(self.valid_mask.sum())
+
+    def is_complete(self) -> bool:
+        """True when every user has exactly k neighbours."""
+        return bool(np.all(self.valid_mask))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def neighbors_of(self, user: int) -> np.ndarray:
+        """Valid neighbour ids of *user*, best first."""
+        row = self.neighbors[user]
+        return row[row != MISSING]
+
+    def sims_of(self, user: int) -> np.ndarray:
+        """Similarities aligned with :meth:`neighbors_of`."""
+        row = self.neighbors[user]
+        return self.sims[user][row != MISSING]
+
+    def neighbor_sets(self) -> list[set[int]]:
+        """Per-user neighbour-id sets (for set-based comparisons)."""
+        return [set(self.neighbors_of(u).tolist()) for u in range(self.n_users)]
+
+    def kth_sims(self) -> np.ndarray:
+        """The k-th (worst kept) similarity per user; -inf if row not full.
+
+        This is the per-user similarity threshold the paper's recall
+        definition compares against.
+        """
+        return self.sims[:, -1].copy()
+
+    def copy(self) -> "KnnGraph":
+        """Deep copy (used by convergence-trace snapshots)."""
+        return KnnGraph(self.neighbors.copy(), self.sims.copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KnnGraph):
+            return NotImplemented
+        return (
+            self.neighbors.shape == other.neighbors.shape
+            and bool(np.array_equal(self.neighbors, other.neighbors))
+            and bool(
+                np.array_equal(
+                    np.nan_to_num(self.sims, neginf=-1e300),
+                    np.nan_to_num(other.sims, neginf=-1e300),
+                )
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KnnGraph(n_users={self.n_users}, k={self.k}, "
+            f"edges={self.edge_count()})"
+        )
+
+
+def _canonical_rows(
+    neighbors: np.ndarray, sims: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort each row by (-sim, neighbor id) with MISSING entries last."""
+    sims = sims.copy()
+    neighbors = neighbors.copy()
+    sims[neighbors == MISSING] = -np.inf
+    n_users, k = neighbors.shape
+    # Sort key: missing last, then sim descending, then id ascending.
+    sort_ids = np.where(neighbors == MISSING, np.iinfo(np.int64).max, neighbors)
+    order = np.lexsort((sort_ids, -sims), axis=1)
+    rows = np.arange(n_users)[:, None]
+    return neighbors[rows, order], sims[rows, order]

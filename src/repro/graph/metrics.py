@@ -1,0 +1,103 @@
+"""KNN graph quality metrics: the paper's recall (Equations 2-4).
+
+The paper measures approximation quality as recall against a brute-force
+exact graph.  Because exact KNN neighbourhoods are generally *not unique*
+(ties in similarity are common on sparse binary data), Equation (3) defines
+the recall of a user as the best overlap against *any* optimal
+neighbourhood.  Operationally — and this is how the authors describe their
+measurement in Section IV-C — this amounts to comparing *similarity
+values*: an approximate neighbour counts as a hit when its similarity is at
+least the k-th best exact similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .knn_graph import MISSING, KnnGraph
+
+__all__ = [
+    "per_user_recall",
+    "recall",
+    "strict_recall",
+    "average_similarity",
+]
+
+#: Tolerance when comparing floating-point similarities for tie handling.
+_TOL = 1e-9
+
+
+def per_user_recall(
+    approx: KnnGraph, exact: KnnGraph, tol: float = _TOL
+) -> np.ndarray:
+    """Equation (3) recall for every user, via similarity-value comparison.
+
+    A filled slot in *approx* counts as a hit when its similarity is within
+    *tol* of (or above) the user's worst exact similarity.  Hits are capped
+    at the exact row's size, so the result lies in [0, 1] even in
+    pathological tie plateaus.
+
+    When the exact graph is complete (the brute-force case, and the only
+    case the paper encounters) this is exactly Equation (3) computed on
+    similarity values.  The definition additionally extends to partial
+    exact rows: the denominator becomes the number of exact neighbours the
+    user actually has, and a user with no exact neighbours scores 1.0
+    (there was nothing to find).
+    """
+    _check_comparable(approx, exact)
+    exact_counts = exact.degree()  # neighbours the exact graph holds
+    # Threshold: the worst similarity among the exact row's valid entries
+    # (rows are canonical, so that is the last valid slot).
+    thresholds = np.full(exact.n_users, -np.inf)
+    full = exact_counts > 0
+    last_valid = np.maximum(exact_counts - 1, 0)
+    thresholds[full] = exact.sims[np.arange(exact.n_users), last_valid][full]
+    valid = approx.neighbors != MISSING
+    hits = (valid & (approx.sims >= thresholds[:, None] - tol)).sum(axis=1)
+    out = np.ones(exact.n_users, dtype=np.float64)
+    out[full] = np.minimum(hits[full], exact_counts[full]) / exact_counts[full]
+    return out
+
+
+def recall(approx: KnnGraph, exact: KnnGraph, tol: float = _TOL) -> float:
+    """Equation (4): mean per-user recall over all users."""
+    return float(per_user_recall(approx, exact, tol).mean())
+
+
+def strict_recall(approx: KnnGraph, exact: KnnGraph) -> float:
+    """Equation (2) recall: exact neighbour-*id* overlap, ignoring ties.
+
+    Lower-bounds :func:`recall`; useful in tests and when the exact KNN is
+    known to be unique.
+    """
+    _check_comparable(approx, exact)
+    hits = 0
+    for user in range(exact.n_users):
+        exact_ids = set(exact.neighbors_of(user).tolist())
+        approx_ids = set(approx.neighbors_of(user).tolist())
+        hits += len(exact_ids & approx_ids)
+    return hits / (exact.n_users * exact.k)
+
+
+def average_similarity(graph: KnnGraph) -> float:
+    """Mean similarity over filled slots (0.0 for an empty graph).
+
+    A tie-insensitive quality proxy: for a fixed k, higher is better, and
+    the exact graph maximises it.
+    """
+    mask = graph.valid_mask
+    if not mask.any():
+        return 0.0
+    return float(graph.sims[mask].mean())
+
+
+def _check_comparable(approx: KnnGraph, exact: KnnGraph) -> None:
+    if approx.n_users != exact.n_users:
+        raise ValueError(
+            f"graphs cover different user counts: {approx.n_users} vs "
+            f"{exact.n_users}"
+        )
+    if approx.k != exact.k:
+        raise ValueError(
+            f"graphs have different k: {approx.k} vs {exact.k}"
+        )

@@ -1,0 +1,14 @@
+"""Measurement substrate: similarity counters, phase timers, traces."""
+
+from .counters import SimilarityCounter, scan_rate
+from .timers import PHASES, PhaseTimer
+from .trace import ConvergenceTrace, IterationRecord
+
+__all__ = [
+    "PHASES",
+    "ConvergenceTrace",
+    "IterationRecord",
+    "PhaseTimer",
+    "SimilarityCounter",
+    "scan_rate",
+]

@@ -1,0 +1,58 @@
+"""Similarity-evaluation counting.
+
+The paper's central cost metric is the *scan rate* (Section IV-C): the
+number of similarity evaluations performed, normalised by the number of
+possible user pairs ``|U| * (|U| - 1) / 2``.  Every similarity evaluation in
+this library flows through a :class:`SimilarityCounter`, so scan rates are
+measured, never estimated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimilarityCounter", "scan_rate"]
+
+
+@dataclass
+class SimilarityCounter:
+    """Counts similarity evaluations (and nothing else).
+
+    ``evaluations`` is the raw count; :meth:`scan_rate` normalises it the
+    way the paper does.  ``checkpoints`` lets convergence traces snapshot
+    the counter between iterations.
+    """
+
+    evaluations: int = 0
+    checkpoints: list[int] = field(default_factory=list)
+
+    def add(self, count: int = 1) -> None:
+        """Record *count* similarity evaluations."""
+        if count < 0:
+            raise ValueError(f"cannot add a negative count ({count})")
+        self.evaluations += count
+
+    def checkpoint(self) -> int:
+        """Snapshot the current total (e.g. at the end of an iteration)."""
+        self.checkpoints.append(self.evaluations)
+        return self.evaluations
+
+    def reset(self) -> None:
+        """Zero the counter and forget checkpoints."""
+        self.evaluations = 0
+        self.checkpoints.clear()
+
+    def scan_rate(self, n_users: int) -> float:
+        """Scan rate as a fraction: ``evaluations / (n(n-1)/2)``."""
+        return scan_rate(self.evaluations, n_users)
+
+
+def scan_rate(evaluations: int, n_users: int) -> float:
+    """The paper's scan-rate normalisation (Section IV-C).
+
+    ``scanrate = #(similarity evaluations) / (|U| * (|U| - 1) / 2)``
+    """
+    if n_users < 2:
+        return 0.0
+    possible_pairs = n_users * (n_users - 1) / 2
+    return evaluations / possible_pairs

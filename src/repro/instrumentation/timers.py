@@ -1,0 +1,93 @@
+"""Per-phase wall-clock timing.
+
+Figures 1 and 5 of the paper break each algorithm's wall-time into three
+activities (Section IV-C):
+
+* ``preprocessing`` — loading the dataset, building user profiles, and for
+  KIFF building item profiles and running the counting phase;
+* ``candidate selection`` — constructing candidate neighbourhoods (RCS
+  pops for KIFF, neighbour-of-neighbour joins for the greedy baselines);
+* ``similarity`` — evaluating the similarity metric on candidate pairs.
+
+:class:`PhaseTimer` accumulates wall-time per named phase through a context
+manager, so the breakdown is additive and nesting mistakes fail loudly.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseTimer", "PHASES"]
+
+#: Canonical phase names, in the order the paper's figures stack them.
+PHASES = ("preprocessing", "candidate_selection", "similarity")
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock seconds into named phases.
+
+    Use :meth:`phase` as a context manager::
+
+        timer = PhaseTimer()
+        with timer.phase("similarity"):
+            sims = engine.batch(us, vs)
+
+    Phases may be entered many times; durations accumulate.  Re-entering a
+    phase while it is already active raises, because that would double
+    count.
+    """
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    _active: list[str] = field(default_factory=list)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time the enclosed block under *name*."""
+        if name in self._active:
+            raise RuntimeError(f"phase {name!r} is already active")
+        self._active.append(name)
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self._active.remove(name)
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            # A nested phase's time belongs only to the innermost phase:
+            # subtract it from any enclosing active phases by crediting
+            # them negative elapsed time when they close.  Simpler: treat
+            # phases as exclusive by subtracting from the parent now.
+            if self._active:
+                parent = self._active[-1]
+                self.seconds[parent] = self.seconds.get(parent, 0.0) - elapsed
+
+    def get(self, name: str) -> float:
+        """Accumulated seconds for *name* (0.0 if never entered)."""
+        return self.seconds.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over all phases."""
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Each phase's share of the total (empty dict if total is 0)."""
+        total = self.total
+        if total <= 0:
+            return {}
+        return {name: value / total for name, value in self.seconds.items()}
+
+    def merge(self, other: "PhaseTimer") -> "PhaseTimer":
+        """Return a new timer with both timers' phases summed."""
+        merged = PhaseTimer()
+        for source in (self, other):
+            for name, value in source.seconds.items():
+                merged.seconds[name] = merged.seconds.get(name, 0.0) + value
+        return merged
+
+    def as_breakdown(self) -> dict[str, float]:
+        """Seconds per canonical phase, including zero entries."""
+        return {name: self.get(name) for name in PHASES}

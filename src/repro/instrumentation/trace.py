@@ -1,0 +1,108 @@
+"""Per-iteration convergence traces.
+
+Figure 8 of the paper plots, for each algorithm, the recall of the KNN
+graph under construction and the number of graph updates as functions of
+the cumulative scan rate.  :class:`ConvergenceTrace` records one
+:class:`IterationRecord` per refinement iteration so those curves can be
+regenerated after a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IterationRecord", "ConvergenceTrace"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """State of the construction at the end of one iteration.
+
+    ``updates`` is the number of KNN heap changes performed during the
+    iteration (the paper's variable ``c``); ``evaluations`` is the
+    cumulative similarity-evaluation count; ``recall`` is filled in lazily
+    by :meth:`ConvergenceTrace.attach_recalls` when an exact graph is
+    available (computing it inline would perturb wall-times).
+    """
+
+    iteration: int
+    evaluations: int
+    updates: int
+    recall: float | None = None
+    snapshot: object | None = None
+
+
+@dataclass
+class ConvergenceTrace:
+    """Sequence of per-iteration records for one algorithm run."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+    keep_snapshots: bool = False
+
+    def record(
+        self,
+        iteration: int,
+        evaluations: int,
+        updates: int,
+        snapshot: object | None = None,
+    ) -> None:
+        """Append one iteration record (snapshot kept only if enabled)."""
+        self.records.append(
+            IterationRecord(
+                iteration=iteration,
+                evaluations=evaluations,
+                updates=updates,
+                snapshot=snapshot if self.keep_snapshots else None,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def iterations(self) -> int:
+        """Number of recorded iterations."""
+        return len(self.records)
+
+    def scan_rates(self, n_users: int) -> np.ndarray:
+        """Cumulative scan rate after each iteration."""
+        from .counters import scan_rate
+
+        return np.array(
+            [scan_rate(r.evaluations, n_users) for r in self.records]
+        )
+
+    def updates_per_user(self, n_users: int) -> np.ndarray:
+        """Average graph updates per user in each iteration (Fig. 8b)."""
+        if n_users <= 0:
+            raise ValueError("n_users must be positive")
+        return np.array([r.updates / n_users for r in self.records])
+
+    def recalls(self) -> np.ndarray:
+        """Recall after each iteration (NaN where not attached)."""
+        return np.array(
+            [np.nan if r.recall is None else r.recall for r in self.records]
+        )
+
+    def attach_recalls(self, recalls: list[float]) -> None:
+        """Fill in the recall column (one value per recorded iteration)."""
+        if len(recalls) != len(self.records):
+            raise ValueError(
+                f"expected {len(self.records)} recall values, got {len(recalls)}"
+            )
+        self.records = [
+            IterationRecord(
+                iteration=record.iteration,
+                evaluations=record.evaluations,
+                updates=record.updates,
+                recall=float(value),
+                snapshot=record.snapshot,
+            )
+            for record, value in zip(self.records, recalls)
+        ]
+
+    def snapshots(self) -> list[object]:
+        """All retained snapshots, in iteration order."""
+        return [r.snapshot for r in self.records if r.snapshot is not None]

@@ -1,0 +1,26 @@
+"""Similarity metrics and the instrumented evaluation engine."""
+
+from .adamic_adar import AdamicAdarSimilarity
+from .base import ProfileIndex, SimilarityMetric, intersect_profiles
+from .cosine import CosineSimilarity
+from .dice import DiceSimilarity
+from .engine import SimilarityEngine, get_metric, metric_names, register_metric
+from .jaccard import JaccardSimilarity
+from .overlap import OverlapSimilarity
+from .pearson import PearsonSimilarity
+
+__all__ = [
+    "AdamicAdarSimilarity",
+    "CosineSimilarity",
+    "DiceSimilarity",
+    "JaccardSimilarity",
+    "PearsonSimilarity",
+    "OverlapSimilarity",
+    "ProfileIndex",
+    "SimilarityEngine",
+    "SimilarityMetric",
+    "get_metric",
+    "intersect_profiles",
+    "metric_names",
+    "register_metric",
+]

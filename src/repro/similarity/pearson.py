@@ -1,0 +1,92 @@
+"""Mean-centred cosine (Pearson-style) similarity — a counter-example.
+
+Collaborative-filtering systems often mean-centre each user's ratings
+before computing cosine similarity (the "Pearson" variant of user-based
+CF).  Crucially, this metric **violates** the KIFF paper's property (6):
+two users who share items can have *negative* similarity (they rated the
+shared items on opposite sides of their means).  It still satisfies
+property (5) — no shared items means a zero numerator.
+
+It is included deliberately:
+
+* KIFF still *works* with it (candidates still require shared items),
+  but the optimality guarantee of Section III-D weakens: a negative-
+  similarity candidate can displace nothing, yet zero-similarity
+  non-candidates can never be ranked above it either, so the guarantee
+  in fact survives for the top-k *positive* band only.  The test suite
+  pins this nuance.
+* It documents, in code, why the paper states its guarantee in terms of
+  properties (5)/(6) instead of "any metric".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .base import ProfileIndex, SimilarityMetric, intersect_profiles
+
+__all__ = ["PearsonSimilarity"]
+
+
+class PearsonSimilarity(SimilarityMetric):
+    """Cosine similarity of mean-centred rating profiles.
+
+    Each user's stored ratings are shifted by that user's mean rating;
+    the similarity is the cosine of the centred vectors restricted to
+    their stored entries.
+    """
+
+    name = "pearson"
+    satisfies_overlap_properties = False
+
+    def _centered(self, index: ProfileIndex) -> tuple[sp.csr_matrix, np.ndarray]:
+        cache = getattr(index, "_pearson_cache", None)
+        if cache is None:
+            matrix = index.matrix.copy()
+            sizes = np.maximum(index.sizes, 1)
+            means = np.asarray(matrix.sum(axis=1)).ravel() / sizes
+            row_of_entry = np.repeat(
+                np.arange(index.n_users), np.diff(matrix.indptr)
+            )
+            matrix.data = matrix.data - means[row_of_entry]
+            norms = np.sqrt(
+                np.asarray(matrix.multiply(matrix).sum(axis=1)).ravel()
+            )
+            cache = (matrix, norms)
+            index._pearson_cache = cache
+        return cache
+
+    def score_pair(self, index: ProfileIndex, u: int, v: int) -> float:
+        matrix, norms = self._centered(index)
+        denominator = norms[u] * norms[v]
+        if denominator == 0.0:
+            return 0.0
+        common, _, _ = intersect_profiles(index, u, v)
+        if common.size == 0:
+            return 0.0
+        row_u = matrix.getrow(u)
+        row_v = matrix.getrow(v)
+        return float(row_u.multiply(row_v).sum() / denominator)
+
+    def score_batch(
+        self, index: ProfileIndex, us: np.ndarray, vs: np.ndarray
+    ) -> np.ndarray:
+        matrix, norms = self._centered(index)
+        dots = np.asarray(
+            matrix[us].multiply(matrix[vs]).sum(axis=1)
+        ).ravel()
+        denominators = norms[us] * norms[vs]
+        out = np.zeros(len(us), dtype=np.float64)
+        mask = denominators > 0
+        out[mask] = dots[mask] / denominators[mask]
+        return out
+
+    def score_block(self, index: ProfileIndex, us: np.ndarray) -> np.ndarray:
+        matrix, norms = self._centered(index)
+        dots = (matrix[us] @ matrix.T).toarray()
+        denominators = np.outer(norms[us], norms)
+        out = np.zeros_like(dots)
+        mask = denominators > 0
+        out[mask] = dots[mask] / denominators[mask]
+        return out

@@ -1,0 +1,60 @@
+"""Unit tests for CCDF computation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ccdf import ccdf, ccdf_at
+
+
+class TestCcdf:
+    def test_simple_distribution(self):
+        xs, ps = ccdf(np.array([1, 1, 2, 3]))
+        assert xs.tolist() == [1, 2, 3]
+        np.testing.assert_allclose(ps, [1.0, 0.5, 0.25])
+
+    def test_single_value(self):
+        xs, ps = ccdf(np.array([7, 7, 7]))
+        assert xs.tolist() == [7]
+        assert ps.tolist() == [1.0]
+
+    def test_first_probability_is_one(self):
+        rng = np.random.default_rng(0)
+        _, ps = ccdf(rng.integers(0, 100, size=500))
+        assert ps[0] == 1.0
+
+    def test_monotone_nonincreasing(self):
+        rng = np.random.default_rng(1)
+        _, ps = ccdf(rng.geometric(0.3, size=1000))
+        assert np.all(np.diff(ps) <= 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ccdf(np.array([]))
+
+    def test_float_values(self):
+        xs, ps = ccdf(np.array([0.5, 1.5, 1.5]))
+        assert xs.tolist() == [0.5, 1.5]
+        np.testing.assert_allclose(ps, [1.0, 2 / 3])
+
+
+class TestCcdfAt:
+    def test_threshold_inclusive(self):
+        values = np.array([1, 2, 3, 4])
+        assert ccdf_at(values, 3) == pytest.approx(0.5)
+
+    def test_below_min_is_one(self):
+        assert ccdf_at(np.array([5, 6]), 0) == 1.0
+
+    def test_above_max_is_zero(self):
+        assert ccdf_at(np.array([5, 6]), 100) == 0.0
+
+    def test_consistent_with_ccdf(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(1, 50, size=300)
+        xs, ps = ccdf(values)
+        for x, p in zip(xs[:10], ps[:10]):
+            assert ccdf_at(values, x) == pytest.approx(p)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ccdf_at(np.array([]), 1)

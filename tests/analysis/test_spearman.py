@@ -1,0 +1,89 @@
+"""Unit tests for Spearman correlation analysis (Figure 7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spearman import (
+    rcs_metric_correlations,
+    spearman_rank_correlation,
+)
+from repro.core.rcs import build_rcs
+from repro.similarity import SimilarityEngine
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman_rank_correlation(
+            np.array([1, 2, 3, 4]), np.array([10, 20, 30, 40])
+        ) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert spearman_rank_correlation(
+            np.array([1, 2, 3, 4]), np.array([4, 3, 2, 1])
+        ) == pytest.approx(-1.0)
+
+    def test_constant_vector_returns_one(self):
+        assert spearman_rank_correlation(
+            np.array([5, 5, 5]), np.array([1, 2, 3])
+        ) == 1.0
+
+    def test_short_vectors_return_one(self):
+        assert spearman_rank_correlation(np.array([1.0]), np.array([2.0])) == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation(np.array([1, 2]), np.array([1]))
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            rho = spearman_rank_correlation(rng.random(30), rng.random(30))
+            assert -1.0 <= rho <= 1.0
+
+
+class TestRcsMetricCorrelations:
+    def test_returns_qualifying_users(self, tiny_wikipedia):
+        engine = SimilarityEngine(tiny_wikipedia)
+        rcs = build_rcs(tiny_wikipedia)
+        sizes = rcs.sizes()
+        threshold = int(np.quantile(sizes[sizes > 0], 0.8))
+        points = rcs_metric_correlations(engine, rcs, min_size=threshold)
+        expected = int((sizes >= threshold).sum())
+        assert len(points) == expected
+        for user, size, rho in points:
+            assert sizes[user] == size
+            assert -1.0 <= rho <= 1.0
+
+    def test_max_users_limits_output(self, tiny_wikipedia):
+        engine = SimilarityEngine(tiny_wikipedia)
+        rcs = build_rcs(tiny_wikipedia)
+        points = rcs_metric_correlations(engine, rcs, min_size=1, max_users=5)
+        assert len(points) == 5
+
+    def test_stripped_rcs_raises(self, tiny_wikipedia):
+        engine = SimilarityEngine(tiny_wikipedia)
+        rcs = build_rcs(tiny_wikipedia, strip=True)
+        with pytest.raises(ValueError, match="strip"):
+            rcs_metric_correlations(engine, rcs, min_size=1)
+
+    def test_overlap_metric_correlates_perfectly_with_counts(
+        self, tiny_wikipedia
+    ):
+        """RCS order *is* overlap order, so rho with overlap must be 1."""
+        engine = SimilarityEngine(tiny_wikipedia, metric="overlap")
+        rcs = build_rcs(tiny_wikipedia)
+        points = rcs_metric_correlations(engine, rcs, min_size=3, max_users=20)
+        assert points, "need at least one user with an RCS of size >= 3"
+        for _, _, rho in points:
+            assert rho == pytest.approx(1.0)
+
+    def test_positive_correlation_with_cosine(self, tiny_wikipedia):
+        """The paper's core claim behind truncation: counting-phase order
+        is a good proxy for the true metric order."""
+        engine = SimilarityEngine(tiny_wikipedia)
+        rcs = build_rcs(tiny_wikipedia)
+        sizes = rcs.sizes()
+        threshold = max(int(np.quantile(sizes[sizes > 0], 0.9)), 5)
+        points = rcs_metric_correlations(engine, rcs, min_size=threshold)
+        rhos = [rho for (_, _, rho) in points]
+        assert np.mean(rhos) > 0.3

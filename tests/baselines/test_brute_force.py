@@ -1,0 +1,77 @@
+"""Unit tests for the brute-force exact KNN baseline."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_knn
+from repro.similarity import SimilarityEngine
+from tests.conftest import random_dataset
+
+
+class TestExactness:
+    def test_matches_naive_python(self, rated_dataset):
+        engine = SimilarityEngine(rated_dataset)
+        k = 2
+        result = brute_force_knn(engine, k)
+        check = SimilarityEngine(rated_dataset)
+        for u in range(rated_dataset.n_users):
+            sims = [
+                (check.metric.score_pair(check.index, u, v), -v)
+                for v in range(rated_dataset.n_users)
+                if v != u
+            ]
+            expected = sorted(sims, reverse=True)[:k]
+            got = result.graph.sims_of(u)
+            np.testing.assert_allclose(
+                got, [s for s, _ in expected][: got.size]
+            )
+
+    @pytest.mark.parametrize("metric", ["cosine", "jaccard", "adamic_adar"])
+    def test_rows_are_globally_optimal(self, tiny_wikipedia, metric):
+        engine = SimilarityEngine(tiny_wikipedia, metric=metric)
+        result = brute_force_knn(engine, 5)
+        # Spot-check: no non-neighbour may beat the kth kept similarity.
+        check = SimilarityEngine(tiny_wikipedia, metric=metric)
+        rng = np.random.default_rng(0)
+        for u in rng.integers(0, tiny_wikipedia.n_users, size=10):
+            u = int(u)
+            kth = result.graph.kth_sims()[u]
+            neighbors = set(result.graph.neighbors_of(u).tolist())
+            for v in rng.integers(0, tiny_wikipedia.n_users, size=20):
+                v = int(v)
+                if v == u or v in neighbors:
+                    continue
+                assert check.metric.score_pair(check.index, u, v) <= kth + 1e-9
+
+    def test_block_size_does_not_change_result(self, tiny_wikipedia):
+        a = brute_force_knn(SimilarityEngine(tiny_wikipedia), 5, block_size=7)
+        b = brute_force_knn(SimilarityEngine(tiny_wikipedia), 5, block_size=512)
+        assert a.graph == b.graph
+
+    def test_rows_are_complete(self, tiny_wikipedia):
+        result = brute_force_knn(SimilarityEngine(tiny_wikipedia), 5)
+        assert result.graph.is_complete()
+
+    def test_self_never_a_neighbor(self, tiny_wikipedia):
+        result = brute_force_knn(SimilarityEngine(tiny_wikipedia), 5)
+        for u in range(tiny_wikipedia.n_users):
+            assert u not in result.graph.neighbors_of(u)
+
+
+class TestAccounting:
+    def test_not_counted_by_default(self, toy_engine):
+        brute_force_knn(toy_engine, 2)
+        assert toy_engine.counter.evaluations == 0
+
+    def test_counted_when_requested(self, toy_engine):
+        brute_force_knn(toy_engine, 2, count_evaluations=True)
+        n = toy_engine.n_users
+        assert toy_engine.counter.evaluations == n * (n - 1)
+
+    def test_invalid_k_raises(self, toy_engine):
+        with pytest.raises(ValueError):
+            brute_force_knn(toy_engine, 0)
+        with pytest.raises(ValueError):
+            brute_force_knn(toy_engine, toy_engine.n_users)

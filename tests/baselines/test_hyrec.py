@@ -1,0 +1,96 @@
+"""Unit tests for the HyRec baseline."""
+
+import pytest
+
+from repro.baselines import HyRecConfig, brute_force_knn, hyrec
+from repro.graph.metrics import recall
+from repro.similarity import SimilarityEngine
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        config = HyRecConfig()
+        assert config.k == 20
+        assert config.r == 0  # no random candidates, Section IV-D
+        assert config.beta == 0.001
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            HyRecConfig(k=0)
+        with pytest.raises(ValueError):
+            HyRecConfig(r=-1)
+        with pytest.raises(ValueError):
+            HyRecConfig(beta=-0.5)
+        with pytest.raises(ValueError):
+            HyRecConfig(max_iterations=0)
+
+
+class TestConvergence:
+    def test_converges_to_reasonable_recall(self, tiny_wikipedia):
+        result = hyrec(
+            SimilarityEngine(tiny_wikipedia), HyRecConfig(k=10, seed=0)
+        )
+        exact = brute_force_knn(SimilarityEngine(tiny_wikipedia), 10)
+        assert recall(result.graph, exact.graph) > 0.8
+
+    def test_deterministic_under_seed(self, tiny_wikipedia):
+        a = hyrec(SimilarityEngine(tiny_wikipedia), HyRecConfig(k=8, seed=2))
+        b = hyrec(SimilarityEngine(tiny_wikipedia), HyRecConfig(k=8, seed=2))
+        assert a.graph == b.graph
+
+    def test_graph_complete_and_self_free(self, tiny_wikipedia):
+        result = hyrec(
+            SimilarityEngine(tiny_wikipedia), HyRecConfig(k=10, seed=0)
+        )
+        assert result.graph.is_complete()
+        for u in range(result.graph.n_users):
+            assert u not in result.graph.neighbors_of(u)
+
+    def test_beta_termination(self, tiny_wikipedia):
+        loose = hyrec(
+            SimilarityEngine(tiny_wikipedia), HyRecConfig(k=8, seed=0, beta=5.0)
+        )
+        tight = hyrec(
+            SimilarityEngine(tiny_wikipedia),
+            HyRecConfig(k=8, seed=0, beta=0.001),
+        )
+        assert loose.iterations <= tight.iterations
+
+    def test_max_iterations_respected(self, wiki_engine):
+        result = hyrec(
+            wiki_engine, HyRecConfig(k=8, seed=0, max_iterations=2, beta=0.0)
+        )
+        assert result.iterations <= 2
+
+
+class TestRandomCandidates:
+    def test_r_adds_candidates(self, tiny_wikipedia):
+        without = hyrec(
+            SimilarityEngine(tiny_wikipedia),
+            HyRecConfig(k=8, seed=0, r=0, max_iterations=1, beta=0.0),
+        )
+        with_random = hyrec(
+            SimilarityEngine(tiny_wikipedia),
+            HyRecConfig(k=8, seed=0, r=5, max_iterations=1, beta=0.0),
+        )
+        assert with_random.evaluations > without.evaluations
+
+    def test_r_can_only_help_recall(self, tiny_wikipedia):
+        """The paper: r=5 improves recall slightly (4% on average)."""
+        exact = brute_force_knn(SimilarityEngine(tiny_wikipedia), 8)
+        without = hyrec(
+            SimilarityEngine(tiny_wikipedia), HyRecConfig(k=8, seed=0, r=0)
+        )
+        with_random = hyrec(
+            SimilarityEngine(tiny_wikipedia), HyRecConfig(k=8, seed=0, r=3)
+        )
+        assert recall(with_random.graph, exact.graph) >= recall(
+            without.graph, exact.graph
+        ) - 0.02
+
+
+class TestTrace:
+    def test_trace_starts_with_random_init(self, wiki_engine):
+        result = hyrec(wiki_engine, HyRecConfig(k=5, seed=0))
+        assert result.trace.records[0].iteration == 0
+        assert result.trace.records[0].evaluations == wiki_engine.n_users * 5

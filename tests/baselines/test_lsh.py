@@ -1,0 +1,64 @@
+"""Unit tests for the MinHash-LSH extension baseline."""
+
+import pytest
+
+from repro.baselines import LshConfig, brute_force_knn, lsh_knn, random_knn_graph
+from repro.graph.metrics import recall
+from repro.similarity import SimilarityEngine
+
+
+class TestConfig:
+    def test_num_hashes(self):
+        assert LshConfig(bands=8, rows=4).num_hashes == 32
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            LshConfig(k=0)
+        with pytest.raises(ValueError):
+            LshConfig(bands=0)
+        with pytest.raises(ValueError):
+            LshConfig(rows=0)
+        with pytest.raises(ValueError):
+            LshConfig(max_pairs_per_bucket=0)
+
+
+class TestBehaviour:
+    def test_beats_random_graph(self, tiny_wikipedia):
+        engine = SimilarityEngine(tiny_wikipedia, metric="jaccard")
+        result = lsh_knn(engine, LshConfig(k=10, seed=0))
+        exact = brute_force_knn(
+            SimilarityEngine(tiny_wikipedia, metric="jaccard"), 10
+        )
+        random_graph = random_knn_graph(
+            SimilarityEngine(tiny_wikipedia, metric="jaccard"), 10, seed=0
+        )
+        assert recall(result.graph, exact.graph) > recall(
+            random_graph, exact.graph
+        )
+
+    def test_deterministic_under_seed(self, tiny_wikipedia):
+        a = lsh_knn(SimilarityEngine(tiny_wikipedia), LshConfig(k=8, seed=1))
+        b = lsh_knn(SimilarityEngine(tiny_wikipedia), LshConfig(k=8, seed=1))
+        assert a.graph == b.graph
+
+    def test_more_bands_more_candidates(self, tiny_wikipedia):
+        few = lsh_knn(
+            SimilarityEngine(tiny_wikipedia), LshConfig(k=8, bands=2, rows=4)
+        )
+        many = lsh_knn(
+            SimilarityEngine(tiny_wikipedia), LshConfig(k=8, bands=16, rows=4)
+        )
+        assert many.extras["candidate_pairs"] >= few.extras["candidate_pairs"]
+
+    def test_identical_users_always_collide(self, toy_dataset):
+        # Carl (2) and Dave (3) have identical profiles: every band
+        # signature matches, so they must be found.
+        engine = SimilarityEngine(toy_dataset)
+        result = lsh_knn(engine, LshConfig(k=2, bands=4, rows=2, seed=0))
+        assert 3 in result.graph.neighbors_of(2)
+        assert 2 in result.graph.neighbors_of(3)
+
+    def test_evaluations_counted(self, tiny_wikipedia):
+        engine = SimilarityEngine(tiny_wikipedia)
+        result = lsh_knn(engine, LshConfig(k=8, seed=0))
+        assert result.evaluations == result.extras["candidate_pairs"]

@@ -1,0 +1,132 @@
+"""Unit tests for the NN-Descent baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NNDescentConfig, nn_descent, brute_force_knn
+from repro.graph.metrics import per_user_recall, recall
+from repro.similarity import SimilarityEngine
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = NNDescentConfig()
+        assert config.k == 20
+        assert config.rho == 1.0
+        assert config.delta == 0.001
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            NNDescentConfig(k=0)
+        with pytest.raises(ValueError):
+            NNDescentConfig(rho=0.0)
+        with pytest.raises(ValueError):
+            NNDescentConfig(rho=1.5)
+        with pytest.raises(ValueError):
+            NNDescentConfig(delta=-1)
+        with pytest.raises(ValueError):
+            NNDescentConfig(max_iterations=0)
+
+
+class TestConvergence:
+    def test_converges_to_high_recall(self, tiny_wikipedia):
+        engine = SimilarityEngine(tiny_wikipedia)
+        result = nn_descent(engine, NNDescentConfig(k=10, seed=0))
+        exact = brute_force_knn(SimilarityEngine(tiny_wikipedia), 10)
+        assert recall(result.graph, exact.graph) > 0.85
+
+    def test_improves_over_random_start(self, tiny_wikipedia):
+        from repro.baselines import random_knn_graph
+
+        engine = SimilarityEngine(tiny_wikipedia)
+        result = nn_descent(engine, NNDescentConfig(k=10, seed=0))
+        exact = brute_force_knn(SimilarityEngine(tiny_wikipedia), 10)
+        initial = random_knn_graph(
+            SimilarityEngine(tiny_wikipedia), 10, seed=0
+        )
+        assert recall(result.graph, exact.graph) > recall(
+            initial, exact.graph
+        )
+
+    def test_deterministic_under_seed(self, tiny_wikipedia):
+        a = nn_descent(
+            SimilarityEngine(tiny_wikipedia), NNDescentConfig(k=8, seed=5)
+        )
+        b = nn_descent(
+            SimilarityEngine(tiny_wikipedia), NNDescentConfig(k=8, seed=5)
+        )
+        assert a.graph == b.graph
+        assert a.evaluations == b.evaluations
+
+    def test_graph_is_complete(self, tiny_wikipedia):
+        result = nn_descent(
+            SimilarityEngine(tiny_wikipedia), NNDescentConfig(k=10, seed=0)
+        )
+        assert result.graph.is_complete()
+
+    def test_no_self_neighbors(self, tiny_wikipedia):
+        result = nn_descent(
+            SimilarityEngine(tiny_wikipedia), NNDescentConfig(k=10, seed=0)
+        )
+        for u in range(result.graph.n_users):
+            assert u not in result.graph.neighbors_of(u)
+
+    def test_max_iterations_respected(self, wiki_engine):
+        result = nn_descent(
+            wiki_engine, NNDescentConfig(k=10, seed=0, max_iterations=2, delta=0.0)
+        )
+        assert result.iterations <= 2
+
+
+class TestSampling:
+    def test_sampling_reduces_evaluations_per_iteration(self, tiny_wikipedia):
+        full = nn_descent(
+            SimilarityEngine(tiny_wikipedia),
+            NNDescentConfig(k=10, seed=0, max_iterations=1, delta=0.0),
+        )
+        sampled = nn_descent(
+            SimilarityEngine(tiny_wikipedia),
+            NNDescentConfig(k=10, seed=0, rho=0.3, max_iterations=1, delta=0.0),
+        )
+        assert sampled.evaluations < full.evaluations
+
+
+class TestInstrumentation:
+    def test_trace_starts_at_iteration_zero(self, wiki_engine):
+        result = nn_descent(wiki_engine, NNDescentConfig(k=5, seed=0))
+        assert result.trace.records[0].iteration == 0
+        # Iteration 0 = random init: n*k evaluations, n*k "updates".
+        n, k = wiki_engine.n_users, 5
+        assert result.trace.records[0].evaluations == n * k
+        assert result.trace.records[0].updates == n * k
+
+    def test_initial_graph_counted_in_scan_rate(self, wiki_engine):
+        result = nn_descent(wiki_engine, NNDescentConfig(k=5, seed=0))
+        n = wiki_engine.n_users
+        assert result.evaluations >= n * 5
+
+    def test_snapshots_track_progress(self, tiny_wikipedia):
+        result = nn_descent(
+            SimilarityEngine(tiny_wikipedia),
+            NNDescentConfig(k=5, seed=0, track_snapshots=True),
+        )
+        snapshots = result.trace.snapshots()
+        assert len(snapshots) == len(result.trace.records)
+        assert snapshots[-1] == result.graph
+
+    def test_phase_breakdown_populated(self, wiki_engine):
+        result = nn_descent(wiki_engine, NNDescentConfig(k=5, seed=0))
+        assert result.timer.get("candidate_selection") > 0
+        assert result.timer.get("similarity") > 0
+
+
+class TestScanRateShape:
+    def test_kiff_needs_fewer_evaluations(self, tiny_wikipedia):
+        """The paper's headline: KIFF's scan rate is several times lower."""
+        from repro import KiffConfig, kiff
+
+        nnd = nn_descent(
+            SimilarityEngine(tiny_wikipedia), NNDescentConfig(k=10, seed=0)
+        )
+        kf = kiff(SimilarityEngine(tiny_wikipedia), KiffConfig(k=10))
+        assert kf.scan_rate < nnd.scan_rate / 2

@@ -1,0 +1,58 @@
+"""Unit tests for the random initial graph."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import random_knn_graph
+from repro.similarity import SimilarityEngine
+
+
+class TestStructure:
+    def test_every_user_has_k_neighbors(self, wiki_engine):
+        graph = random_knn_graph(wiki_engine, 7, seed=0)
+        assert graph.is_complete()
+        assert graph.k == 7
+
+    def test_no_self_loops(self, wiki_engine):
+        graph = random_knn_graph(wiki_engine, 7, seed=0)
+        for u in range(graph.n_users):
+            assert u not in graph.neighbors_of(u)
+
+    def test_no_duplicate_neighbors(self, wiki_engine):
+        graph = random_knn_graph(wiki_engine, 7, seed=1)
+        for u in range(graph.n_users):
+            row = graph.neighbors_of(u)
+            assert np.unique(row).size == row.size
+
+    def test_deterministic_under_seed(self, tiny_wikipedia):
+        a = random_knn_graph(SimilarityEngine(tiny_wikipedia), 5, seed=3)
+        b = random_knn_graph(SimilarityEngine(tiny_wikipedia), 5, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self, tiny_wikipedia):
+        a = random_knn_graph(SimilarityEngine(tiny_wikipedia), 5, seed=3)
+        b = random_knn_graph(SimilarityEngine(tiny_wikipedia), 5, seed=4)
+        assert a != b
+
+    def test_invalid_k_raises(self, wiki_engine):
+        with pytest.raises(ValueError):
+            random_knn_graph(wiki_engine, 0)
+        with pytest.raises(ValueError):
+            random_knn_graph(wiki_engine, wiki_engine.n_users)
+
+
+class TestSimilarities:
+    def test_sims_computed_and_counted(self, toy_engine):
+        graph = random_knn_graph(toy_engine, 2, seed=0)
+        n = toy_engine.n_users
+        assert toy_engine.counter.evaluations == n * 2
+        # Edge sims must match direct evaluation.
+        for u in range(n):
+            for v, s in zip(graph.neighbors_of(u), graph.sims_of(u)):
+                fresh = SimilarityEngine(toy_engine.dataset)
+                assert fresh.pair(u, int(v)) == pytest.approx(s)
+
+    def test_sims_skipped_when_disabled(self, toy_engine):
+        graph = random_knn_graph(toy_engine, 2, seed=0, compute_sims=False)
+        assert toy_engine.counter.evaluations == 0
+        assert np.all(graph.sims[graph.valid_mask] == 0.0)

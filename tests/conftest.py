@@ -1,0 +1,96 @@
+"""Shared fixtures: small deterministic datasets and engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BipartiteDataset, SimilarityEngine
+from repro.datasets import load_dataset
+
+
+@pytest.fixture
+def toy_dataset() -> BipartiteDataset:
+    """The paper's Figure 2 toy example, extended slightly.
+
+    Users: 0=Alice, 1=Bob, 2=Carl, 3=Dave.
+    Items: 0=book, 1=coffee, 2=cheese, 3=shopping.
+    Alice likes book+coffee, Bob coffee+cheese, Carl and Dave shopping.
+    """
+    return BipartiteDataset.from_profiles(
+        [
+            {0: 1.0, 1: 1.0},
+            {1: 1.0, 2: 1.0},
+            {3: 1.0},
+            {3: 1.0},
+        ],
+        n_items=4,
+        name="figure2-toy",
+    )
+
+
+@pytest.fixture
+def rated_dataset() -> BipartiteDataset:
+    """A small dataset with non-trivial rating values."""
+    return BipartiteDataset.from_profiles(
+        [
+            {0: 5.0, 1: 3.0, 2: 1.0},
+            {0: 4.0, 2: 2.0},
+            {1: 1.0, 3: 5.0},
+            {0: 2.0, 1: 2.0, 2: 2.0, 3: 2.0},
+            {4: 3.5},
+        ],
+        n_items=5,
+        name="rated-toy",
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_wikipedia() -> BipartiteDataset:
+    """The tiny-scale Wikipedia preset (seeded, shared across tests)."""
+    return load_dataset("wikipedia", scale="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_arxiv() -> BipartiteDataset:
+    """The tiny-scale Arxiv preset (symmetric co-authorship)."""
+    return load_dataset("arxiv", scale="tiny")
+
+
+@pytest.fixture
+def toy_engine(toy_dataset) -> SimilarityEngine:
+    return SimilarityEngine(toy_dataset, metric="cosine")
+
+
+@pytest.fixture
+def wiki_engine(tiny_wikipedia) -> SimilarityEngine:
+    return SimilarityEngine(tiny_wikipedia, metric="cosine")
+
+
+def random_dataset(
+    n_users: int = 60,
+    n_items: int = 40,
+    density: float = 0.1,
+    seed: int = 0,
+    ratings: bool = False,
+) -> BipartiteDataset:
+    """Helper for tests that want arbitrary small random datasets."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n_users, n_items)) < density
+    # Guarantee at least one rating so the dataset is valid.
+    if not mask.any():
+        mask[0, 0] = True
+    values = (
+        rng.integers(1, 6, size=mask.sum()).astype(float)
+        if ratings
+        else np.ones(int(mask.sum()))
+    )
+    users, items = np.nonzero(mask)
+    return BipartiteDataset.from_edges(
+        users,
+        items,
+        values,
+        n_users=n_users,
+        n_items=n_items,
+        name=f"random-{seed}",
+    )

@@ -1,0 +1,50 @@
+"""Unit tests for KiffConfig validation."""
+
+import math
+
+import pytest
+
+from repro.core.config import KiffConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = KiffConfig()
+        assert config.k == 20
+        assert config.beta == 0.001
+        assert config.effective_gamma == 40  # gamma = 2k
+
+    def test_explicit_gamma_overrides_default(self):
+        assert KiffConfig(k=20, gamma=7).effective_gamma == 7
+
+    def test_gamma_infinity_allowed(self):
+        assert KiffConfig(gamma=math.inf).effective_gamma == math.inf
+
+
+class TestValidation:
+    def test_nonpositive_k_raises(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            KiffConfig(k=0)
+
+    def test_negative_beta_raises(self):
+        with pytest.raises(ValueError, match="beta"):
+            KiffConfig(beta=-0.1)
+
+    def test_beta_zero_allowed(self):
+        assert KiffConfig(beta=0.0).beta == 0.0
+
+    def test_fractional_gamma_raises(self):
+        with pytest.raises(ValueError, match="gamma"):
+            KiffConfig(gamma=2.5)
+
+    def test_negative_gamma_raises(self):
+        with pytest.raises(ValueError, match="gamma"):
+            KiffConfig(gamma=-1)
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(ValueError, match="mode"):
+            KiffConfig(mode="quantum")
+
+    def test_nonpositive_max_iterations_raises(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            KiffConfig(max_iterations=0)

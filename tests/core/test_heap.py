@@ -1,0 +1,111 @@
+"""Unit tests for the bounded KNN heap (UPDATENN semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.heap import KnnHeap
+
+
+class TestBasics:
+    def test_empty_heap(self):
+        heap = KnnHeap(3)
+        assert len(heap) == 0
+        assert not heap.is_full
+        assert heap.min_similarity() == -np.inf
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            KnnHeap(0)
+
+    def test_insert_returns_one(self):
+        heap = KnnHeap(2)
+        assert heap.update(5, 0.3) == 1
+        assert 5 in heap
+
+    def test_fills_to_capacity(self):
+        heap = KnnHeap(2)
+        heap.update(1, 0.1)
+        heap.update(2, 0.2)
+        assert heap.is_full
+        assert len(heap) == 2
+
+
+class TestUpdateSemantics:
+    def test_better_candidate_evicts_minimum(self):
+        heap = KnnHeap(2)
+        heap.update(1, 0.1)
+        heap.update(2, 0.2)
+        assert heap.update(3, 0.5) == 1
+        assert 1 not in heap
+        assert {2, 3} == {n for n, _ in heap.entries()}
+
+    def test_worse_candidate_rejected(self):
+        heap = KnnHeap(2)
+        heap.update(1, 0.4)
+        heap.update(2, 0.5)
+        assert heap.update(3, 0.1) == 0
+        assert 3 not in heap
+
+    def test_equal_similarity_tie_breaks_on_lower_id(self):
+        heap = KnnHeap(1)
+        heap.update(5, 0.3)
+        # Same similarity, lower id: displaces (canonical order prefers
+        # ascending ids among equals).
+        assert heap.update(2, 0.3) == 1
+        assert 2 in heap and 5 not in heap
+        # Same similarity, higher id: rejected.
+        assert heap.update(9, 0.3) == 0
+
+    def test_duplicate_neighbor_same_sim_is_noop(self):
+        heap = KnnHeap(3)
+        heap.update(1, 0.5)
+        assert heap.update(1, 0.5) == 0
+        assert len(heap) == 1
+
+    def test_duplicate_neighbor_improved_sim_updates(self):
+        heap = KnnHeap(3)
+        heap.update(1, 0.2)
+        assert heap.update(1, 0.9) == 1
+        assert dict(heap.entries())[1] == 0.9
+
+    def test_min_similarity_tracks_worst(self):
+        heap = KnnHeap(2)
+        heap.update(1, 0.7)
+        heap.update(2, 0.3)
+        assert heap.min_similarity() == pytest.approx(0.3)
+
+
+class TestCanonicalOutput:
+    def test_entries_sorted_best_first(self):
+        heap = KnnHeap(3)
+        heap.update(1, 0.2)
+        heap.update(2, 0.9)
+        heap.update(3, 0.5)
+        assert [n for n, _ in heap.entries()] == [2, 3, 1]
+
+    def test_entries_tie_break_ascending_id(self):
+        heap = KnnHeap(3)
+        heap.update(9, 0.5)
+        heap.update(4, 0.5)
+        assert [n for n, _ in heap.entries()] == [4, 9]
+
+    def test_to_arrays_pads_with_missing(self):
+        from repro.graph.knn_graph import MISSING
+
+        heap = KnnHeap(4)
+        heap.update(7, 0.5)
+        neighbors, sims = heap.to_arrays()
+        assert neighbors.tolist() == [7, MISSING, MISSING, MISSING]
+        assert sims[0] == 0.5
+        assert np.all(np.isneginf(sims[1:]))
+
+    def test_matches_sort_reference(self):
+        """The heap keeps exactly the top-k of any offer stream."""
+        rng = np.random.default_rng(7)
+        offers = [(int(n), float(s)) for n, s in
+                  zip(rng.permutation(50), rng.random(50))]
+        heap = KnnHeap(10)
+        for neighbor, sim in offers:
+            heap.update(neighbor, sim)
+        expected = sorted(offers, key=lambda t: (-t[1], t[0]))[:10]
+        assert heap.entries() == [(n, pytest.approx(s)) for n, s in expected]

@@ -1,0 +1,171 @@
+"""Unit tests for the counting phase (Ranked Candidate Sets)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rcs import build_rcs, build_rcs_reference
+from tests.conftest import random_dataset
+
+
+def _as_triples(rcs):
+    out = []
+    for user in range(rcs.n_users):
+        cands = rcs.candidates_of(user)
+        counts = rcs.counts_of(user)
+        out.append((user, cands.tolist(), counts.tolist()))
+    return out
+
+
+class TestToyExample:
+    def test_figure2_rcs(self, toy_dataset):
+        """Alice and Bob share coffee; Carl and Dave share shopping."""
+        rcs = build_rcs(toy_dataset)
+        # Pivot: lower id stores the pair.
+        assert rcs.candidates_of(0).tolist() == [1]  # Alice -> Bob
+        assert rcs.counts_of(0).tolist() == [1]
+        assert rcs.candidates_of(1).tolist() == []
+        assert rcs.candidates_of(2).tolist() == [3]  # Carl -> Dave
+        assert rcs.candidates_of(3).tolist() == []
+
+    def test_counts_are_shared_item_counts(self, rated_dataset):
+        rcs = build_rcs(rated_dataset)
+        # Users 0 and 3 share items {0, 1, 2}.
+        idx = rcs.candidates_of(0).tolist().index(3)
+        assert rcs.counts_of(0)[idx] == 3
+
+    def test_ordering_by_count_then_id(self, rated_dataset):
+        rcs = build_rcs(rated_dataset)
+        for user in range(rcs.n_users):
+            counts = rcs.counts_of(user)
+            cands = rcs.candidates_of(user)
+            for j in range(1, counts.size):
+                assert counts[j - 1] >= counts[j]
+                if counts[j - 1] == counts[j]:
+                    assert cands[j - 1] < cands[j]
+
+
+class TestPivot:
+    def test_pivot_candidates_have_higher_ids(self, tiny_wikipedia):
+        rcs = build_rcs(tiny_wikipedia, pivot=True)
+        for user in range(0, rcs.n_users, 17):
+            cands = rcs.candidates_of(user)
+            assert np.all(cands > user)
+
+    def test_symmetric_rcs_doubles_entries(self, tiny_wikipedia):
+        pivoted = build_rcs(tiny_wikipedia, pivot=True)
+        full = build_rcs(tiny_wikipedia, pivot=False)
+        assert full.total_candidates == 2 * pivoted.total_candidates
+
+    def test_symmetric_rcs_excludes_self(self, tiny_wikipedia):
+        full = build_rcs(tiny_wikipedia, pivot=False)
+        for user in range(0, full.n_users, 23):
+            assert user not in full.candidates_of(user)
+
+    def test_symmetric_rcs_is_symmetric(self, rated_dataset):
+        full = build_rcs(rated_dataset, pivot=False)
+        for u in range(full.n_users):
+            for v in full.candidates_of(u):
+                assert u in full.candidates_of(int(v))
+
+
+class TestReferenceEquivalence:
+    @pytest.mark.parametrize("pivot", [True, False])
+    def test_fast_equals_reference(self, pivot):
+        ds = random_dataset(n_users=40, n_items=30, density=0.15, seed=8)
+        fast = build_rcs(ds, pivot=pivot)
+        reference = build_rcs_reference(ds, pivot=pivot)
+        assert _as_triples(fast) == _as_triples(reference)
+
+    def test_fast_equals_reference_with_ratings(self):
+        ds = random_dataset(
+            n_users=30, n_items=25, density=0.2, seed=9, ratings=True
+        )
+        fast = build_rcs(ds, min_rating=3.0)
+        reference = build_rcs_reference(ds, min_rating=3.0)
+        assert _as_triples(fast) == _as_triples(reference)
+
+    def test_fast_equals_reference_on_preset(self, tiny_arxiv):
+        fast = build_rcs(tiny_arxiv)
+        reference = build_rcs_reference(tiny_arxiv)
+        assert np.array_equal(fast.offsets, reference.offsets)
+        assert np.array_equal(fast.candidates, reference.candidates)
+        assert np.array_equal(fast.counts, reference.counts)
+
+
+class TestMinRating:
+    def test_threshold_shrinks_rcs(self):
+        ds = random_dataset(
+            n_users=50, n_items=40, density=0.2, seed=10, ratings=True
+        )
+        base = build_rcs(ds)
+        pruned = build_rcs(ds, min_rating=4.0)
+        assert pruned.total_candidates < base.total_candidates
+
+    def test_threshold_one_keeps_everything_for_counts(self):
+        ds = random_dataset(
+            n_users=30, n_items=30, density=0.2, seed=11, ratings=True
+        )
+        base = build_rcs(ds)
+        pruned = build_rcs(ds, min_rating=1.0)
+        assert _as_triples(base) == _as_triples(pruned)
+
+    def test_counts_reflect_thresholded_items_only(self):
+        from repro.datasets import BipartiteDataset
+
+        ds = BipartiteDataset.from_profiles(
+            [{0: 5.0, 1: 1.0}, {0: 5.0, 1: 1.0}], n_items=2
+        )
+        pruned = build_rcs(ds, min_rating=2.0)
+        assert pruned.counts_of(0).tolist() == [1]  # only item 0 counts
+
+
+class TestStructure:
+    def test_stripped_drops_counts(self, tiny_wikipedia):
+        rcs = build_rcs(tiny_wikipedia)
+        stripped = rcs.stripped()
+        assert stripped.counts is None
+        with pytest.raises(ValueError, match="stripped"):
+            stripped.counts_of(0)
+        # Order is preserved.
+        assert np.array_equal(stripped.candidates, rcs.candidates)
+
+    def test_strip_flag_at_build_time(self, toy_dataset):
+        assert build_rcs(toy_dataset, strip=True).counts is None
+
+    def test_sizes_match_offsets(self, tiny_wikipedia):
+        rcs = build_rcs(tiny_wikipedia)
+        sizes = rcs.sizes()
+        assert sizes.sum() == rcs.total_candidates
+        assert sizes.size == rcs.n_users
+
+    def test_avg_size(self, toy_dataset):
+        rcs = build_rcs(toy_dataset)
+        assert rcs.avg_size == pytest.approx(2 / 4)
+
+    def test_max_scan_rate_formula(self, tiny_wikipedia):
+        rcs = build_rcs(tiny_wikipedia)
+        expected = 2.0 * rcs.avg_size / (rcs.n_users - 1)
+        assert rcs.max_scan_rate() == pytest.approx(expected)
+
+    def test_candidates_have_at_least_one_shared_item(self, tiny_wikipedia):
+        """The defining RCS property: every candidate shares >= 1 item."""
+        rcs = build_rcs(tiny_wikipedia)
+        matrix = tiny_wikipedia.matrix
+        for user in range(0, rcs.n_users, 29):
+            items_u = set(tiny_wikipedia.user_items(user).tolist())
+            for v in rcs.candidates_of(user):
+                items_v = set(tiny_wikipedia.user_items(int(v)).tolist())
+                assert items_u & items_v
+
+    def test_no_sharing_user_pair_absent(self, tiny_wikipedia):
+        """Users not in each other's RCS (either direction) share nothing."""
+        rcs = build_rcs(tiny_wikipedia, pivot=False)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            u, v = rng.integers(0, tiny_wikipedia.n_users, size=2)
+            if u == v:
+                continue
+            if int(v) not in rcs.candidates_of(int(u)):
+                items_u = set(tiny_wikipedia.user_items(int(u)).tolist())
+                items_v = set(tiny_wikipedia.user_items(int(v)).tolist())
+                assert not (items_u & items_v)

@@ -1,0 +1,187 @@
+"""Unit tests for the BipartiteDataset substrate."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets.bipartite import BipartiteDataset, DatasetError
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        ds = BipartiteDataset.from_edges([0, 1, 2], [1, 0, 2])
+        assert ds.n_users == 3
+        assert ds.n_items == 3
+        assert ds.n_ratings == 3
+
+    def test_from_edges_default_ratings_are_ones(self):
+        ds = BipartiteDataset.from_edges([0, 1], [0, 1])
+        assert np.all(ds.matrix.data == 1.0)
+
+    def test_from_edges_explicit_shape_keeps_empty_rows(self):
+        ds = BipartiteDataset.from_edges([0], [0], n_users=5, n_items=7)
+        assert ds.n_users == 5
+        assert ds.n_items == 7
+        assert ds.user_items(4).size == 0
+
+    def test_from_edges_duplicate_entries_are_summed(self):
+        ds = BipartiteDataset.from_edges([0, 0], [1, 1], [2.0, 3.0])
+        assert ds.n_ratings == 1
+        assert ds.user_profile(0) == {1: 5.0}
+
+    def test_from_edges_length_mismatch_raises(self):
+        with pytest.raises(DatasetError, match="equal length"):
+            BipartiteDataset.from_edges([0, 1], [0])
+
+    def test_from_edges_ratings_length_mismatch_raises(self):
+        with pytest.raises(DatasetError, match="ratings length"):
+            BipartiteDataset.from_edges([0, 1], [0, 1], [1.0])
+
+    def test_from_edges_negative_ids_raise(self):
+        with pytest.raises(DatasetError, match="non-negative"):
+            BipartiteDataset.from_edges([-1], [0])
+
+    def test_from_edges_out_of_range_user_raises(self):
+        with pytest.raises(DatasetError, match="out of range"):
+            BipartiteDataset.from_edges([5], [0], n_users=3)
+
+    def test_from_edges_out_of_range_item_raises(self):
+        with pytest.raises(DatasetError, match="out of range"):
+            BipartiteDataset.from_edges([0], [9], n_items=3)
+
+    def test_from_profiles_dict_and_list_agree(self):
+        as_list = BipartiteDataset.from_profiles([{0: 1.0}, {1: 2.0}])
+        as_dict = BipartiteDataset.from_profiles({0: {0: 1.0}, 1: {1: 2.0}})
+        assert as_list == as_dict
+
+    def test_explicit_zeros_are_dropped(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        matrix[0, 0] = 0.0  # store an explicit zero
+        ds = BipartiteDataset(matrix=matrix)
+        assert ds.n_ratings == 1
+
+    def test_non_finite_ratings_raise(self):
+        with pytest.raises(DatasetError, match="non-finite"):
+            BipartiteDataset.from_edges([0], [0], [np.nan])
+
+    def test_empty_shape_raises(self):
+        with pytest.raises(DatasetError, match="at least one"):
+            BipartiteDataset(matrix=sp.csr_matrix((0, 4)))
+
+    def test_symmetric_requires_square(self):
+        with pytest.raises(DatasetError, match="square"):
+            BipartiteDataset.from_edges([0], [1], n_users=2, n_items=3, symmetric=True)
+
+
+class TestStatistics:
+    def test_density(self, toy_dataset):
+        assert toy_dataset.density == pytest.approx(6 / (4 * 4))
+        assert toy_dataset.density_percent == pytest.approx(37.5)
+
+    def test_profile_sizes(self, toy_dataset):
+        assert toy_dataset.user_profile_sizes().tolist() == [2, 2, 1, 1]
+        assert toy_dataset.item_profile_sizes().tolist() == [1, 2, 1, 2]
+
+    def test_average_profile_sizes(self, toy_dataset):
+        assert toy_dataset.avg_user_profile_size == pytest.approx(1.5)
+        assert toy_dataset.avg_item_profile_size == pytest.approx(1.5)
+
+
+class TestProfileAccess:
+    def test_user_items_sorted(self, rated_dataset):
+        items = rated_dataset.user_items(3)
+        assert items.tolist() == [0, 1, 2, 3]
+
+    def test_user_ratings_aligned(self, rated_dataset):
+        assert rated_dataset.user_profile(0) == {0: 5.0, 1: 3.0, 2: 1.0}
+
+    def test_item_users_is_item_profile(self, toy_dataset):
+        # coffee (item 1) was liked by Alice (0) and Bob (1).
+        assert toy_dataset.item_users(1).tolist() == [0, 1]
+
+    def test_iter_user_profiles_covers_all_users(self, toy_dataset):
+        seen = {user for user, _, _ in toy_dataset.iter_user_profiles()}
+        assert seen == set(range(toy_dataset.n_users))
+
+    def test_out_of_range_user_raises(self, toy_dataset):
+        with pytest.raises(DatasetError):
+            toy_dataset.user_items(99)
+
+    def test_out_of_range_item_raises(self, toy_dataset):
+        with pytest.raises(DatasetError):
+            toy_dataset.item_users(99)
+
+    def test_csc_matches_csr(self, rated_dataset):
+        assert (rated_dataset.csc != rated_dataset.matrix.tocsc()).nnz == 0
+
+
+class TestDerivations:
+    def test_binarized_sets_all_ratings_to_one(self, rated_dataset):
+        binary = rated_dataset.binarized()
+        assert np.all(binary.matrix.data == 1.0)
+        assert binary.n_ratings == rated_dataset.n_ratings
+
+    def test_sparsify_keeps_requested_fraction(self):
+        from tests.conftest import random_dataset
+
+        ds = random_dataset(n_users=50, n_items=50, density=0.3, seed=3)
+        thinned = ds.sparsify(0.5, seed=1)
+        assert thinned.n_ratings == round(0.5 * ds.n_ratings)
+
+    def test_sparsify_is_a_subset(self):
+        from tests.conftest import random_dataset
+
+        ds = random_dataset(seed=4)
+        thinned = ds.sparsify(0.4, seed=2)
+        # Every kept edge must exist in the parent with the same value.
+        diff = thinned.matrix - ds.matrix.multiply(thinned.matrix.astype(bool))
+        assert diff.nnz == 0
+
+    def test_sparsify_min_profile_protects_users(self):
+        from tests.conftest import random_dataset
+
+        ds = random_dataset(n_users=40, n_items=60, density=0.25, seed=5)
+        thinned = ds.sparsify(0.2, seed=3, min_profile_size=2)
+        assert thinned.user_profile_sizes().min() >= min(
+            2, int(ds.user_profile_sizes().min())
+        )
+
+    def test_sparsify_full_fraction_is_identity(self, rated_dataset):
+        assert rated_dataset.sparsify(1.0) == rated_dataset
+
+    def test_sparsify_invalid_fraction_raises(self, rated_dataset):
+        with pytest.raises(DatasetError):
+            rated_dataset.sparsify(0.0)
+        with pytest.raises(DatasetError):
+            rated_dataset.sparsify(1.5)
+
+    def test_sparsify_deterministic_under_seed(self, rated_dataset):
+        a = rated_dataset.sparsify(0.5, seed=7)
+        b = rated_dataset.sparsify(0.5, seed=7)
+        assert a == b
+
+    def test_subset_users(self, rated_dataset):
+        subset = rated_dataset.subset_users([0, 2])
+        assert subset.n_users == 2
+        assert subset.user_profile(1) == rated_dataset.user_profile(2)
+
+    def test_subset_users_empty_raises(self, rated_dataset):
+        with pytest.raises(DatasetError):
+            rated_dataset.subset_users([])
+
+    def test_subset_users_out_of_range_raises(self, rated_dataset):
+        with pytest.raises(DatasetError):
+            rated_dataset.subset_users([99])
+
+
+class TestEquality:
+    def test_equal_datasets(self, toy_dataset):
+        clone = BipartiteDataset(matrix=toy_dataset.matrix.copy(), name="other")
+        assert toy_dataset == clone
+
+    def test_different_shapes_unequal(self, toy_dataset, rated_dataset):
+        assert toy_dataset != rated_dataset
+
+    def test_different_values_unequal(self, rated_dataset):
+        other = rated_dataset.binarized()
+        assert rated_dataset != other

@@ -1,0 +1,195 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.bipartite import DatasetError
+from repro.datasets.generators import (
+    GeneratorConfig,
+    draw_ratings,
+    ensure_min_user_profile,
+    power_law_bipartite,
+    sample_power_law_edges,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_weights_sum_to_one(self):
+        weights = zipf_weights(100, 0.8)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_larger_exponent_is_more_skewed(self):
+        flat = zipf_weights(50, 0.3)
+        steep = zipf_weights(50, 1.5)
+        assert steep.max() > flat.max()
+
+    def test_shuffling_permutes_weights(self):
+        rng = np.random.default_rng(0)
+        shuffled = zipf_weights(20, 1.0, rng)
+        unshuffled = zipf_weights(20, 1.0)
+        assert sorted(shuffled) == pytest.approx(sorted(unshuffled))
+        assert not np.allclose(shuffled, unshuffled)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(DatasetError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(DatasetError):
+            zipf_weights(10, -0.5)
+
+
+class TestRatingModels:
+    def test_binary_is_all_ones(self):
+        rng = np.random.default_rng(0)
+        assert np.all(draw_ratings("binary", 50, rng) == 1.0)
+
+    def test_count_ratings_are_positive_integers(self):
+        rng = np.random.default_rng(0)
+        counts = draw_ratings("count", 500, rng)
+        assert np.all(counts >= 1)
+        assert np.all(counts == counts.astype(int))
+
+    def test_star_ratings_on_half_star_grid(self):
+        rng = np.random.default_rng(0)
+        stars = draw_ratings("stars", 500, rng)
+        assert np.all(stars >= 0.5)
+        assert np.all(stars <= 5.0)
+        assert np.all((stars * 2) == (stars * 2).astype(int))
+
+    def test_unknown_model_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError, match="unknown rating model"):
+            draw_ratings("nope", 5, rng)
+
+
+class TestEdgeSampling:
+    def test_exact_edge_count(self):
+        rng = np.random.default_rng(1)
+        users, items = sample_power_law_edges(50, 60, 300, 0.8, 0.8, rng)
+        assert users.size == items.size == 300
+
+    def test_edges_are_distinct(self):
+        rng = np.random.default_rng(2)
+        users, items = sample_power_law_edges(30, 30, 200, 0.8, 0.8, rng)
+        keys = users * 30 + items
+        assert np.unique(keys).size == 200
+
+    def test_ids_in_range(self):
+        rng = np.random.default_rng(3)
+        users, items = sample_power_law_edges(10, 20, 50, 0.5, 0.5, rng)
+        assert users.min() >= 0 and users.max() < 10
+        assert items.min() >= 0 and items.max() < 20
+
+    def test_dense_target_reachable(self):
+        # Ask for 100% density: every cell must be filled.
+        rng = np.random.default_rng(4)
+        users, items = sample_power_law_edges(8, 8, 64, 1.0, 1.0, rng)
+        assert users.size == 64
+
+    def test_impossible_target_raises(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(DatasetError, match="cannot place"):
+            sample_power_law_edges(3, 3, 10, 0.5, 0.5, rng)
+
+    def test_zero_edges_raise(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(DatasetError, match="positive"):
+            sample_power_law_edges(3, 3, 0, 0.5, 0.5, rng)
+
+
+class TestGeneratorConfig:
+    def test_density_property(self):
+        config = GeneratorConfig("x", 10, 20, 40)
+        assert config.density == pytest.approx(0.2)
+
+    def test_symmetric_requires_square(self):
+        with pytest.raises(DatasetError):
+            GeneratorConfig("x", 10, 20, 40, symmetric=True)
+
+    def test_bad_rating_model_raises(self):
+        with pytest.raises(DatasetError):
+            GeneratorConfig("x", 10, 20, 40, rating_model="bogus")
+
+    def test_nonpositive_shape_raises(self):
+        with pytest.raises(DatasetError):
+            GeneratorConfig("x", 0, 20, 40)
+
+
+class TestPowerLawBipartite:
+    def test_matches_config_shape(self):
+        config = GeneratorConfig("t", 80, 120, 600, seed=9)
+        ds = power_law_bipartite(config)
+        assert ds.n_users == 80
+        assert ds.n_items == 120
+        assert ds.n_ratings == 600
+
+    def test_deterministic_under_seed(self):
+        config = GeneratorConfig("t", 40, 50, 300, seed=11)
+        assert power_law_bipartite(config) == power_law_bipartite(config)
+
+    def test_different_seeds_differ(self):
+        a = power_law_bipartite(GeneratorConfig("t", 40, 50, 300, seed=1))
+        b = power_law_bipartite(GeneratorConfig("t", 40, 50, 300, seed=2))
+        assert a != b
+
+    def test_profile_sizes_are_skewed(self):
+        config = GeneratorConfig("t", 200, 300, 3000, user_exponent=1.0, seed=3)
+        ds = power_law_bipartite(config)
+        sizes = ds.user_profile_sizes()
+        # A power-law dataset has max degree far above the mean.
+        assert sizes.max() > 3 * sizes.mean()
+
+    def test_symmetric_dataset_is_symmetric(self):
+        config = GeneratorConfig(
+            "sym", 100, 100, 800, symmetric=True, seed=4
+        )
+        ds = power_law_bipartite(config)
+        assert ds.symmetric
+        asym = ds.matrix - ds.matrix.T
+        assert abs(asym).sum() == 0
+
+    def test_symmetric_dataset_has_no_self_loops(self):
+        config = GeneratorConfig("sym", 60, 60, 400, symmetric=True, seed=5)
+        ds = power_law_bipartite(config)
+        assert ds.matrix.diagonal().sum() == 0
+
+    def test_min_profile_size_enforced(self):
+        config = GeneratorConfig(
+            "floor", 100, 200, 400, seed=6, min_profile_size=3
+        )
+        ds = power_law_bipartite(config)
+        assert ds.user_profile_sizes().min() >= 3
+
+    def test_min_profile_size_enforced_symmetric(self):
+        config = GeneratorConfig(
+            "floor-sym", 80, 80, 300, symmetric=True, seed=7, min_profile_size=2
+        )
+        ds = power_law_bipartite(config)
+        assert ds.user_profile_sizes().min() >= 2
+        asym = ds.matrix - ds.matrix.T
+        assert abs(asym).sum() == 0
+
+
+class TestEnsureMinUserProfile:
+    def test_no_op_when_already_satisfied(self, rated_dataset):
+        rng = np.random.default_rng(0)
+        topped = ensure_min_user_profile(rated_dataset, 1, rng)
+        assert topped == rated_dataset
+
+    def test_tops_up_deficient_users(self, rated_dataset):
+        rng = np.random.default_rng(0)
+        topped = ensure_min_user_profile(rated_dataset, 3, rng)
+        assert topped.user_profile_sizes().min() >= 3
+
+    def test_existing_ratings_preserved(self, rated_dataset):
+        rng = np.random.default_rng(0)
+        topped = ensure_min_user_profile(rated_dataset, 3, rng)
+        for user in range(rated_dataset.n_users):
+            original = rated_dataset.user_profile(user)
+            new = topped.user_profile(user)
+            for item, value in original.items():
+                assert new[item] == value

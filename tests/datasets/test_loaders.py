@@ -1,0 +1,90 @@
+"""Unit tests for edge-list persistence."""
+
+import pytest
+
+from repro.datasets.bipartite import BipartiteDataset, DatasetError
+from repro.datasets.loaders import (
+    load_dataset_dir,
+    load_edge_list,
+    save_dataset,
+    save_edge_list,
+)
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip_binary(self, toy_dataset, tmp_path):
+        path = save_edge_list(toy_dataset, tmp_path / "toy.edges")
+        loaded = load_edge_list(path, n_users=4, n_items=4)
+        assert loaded == toy_dataset
+
+    def test_round_trip_rated(self, rated_dataset, tmp_path):
+        path = save_edge_list(rated_dataset, tmp_path / "rated.edges")
+        loaded = load_edge_list(path, n_users=5, n_items=5)
+        assert loaded == rated_dataset
+
+    def test_integer_ratings_written_without_decimal(self, toy_dataset, tmp_path):
+        path = save_edge_list(toy_dataset, tmp_path / "toy.edges")
+        body = [
+            line
+            for line in path.read_text().splitlines()
+            if not line.startswith("#")
+        ]
+        assert all(line.split("\t")[2] == "1" for line in body)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "data.edges"
+        path.write_text("# header\n\n0 0 2.5\n1 1\n")
+        ds = load_edge_list(path)
+        assert ds.n_ratings == 2
+        assert ds.user_profile(0) == {0: 2.5}
+        assert ds.user_profile(1) == {1: 1.0}
+
+    def test_missing_rating_column_defaults_to_one(self, tmp_path):
+        path = tmp_path / "data.edges"
+        path.write_text("0 1\n")
+        assert load_edge_list(path).user_profile(0) == {1: 1.0}
+
+    def test_malformed_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 0 1\nnot numbers here extra\n")
+        with pytest.raises(DatasetError, match=":2"):
+            load_edge_list(path)
+
+    def test_wrong_column_count_raises(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 0 1 9 9\n")
+        with pytest.raises(DatasetError, match="expected"):
+            load_edge_list(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        path.write_text("# nothing\n")
+        with pytest.raises(DatasetError, match="no edges"):
+            load_edge_list(path)
+
+
+class TestDatasetDirectory:
+    def test_save_and_load_dataset(self, rated_dataset, tmp_path):
+        save_dataset(rated_dataset, tmp_path)
+        loaded = load_dataset_dir(tmp_path, rated_dataset.name)
+        assert loaded == rated_dataset
+        assert loaded.name == rated_dataset.name
+
+    def test_symmetric_flag_round_trips(self, tmp_path):
+        ds = BipartiteDataset.from_edges(
+            [0, 1], [1, 0], n_users=2, n_items=2, name="sym", symmetric=True
+        )
+        save_dataset(ds, tmp_path)
+        assert load_dataset_dir(tmp_path, "sym").symmetric
+
+    def test_missing_dataset_raises(self, tmp_path):
+        with pytest.raises(DatasetError, match="no saved dataset"):
+            load_dataset_dir(tmp_path, "ghost")
+
+    def test_corrupted_edge_file_detected(self, rated_dataset, tmp_path):
+        save_dataset(rated_dataset, tmp_path)
+        edge_path = tmp_path / f"{rated_dataset.name}.edges"
+        lines = edge_path.read_text().splitlines()
+        edge_path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(DatasetError, match="expected"):
+            load_dataset_dir(tmp_path, rated_dataset.name)

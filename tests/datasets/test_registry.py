@@ -1,0 +1,114 @@
+"""Unit tests for the dataset registry and domain presets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DatasetError,
+    EVALUATION_SUITE,
+    dataset_names,
+    load_dataset,
+    load_evaluation_suite,
+    load_movielens_family,
+)
+
+
+class TestRegistry:
+    def test_all_names_load_at_tiny_scale(self):
+        for name in dataset_names():
+            ds = load_dataset(name, scale="tiny")
+            assert ds.n_ratings > 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(DatasetError, match="unknown scale"):
+            load_dataset("arxiv", scale="galactic")
+
+    def test_presets_are_deterministic(self):
+        a = load_dataset("wikipedia", scale="tiny")
+        b = load_dataset("wikipedia", scale="tiny")
+        assert a == b
+
+    def test_dataset_name_matches_registry_key(self):
+        for name in EVALUATION_SUITE:
+            assert load_dataset(name, scale="tiny").name == name
+
+    def test_laptop_scale_is_larger_than_tiny(self):
+        tiny = load_dataset("wikipedia", scale="tiny")
+        laptop = load_dataset("wikipedia", scale="laptop")
+        assert laptop.n_users > tiny.n_users
+
+    def test_evaluation_suite_order(self):
+        suite = load_evaluation_suite(scale="tiny")
+        assert [ds.name for ds in suite] == list(EVALUATION_SUITE)
+
+
+class TestDomainShapes:
+    def test_coauthorship_datasets_are_symmetric(self):
+        for name in ("arxiv", "dblp"):
+            ds = load_dataset(name, scale="tiny")
+            assert ds.symmetric
+            assert ds.n_users == ds.n_items
+            assert abs(ds.matrix - ds.matrix.T).sum() == 0
+
+    def test_arxiv_is_binary(self):
+        ds = load_dataset("arxiv", scale="tiny")
+        assert np.all(ds.matrix.data == 1.0)
+
+    def test_wikipedia_is_binary(self):
+        ds = load_dataset("wikipedia", scale="tiny")
+        assert np.all(ds.matrix.data == 1.0)
+
+    def test_gowalla_has_count_ratings(self):
+        ds = load_dataset("gowalla", scale="tiny")
+        assert ds.matrix.data.max() > 1.0
+        assert np.all(ds.matrix.data == ds.matrix.data.astype(int))
+
+    def test_dblp_min_coauthor_floor(self):
+        ds = load_dataset("dblp", scale="laptop")
+        # The paper's DBLP keeps only authors with >= 5 co-publications.
+        assert ds.user_profile_sizes().min() >= 5
+
+    def test_gowalla_item_universe_larger_than_users(self):
+        ds = load_dataset("gowalla", scale="tiny")
+        assert ds.n_items > ds.n_users
+
+    def test_density_ordering_wikipedia_densest(self):
+        suite = {ds.name: ds for ds in load_evaluation_suite(scale="laptop")}
+        assert suite["wikipedia"].density > suite["arxiv"].density
+        assert suite["arxiv"].density > suite["dblp"].density
+        assert suite["arxiv"].density > suite["gowalla"].density
+
+
+class TestMovielensFamily:
+    def test_family_has_five_members(self):
+        family = load_movielens_family(scale="tiny")
+        assert [ds.name for ds in family] == [f"ml-{i}" for i in range(1, 6)]
+
+    def test_density_strictly_decreasing(self):
+        family = load_movielens_family(scale="tiny")
+        densities = [ds.density for ds in family]
+        assert all(a > b for a, b in zip(densities, densities[1:]))
+
+    def test_members_share_shape(self):
+        family = load_movielens_family(scale="tiny")
+        shapes = {(ds.n_users, ds.n_items) for ds in family}
+        assert len(shapes) == 1
+
+    def test_published_keep_fractions(self):
+        from repro.datasets.movielens import ML_KEEP_FRACTIONS
+
+        family = load_movielens_family(scale="tiny")
+        base = family[0].n_ratings
+        for ds, fraction in zip(family, ML_KEEP_FRACTIONS):
+            assert ds.n_ratings == pytest.approx(base * fraction, rel=0.01)
+
+    def test_star_ratings(self):
+        family = load_movielens_family(scale="tiny")
+        data = family[0].matrix.data
+        assert np.all((data * 2) == (data * 2).astype(int))
+        assert data.min() >= 0.5
+        assert data.max() <= 5.0

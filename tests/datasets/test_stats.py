@@ -1,0 +1,43 @@
+"""Unit tests for dataset statistics (Table I / Figure 4 helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.stats import describe, profile_size_ccdf
+
+
+class TestDescribe:
+    def test_matches_dataset_properties(self, rated_dataset):
+        stats = describe(rated_dataset)
+        assert stats.n_users == rated_dataset.n_users
+        assert stats.n_items == rated_dataset.n_items
+        assert stats.n_ratings == rated_dataset.n_ratings
+        assert stats.density_percent == pytest.approx(
+            rated_dataset.density_percent
+        )
+
+    def test_as_row_has_table1_columns(self, toy_dataset):
+        row = describe(toy_dataset).as_row()
+        assert len(row) == 7
+        assert row[0] == toy_dataset.name
+
+
+class TestProfileSizeCcdf:
+    def test_user_axis(self, toy_dataset):
+        xs, ps = profile_size_ccdf(toy_dataset, axis="user")
+        # Sizes are [2, 2, 1, 1]: P(>=1) = 1.0, P(>=2) = 0.5.
+        assert xs.tolist() == [1, 2]
+        assert ps.tolist() == [1.0, 0.5]
+
+    def test_item_axis(self, toy_dataset):
+        xs, ps = profile_size_ccdf(toy_dataset, axis="item")
+        assert xs.tolist() == [1, 2]
+        assert ps.tolist() == [1.0, 0.5]
+
+    def test_invalid_axis_raises(self, toy_dataset):
+        with pytest.raises(ValueError, match="axis"):
+            profile_size_ccdf(toy_dataset, axis="sideways")
+
+    def test_ccdf_monotone_nonincreasing(self, tiny_wikipedia):
+        _, ps = profile_size_ccdf(tiny_wikipedia, axis="user")
+        assert np.all(np.diff(ps) <= 0)

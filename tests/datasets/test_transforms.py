@@ -1,0 +1,103 @@
+"""Unit tests for dataset transforms."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BipartiteDataset,
+    DatasetError,
+    filter_items,
+    filter_users,
+    iterative_core,
+    train_test_split,
+)
+from tests.conftest import random_dataset
+
+
+class TestFilterItems:
+    def test_removes_cold_items(self, toy_dataset):
+        # book (item 0) and cheese (item 2) have degree 1.
+        filtered = filter_items(toy_dataset, min_degree=2)
+        assert filtered.item_profile_sizes()[0] == 0
+        assert filtered.item_profile_sizes()[1] == 2  # coffee survives
+
+    def test_item_universe_size_preserved(self, toy_dataset):
+        filtered = filter_items(toy_dataset, min_degree=2)
+        assert filtered.n_items == toy_dataset.n_items
+
+    def test_max_degree_cap(self, toy_dataset):
+        filtered = filter_items(toy_dataset, min_degree=1, max_degree=1)
+        # Only degree-1 items survive: book and cheese.
+        assert filtered.n_ratings == 2
+
+    def test_all_removed_raises(self, toy_dataset):
+        with pytest.raises(DatasetError, match="every rating"):
+            filter_items(toy_dataset, min_degree=100)
+
+    def test_surviving_ratings_unchanged(self):
+        ds = random_dataset(n_users=30, n_items=20, density=0.3, seed=1, ratings=True)
+        filtered = filter_items(ds, min_degree=3)
+        for user in range(ds.n_users):
+            original = ds.user_profile(user)
+            for item, value in filtered.user_profile(user).items():
+                assert original[item] == value
+
+
+class TestFilterUsers:
+    def test_drops_small_profiles(self, rated_dataset):
+        filtered = filter_users(rated_dataset, min_profile=2)
+        assert filtered.n_users == 4  # user 4 has a single rating
+        assert filtered.user_profile_sizes().min() >= 2
+
+    def test_all_removed_raises(self, rated_dataset):
+        with pytest.raises(DatasetError, match="every user"):
+            filter_users(rated_dataset, min_profile=100)
+
+
+class TestIterativeCore:
+    def test_fixed_point_reached(self):
+        ds = random_dataset(n_users=60, n_items=40, density=0.08, seed=2)
+        core = iterative_core(ds, min_user_profile=2, min_item_profile=2)
+        item_degrees = core.item_profile_sizes()
+        assert np.all((item_degrees == 0) | (item_degrees >= 2))
+        assert core.user_profile_sizes().min() >= 2
+
+    def test_already_core_is_unchanged(self):
+        ds = BipartiteDataset.from_profiles(
+            [{0: 1.0, 1: 1.0}, {0: 1.0, 1: 1.0}], n_items=2
+        )
+        core = iterative_core(ds, min_user_profile=2, min_item_profile=2)
+        assert core.n_ratings == ds.n_ratings
+
+
+class TestTrainTestSplit:
+    def test_partition(self, tiny_wikipedia):
+        train, held_out = train_test_split(tiny_wikipedia, 0.25, seed=3)
+        hidden_count = sum(len(items) for items in held_out.values())
+        assert train.n_ratings + hidden_count == tiny_wikipedia.n_ratings
+
+    def test_hidden_items_absent_from_train(self, tiny_wikipedia):
+        train, held_out = train_test_split(tiny_wikipedia, 0.25, seed=3)
+        for user, hidden in held_out.items():
+            kept = set(train.user_items(user).tolist())
+            assert not (hidden & kept)
+
+    def test_min_train_profile_respected(self, tiny_wikipedia):
+        train, _ = train_test_split(
+            tiny_wikipedia, 0.5, min_train_profile=2, seed=4
+        )
+        original = tiny_wikipedia.user_profile_sizes()
+        floor = np.minimum(original, 2)
+        assert np.all(train.user_profile_sizes() >= floor)
+
+    def test_invalid_fraction_raises(self, tiny_wikipedia):
+        with pytest.raises(DatasetError):
+            train_test_split(tiny_wikipedia, 0.0)
+        with pytest.raises(DatasetError):
+            train_test_split(tiny_wikipedia, 1.0)
+
+    def test_deterministic(self, tiny_wikipedia):
+        a_train, a_held = train_test_split(tiny_wikipedia, 0.2, seed=5)
+        b_train, b_held = train_test_split(tiny_wikipedia, 0.2, seed=5)
+        assert a_train == b_train
+        assert a_held == b_held

@@ -1,0 +1,84 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tableXL"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == "laptop"
+        assert args.metric == "cosine"
+        assert args.seed == 0
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "galactic"])
+
+
+class TestMain:
+    def test_runs_single_experiment(self, capsys):
+        assert main(["table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "regenerated" in out
+
+    def test_runs_figure(self, capsys):
+        assert main(["figure4", "--scale", "tiny"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_metric_forwarded(self, capsys):
+        assert main(["table1", "--scale", "tiny", "--metric", "jaccard"]) == 0
+
+
+class TestUtilityCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "wikipedia" in out
+        assert "ml-5" in out
+
+    def test_datasets_command_saves_edge_lists(self, capsys, tmp_path):
+        assert (
+            main(["datasets", "--scale", "tiny", "--save-dir", str(tmp_path)])
+            == 0
+        )
+        assert (tmp_path / "wikipedia.edges").exists()
+        assert (tmp_path / "wikipedia.meta.json").exists()
+        # Saved datasets reload identically.
+        from repro.datasets import load_dataset, load_dataset_dir
+
+        reloaded = load_dataset_dir(tmp_path, "wikipedia")
+        assert reloaded == load_dataset("wikipedia", scale="tiny")
+
+    def test_graph_stats_command(self, capsys):
+        assert main(["graph-stats", "--scale", "tiny", "--dataset", "arxiv"]) == 0
+        out = capsys.readouterr().out
+        assert "reciprocity" in out
+        assert "scan rate" in out
+
+    def test_graph_stats_custom_k(self, capsys):
+        assert (
+            main(
+                [
+                    "graph-stats",
+                    "--scale",
+                    "tiny",
+                    "--dataset",
+                    "wikipedia",
+                    "--k",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        assert "k=5" in capsys.readouterr().out

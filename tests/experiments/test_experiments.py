@@ -1,0 +1,178 @@
+"""Integration tests: every experiment module runs at tiny scale and its
+report carries the paper's qualitative shape."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def context():
+    """One shared cache for the whole experiment test module."""
+    return ExperimentContext(scale="tiny")
+
+
+class TestAllExperimentsRun:
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_runs_and_renders(self, context, name):
+        report = EXPERIMENTS[name].run(context)
+        rendered = report.render()
+        assert report.experiment
+        assert report.rows, f"{name} produced no rows"
+        assert rendered.count("\n") >= 2
+
+
+class TestPaperShapes:
+    """The qualitative claims each table/figure makes must hold."""
+
+    def test_table1_density_ordering(self, context):
+        report = EXPERIMENTS["table1"].run(context)
+        stats = report.data
+        assert stats["wikipedia"].density_percent > stats["gowalla"].density_percent
+
+    def test_table2_kiff_wins_recall(self, context):
+        report = EXPERIMENTS["table2"].run(context)
+        for name in context.suite():
+            outcomes = {o.algorithm: o for o in report.data[name]}
+            assert outcomes["kiff"].recall >= outcomes["nn-descent"].recall - 0.02
+            assert outcomes["kiff"].recall >= outcomes["hyrec"].recall - 0.02
+
+    def test_table2_kiff_lowest_scan_rate(self, context):
+        report = EXPERIMENTS["table2"].run(context)
+        for name in context.suite():
+            outcomes = {o.algorithm: o for o in report.data[name]}
+            assert outcomes["kiff"].scan_rate < outcomes["nn-descent"].scan_rate
+            assert outcomes["kiff"].scan_rate < outcomes["hyrec"].scan_rate
+
+    def test_table3_positive_speedup(self, context):
+        report = EXPERIMENTS["table3"].run(context)
+        assert report.data["average"]["speedup"] > 1.0
+
+    def test_table4_item_profiles_are_cheap(self, context):
+        report = EXPERIMENTS["table4"].run(context)
+        for name in context.suite():
+            assert report.data[name]["pct_total"] < 10.0
+
+    def test_table5_actual_scan_close_to_max(self, context):
+        report = EXPERIMENTS["table5"].run(context)
+        for name in context.suite():
+            entry = report.data[name]
+            assert entry["actual_scan"] <= entry["max_scan"] + 1e-9
+            assert entry["actual_scan"] >= 0.5 * entry["max_scan"]
+
+    def test_table6_cut_is_iters_times_gamma(self, context):
+        report = EXPERIMENTS["table6"].run(context)
+        table2 = EXPERIMENTS["table2"].run(context)
+        for name in context.suite():
+            kiff_run = next(
+                o for o in table2.data[name] if o.algorithm == "kiff"
+            )
+            expected = int(kiff_run.iterations * kiff_run.result.extras["gamma"])
+            assert report.data[name]["rcs_cut"] == expected
+
+    def test_table7_rcs_init_beats_random(self, context):
+        report = EXPERIMENTS["table7"].run(context)
+        for name in context.suite():
+            entry = report.data[name]
+            assert entry["rcs_init"] > entry["random_init"]
+
+    def test_table8_kiff_recall_stable(self, context):
+        report = EXPERIMENTS["table8"].run(context)
+        for name in context.suite():
+            entry = report.data[f"{name}/kiff"]
+            assert abs(entry["delta_recall"]) < 0.12
+
+    def test_table9_density_and_rcs_shrink_together(self, context):
+        report = EXPERIMENTS["table9"].run(context)
+        entries = [report.data[f"ml-{i}"] for i in range(1, 6)]
+        densities = [e["density_percent"] for e in entries]
+        rcs = [e["avg_rcs"] for e in entries]
+        assert all(a > b for a, b in zip(densities, densities[1:]))
+        assert all(a >= b for a, b in zip(rcs, rcs[1:]))
+
+    def test_figure1_similarity_is_measured(self, context):
+        report = EXPERIMENTS["figure1"].run(context)
+        for algorithm in ("nn-descent", "hyrec"):
+            assert report.data[algorithm]["similarity"] > 0
+
+    def test_figure4_tails_are_long(self, context):
+        report = EXPERIMENTS["figure4"].run(context)
+        for name in context.suite():
+            xs, ps = report.data[f"{name}/user"]
+            assert ps[0] == 1.0
+            assert np.all(np.diff(ps) <= 0)
+
+    def test_figure5_kiff_preprocessing_share_highest(self, context):
+        report = EXPERIMENTS["figure5"].run(context)
+        for name in context.suite():
+            kiff_pre = report.data[f"{name}/kiff"]["preprocessing"]
+            nnd_pre = report.data[f"{name}/nn-descent"]["preprocessing"]
+            assert kiff_pre >= nnd_pre
+
+    def test_figure6_ccdf_valid(self, context):
+        report = EXPERIMENTS["figure6"].run(context)
+        for name in context.suite():
+            xs, ps = report.data[name]["ccdf"]
+            assert np.all(np.diff(ps) <= 0)
+            assert report.data[name]["cut"] > 0
+
+    def test_figure7_positive_correlation(self, context):
+        report = EXPERIMENTS["figure7"].run(context)
+        for metric in ("cosine", "jaccard"):
+            rhos = [rho for (_, _, rho) in report.data[metric]]
+            assert rhos, f"no correlation points for {metric}"
+            assert np.mean(rhos) > 0.2
+
+    def test_figure8_kiff_starts_high_ends_cheap(self, context):
+        report = EXPERIMENTS["figure8"].run(context)
+        kiff_series = report.data["kiff"]
+        nnd_series = report.data["nn-descent"]
+        # KIFF's first-iteration recall beats the baselines' start.
+        assert kiff_series["recall"][0] > nnd_series["recall"][0]
+        # And its final scan rate is lower.
+        assert kiff_series["scan_rate"][-1] < nnd_series["scan_rate"][-1]
+
+    def test_figure9_gamma_sweep_recall_stable(self, context):
+        report = EXPERIMENTS["figure9"].run(context)
+        for name in context.suite():
+            recalls = [p["recall"] for p in report.data[name]]
+            assert max(recalls) - min(recalls) < 0.1
+
+    def test_figure10_kiff_scan_rate_falls_with_density(self, context):
+        report = EXPERIMENTS["figure10"].run(context)
+        scans = [report.data[f"ml-{i}"]["kiff"].scan_rate for i in range(1, 6)]
+        assert scans[0] > scans[-1]
+
+    def test_figure10_recalls_matched(self, context):
+        """Beta matching reaches NN-Descent's recall wherever candidate
+        pools support it (avg |RCS| above k, the paper's regime)."""
+        report = EXPERIMENTS["figure10"].run(context)
+        table9 = EXPERIMENTS["table9"].run(context)
+        k = context.k_for("ml-1")
+        for i in range(1, 6):
+            if table9.data[f"ml-{i}"]["avg_rcs"] < 2 * k:
+                continue  # tiny-scale member outside the paper's regime
+            entry = report.data[f"ml-{i}"]
+            assert entry["kiff"].recall >= entry["nnd"].recall - 0.06
+
+    def test_beta_tradeoff_direction(self, context):
+        report = EXPERIMENTS["beta"].run(context)
+        loose = report.data[0.1]
+        tight = report.data[0.001]
+        assert loose.scan_rate <= tight.scan_rate + 1e-9
+        assert loose.recall >= tight.recall - 0.05
+
+    def test_ablation_rcs_paths_identical(self, context):
+        report = EXPERIMENTS["ablation"].run(context)
+        assert report.data["rcs_path"]["identical"]
+
+    def test_ablation_pivot_memory_doubles(self, context):
+        report = EXPERIMENTS["ablation"].run(context)
+        assert report.data["pivot"]["memory_ratio"] == pytest.approx(2.0)
+
+    def test_ablation_min_rating_shrinks_rcs(self, context):
+        report = EXPERIMENTS["ablation"].run(context)
+        assert report.data["min_rating"]["rcs_shrinkage"] > 0

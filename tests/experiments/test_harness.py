@@ -1,0 +1,82 @@
+"""Unit tests for the experiment harness and its caching."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ALGORITHMS,
+    ExperimentContext,
+    default_k,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(scale="tiny")
+
+
+class TestDefaultK:
+    def test_paper_defaults(self):
+        assert default_k("wikipedia") == 20
+        assert default_k("dblp") == 50
+
+    def test_reduced_defaults(self):
+        assert default_k("wikipedia", reduced=True) == 10
+        assert default_k("dblp", reduced=True) == 20
+
+
+class TestContext:
+    def test_dataset_cached(self, context):
+        assert context.dataset("wikipedia") is context.dataset("wikipedia")
+
+    def test_engines_are_fresh(self, context):
+        assert context.engine("wikipedia") is not context.engine("wikipedia")
+
+    def test_exact_graph_cached(self, context):
+        assert context.exact("wikipedia", 5) is context.exact("wikipedia", 5)
+
+    def test_exact_graph_distinct_per_k(self, context):
+        assert context.exact("wikipedia", 5) is not context.exact("wikipedia", 6)
+
+    def test_run_cached_by_params(self, context):
+        a = context.run("wikipedia", "kiff", k=5)
+        b = context.run("wikipedia", "kiff", k=5)
+        assert a is b
+        c = context.run("wikipedia", "kiff", k=5, beta=0.5)
+        assert c is not a
+
+    def test_run_cache_bypass(self, context):
+        a = context.run("wikipedia", "kiff", k=5)
+        b = context.run("wikipedia", "kiff", k=5, cache=False)
+        assert a is not b
+        assert a.recall == pytest.approx(b.recall)
+
+    def test_run_all_covers_paper_algorithms(self, context):
+        outcomes = context.run_all("wikipedia", k=5)
+        assert [o.algorithm for o in outcomes] == list(ALGORITHMS)
+
+    def test_unknown_algorithm_raises(self, context):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            context.run("wikipedia", "simhash", k=5)
+
+    def test_outcome_fields(self, context):
+        outcome = context.run("wikipedia", "kiff", k=5)
+        assert 0.0 <= outcome.recall <= 1.0
+        assert outcome.scan_rate > 0
+        assert outcome.wall_time > 0
+        assert outcome.iterations >= 1
+        assert set(outcome.breakdown) == {
+            "preprocessing",
+            "candidate_selection",
+            "similarity",
+        }
+
+    def test_brute_force_dispatch(self, context):
+        outcome = context.run("wikipedia", "brute-force", k=5)
+        assert outcome.recall == pytest.approx(1.0)
+
+    def test_add_dataset(self, context):
+        from tests.conftest import random_dataset
+
+        ds = random_dataset(seed=42)
+        context.add_dataset(ds)
+        assert context.dataset(ds.name) is ds

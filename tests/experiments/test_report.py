@@ -1,0 +1,66 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.experiments.report import ExperimentReport, format_value, render_table
+
+
+class TestFormatValue:
+    def test_ints_get_thousands_separators(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_small_floats_trimmed(self):
+        assert format_value(0.5) == "0.5"
+        assert format_value(0.125) == "0.125"
+
+    def test_large_floats_compact(self):
+        assert format_value(12345.6) == "12,346"
+        assert format_value(123.45) == "123.5"
+
+    def test_nan_renders_dash(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_strings_pass_through(self):
+        assert format_value("kiff") == "kiff"
+
+    def test_bool_not_treated_as_int(self):
+        assert format_value(True) == "True"
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        out = render_table(["a", "bb"], [["x", 1], ["yyyy", 22]])
+        data_lines = [l for l in out.splitlines() if " | " in l]
+        assert len(data_lines) == 3
+        assert len({line.index(" | ") for line in data_lines}) == 1
+
+    def test_title_included(self):
+        out = render_table(["a"], [["x"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestExperimentReport:
+    def test_render_contains_everything(self):
+        report = ExperimentReport(
+            experiment="Table X",
+            title="Things",
+            headers=["col"],
+            rows=[["val"]],
+            notes="a note",
+        )
+        rendered = report.render()
+        assert "Table X: Things" in rendered
+        assert "val" in rendered
+        assert "a note" in rendered
+
+    def test_str_is_render(self):
+        report = ExperimentReport("T", "t", ["h"], [["v"]])
+        assert str(report) == report.render()

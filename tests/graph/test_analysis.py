@@ -1,0 +1,125 @@
+"""Unit tests for KNN graph analytics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import KnnGraph
+from repro.graph.analysis import (
+    analyze,
+    in_degrees,
+    reciprocity,
+    similarity_by_rank,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture
+def two_cliques():
+    """Two mutually-linked pairs plus one isolated user."""
+    return KnnGraph.from_neighbor_dict(
+        {
+            0: [(1, 0.9)],
+            1: [(0, 0.9)],
+            2: [(3, 0.5)],
+            3: [(2, 0.5)],
+        },
+        n_users=5,
+        k=1,
+    )
+
+
+class TestInDegrees:
+    def test_counts(self, two_cliques):
+        assert in_degrees(two_cliques).tolist() == [1, 1, 1, 1, 0]
+
+    def test_star_graph(self):
+        star = KnnGraph.from_neighbor_dict(
+            {1: [(0, 0.5)], 2: [(0, 0.4)], 3: [(0, 0.3)]}, n_users=4, k=1
+        )
+        assert in_degrees(star)[0] == 3
+
+
+class TestReciprocity:
+    def test_fully_mutual(self, two_cliques):
+        assert reciprocity(two_cliques) == pytest.approx(1.0)
+
+    def test_no_mutual(self):
+        chain = KnnGraph.from_neighbor_dict(
+            {0: [(1, 0.5)], 1: [(2, 0.5)]}, n_users=3, k=1
+        )
+        assert reciprocity(chain) == 0.0
+
+    def test_empty_graph(self):
+        assert reciprocity(KnnGraph.empty(3, 2)) == 0.0
+
+    def test_exact_graph_more_reciprocal_than_random(self, tiny_wikipedia):
+        from repro import brute_force_knn, random_knn_graph
+        from repro.similarity import SimilarityEngine
+
+        exact = brute_force_knn(SimilarityEngine(tiny_wikipedia), 5).graph
+        random_graph = random_knn_graph(
+            SimilarityEngine(tiny_wikipedia), 5, seed=0, compute_sims=False
+        )
+        assert reciprocity(exact) > reciprocity(random_graph)
+
+
+class TestSimilarityByRank:
+    def test_nonincreasing_for_canonical_graph(self, wiki_engine):
+        from repro import KiffConfig, kiff
+
+        result = kiff(wiki_engine, KiffConfig(k=5))
+        by_rank = similarity_by_rank(result.graph)
+        valid = by_rank[~np.isnan(by_rank)]
+        assert np.all(np.diff(valid) <= 1e-12)
+
+    def test_empty_ranks_are_nan(self):
+        graph = KnnGraph.from_neighbor_dict({0: [(1, 0.5)]}, n_users=2, k=3)
+        by_rank = similarity_by_rank(graph)
+        assert not np.isnan(by_rank[0])
+        assert np.isnan(by_rank[1]) and np.isnan(by_rank[2])
+
+
+class TestComponents:
+    def test_component_sizes(self, two_cliques):
+        assert weakly_connected_components(two_cliques) == [2, 2, 1]
+
+    def test_single_component(self):
+        ring = KnnGraph.from_neighbor_dict(
+            {0: [(1, 0.5)], 1: [(2, 0.5)], 2: [(0, 0.5)]}, n_users=3, k=1
+        )
+        assert weakly_connected_components(ring) == [3]
+
+    def test_empty_graph_all_singletons(self):
+        assert weakly_connected_components(KnnGraph.empty(4, 2)) == [1, 1, 1, 1]
+
+    def test_matches_networkx(self, wiki_engine):
+        import networkx as nx
+
+        from repro import KiffConfig, kiff
+        from repro.graph import to_networkx
+
+        result = kiff(wiki_engine, KiffConfig(k=5))
+        ours = weakly_connected_components(result.graph)
+        theirs = sorted(
+            (len(c) for c in nx.weakly_connected_components(
+                to_networkx(result.graph)
+            )),
+            reverse=True,
+        )
+        assert ours == theirs
+
+
+class TestAnalyze:
+    def test_summary_fields(self, two_cliques):
+        stats = analyze(two_cliques)
+        assert stats.n_users == 5
+        assert stats.edges == 4
+        assert stats.completeness == pytest.approx(4 / 5)
+        assert stats.reciprocity == pytest.approx(1.0)
+        assert stats.largest_component == 2
+        assert stats.n_components == 3
+        assert stats.mean_similarity == pytest.approx(0.7)
+
+    def test_as_rows_renders(self, two_cliques):
+        rows = analyze(two_cliques).as_rows()
+        assert ["users", 5] in rows

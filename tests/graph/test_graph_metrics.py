@@ -1,0 +1,104 @@
+"""Unit tests for recall (paper Eq. 2-4) and related metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.knn_graph import KnnGraph
+from repro.graph.metrics import (
+    average_similarity,
+    per_user_recall,
+    recall,
+    strict_recall,
+)
+
+
+def _graph(entries, n_users, k):
+    return KnnGraph.from_neighbor_dict(entries, n_users=n_users, k=k)
+
+
+class TestPerUserRecall:
+    def test_perfect_match(self):
+        exact = _graph({0: [(1, 0.9), (2, 0.5)], 1: [(0, 0.9), (2, 0.4)],
+                        2: [(0, 0.5), (1, 0.4)]}, 3, 2)
+        assert per_user_recall(exact, exact).tolist() == [1.0, 1.0, 1.0]
+
+    def test_half_match(self):
+        exact = _graph({0: [(1, 0.9), (2, 0.5)]}, 4, 2)
+        approx = _graph({0: [(1, 0.9), (3, 0.1)]}, 4, 2)
+        assert per_user_recall(approx, exact)[0] == pytest.approx(0.5)
+
+    def test_tie_counts_as_hit(self):
+        """A different neighbour with the same similarity is a valid KNN
+        member (Equation 3's max over optimal neighbourhoods)."""
+        exact = _graph({0: [(1, 0.5), (2, 0.5)]}, 4, 2)
+        approx = _graph({0: [(1, 0.5), (3, 0.5)]}, 4, 2)
+        assert per_user_recall(approx, exact)[0] == pytest.approx(1.0)
+
+    def test_missing_slots_are_misses(self):
+        exact = _graph({0: [(1, 0.9), (2, 0.5)]}, 3, 2)
+        approx = _graph({0: [(1, 0.9)]}, 3, 2)
+        assert per_user_recall(approx, exact)[0] == pytest.approx(0.5)
+
+    def test_hits_capped_at_k(self):
+        # Degenerate plateau: every candidate ties; recall must not exceed 1.
+        exact = _graph({0: [(1, 0.5), (2, 0.5)]}, 4, 2)
+        approx = _graph({0: [(2, 0.5), (3, 0.5)]}, 4, 2)
+        assert per_user_recall(approx, exact)[0] == 1.0
+
+
+class TestRecall:
+    def test_mean_over_users(self):
+        exact = _graph({0: [(1, 0.9)], 1: [(0, 0.9)]}, 2, 1)
+        approx = _graph({0: [(1, 0.9)], 1: []}, 2, 1)
+        assert recall(approx, exact) == pytest.approx(0.5)
+
+    def test_shape_mismatch_raises(self):
+        a = KnnGraph.empty(3, 2)
+        b = KnnGraph.empty(4, 2)
+        with pytest.raises(ValueError, match="user counts"):
+            recall(a, b)
+
+    def test_k_mismatch_raises(self):
+        a = KnnGraph.empty(3, 2)
+        b = KnnGraph.empty(3, 5)
+        with pytest.raises(ValueError, match="different k"):
+            recall(a, b)
+
+
+class TestStrictRecall:
+    def test_exact_ids_required(self):
+        exact = _graph({0: [(1, 0.5), (2, 0.5)]}, 4, 2)
+        tie_swap = _graph({0: [(1, 0.5), (3, 0.5)]}, 4, 2)
+        assert strict_recall(tie_swap, exact) == pytest.approx(0.125)
+        assert recall(tie_swap, exact) > strict_recall(tie_swap, exact)
+
+    def test_strict_lower_bounds_value_recall(self, wiki_engine, tiny_wikipedia):
+        from repro import KiffConfig, brute_force_knn, kiff
+        from repro.similarity import SimilarityEngine
+
+        result = kiff(wiki_engine, KiffConfig(k=8))
+        exact = brute_force_knn(SimilarityEngine(tiny_wikipedia), 8)
+        assert strict_recall(result.graph, exact.graph) <= recall(
+            result.graph, exact.graph
+        ) + 1e-12
+
+
+class TestAverageSimilarity:
+    def test_empty_graph_is_zero(self):
+        assert average_similarity(KnnGraph.empty(3, 2)) == 0.0
+
+    def test_mean_over_filled_slots(self):
+        graph = _graph({0: [(1, 0.4), (2, 0.8)], 1: [(0, 0.4)]}, 3, 2)
+        assert average_similarity(graph) == pytest.approx((0.4 + 0.8 + 0.4) / 3)
+
+    def test_exact_graph_maximises_average_similarity(self, tiny_wikipedia):
+        from repro import brute_force_knn, random_knn_graph
+        from repro.similarity import SimilarityEngine
+
+        exact = brute_force_knn(SimilarityEngine(tiny_wikipedia), 5)
+        random_graph = random_knn_graph(
+            SimilarityEngine(tiny_wikipedia), 5, seed=0
+        )
+        assert average_similarity(exact.graph) >= average_similarity(
+            random_graph
+        )

@@ -1,0 +1,116 @@
+"""Unit tests for the KnnGraph representation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.knn_graph import MISSING, KnnGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = KnnGraph.empty(5, 3)
+        assert graph.n_users == 5
+        assert graph.k == 3
+        assert graph.edge_count() == 0
+        assert not graph.is_complete()
+
+    def test_empty_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            KnnGraph.empty(0, 3)
+        with pytest.raises(ValueError):
+            KnnGraph.empty(3, 0)
+
+    def test_mismatched_arrays_raise(self):
+        with pytest.raises(ValueError):
+            KnnGraph(np.zeros((2, 3), dtype=int), np.zeros((2, 4)))
+
+    def test_from_neighbor_dict(self):
+        graph = KnnGraph.from_neighbor_dict(
+            {0: [(1, 0.5), (2, 0.9)], 2: [(0, 0.3)]}, n_users=3, k=2
+        )
+        assert graph.neighbors_of(0).tolist() == [2, 1]  # sorted by sim
+        assert graph.neighbors_of(1).tolist() == []
+        assert graph.neighbors_of(2).tolist() == [0]
+
+    def test_from_neighbor_dict_too_many_entries_raises(self):
+        with pytest.raises(ValueError, match="more than k"):
+            KnnGraph.from_neighbor_dict(
+                {0: [(1, 0.1), (2, 0.2), (3, 0.3)]}, n_users=4, k=2
+            )
+
+
+class TestCanonicalForm:
+    def test_rows_sorted_by_similarity_desc(self):
+        neighbors = np.array([[3, 1, 2]])
+        sims = np.array([[0.1, 0.9, 0.5]])
+        graph = KnnGraph(neighbors, sims)
+        assert graph.neighbors[0].tolist() == [1, 2, 3]
+        assert graph.sims[0].tolist() == [0.9, 0.5, 0.1]
+
+    def test_ties_break_on_ascending_id(self):
+        graph = KnnGraph(np.array([[9, 4, 6]]), np.array([[0.5, 0.5, 0.5]]))
+        assert graph.neighbors[0].tolist() == [4, 6, 9]
+
+    def test_missing_entries_pushed_last(self):
+        graph = KnnGraph(
+            np.array([[MISSING, 2, MISSING, 1]]),
+            np.array([[0.0, 0.3, 0.0, 0.8]]),
+        )
+        assert graph.neighbors[0].tolist() == [1, 2, MISSING, MISSING]
+
+    def test_missing_sims_forced_to_neg_inf(self):
+        graph = KnnGraph(np.array([[MISSING]]), np.array([[0.7]]))
+        assert np.isneginf(graph.sims[0, 0])
+
+
+class TestAccessors:
+    def test_degree_and_edges(self):
+        graph = KnnGraph.from_neighbor_dict(
+            {0: [(1, 0.5)], 1: [(0, 0.4), (2, 0.2)]}, n_users=3, k=2
+        )
+        assert graph.degree().tolist() == [1, 2, 0]
+        assert graph.edge_count() == 3
+
+    def test_kth_sims(self):
+        graph = KnnGraph.from_neighbor_dict(
+            {0: [(1, 0.5), (2, 0.3)], 1: [(0, 0.4)]}, n_users=2, k=2
+        )
+        kth = graph.kth_sims()
+        assert kth[0] == pytest.approx(0.3)
+        assert np.isneginf(kth[1])  # row not full
+
+    def test_sims_of_aligned_with_neighbors_of(self):
+        graph = KnnGraph.from_neighbor_dict(
+            {0: [(5, 0.2), (3, 0.9)]}, n_users=6, k=3
+        )
+        assert graph.neighbors_of(0).tolist() == [3, 5]
+        assert graph.sims_of(0).tolist() == [0.9, 0.2]
+
+    def test_neighbor_sets(self):
+        graph = KnnGraph.from_neighbor_dict(
+            {0: [(1, 0.5)], 1: [(0, 0.5)]}, n_users=2, k=1
+        )
+        assert graph.neighbor_sets() == [{1}, {0}]
+
+    def test_copy_is_deep(self):
+        graph = KnnGraph.from_neighbor_dict({0: [(1, 0.5)]}, n_users=2, k=1)
+        clone = graph.copy()
+        clone.neighbors[0, 0] = MISSING
+        assert graph.neighbors[0, 0] == 1
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = KnnGraph.from_neighbor_dict({0: [(1, 0.5)]}, n_users=2, k=1)
+        b = KnnGraph.from_neighbor_dict({0: [(1, 0.5)]}, n_users=2, k=1)
+        assert a == b
+
+    def test_order_insensitive_via_canonicalisation(self):
+        a = KnnGraph(np.array([[1, 2]]), np.array([[0.2, 0.8]]))
+        b = KnnGraph(np.array([[2, 1]]), np.array([[0.8, 0.2]]))
+        assert a == b
+
+    def test_different_sims_unequal(self):
+        a = KnnGraph.from_neighbor_dict({0: [(1, 0.5)]}, n_users=2, k=1)
+        b = KnnGraph.from_neighbor_dict({0: [(1, 0.6)]}, n_users=2, k=1)
+        assert a != b

@@ -1,0 +1,143 @@
+"""Unit tests for the vectorised top-k merge kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.heap import KnnHeap
+from repro.graph.knn_graph import MISSING, KnnGraph
+from repro.graph.updates import dedupe_pairs, merge_topk
+
+
+def _empty(n, k):
+    return (
+        np.full((n, k), MISSING, dtype=np.int64),
+        np.full((n, k), -np.inf, dtype=np.float64),
+    )
+
+
+class TestDedupePairs:
+    def test_removes_self_pairs(self):
+        us, vs = dedupe_pairs(np.array([0, 1]), np.array([0, 2]), 5)
+        assert us.tolist() == [1]
+        assert vs.tolist() == [2]
+
+    def test_unordered_collapses_reversed_duplicates(self):
+        us, vs = dedupe_pairs(np.array([0, 2]), np.array([2, 0]), 5)
+        assert us.tolist() == [0]
+        assert vs.tolist() == [2]
+
+    def test_ordered_keeps_both_directions(self):
+        us, vs = dedupe_pairs(
+            np.array([0, 2]), np.array([2, 0]), 5, ordered=True
+        )
+        assert sorted(zip(us.tolist(), vs.tolist())) == [(0, 2), (2, 0)]
+
+    def test_empty_input(self):
+        us, vs = dedupe_pairs(np.array([]), np.array([]), 5)
+        assert us.size == vs.size == 0
+
+
+class TestMergeTopk:
+    def test_insert_into_empty(self):
+        neighbors, sims = _empty(3, 2)
+        new_n, new_s, changes = merge_topk(
+            neighbors, sims, np.array([0]), np.array([1]), np.array([0.5])
+        )
+        assert new_n[0].tolist() == [1, MISSING]
+        assert new_s[0, 0] == 0.5
+        assert changes == 1
+
+    def test_no_candidates_returns_copy(self):
+        neighbors, sims = _empty(3, 2)
+        new_n, new_s, changes = merge_topk(
+            neighbors, sims, np.array([]), np.array([]), np.array([])
+        )
+        assert changes == 0
+        assert new_n is not neighbors  # a copy, not an alias
+
+    def test_keeps_top_k(self):
+        neighbors, sims = _empty(1, 2)
+        new_n, _, changes = merge_topk(
+            neighbors,
+            sims,
+            np.array([0, 0, 0]),
+            np.array([1, 2, 3]),
+            np.array([0.1, 0.9, 0.5]),
+        )
+        assert new_n[0].tolist() == [2, 3]
+        assert changes == 2
+
+    def test_duplicate_candidate_keeps_best_sim(self):
+        neighbors, sims = _empty(1, 2)
+        new_n, new_s, _ = merge_topk(
+            neighbors,
+            sims,
+            np.array([0, 0]),
+            np.array([1, 1]),
+            np.array([0.2, 0.7]),
+        )
+        assert new_n[0, 0] == 1
+        assert new_s[0, 0] == 0.7
+
+    def test_self_edges_dropped(self):
+        neighbors, sims = _empty(2, 2)
+        new_n, _, changes = merge_topk(
+            neighbors, sims, np.array([0]), np.array([0]), np.array([0.9])
+        )
+        assert changes == 0
+        assert new_n[0, 0] == MISSING
+
+    def test_change_counts_only_new_edges(self):
+        neighbors, sims = _empty(1, 2)
+        neighbors[0, 0], sims[0, 0] = 1, 0.5
+        _, _, changes = merge_topk(
+            KnnGraph(neighbors, sims).neighbors,
+            KnnGraph(neighbors, sims).sims,
+            np.array([0, 0]),
+            np.array([1, 2]),
+            np.array([0.5, 0.3]),
+        )
+        assert changes == 1  # only user 2 is new
+
+    def test_eviction_counts_as_one_change(self):
+        neighbors = np.array([[1, 2]], dtype=np.int64)
+        sims = np.array([[0.5, 0.4]])
+        _, _, changes = merge_topk(
+            neighbors, sims, np.array([0]), np.array([3]), np.array([0.9])
+        )
+        assert changes == 1
+
+    def test_ties_resolved_like_heap(self):
+        neighbors = np.array([[5]], dtype=np.int64)
+        sims = np.array([[0.5]])
+        new_n, _, _ = merge_topk(
+            neighbors, sims, np.array([0]), np.array([2]), np.array([0.5])
+        )
+        # Canonical order prefers the lower id on equal similarity.
+        assert new_n[0, 0] == 2
+
+
+class TestHeapEquivalence:
+    """merge_topk must produce exactly what per-pair KnnHeap updates do."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_streams_match(self, seed):
+        rng = np.random.default_rng(seed)
+        n_users, k, n_cands = 12, 4, 150
+        cand_users = rng.integers(0, n_users, size=n_cands)
+        cand_ids = rng.integers(0, n_users, size=n_cands)
+        cand_sims = np.round(rng.random(n_cands), 2)  # force ties
+
+        neighbors, sims = _empty(n_users, k)
+        new_n, new_s, _ = merge_topk(
+            neighbors, sims, cand_users, cand_ids, cand_sims
+        )
+
+        heaps = [KnnHeap(k) for _ in range(n_users)]
+        for user, cand, sim in zip(cand_users, cand_ids, cand_sims):
+            if user != cand:
+                heaps[int(user)].update(int(cand), float(sim))
+        for user, heap in enumerate(heaps):
+            heap_n, heap_s = heap.to_arrays()
+            assert new_n[user].tolist() == heap_n.tolist()
+            np.testing.assert_allclose(new_s[user], heap_s)

@@ -1,0 +1,54 @@
+"""Unit tests for similarity counters and scan-rate normalisation."""
+
+import pytest
+
+from repro.instrumentation.counters import SimilarityCounter, scan_rate
+
+
+class TestSimilarityCounter:
+    def test_starts_at_zero(self):
+        assert SimilarityCounter().evaluations == 0
+
+    def test_add_accumulates(self):
+        counter = SimilarityCounter()
+        counter.add(3)
+        counter.add()
+        assert counter.evaluations == 4
+
+    def test_negative_add_raises(self):
+        with pytest.raises(ValueError):
+            SimilarityCounter().add(-1)
+
+    def test_checkpoints(self):
+        counter = SimilarityCounter()
+        counter.add(5)
+        counter.checkpoint()
+        counter.add(2)
+        counter.checkpoint()
+        assert counter.checkpoints == [5, 7]
+
+    def test_reset(self):
+        counter = SimilarityCounter()
+        counter.add(5)
+        counter.checkpoint()
+        counter.reset()
+        assert counter.evaluations == 0
+        assert counter.checkpoints == []
+
+    def test_scan_rate_method(self):
+        counter = SimilarityCounter()
+        counter.add(10)
+        assert counter.scan_rate(5) == pytest.approx(1.0)
+
+
+class TestScanRate:
+    def test_paper_normalisation(self):
+        # 6 evaluations over 4 users: 4*3/2 = 6 pairs -> 100%.
+        assert scan_rate(6, 4) == pytest.approx(1.0)
+
+    def test_zero_users(self):
+        assert scan_rate(10, 0) == 0.0
+        assert scan_rate(10, 1) == 0.0
+
+    def test_fraction(self):
+        assert scan_rate(3, 4) == pytest.approx(0.5)

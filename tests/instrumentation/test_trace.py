@@ -1,0 +1,73 @@
+"""Unit tests for convergence traces."""
+
+import numpy as np
+import pytest
+
+from repro.instrumentation.trace import ConvergenceTrace
+
+
+class TestRecording:
+    def test_record_and_len(self):
+        trace = ConvergenceTrace()
+        trace.record(1, 100, 40)
+        trace.record(2, 180, 10)
+        assert len(trace) == 2
+        assert trace.iterations == 2
+
+    def test_snapshots_dropped_unless_enabled(self):
+        trace = ConvergenceTrace()
+        trace.record(1, 10, 5, snapshot="snap")
+        assert trace.records[0].snapshot is None
+
+    def test_snapshots_kept_when_enabled(self):
+        trace = ConvergenceTrace(keep_snapshots=True)
+        trace.record(1, 10, 5, snapshot="snap")
+        assert trace.snapshots() == ["snap"]
+
+
+class TestSeries:
+    def test_scan_rates(self):
+        trace = ConvergenceTrace()
+        trace.record(1, 6, 3)
+        trace.record(2, 12, 1)
+        # 4 users -> 6 possible pairs.
+        np.testing.assert_allclose(trace.scan_rates(4), [1.0, 2.0])
+
+    def test_updates_per_user(self):
+        trace = ConvergenceTrace()
+        trace.record(1, 5, 30)
+        np.testing.assert_allclose(trace.updates_per_user(10), [3.0])
+
+    def test_updates_per_user_invalid_n(self):
+        trace = ConvergenceTrace()
+        with pytest.raises(ValueError):
+            trace.updates_per_user(0)
+
+    def test_recalls_nan_before_attach(self):
+        trace = ConvergenceTrace()
+        trace.record(1, 5, 3)
+        assert np.isnan(trace.recalls()).all()
+
+
+class TestAttachRecalls:
+    def test_attach(self):
+        trace = ConvergenceTrace()
+        trace.record(1, 5, 3)
+        trace.record(2, 9, 1)
+        trace.attach_recalls([0.4, 0.8])
+        np.testing.assert_allclose(trace.recalls(), [0.4, 0.8])
+
+    def test_attach_preserves_other_fields(self):
+        trace = ConvergenceTrace(keep_snapshots=True)
+        trace.record(1, 5, 3, snapshot="s")
+        trace.attach_recalls([0.5])
+        record = trace.records[0]
+        assert record.evaluations == 5
+        assert record.updates == 3
+        assert record.snapshot == "s"
+
+    def test_attach_length_mismatch_raises(self):
+        trace = ConvergenceTrace()
+        trace.record(1, 5, 3)
+        with pytest.raises(ValueError, match="expected 1"):
+            trace.attach_recalls([0.1, 0.2])

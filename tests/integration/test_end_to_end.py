@@ -1,0 +1,112 @@
+"""Cross-module integration tests.
+
+These exercise the full pipeline a downstream user runs: load a preset,
+construct graphs with every algorithm and several metrics, measure,
+persist, reload, analyse.
+"""
+
+import pytest
+
+from repro import (
+    HyRecConfig,
+    KiffConfig,
+    NNDescentConfig,
+    SimilarityEngine,
+    brute_force_knn,
+    hyrec,
+    kiff,
+    nn_descent,
+    recall,
+)
+from repro.datasets import load_dataset
+from repro.graph import analyze, load_graph, save_graph
+
+
+ALGORITHM_RUNNERS = {
+    "kiff": lambda engine, k: kiff(engine, KiffConfig(k=k)),
+    "nn-descent": lambda engine, k: nn_descent(
+        engine, NNDescentConfig(k=k, seed=0)
+    ),
+    "hyrec": lambda engine, k: hyrec(engine, HyRecConfig(k=k, seed=0)),
+}
+
+
+@pytest.mark.parametrize("dataset_name", ["wikipedia", "arxiv", "gowalla", "dblp"])
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHM_RUNNERS))
+def test_full_pipeline(dataset_name, algorithm, tmp_path):
+    """Construct -> measure -> persist -> reload -> analyse, per preset."""
+    dataset = load_dataset(dataset_name, scale="tiny")
+    k = 6
+    engine = SimilarityEngine(dataset)
+    result = ALGORITHM_RUNNERS[algorithm](engine, k)
+
+    # Construction invariants.
+    assert result.graph.n_users == dataset.n_users
+    assert result.graph.k == k
+    assert result.evaluations > 0
+    assert result.wall_time > 0
+    assert result.iterations >= 1
+
+    # Quality: everything beats a coin flip against the exact graph.
+    exact = brute_force_knn(SimilarityEngine(dataset), k)
+    value = recall(result.graph, exact.graph)
+    assert value > 0.5
+
+    # Persistence round trip.
+    path = save_graph(result.graph, tmp_path / f"{dataset_name}-{algorithm}.npz")
+    assert load_graph(path) == result.graph
+
+    # Analytics run and are sane.
+    stats = analyze(result.graph)
+    assert stats.edges == result.graph.edge_count()
+    assert 0.0 <= stats.reciprocity <= 1.0
+
+
+@pytest.mark.parametrize("metric", ["cosine", "jaccard", "adamic_adar", "dice"])
+def test_kiff_beats_baselines_on_scan_rate_any_metric(metric, tiny_wikipedia):
+    """The paper's core claim holds for every overlap-safe metric."""
+    k = 8
+    kiff_run = kiff(
+        SimilarityEngine(tiny_wikipedia, metric=metric), KiffConfig(k=k)
+    )
+    nnd_run = nn_descent(
+        SimilarityEngine(tiny_wikipedia, metric=metric),
+        NNDescentConfig(k=k, seed=0),
+    )
+    exact = brute_force_knn(SimilarityEngine(tiny_wikipedia, metric=metric), k)
+    assert kiff_run.scan_rate < nnd_run.scan_rate
+    assert recall(kiff_run.graph, exact.graph) >= (
+        recall(nnd_run.graph, exact.graph) - 0.05
+    )
+
+
+def test_counting_is_consistent_across_algorithms(tiny_wikipedia):
+    """Scan rate equals evaluations / (n(n-1)/2) for every algorithm."""
+    n = tiny_wikipedia.n_users
+    pairs = n * (n - 1) / 2
+    for algorithm, runner in ALGORITHM_RUNNERS.items():
+        engine = SimilarityEngine(tiny_wikipedia)
+        result = runner(engine, 6)
+        assert result.scan_rate == pytest.approx(result.evaluations / pairs)
+
+
+def test_construction_result_summary(tiny_wikipedia):
+    engine = SimilarityEngine(tiny_wikipedia)
+    result = kiff(engine, KiffConfig(k=6))
+    summary = result.summary()
+    assert summary["algorithm"] == "kiff"
+    assert summary["evaluations"] == result.evaluations
+    assert summary["iterations"] == result.iterations
+    assert {"time_preprocessing", "time_candidate_selection", "time_similarity"} <= set(
+        summary
+    )
+
+
+def test_symmetric_dataset_pipeline(tiny_arxiv):
+    """Co-authorship datasets work end to end and produce sane graphs."""
+    result = kiff(SimilarityEngine(tiny_arxiv), KiffConfig(k=6))
+    stats = analyze(result.graph)
+    # A co-authorship KNN graph is highly reciprocal: collaboration
+    # similarity is symmetric and the communities are tight.
+    assert stats.reciprocity > 0.3
+    assert stats.largest_component > tiny_arxiv.n_users / 10

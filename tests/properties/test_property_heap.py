@@ -1,0 +1,61 @@
+"""Property-based tests for the KNN heap."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.heap import KnnHeap
+
+offers = st.lists(
+    st.tuples(st.integers(0, 30), st.floats(0, 1, allow_nan=False)),
+    min_size=0,
+    max_size=120,
+)
+
+
+class TestHeapProperties:
+    @given(st.integers(1, 8), offers)
+    @settings(max_examples=100, deadline=None)
+    def test_size_never_exceeds_k(self, k, stream):
+        heap = KnnHeap(k)
+        for neighbor, sim in stream:
+            heap.update(neighbor, sim)
+        assert len(heap) <= k
+
+    @given(st.integers(1, 8), offers)
+    @settings(max_examples=100, deadline=None)
+    def test_keeps_topk_of_best_offers(self, k, stream):
+        """The heap retains the k best (sim, -id) offers, deduplicated by
+        neighbour with max similarity."""
+        heap = KnnHeap(k)
+        for neighbor, sim in stream:
+            heap.update(neighbor, sim)
+        best: dict[int, float] = {}
+        for neighbor, sim in stream:
+            best[neighbor] = max(best.get(neighbor, -np.inf), sim)
+        expected = sorted(best.items(), key=lambda t: (-t[1], t[0]))[:k]
+        got = heap.entries()
+        assert [n for n, _ in got] == [n for n, _ in expected]
+        np.testing.assert_allclose(
+            [s for _, s in got], [s for _, s in expected]
+        )
+
+    @given(st.integers(1, 8), offers)
+    @settings(max_examples=60, deadline=None)
+    def test_update_return_value_reflects_membership_change(self, k, stream):
+        heap = KnnHeap(k)
+        for neighbor, sim in stream:
+            before = dict(heap.entries())
+            changed = heap.update(neighbor, sim)
+            after = dict(heap.entries())
+            assert changed in (0, 1)
+            assert (before != after) == bool(changed)
+
+    @given(st.integers(1, 8), offers)
+    @settings(max_examples=60, deadline=None)
+    def test_min_similarity_is_minimum_of_entries(self, k, stream):
+        heap = KnnHeap(k)
+        for neighbor, sim in stream:
+            heap.update(neighbor, sim)
+            entries = heap.entries()
+            if entries:
+                assert heap.min_similarity() == min(s for _, s in entries)

@@ -1,0 +1,75 @@
+"""Property-based tests for KIFF's core guarantees."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import KiffConfig, SimilarityEngine, brute_force_knn, kiff, per_user_recall
+from repro.core.rcs import build_rcs
+from tests.properties.test_property_rcs import small_datasets
+
+
+class TestKiffProperties:
+    @given(small_datasets(max_users=16, max_items=12), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_gamma_inf_optimality(self, dataset, k):
+        """Section III-D: exhausting RCSs yields an exact graph on every
+        user whose k-th exact similarity is positive."""
+        if k >= dataset.n_users:
+            k = dataset.n_users - 1
+        engine = SimilarityEngine(dataset)
+        result = kiff(engine, KiffConfig(k=k, gamma=math.inf, beta=0.0))
+        exact = brute_force_knn(SimilarityEngine(dataset), k)
+        recalls = per_user_recall(result.graph, exact.graph)
+        positive = exact.graph.kth_sims() > 1e-12
+        assert np.all(recalls[positive] == 1.0)
+
+    @given(small_datasets(max_users=16, max_items=12), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_fast_reference_equivalence(self, dataset, k):
+        if k >= dataset.n_users:
+            k = dataset.n_users - 1
+        fast = kiff(SimilarityEngine(dataset), KiffConfig(k=k, mode="fast"))
+        reference = kiff(
+            SimilarityEngine(dataset), KiffConfig(k=k, mode="reference")
+        )
+        assert fast.graph == reference.graph
+
+    @given(small_datasets(max_users=16, max_items=12))
+    @settings(max_examples=30, deadline=None)
+    def test_evaluations_bounded_by_rcs_total(self, dataset):
+        engine = SimilarityEngine(dataset)
+        result = kiff(engine, KiffConfig(k=3, beta=0.0, gamma=7))
+        assert result.evaluations <= build_rcs(dataset).total_candidates
+
+    @given(small_datasets(max_users=16, max_items=12))
+    @settings(max_examples=30, deadline=None)
+    def test_neighbors_always_share_items(self, dataset):
+        """KIFF can only connect users with >= 1 common item."""
+        result = kiff(SimilarityEngine(dataset), KiffConfig(k=3))
+        for user in range(dataset.n_users):
+            items_u = set(dataset.user_items(user).tolist())
+            for v in result.graph.neighbors_of(user):
+                items_v = set(dataset.user_items(int(v)).tolist())
+                assert items_u & items_v
+
+    @given(small_datasets(max_users=14, max_items=10))
+    @settings(max_examples=30, deadline=None)
+    def test_sims_are_true_similarities(self, dataset):
+        result = kiff(SimilarityEngine(dataset), KiffConfig(k=3))
+        check = SimilarityEngine(dataset)
+        for user in range(dataset.n_users):
+            for v, s in zip(
+                result.graph.neighbors_of(user), result.graph.sims_of(user)
+            ):
+                expected = check.metric.score_pair(check.index, user, int(v))
+                assert abs(expected - s) < 1e-9
+
+    @given(small_datasets(max_users=14, max_items=10))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic(self, dataset):
+        a = kiff(SimilarityEngine(dataset), KiffConfig(k=3))
+        b = kiff(SimilarityEngine(dataset), KiffConfig(k=3))
+        assert a.graph == b.graph
+        assert a.evaluations == b.evaluations

@@ -1,0 +1,100 @@
+"""Property-based tests for similarity metrics and recall."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.knn_graph import KnnGraph
+from repro.graph.metrics import per_user_recall, recall, strict_recall
+from repro.similarity import ProfileIndex, get_metric
+from tests.properties.test_property_rcs import small_datasets
+
+METRIC_NAMES = ("cosine", "jaccard", "adamic_adar", "overlap", "dice")
+
+
+class TestMetricProperties:
+    @given(small_datasets(ratings=True), st.sampled_from(METRIC_NAMES))
+    @settings(max_examples=40, deadline=None)
+    def test_properties_5_and_6(self, dataset, metric_name):
+        """Zero iff no shared items; non-negative otherwise (Sec. III-D)."""
+        metric = get_metric(metric_name)
+        index = ProfileIndex(dataset)
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            u, v = rng.integers(0, dataset.n_users, size=2)
+            if u == v:
+                continue
+            shared = set(dataset.user_items(int(u)).tolist()) & set(
+                dataset.user_items(int(v)).tolist()
+            )
+            score = metric.score_pair(index, int(u), int(v))
+            assert score >= 0.0
+            if not shared:
+                assert score == 0.0
+
+    @given(small_datasets(ratings=True), st.sampled_from(METRIC_NAMES))
+    @settings(max_examples=30, deadline=None)
+    def test_batch_block_pair_agree(self, dataset, metric_name):
+        metric = get_metric(metric_name)
+        index = ProfileIndex(dataset)
+        n = dataset.n_users
+        us, vs = np.triu_indices(n, k=1)
+        if us.size == 0:
+            return
+        batch = metric.score_batch(index, us.astype(np.int64), vs.astype(np.int64))
+        block = metric.score_block(index, np.arange(n, dtype=np.int64))
+        for j in range(us.size):
+            pair = metric.score_pair(index, int(us[j]), int(vs[j]))
+            assert abs(batch[j] - pair) < 1e-9
+            assert abs(block[us[j], vs[j]] - pair) < 1e-9
+
+
+@st.composite
+def graph_pairs(draw):
+    """Two graphs over the same users, the same k, and — crucially — the
+    same underlying similarity function (edge sims come from one shared
+    symmetric matrix, as they would in any real construction run)."""
+    n_users = draw(st.integers(2, 12))
+    k = draw(st.integers(1, min(4, n_users - 1)))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    sim_matrix = rng.random((n_users, n_users))
+    sim_matrix = (sim_matrix + sim_matrix.T) / 2
+
+    def build():
+        rows = {}
+        for u in range(n_users):
+            count = draw(st.integers(0, k))
+            others = draw(
+                st.lists(
+                    st.integers(0, n_users - 1).filter(lambda v: v != u),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+            rows[u] = [(v, float(sim_matrix[u, v])) for v in others]
+        return KnnGraph.from_neighbor_dict(rows, n_users=n_users, k=k)
+
+    return build(), build()
+
+
+class TestRecallProperties:
+    @given(graph_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_recall_bounded(self, pair):
+        approx, exact = pair
+        values = per_user_recall(approx, exact)
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 1.0)
+
+    @given(graph_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_self_recall_is_one(self, pair):
+        graph, _ = pair
+        assert recall(graph, graph) == 1.0
+
+    @given(graph_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_strict_recall_lower_bounds_value_recall(self, pair):
+        approx, exact = pair
+        assert strict_recall(approx, exact) <= recall(approx, exact) + 1e-12

@@ -1,0 +1,95 @@
+"""Property-based tests for the counting phase (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rcs import build_rcs, build_rcs_reference
+from repro.datasets.bipartite import BipartiteDataset
+
+
+@st.composite
+def small_datasets(draw, max_users=20, max_items=15, ratings=False):
+    """Arbitrary small bipartite datasets (at least one edge)."""
+    n_users = draw(st.integers(2, max_users))
+    n_items = draw(st.integers(1, max_items))
+    n_edges = draw(st.integers(1, n_users * n_items))
+    cells = draw(
+        st.sets(
+            st.integers(0, n_users * n_items - 1),
+            min_size=1,
+            max_size=n_edges,
+        )
+    )
+    cells = np.array(sorted(cells), dtype=np.int64)
+    users, items = cells // n_items, cells % n_items
+    if ratings:
+        values = draw(
+            st.lists(
+                st.floats(0.5, 5.0, allow_nan=False),
+                min_size=len(cells),
+                max_size=len(cells),
+            )
+        )
+    else:
+        values = None
+    return BipartiteDataset.from_edges(
+        users, items, values, n_users=n_users, n_items=n_items
+    )
+
+
+class TestRcsProperties:
+    @given(small_datasets())
+    @settings(max_examples=60, deadline=None)
+    def test_fast_equals_reference(self, dataset):
+        fast = build_rcs(dataset)
+        reference = build_rcs_reference(dataset)
+        assert np.array_equal(fast.offsets, reference.offsets)
+        assert np.array_equal(fast.candidates, reference.candidates)
+        assert np.array_equal(fast.counts, reference.counts)
+
+    @given(small_datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_pivot_candidates_above_user(self, dataset):
+        rcs = build_rcs(dataset, pivot=True)
+        for user in range(rcs.n_users):
+            cands = rcs.candidates_of(user)
+            assert np.all(cands > user)
+
+    @given(small_datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_counts_sorted_descending(self, dataset):
+        rcs = build_rcs(dataset)
+        for user in range(rcs.n_users):
+            counts = rcs.counts_of(user)
+            assert np.all(np.diff(counts) <= 0)
+
+    @given(small_datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_counts_match_true_intersections(self, dataset):
+        rcs = build_rcs(dataset)
+        for user in range(rcs.n_users):
+            items_u = set(dataset.user_items(user).tolist())
+            for cand, count in zip(
+                rcs.candidates_of(user), rcs.counts_of(user)
+            ):
+                items_v = set(dataset.user_items(int(cand)).tolist())
+                assert len(items_u & items_v) == count
+
+    @given(small_datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_pivoted_plus_mirror_equals_symmetric(self, dataset):
+        pivoted = build_rcs(dataset, pivot=True)
+        symmetric = build_rcs(dataset, pivot=False)
+        assert symmetric.total_candidates == 2 * pivoted.total_candidates
+        # Every pivoted pair appears in both directions in the full RCS.
+        for user in range(pivoted.n_users):
+            for cand in pivoted.candidates_of(user):
+                assert int(cand) in symmetric.candidates_of(user).tolist()
+                assert user in symmetric.candidates_of(int(cand)).tolist()
+
+    @given(small_datasets(ratings=True), st.floats(0.5, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_min_rating_monotone_shrinkage(self, dataset, threshold):
+        base = build_rcs(dataset)
+        pruned = build_rcs(dataset, min_rating=threshold)
+        assert pruned.total_candidates <= base.total_candidates

@@ -1,0 +1,104 @@
+"""Property-based tests: merge_topk ≡ sequential heap updates, and
+edge-list persistence is lossless."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.heap import KnnHeap
+from repro.datasets.loaders import load_edge_list, save_edge_list
+from repro.graph.knn_graph import MISSING
+from repro.graph.updates import merge_topk
+from tests.properties.test_property_rcs import small_datasets
+
+
+@st.composite
+def candidate_streams(draw):
+    """(n_users, k, candidate edge arrays) with tie-prone similarities."""
+    n_users = draw(st.integers(2, 10))
+    k = draw(st.integers(1, 4))
+    n_cands = draw(st.integers(0, 80))
+    users = draw(
+        st.lists(
+            st.integers(0, n_users - 1), min_size=n_cands, max_size=n_cands
+        )
+    )
+    ids = draw(
+        st.lists(
+            st.integers(0, n_users - 1), min_size=n_cands, max_size=n_cands
+        )
+    )
+    # Two-decimal similarities force plenty of ties.
+    sims = draw(
+        st.lists(
+            st.integers(0, 99).map(lambda x: x / 100),
+            min_size=n_cands,
+            max_size=n_cands,
+        )
+    )
+    return n_users, k, np.array(users), np.array(ids), np.array(sims, dtype=float)
+
+
+class TestMergeTopkProperties:
+    @given(candidate_streams())
+    @settings(max_examples=120, deadline=None)
+    def test_equivalent_to_heaps(self, stream):
+        n_users, k, users, ids, sims = stream
+        neighbors = np.full((n_users, k), MISSING, dtype=np.int64)
+        row_sims = np.full((n_users, k), -np.inf)
+        new_n, new_s, _ = merge_topk(neighbors, row_sims, users, ids, sims)
+
+        heaps = [KnnHeap(k) for _ in range(n_users)]
+        for user, cand, sim in zip(users, ids, sims):
+            if user != cand:
+                heaps[int(user)].update(int(cand), float(sim))
+        for user in range(n_users):
+            heap_n, heap_s = heaps[user].to_arrays()
+            assert new_n[user].tolist() == heap_n.tolist()
+            np.testing.assert_allclose(new_s[user], heap_s)
+
+    @given(candidate_streams())
+    @settings(max_examples=80, deadline=None)
+    def test_batched_equals_incremental(self, stream):
+        """Feeding candidates in one batch or in two halves is identical
+        (the fixed point does not depend on batching boundaries)."""
+        n_users, k, users, ids, sims = stream
+        empty_n = np.full((n_users, k), MISSING, dtype=np.int64)
+        empty_s = np.full((n_users, k), -np.inf)
+
+        one_shot_n, one_shot_s, _ = merge_topk(
+            empty_n, empty_s, users, ids, sims
+        )
+        half = len(users) // 2
+        mid_n, mid_s, _ = merge_topk(
+            empty_n, empty_s, users[:half], ids[:half], sims[:half]
+        )
+        two_shot_n, two_shot_s, _ = merge_topk(
+            mid_n, mid_s, users[half:], ids[half:], sims[half:]
+        )
+        assert np.array_equal(one_shot_n, two_shot_n)
+        np.testing.assert_allclose(one_shot_s, two_shot_s)
+
+    @given(candidate_streams())
+    @settings(max_examples=80, deadline=None)
+    def test_changes_bounded_by_slots(self, stream):
+        n_users, k, users, ids, sims = stream
+        neighbors = np.full((n_users, k), MISSING, dtype=np.int64)
+        row_sims = np.full((n_users, k), -np.inf)
+        _, _, changes = merge_topk(neighbors, row_sims, users, ids, sims)
+        assert 0 <= changes <= n_users * k
+
+
+class TestPersistenceProperties:
+    @given(small_datasets(ratings=True))
+    @settings(max_examples=30, deadline=None)
+    def test_edge_list_round_trip(self, dataset):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "ds.edges"
+            save_edge_list(dataset, path)
+            loaded = load_edge_list(
+                path, n_users=dataset.n_users, n_items=dataset.n_items
+            )
+        assert loaded == dataset

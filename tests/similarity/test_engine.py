@@ -1,0 +1,171 @@
+"""Unit tests for the instrumented similarity engine."""
+
+import numpy as np
+import pytest
+
+from repro.instrumentation import PhaseTimer, SimilarityCounter
+from repro.similarity import (
+    SimilarityEngine,
+    SimilarityMetric,
+    get_metric,
+    metric_names,
+    register_metric,
+)
+
+
+class TestMetricRegistry:
+    def test_builtin_names(self):
+        assert {"cosine", "jaccard", "adamic_adar", "overlap"} <= set(
+            metric_names()
+        )
+
+    def test_get_metric_by_name(self):
+        assert get_metric("cosine").name == "cosine"
+
+    def test_get_metric_passthrough(self):
+        metric = get_metric("jaccard")
+        assert get_metric(metric) is metric
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            get_metric("levenshtein")
+
+    def test_register_custom_metric(self, toy_dataset):
+        from repro.similarity.overlap import OverlapSimilarity
+
+        class DoubledOverlap(OverlapSimilarity):
+            name = "doubled_overlap"
+
+            def score_pair(self, index, u, v):
+                return 2.0 * super().score_pair(index, u, v)
+
+            def score_batch(self, index, us, vs):
+                return 2.0 * super().score_batch(index, us, vs)
+
+            def score_block(self, index, us):
+                return 2.0 * super().score_block(index, us)
+
+        register_metric(DoubledOverlap)
+        engine = SimilarityEngine(toy_dataset, metric="doubled_overlap")
+        assert engine.pair(0, 1) == 2.0
+
+    def test_register_rejects_default_name(self):
+        class Nameless(SimilarityMetric):
+            def score_pair(self, index, u, v):  # pragma: no cover
+                return 0.0
+
+            def score_batch(self, index, us, vs):  # pragma: no cover
+                return np.zeros(len(us))
+
+            def score_block(self, index, us):  # pragma: no cover
+                return np.zeros((len(us), 1))
+
+        with pytest.raises(ValueError, match="name"):
+            register_metric(Nameless)
+
+
+class TestCounting:
+    def test_pair_counts_one(self, toy_engine):
+        toy_engine.pair(0, 1)
+        assert toy_engine.counter.evaluations == 1
+
+    def test_batch_counts_length(self, toy_engine):
+        toy_engine.batch([0, 0, 1], [1, 2, 2])
+        assert toy_engine.counter.evaluations == 3
+
+    def test_empty_batch_counts_zero(self, toy_engine):
+        out = toy_engine.batch([], [])
+        assert out.size == 0
+        assert toy_engine.counter.evaluations == 0
+
+    def test_block_counts_all_but_self(self, toy_engine):
+        toy_engine.block(np.array([0, 1]))
+        n = toy_engine.n_users
+        assert toy_engine.counter.evaluations == 2 * (n - 1)
+
+    def test_block_count_disabled(self, toy_engine):
+        toy_engine.block(np.array([0]), count=False)
+        assert toy_engine.counter.evaluations == 0
+
+    def test_shared_counter(self, toy_dataset):
+        counter = SimilarityCounter()
+        a = SimilarityEngine(toy_dataset, counter=counter)
+        b = SimilarityEngine(toy_dataset, counter=counter)
+        a.pair(0, 1)
+        b.pair(0, 1)
+        assert counter.evaluations == 2
+
+    def test_scan_rate(self, toy_engine):
+        toy_engine.batch([0, 0, 0], [1, 2, 3])
+        # 3 evaluations over 4*3/2 = 6 possible pairs.
+        assert toy_engine.scan_rate() == pytest.approx(0.5)
+
+
+class TestBatching:
+    def test_chunked_batch_matches_unchunked(self, wiki_engine, tiny_wikipedia):
+        rng = np.random.default_rng(0)
+        us = rng.integers(0, tiny_wikipedia.n_users, size=500)
+        vs = rng.integers(0, tiny_wikipedia.n_users, size=500)
+        small = SimilarityEngine(tiny_wikipedia, batch_size=64)
+        np.testing.assert_allclose(
+            wiki_engine.batch(us, vs), small.batch(us, vs)
+        )
+
+    def test_mismatched_lengths_raise(self, toy_engine):
+        with pytest.raises(ValueError, match="equal length"):
+            toy_engine.batch([0, 1], [1])
+
+    def test_invalid_batch_size_raises(self, toy_dataset):
+        with pytest.raises(ValueError, match="batch_size"):
+            SimilarityEngine(toy_dataset, batch_size=0)
+
+
+class TestTiming:
+    def test_similarity_time_accumulates(self, toy_engine):
+        toy_engine.batch([0] * 100, [1] * 100)
+        assert toy_engine.timer.get("similarity") > 0
+
+    def test_external_timer_used(self, toy_dataset):
+        timer = PhaseTimer()
+        engine = SimilarityEngine(toy_dataset, timer=timer)
+        engine.pair(0, 1)
+        assert timer.get("similarity") > 0
+
+
+class TestParallelBatch:
+    def test_parallel_matches_serial(self, tiny_wikipedia):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        us = rng.integers(0, tiny_wikipedia.n_users, size=3000)
+        vs = rng.integers(0, tiny_wikipedia.n_users, size=3000)
+        serial = SimilarityEngine(tiny_wikipedia, batch_size=256, n_jobs=1)
+        parallel = SimilarityEngine(tiny_wikipedia, batch_size=256, n_jobs=4)
+        np.testing.assert_array_equal(
+            serial.batch(us, vs), parallel.batch(us, vs)
+        )
+        assert serial.counter.evaluations == parallel.counter.evaluations
+
+    def test_parallel_small_batch_uses_fast_path(self, tiny_wikipedia):
+        engine = SimilarityEngine(tiny_wikipedia, n_jobs=4)
+        out = engine.batch([0, 1], [1, 2])
+        assert out.size == 2
+
+    def test_invalid_n_jobs_raises(self, tiny_wikipedia):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="n_jobs"):
+            SimilarityEngine(tiny_wikipedia, n_jobs=0)
+
+    def test_kiff_with_parallel_engine(self, tiny_wikipedia):
+        from repro import KiffConfig, kiff
+
+        serial_result = kiff(
+            SimilarityEngine(tiny_wikipedia, batch_size=128, n_jobs=1),
+            KiffConfig(k=8),
+        )
+        parallel_result = kiff(
+            SimilarityEngine(tiny_wikipedia, batch_size=128, n_jobs=3),
+            KiffConfig(k=8),
+        )
+        assert serial_result.graph == parallel_result.graph

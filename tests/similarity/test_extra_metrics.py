@@ -1,0 +1,118 @@
+"""Unit tests for the Dice and Pearson metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.similarity import (
+    DiceSimilarity,
+    JaccardSimilarity,
+    PearsonSimilarity,
+    ProfileIndex,
+    SimilarityEngine,
+)
+from repro.datasets import BipartiteDataset
+
+
+def _all_pairs(n):
+    us, vs = np.triu_indices(n, k=1)
+    return us.astype(np.int64), vs.astype(np.int64)
+
+
+class TestDice:
+    def test_known_value(self, toy_dataset):
+        # Alice {book, coffee}, Bob {coffee, cheese}: 2*1 / (2+2) = 0.5.
+        index = ProfileIndex(toy_dataset)
+        assert DiceSimilarity().score_pair(index, 0, 1) == pytest.approx(0.5)
+
+    def test_identical_sets_score_one(self, toy_dataset):
+        index = ProfileIndex(toy_dataset)
+        assert DiceSimilarity().score_pair(index, 2, 3) == pytest.approx(1.0)
+
+    def test_monotone_transform_of_jaccard(self, tiny_wikipedia):
+        """Dice = 2J / (1 + J): the two metrics rank pairs identically."""
+        index = ProfileIndex(tiny_wikipedia)
+        us, vs = _all_pairs(40)
+        jaccard = JaccardSimilarity().score_batch(index, us, vs)
+        dice = DiceSimilarity().score_batch(index, us, vs)
+        np.testing.assert_allclose(dice, 2 * jaccard / (1 + jaccard), atol=1e-12)
+
+    def test_paths_agree(self, rated_dataset):
+        index = ProfileIndex(rated_dataset)
+        metric = DiceSimilarity()
+        us, vs = _all_pairs(rated_dataset.n_users)
+        batch = metric.score_batch(index, us, vs)
+        block = metric.score_block(
+            index, np.arange(rated_dataset.n_users, dtype=np.int64)
+        )
+        for j, (u, v) in enumerate(zip(us, vs)):
+            pair = metric.score_pair(index, int(u), int(v))
+            assert batch[j] == pytest.approx(pair)
+            assert block[u, v] == pytest.approx(pair)
+
+    def test_satisfies_overlap_properties(self, toy_dataset):
+        index = ProfileIndex(toy_dataset)
+        assert DiceSimilarity().satisfies_overlap_properties
+        assert DiceSimilarity().score_pair(index, 0, 2) == 0.0
+
+
+class TestPearson:
+    def test_declared_not_overlap_safe(self):
+        assert not PearsonSimilarity().satisfies_overlap_properties
+
+    def test_can_be_negative(self):
+        # Two users rate the same two items on opposite extremes.
+        ds = BipartiteDataset.from_profiles(
+            [{0: 5.0, 1: 1.0}, {0: 1.0, 1: 5.0}], n_items=2
+        )
+        index = ProfileIndex(ds)
+        assert PearsonSimilarity().score_pair(index, 0, 1) < 0.0
+
+    def test_property_5_still_holds(self, toy_dataset):
+        # No shared items -> zero.
+        index = ProfileIndex(toy_dataset)
+        assert PearsonSimilarity().score_pair(index, 0, 2) == 0.0
+
+    def test_identical_centred_profiles_score_one(self):
+        ds = BipartiteDataset.from_profiles(
+            [{0: 5.0, 1: 1.0, 2: 3.0}, {0: 5.0, 1: 1.0, 2: 3.0}], n_items=3
+        )
+        index = ProfileIndex(ds)
+        assert PearsonSimilarity().score_pair(index, 0, 1) == pytest.approx(1.0)
+
+    def test_constant_profile_scores_zero(self):
+        # A user who rates everything identically has a zero-norm centred
+        # vector -> similarity 0 with everyone.
+        ds = BipartiteDataset.from_profiles(
+            [{0: 3.0, 1: 3.0}, {0: 5.0, 1: 1.0}], n_items=2
+        )
+        index = ProfileIndex(ds)
+        assert PearsonSimilarity().score_pair(index, 0, 1) == 0.0
+
+    def test_paths_agree(self, rated_dataset):
+        index = ProfileIndex(rated_dataset)
+        metric = PearsonSimilarity()
+        us, vs = _all_pairs(rated_dataset.n_users)
+        batch = metric.score_batch(index, us, vs)
+        block = metric.score_block(
+            index, np.arange(rated_dataset.n_users, dtype=np.int64)
+        )
+        for j, (u, v) in enumerate(zip(us, vs)):
+            pair = metric.score_pair(index, int(u), int(v))
+            assert batch[j] == pytest.approx(pair, abs=1e-12)
+            assert block[u, v] == pytest.approx(pair, abs=1e-12)
+
+    def test_kiff_still_runs_but_without_guarantee(self, tiny_wikipedia):
+        """KIFF accepts Pearson; the optimality guarantee is weakened but
+        construction completes and neighbours still share items."""
+        from repro import KiffConfig, kiff
+
+        engine = SimilarityEngine(tiny_wikipedia, metric="pearson")
+        result = kiff(engine, KiffConfig(k=5))
+        assert result.graph.edge_count() > 0
+        for u in range(0, tiny_wikipedia.n_users, 37):
+            items_u = set(tiny_wikipedia.user_items(u).tolist())
+            for v in result.graph.neighbors_of(u):
+                items_v = set(tiny_wikipedia.user_items(int(v)).tolist())
+                assert items_u & items_v

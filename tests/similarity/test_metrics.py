@@ -1,0 +1,180 @@
+"""Unit tests for the similarity metrics.
+
+Every metric must agree across its three evaluation paths (pair, batch,
+block) and satisfy the paper's properties (5)/(6) on non-negative data.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.similarity import (
+    AdamicAdarSimilarity,
+    CosineSimilarity,
+    DiceSimilarity,
+    JaccardSimilarity,
+    OverlapSimilarity,
+    ProfileIndex,
+)
+
+ALL_METRICS = [
+    CosineSimilarity(),
+    JaccardSimilarity(),
+    AdamicAdarSimilarity(),
+    OverlapSimilarity(),
+    DiceSimilarity(),
+]
+
+
+def _all_pairs(n):
+    us, vs = np.triu_indices(n, k=1)
+    return us.astype(np.int64), vs.astype(np.int64)
+
+
+@pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+class TestPathAgreement:
+    def test_pair_equals_batch(self, metric, rated_dataset):
+        index = ProfileIndex(rated_dataset)
+        us, vs = _all_pairs(rated_dataset.n_users)
+        batch = metric.score_batch(index, us, vs)
+        for j, (u, v) in enumerate(zip(us, vs)):
+            assert metric.score_pair(index, int(u), int(v)) == pytest.approx(
+                batch[j], abs=1e-12
+            )
+
+    def test_batch_equals_block(self, metric, rated_dataset):
+        index = ProfileIndex(rated_dataset)
+        us, vs = _all_pairs(rated_dataset.n_users)
+        batch = metric.score_batch(index, us, vs)
+        block = metric.score_block(
+            index, np.arange(rated_dataset.n_users, dtype=np.int64)
+        )
+        for j, (u, v) in enumerate(zip(us, vs)):
+            assert block[u, v] == pytest.approx(batch[j], abs=1e-12)
+
+    def test_symmetry(self, metric, rated_dataset):
+        index = ProfileIndex(rated_dataset)
+        for u in range(rated_dataset.n_users):
+            for v in range(rated_dataset.n_users):
+                if u == v:
+                    continue
+                assert metric.score_pair(index, u, v) == pytest.approx(
+                    metric.score_pair(index, v, u), abs=1e-12
+                )
+
+    def test_property_5_zero_without_shared_items(self, metric, toy_dataset):
+        # Alice (0) and Carl (2) share nothing.
+        index = ProfileIndex(toy_dataset)
+        assert metric.score_pair(index, 0, 2) == 0.0
+
+    def test_property_6_nonnegative_with_shared_items(self, metric, toy_dataset):
+        # Alice (0) and Bob (1) share coffee.
+        index = ProfileIndex(toy_dataset)
+        assert metric.score_pair(index, 0, 1) >= 0.0
+        assert metric.satisfies_overlap_properties
+
+
+class TestCosine:
+    def test_identical_profiles_score_one(self):
+        from repro.datasets import BipartiteDataset
+
+        ds = BipartiteDataset.from_profiles(
+            [{0: 2.0, 1: 3.0}, {0: 2.0, 1: 3.0}], n_items=2
+        )
+        index = ProfileIndex(ds)
+        assert CosineSimilarity().score_pair(index, 0, 1) == pytest.approx(1.0)
+
+    def test_known_value(self, toy_dataset):
+        # Alice {book, coffee}, Bob {coffee, cheese}: cos = 1/2.
+        index = ProfileIndex(toy_dataset)
+        assert CosineSimilarity().score_pair(index, 0, 1) == pytest.approx(0.5)
+
+    def test_respects_rating_magnitudes(self, rated_dataset):
+        index = ProfileIndex(rated_dataset)
+        expected = np.dot([5.0, 1.0], [4.0, 2.0]) / (
+            math.sqrt(25 + 9 + 1) * math.sqrt(16 + 4)
+        )
+        assert CosineSimilarity().score_pair(index, 0, 1) == pytest.approx(expected)
+
+    def test_empty_profile_scores_zero(self):
+        from repro.datasets import BipartiteDataset
+
+        ds = BipartiteDataset.from_profiles([{0: 1.0}, {}], n_items=1)
+        index = ProfileIndex(ds)
+        assert CosineSimilarity().score_pair(index, 0, 1) == 0.0
+
+    def test_bounded_by_one(self, tiny_wikipedia):
+        index = ProfileIndex(tiny_wikipedia)
+        us, vs = _all_pairs(min(tiny_wikipedia.n_users, 40))
+        sims = CosineSimilarity().score_batch(index, us, vs)
+        assert np.all(sims <= 1.0 + 1e-12)
+        assert np.all(sims >= 0.0)
+
+
+class TestJaccard:
+    def test_known_value(self, toy_dataset):
+        # |{coffee}| / |{book, coffee, cheese}| = 1/3.
+        index = ProfileIndex(toy_dataset)
+        assert JaccardSimilarity().score_pair(index, 0, 1) == pytest.approx(1 / 3)
+
+    def test_identical_sets_score_one(self, toy_dataset):
+        # Carl and Dave both like only shopping.
+        index = ProfileIndex(toy_dataset)
+        assert JaccardSimilarity().score_pair(index, 2, 3) == pytest.approx(1.0)
+
+    def test_ignores_rating_values(self, rated_dataset):
+        index = ProfileIndex(rated_dataset)
+        binary_index = ProfileIndex(rated_dataset.binarized())
+        metric = JaccardSimilarity()
+        assert metric.score_pair(index, 0, 1) == pytest.approx(
+            metric.score_pair(binary_index, 0, 1)
+        )
+
+
+class TestAdamicAdar:
+    def test_rare_items_weigh_more(self):
+        from repro.datasets import BipartiteDataset
+
+        # Item 0 shared by 2 users; item 1 shared by all 4.
+        ds = BipartiteDataset.from_profiles(
+            [
+                {0: 1.0, 1: 1.0},
+                {0: 1.0, 1: 1.0},
+                {1: 1.0},
+                {1: 1.0},
+            ],
+            n_items=2,
+        )
+        index = ProfileIndex(ds)
+        metric = AdamicAdarSimilarity()
+        pair_with_rare = metric.score_pair(index, 0, 1)  # shares items 0 and 1
+        pair_popular_only = metric.score_pair(index, 2, 3)  # shares item 1
+        assert pair_with_rare > pair_popular_only
+        # Exact values: 1/ln2 + 1/ln4 and 1/ln4.
+        assert pair_with_rare == pytest.approx(
+            1 / math.log(2) + 1 / math.log(4)
+        )
+        assert pair_popular_only == pytest.approx(1 / math.log(4))
+
+    def test_degree_one_items_contribute_zero(self, toy_dataset):
+        # book has |IP| = 1: it can never be shared, weight must be 0 and
+        # Alice-Bob's score comes only from coffee (|IP| = 2).
+        index = ProfileIndex(toy_dataset)
+        assert AdamicAdarSimilarity().score_pair(index, 0, 1) == pytest.approx(
+            1 / math.log(2)
+        )
+
+
+class TestOverlap:
+    def test_counts_common_items(self, rated_dataset):
+        index = ProfileIndex(rated_dataset)
+        metric = OverlapSimilarity()
+        assert metric.score_pair(index, 0, 3) == 3.0
+        assert metric.score_pair(index, 0, 4) == 0.0
+
+    def test_integer_valued(self, tiny_wikipedia):
+        index = ProfileIndex(tiny_wikipedia)
+        us, vs = _all_pairs(min(tiny_wikipedia.n_users, 30))
+        sims = OverlapSimilarity().score_batch(index, us, vs)
+        assert np.all(sims == sims.astype(int))
