@@ -1,0 +1,115 @@
+"""Streaming maintenance bench: events/sec and evaluation savings.
+
+A synthetic sparse workload is split 90%/10%; the 90% is prebuilt into a
+:class:`DynamicKnnIndex` and the 10% is streamed back in small batches.
+Measured: maintenance throughput (events/sec) and similarity evaluations
+versus the rebuild-per-batch strategy, whose exact cost is the sum of
+RCS totals at each refresh point (a converged KIFF run evaluates every
+RCS entry exactly once).
+
+The headline assertion mirrors the subsystem's acceptance bar:
+incremental maintenance must evaluate >= 5x fewer similarities than full
+rebuilds on this workload.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import BipartiteDataset, DynamicKnnIndex, KiffConfig
+from repro.streaming import holdout_stream, replay_stream
+
+from _bench_utils import run_once
+
+#: 90%-prebuilt / 10%-streamed synthetic workloads (paper-style sparsity).
+_SCALES = {
+    "tiny": dict(n_users=400, n_items=300, density=0.01, batch_size=2, k=8),
+    "laptop": dict(n_users=2_000, n_items=1_200, density=0.005, batch_size=10, k=10),
+}
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop")
+
+
+def _workload(n_users, n_items, density, seed=7):
+    """A seeded sparse rating matrix, 90/10-split via holdout_stream."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n_users, n_items)) < density
+    users, items = np.nonzero(mask)
+    ratings = rng.integers(1, 6, size=users.size).astype(np.float64)
+    dataset = BipartiteDataset.from_edges(
+        users, items, ratings,
+        n_users=n_users,
+        n_items=n_items,
+        name="stream-bench",
+    )
+    return holdout_stream(dataset, fraction=0.1, seed=seed)
+
+
+def test_streaming_throughput(benchmark):
+    """Stream the hold-out; assert the >= 5x evaluation-savings bar."""
+    params = _SCALES.get(_SCALE, _SCALES["laptop"])
+    benchmark.group = "streaming:throughput"
+    base, users, items, ratings = _workload(
+        params["n_users"], params["n_items"], params["density"]
+    )
+    index = DynamicKnnIndex(
+        base, KiffConfig(k=params["k"]), auto_refresh=False
+    )
+
+    outcome = run_once(
+        benchmark,
+        lambda: replay_stream(
+            index, users, items, ratings, batch_size=params["batch_size"]
+        ),
+    )
+    benchmark.extra_info["events"] = outcome.events
+    benchmark.extra_info["events_per_second"] = round(outcome.events_per_second, 1)
+    benchmark.extra_info["incremental_evals"] = outcome.incremental_evaluations
+    benchmark.extra_info["rebuild_evals"] = outcome.rebuild_evaluations
+    benchmark.extra_info["savings"] = round(outcome.savings, 2)
+    # The subsystem's acceptance bar: >= 5x fewer similarity evaluations
+    # than cold-rebuilding the graph on every batch.
+    assert outcome.savings >= 5.0
+
+
+def test_streaming_parity_after_replay(benchmark):
+    """The replayed index equals a cold rebuild on the final dataset."""
+    from repro.streaming import cold_rebuild_graph
+
+    params = _SCALES["tiny"]  # parity check is scale-independent
+    benchmark.group = "streaming:parity"
+    base, users, items, ratings = _workload(
+        params["n_users"], params["n_items"], params["density"]
+    )
+    index = DynamicKnnIndex(base, KiffConfig(k=params["k"]), auto_refresh=False)
+    run_once(
+        benchmark,
+        lambda: replay_stream(
+            index,
+            users,
+            items,
+            ratings,
+            batch_size=params["batch_size"],
+            track_rebuild_cost=False,
+        ),
+    )
+    assert index.graph == cold_rebuild_graph(index.dataset, index.config)
+
+
+@pytest.mark.parametrize("batch_size", [1, 10, 100])
+def test_streaming_batch_size_sweep(benchmark, batch_size):
+    """Throughput/cost across batch sizes (tiny workload, sweep-friendly)."""
+    params = _SCALES["tiny"]
+    benchmark.group = "streaming:batch-size"
+    base, users, items, ratings = _workload(
+        params["n_users"], params["n_items"], params["density"]
+    )
+    index = DynamicKnnIndex(base, KiffConfig(k=params["k"]), auto_refresh=False)
+    outcome = run_once(
+        benchmark,
+        lambda: replay_stream(
+            index, users, items, ratings, batch_size=batch_size
+        ),
+    )
+    benchmark.extra_info["savings"] = round(outcome.savings, 2)
+    benchmark.extra_info["events_per_second"] = round(outcome.events_per_second, 1)

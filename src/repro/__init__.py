@@ -15,6 +15,19 @@ Quickstart::
     engine = SimilarityEngine(dataset, metric="cosine")
     result = kiff(engine, KiffConfig(k=10))
     print(result.graph.neighbors_of(0), result.scan_rate)
+
+Streaming maintenance
+---------------------
+When ratings arrive continuously, :class:`repro.streaming.DynamicKnnIndex`
+keeps the converged KIFF graph exact under ``add_ratings`` / ``add_user``
+/ ``remove_user`` events through dirty-set-driven localized refinement —
+see ``README.md`` ("Streaming maintenance") and
+``examples/streaming_updates.py``::
+
+    from repro import DynamicKnnIndex
+
+    index = DynamicKnnIndex(dataset, KiffConfig(k=10))
+    index.add_ratings([3, 7], [12, 40])   # graph stays exact
 """
 
 from .baselines import (
@@ -39,6 +52,7 @@ from .core import (
 from .datasets import (
     BipartiteDataset,
     DatasetError,
+    MutableBipartiteBuilder,
     load_dataset,
     load_evaluation_suite,
     load_movielens_family,
@@ -58,23 +72,27 @@ from .similarity import (
     metric_names,
     register_metric,
 )
+from .streaming import DynamicKnnIndex, RefreshStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BipartiteDataset",
     "ConstructionResult",
     "ConvergenceTrace",
     "DatasetError",
+    "DynamicKnnIndex",
     "HyRecConfig",
     "KiffConfig",
     "KnnGraph",
     "KnnHeap",
     "LshConfig",
+    "MutableBipartiteBuilder",
     "NNDescentConfig",
     "PhaseTimer",
     "ProfileIndex",
     "RankedCandidateSets",
+    "RefreshStats",
     "SimilarityCounter",
     "SimilarityEngine",
     "SimilarityMetric",

@@ -18,6 +18,19 @@ from .experiments import EXPERIMENTS, ExperimentContext
 __all__ = ["main", "build_parser"]
 
 
+def _open_unit_fraction(value: str) -> float:
+    """Argparse type for fractions strictly inside (0, 1)."""
+    try:
+        fraction = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {value!r}") from None
+    if not 0.0 < fraction < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be strictly between 0 and 1, got {value}"
+        )
+    return fraction
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-kiff",
@@ -28,12 +41,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "datasets", "graph-stats"],
+        choices=sorted(EXPERIMENTS) + ["all", "datasets", "graph-stats", "stream"],
         help=(
             "which paper artefact to regenerate ('all' runs everything; "
             "'datasets' prints Table-I statistics for every registry "
             "preset and can cache them to disk; 'graph-stats' builds a "
-            "KNN graph with KIFF and prints its analytics)"
+            "KNN graph with KIFF and prints its analytics; 'stream' "
+            "replays a hold-out rating stream through the dynamic KNN "
+            "index and reports maintenance cost vs full rebuilds)"
         ),
     )
     parser.add_argument(
@@ -58,10 +73,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--dataset",
         default="wikipedia",
-        help="with 'graph-stats': the registry preset to build on",
+        help="with 'graph-stats'/'stream': the registry preset to build on",
     )
     parser.add_argument(
-        "--k", type=int, default=None, help="with 'graph-stats': neighbourhood size"
+        "--k",
+        type=int,
+        default=None,
+        help="with 'graph-stats'/'stream': neighbourhood size",
+    )
+    parser.add_argument(
+        "--stream-fraction",
+        type=_open_unit_fraction,
+        default=0.1,
+        help="with 'stream': fraction of ratings held out and streamed",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=10,
+        help="with 'stream': events absorbed between refinement passes",
     )
     return parser
 
@@ -89,6 +119,13 @@ def _run_datasets(args) -> int:
     return 0
 
 
+def _cli_k(args) -> int:
+    """Scale-aware k default shared by the graph-stats/stream utilities."""
+    if args.k is not None:
+        return args.k
+    return 8 if args.scale == "tiny" else 20
+
+
 def _run_graph_stats(args) -> int:
     """The 'graph-stats' utility: build with KIFF, print analytics."""
     from .core import KiffConfig, kiff
@@ -98,7 +135,7 @@ def _run_graph_stats(args) -> int:
     from .similarity import SimilarityEngine
 
     dataset = load_dataset(args.dataset, scale=args.scale)
-    k = args.k if args.k is not None else (8 if args.scale == "tiny" else 20)
+    k = _cli_k(args)
     engine = SimilarityEngine(dataset, metric=args.metric)
     result = kiff(engine, KiffConfig(k=k))
     stats = analyze(result.graph)
@@ -120,6 +157,54 @@ def _run_graph_stats(args) -> int:
     return 0
 
 
+def _run_stream(args) -> int:
+    """The 'stream' utility: hold-out replay through the dynamic index."""
+    from .core import KiffConfig
+    from .datasets import load_dataset
+    from .experiments.report import render_table
+    from .streaming import (
+        DynamicKnnIndex,
+        cold_rebuild_graph,
+        holdout_stream,
+        replay_stream,
+    )
+
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    k = _cli_k(args)
+    base, users, items, ratings = holdout_stream(
+        dataset, fraction=args.stream_fraction, seed=args.seed
+    )
+    index = DynamicKnnIndex(
+        base, KiffConfig(k=k), metric=args.metric, auto_refresh=False
+    )
+    outcome = replay_stream(
+        index, users, items, ratings, batch_size=args.batch_size
+    )
+    cold = cold_rebuild_graph(index.dataset, index.config, metric=args.metric)
+    rows = [
+        ["events streamed", outcome.events],
+        ["batch size", args.batch_size],
+        ["refreshes", outcome.batches],
+        ["events/s", round(outcome.events_per_second, 1)],
+        ["evals (incremental)", outcome.incremental_evaluations],
+        ["evals (rebuild per batch)", outcome.rebuild_evaluations],
+        ["savings", f"{outcome.savings:.1f}x"],
+        ["parity with cold rebuild", index.graph == cold],
+    ]
+    print(
+        render_table(
+            ["Statistic", "Value"],
+            rows,
+            title=(
+                f"Streaming {int(args.stream_fraction * 100)}% of "
+                f"{args.dataset} ({args.scale}) through DynamicKnnIndex, "
+                f"metric={args.metric}, k={k}"
+            ),
+        )
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -127,6 +212,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_datasets(args)
     if args.experiment == "graph-stats":
         return _run_graph_stats(args)
+    if args.experiment == "stream":
+        return _run_stream(args)
     context = ExperimentContext(
         scale=args.scale, metric=args.metric, seed=args.seed
     )

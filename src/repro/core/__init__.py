@@ -3,7 +3,12 @@
 from .config import KiffConfig
 from .heap import KnnHeap
 from .kiff import kiff
-from .rcs import RankedCandidateSets, build_rcs, build_rcs_reference
+from .rcs import (
+    RankedCandidateSets,
+    build_rcs,
+    build_rcs_reference,
+    count_rcs_candidates,
+)
 from .result import ConstructionResult
 
 __all__ = [
@@ -13,5 +18,6 @@ __all__ = [
     "RankedCandidateSets",
     "build_rcs",
     "build_rcs_reference",
+    "count_rcs_candidates",
     "kiff",
 ]

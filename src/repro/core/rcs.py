@@ -31,7 +31,12 @@ import numpy as np
 
 from ..datasets.bipartite import BipartiteDataset
 
-__all__ = ["RankedCandidateSets", "build_rcs", "build_rcs_reference"]
+__all__ = [
+    "RankedCandidateSets",
+    "build_rcs",
+    "build_rcs_reference",
+    "count_rcs_candidates",
+]
 
 
 @dataclass(frozen=True)
@@ -93,6 +98,19 @@ class RankedCandidateSets:
         )
 
 
+def _binarized(dataset: BipartiteDataset, min_rating: float | None):
+    """The 0/1 candidacy matrix: entries rated ``>= min_rating`` (all,
+    when None).  Shared by :func:`build_rcs` and
+    :func:`count_rcs_candidates` so their thresholding cannot diverge."""
+    binary = dataset.matrix.copy()
+    if min_rating is not None:
+        binary.data = np.where(binary.data >= min_rating, 1.0, 0.0)
+        binary.eliminate_zeros()
+    else:
+        binary.data = np.ones_like(binary.data)
+    return binary
+
+
 def build_rcs(
     dataset: BipartiteDataset,
     pivot: bool = True,
@@ -115,12 +133,7 @@ def build_rcs(
         implementation does.  Kept by default because the analysis
         experiments (Figure 7) need the counts.
     """
-    binary = dataset.matrix.copy()
-    if min_rating is not None:
-        binary.data = np.where(binary.data >= min_rating, 1.0, 0.0)
-        binary.eliminate_zeros()
-    else:
-        binary.data = np.ones_like(binary.data)
+    binary = _binarized(dataset, min_rating)
 
     # Co-occurrence: cooc[u, v] = number of items shared by u and v.
     cooc = (binary @ binary.T).tocoo()
@@ -132,6 +145,28 @@ def build_rcs(
     cols = cooc.col[mask].astype(np.int64)
     counts = cooc.data[mask]
     return _pack(rows, cols, counts, dataset.n_users, strip)
+
+
+def count_rcs_candidates(
+    dataset: BipartiteDataset,
+    pivot: bool = True,
+    min_rating: float | None = None,
+) -> int:
+    """``build_rcs(...).total_candidates`` without materialising the RCSs.
+
+    The total is the number of co-rating ordered (or, with the pivot,
+    unordered) user pairs — exactly the evaluation count of a converged
+    KIFF run.  Counting only needs the co-occurrence sparsity pattern, so
+    the sort/pack of :func:`build_rcs` is skipped; cost accounting that
+    runs per stream batch (``repro.streaming.workload``) uses this.
+    """
+    binary = _binarized(dataset, min_rating)
+    cooc = (binary @ binary.T).tocsr()
+    diagonal_entries = int(np.count_nonzero(cooc.diagonal()))
+    off_diagonal = int(cooc.nnz) - diagonal_entries
+    # cooc is symmetric: the strict upper triangle holds half the
+    # off-diagonal entries.
+    return off_diagonal // 2 if pivot else off_diagonal
 
 
 def build_rcs_reference(

@@ -6,6 +6,7 @@ from .coauthorship import arxiv_like, dblp_like
 from .generators import GeneratorConfig, power_law_bipartite
 from .loaders import load_dataset_dir, load_edge_list, save_dataset, save_edge_list
 from .movielens import movielens_family, movielens_like
+from .mutable import MutableBipartiteBuilder
 from .registry import (
     EVALUATION_SUITE,
     SCALES,
@@ -29,6 +30,7 @@ __all__ = [
     "DatasetStats",
     "EVALUATION_SUITE",
     "GeneratorConfig",
+    "MutableBipartiteBuilder",
     "SCALES",
     "arxiv_like",
     "dataset_names",

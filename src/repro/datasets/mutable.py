@@ -1,0 +1,228 @@
+"""Append-friendly builder for evolving bipartite datasets.
+
+:class:`BipartiteDataset` is deliberately immutable — experiment sweeps
+share datasets safely because nothing can mutate them.  Streaming
+maintenance (``repro.streaming``) needs the opposite: a store that absorbs
+a continuous feed of ``(user, item, rating)`` events cheaply and can
+produce an immutable snapshot on demand.
+
+:class:`MutableBipartiteBuilder` is that store.  It keeps
+
+* per-user profiles as ``{item: rating}`` dictionaries (the paper's
+  ``UP_u``), updated in O(1) per event, and
+* an incremental inverted index ``item -> {users}`` (the paper's item
+  profiles ``IP_i``), which is what lets the streaming subsystem compute
+  a user's candidate set without touching the rest of the population.
+
+``snapshot()`` materialises the current state as a canonical
+:class:`BipartiteDataset`; the result is cached until the next mutation,
+so repeated reads between event batches are free.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .bipartite import BipartiteDataset, DatasetError
+
+__all__ = ["MutableBipartiteBuilder"]
+
+
+class MutableBipartiteBuilder:
+    """A mutable user-item rating store with incremental item profiles.
+
+    User ids are allocated densely by :meth:`add_user` and never reused:
+    removing a user clears its profile but keeps the id in the universe,
+    so KNN graph rows and snapshots stay aligned across the stream.
+    """
+
+    def __init__(self, n_items: int = 0, name: str = "stream"):
+        if n_items < 0:
+            raise DatasetError(f"n_items must be >= 0, got {n_items}")
+        self.name = name
+        self._profiles: list[dict[int, float]] = []
+        self._item_users: dict[int, set[int]] = {}
+        self._n_items = int(n_items)
+        self._n_ratings = 0
+        self._snapshot: BipartiteDataset | None = None
+
+    @classmethod
+    def from_dataset(cls, dataset: BipartiteDataset) -> "MutableBipartiteBuilder":
+        """Seed a builder with every rating of an existing dataset."""
+        builder = cls(n_items=dataset.n_items, name=dataset.name)
+        for _, items, ratings in dataset.iter_user_profiles():
+            builder.add_user(items.tolist(), ratings.tolist())
+        # The seed dataset IS the current state; reuse it as the snapshot.
+        builder._snapshot = dataset
+        return builder
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        """Number of allocated user ids (removed users included)."""
+        return len(self._profiles)
+
+    @property
+    def n_items(self) -> int:
+        """Size of the item universe (grows monotonically)."""
+        return self._n_items
+
+    @property
+    def n_ratings(self) -> int:
+        """Number of stored ratings."""
+        return self._n_ratings
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_user(self, items=(), ratings=None) -> int:
+        """Allocate the next user id, optionally with an initial profile.
+
+        Returns the new id (always ``n_users`` before the call).  The
+        profile is validated *before* the id is allocated, so a rejected
+        call leaves the builder unchanged (no phantom user).
+        """
+        items = [int(item) for item in items]
+        if ratings is None:
+            ratings = [1.0] * len(items)
+        else:
+            ratings = [float(rating) for rating in ratings]
+        if len(items) != len(ratings):
+            raise DatasetError(
+                f"items and ratings must have equal length, got "
+                f"{len(items)} vs {len(ratings)}"
+            )
+        for item, rating in zip(items, ratings):
+            if item < 0:
+                raise DatasetError(f"item id must be non-negative, got {item}")
+            if not math.isfinite(rating):
+                raise DatasetError(f"rating must be finite, got {rating}")
+        user = len(self._profiles)
+        self._profiles.append({})
+        for item, rating in zip(items, ratings):
+            self.set_rating(user, item, rating)
+        self._snapshot = None
+        return user
+
+    def set_rating(self, user: int, item: int, rating: float = 1.0) -> None:
+        """Set (or overwrite) one rating; ``rating = 0`` deletes the edge.
+
+        Mirrors :class:`BipartiteDataset` canonicalisation, where explicit
+        zeros are eliminated, so a snapshot round-trips exactly.
+        """
+        self._check_user(user)
+        if item < 0:
+            raise DatasetError(f"item id must be non-negative, got {item}")
+        rating = float(rating)
+        if not math.isfinite(rating):
+            raise DatasetError(f"rating must be finite, got {rating}")
+        profile = self._profiles[user]
+        had = item in profile
+        if rating == 0.0:
+            if not had:
+                return  # deleting an absent edge: nothing changes
+            del profile[item]
+            self._n_ratings -= 1
+            users = self._item_users.get(item)
+            if users is not None:
+                users.discard(user)
+                if not users:
+                    del self._item_users[item]
+        else:
+            if had and profile[item] == rating:
+                return  # identical overwrite: nothing changes
+            profile[item] = rating
+            if not had:
+                self._n_ratings += 1
+                self._item_users.setdefault(item, set()).add(user)
+            self._n_items = max(self._n_items, item + 1)
+        self._snapshot = None
+
+    def clear_user(self, user: int) -> None:
+        """Remove every rating of *user* (the id stays allocated)."""
+        self._check_user(user)
+        profile = self._profiles[user]
+        for item in profile:
+            users = self._item_users.get(item)
+            if users is not None:
+                users.discard(user)
+                if not users:
+                    del self._item_users[item]
+        self._n_ratings -= len(profile)
+        profile.clear()
+        self._snapshot = None
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def profile(self, user: int) -> dict[int, float]:
+        """User *user*'s live ``{item: rating}`` profile (do not mutate)."""
+        self._check_user(user)
+        return self._profiles[user]
+
+    def rating(self, user: int, item: int) -> float:
+        """The stored rating, or ``0.0`` when the edge is absent."""
+        self._check_user(user)
+        return self._profiles[user].get(item, 0.0)
+
+    def users_of(self, item: int) -> set[int]:
+        """The live item profile ``IP_i`` (do not mutate)."""
+        return self._item_users.get(item, _EMPTY_SET)
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self, name: str | None = None) -> BipartiteDataset:
+        """The current state as an immutable dataset (cached until mutated).
+
+        Raises :class:`DatasetError` while no user exists — a dataset
+        needs at least one user, and padding one in would break the
+        id-alignment invariant this class documents.  An item universe is
+        padded to one column when empty (users may exist before any
+        rating lands; item ids are allocated by the ratings themselves).
+        """
+        if self.n_users == 0:
+            raise DatasetError(
+                "cannot snapshot a builder with no users; add_user first"
+            )
+        if self._snapshot is None or name is not None:
+            users: list[int] = []
+            items: list[int] = []
+            ratings: list[float] = []
+            for user, profile in enumerate(self._profiles):
+                for item, rating in profile.items():
+                    users.append(user)
+                    items.append(item)
+                    ratings.append(rating)
+            dataset = BipartiteDataset.from_edges(
+                users,
+                items,
+                ratings,
+                n_users=self.n_users,
+                n_items=max(self._n_items, 1),
+                name=name or self.name,
+            )
+            if name is not None:
+                return dataset
+            self._snapshot = dataset
+        return self._snapshot
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def _check_user(self, user: int) -> None:
+        if not 0 <= user < len(self._profiles):
+            raise DatasetError(
+                f"user id {user} out of range [0, {len(self._profiles)})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MutableBipartiteBuilder(name={self.name!r}, users={self.n_users}, "
+            f"items={self.n_items}, ratings={self.n_ratings})"
+        )
+
+
+_EMPTY_SET: set[int] = set()

@@ -18,6 +18,7 @@ from . import (
     exp_table5,
     exp_table6,
     exp_table7,
+    exp_streaming,
     exp_table8,
     exp_table9,
 )
@@ -45,6 +46,7 @@ EXPERIMENTS = {
     "figure10": exp_figure10,
     "beta": exp_beta,
     "ablation": exp_ablation,
+    "streaming": exp_streaming,
 }
 
 __all__ = [

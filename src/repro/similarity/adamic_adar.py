@@ -19,6 +19,9 @@ class AdamicAdarSimilarity(SimilarityMetric):
 
     name = "adamic_adar"
     satisfies_overlap_properties = True
+    #: The 1/ln|IP_i| weights depend on global item popularity, not just
+    #: the two profiles being compared (see SimilarityMetric.profile_local).
+    profile_local = False
 
     def score_pair(self, index: ProfileIndex, u: int, v: int) -> float:
         common, _, _ = intersect_profiles(index, u, v)

@@ -115,6 +115,13 @@ class SimilarityMetric(abc.ABC):
     #: gamma=infinity optimality (Section III-D) requires this.
     satisfies_overlap_properties: bool = True
 
+    #: True when ``sim(u, v)`` depends only on the two profiles ``UP_u``
+    #: and ``UP_v``.  Metrics with global terms (e.g. Adamic-Adar's
+    #: ``1 / ln |IP_i|`` item weights) must set this False so streaming
+    #: maintenance knows an item-membership change invalidates every
+    #: pair sharing that item, not just pairs involving the rater.
+    profile_local: bool = True
+
     @abc.abstractmethod
     def score_pair(self, index: ProfileIndex, u: int, v: int) -> float:
         """Similarity of one user pair."""

@@ -116,6 +116,20 @@ class SimilarityEngine:
     def n_users(self) -> int:
         return self.dataset.n_users
 
+    def rebind(self, dataset: BipartiteDataset) -> None:
+        """Point the engine at a new (possibly grown) dataset.
+
+        The streaming subsystem mutates its rating store and periodically
+        snapshots it; ``rebind`` swaps the snapshot in and rebuilds the
+        :class:`ProfileIndex` (norms, profile sizes, Adamic-Adar weights
+        all depend on the data).  The counter and timer are deliberately
+        kept: a stream's evaluation cost accumulates across refreshes,
+        exactly like the paper's scan-rate bookkeeping accumulates across
+        iterations.
+        """
+        self.dataset = dataset
+        self.index = ProfileIndex(dataset)
+
     def pair(self, u: int, v: int) -> float:
         """Similarity of one pair (counted as one evaluation)."""
         with self.timer.phase("similarity"):
@@ -124,7 +138,14 @@ class SimilarityEngine:
         return value
 
     def batch(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
-        """Similarities for parallel pair arrays (counted per pair)."""
+        """Similarities for parallel pair arrays (counted per pair).
+
+        Dispatch is decided by the number of ``batch_size`` chunks the
+        request splits into: a single chunk (``us.size <= batch_size``,
+        boundary included) is always scored directly — there is nothing
+        for a thread pool to parallelise — while multi-chunk requests go
+        to the pool when ``n_jobs > 1`` and a serial loop otherwise.
+        """
         us = np.asarray(us, dtype=np.int64)
         vs = np.asarray(vs, dtype=np.int64)
         if us.shape != vs.shape:
@@ -133,8 +154,9 @@ class SimilarityEngine:
             )
         if us.size == 0:
             return np.empty(0, dtype=np.float64)
+        n_chunks = -(-us.size // self.batch_size)  # ceil division
         with self.timer.phase("similarity"):
-            if us.size <= self.batch_size:
+            if n_chunks == 1:
                 out = self.metric.score_batch(self.index, us, vs)
             elif self.n_jobs > 1:
                 out = self._batch_parallel(us, vs)

@@ -1,0 +1,31 @@
+"""Streaming KNN maintenance: KIFF as an online subsystem.
+
+See :mod:`repro.streaming.index` for the maintenance invariant and
+``README.md`` ("Streaming maintenance") for usage.  The subsystem keeps
+the converged KIFF graph exact under continuous ``(user, item, rating)``
+events at a fraction of the full-rebuild similarity cost.
+"""
+
+from .events import AddRating, AddUser, Event, RemoveUser, apply_events
+from .index import (
+    DynamicKnnIndex,
+    RefreshStats,
+    cold_rebuild_graph,
+    converged_config,
+)
+from .workload import StreamReplayResult, holdout_stream, replay_stream
+
+__all__ = [
+    "AddRating",
+    "AddUser",
+    "DynamicKnnIndex",
+    "Event",
+    "RefreshStats",
+    "RemoveUser",
+    "StreamReplayResult",
+    "apply_events",
+    "cold_rebuild_graph",
+    "converged_config",
+    "holdout_stream",
+    "replay_stream",
+]

@@ -1,0 +1,72 @@
+"""Event vocabulary for streaming KNN maintenance.
+
+A stream is a sequence of three event kinds, mirroring the mutations a
+production rating front-end produces:
+
+* :class:`AddRating` — one ``(user, item, rating)`` edge lands (or an
+  existing rating is overwritten; ``rating = 0`` deletes the edge).
+* :class:`AddUser` — a new user joins with an optional initial profile.
+* :class:`RemoveUser` — a user leaves; her profile is cleared but the id
+  stays allocated so graph rows remain aligned.
+
+:func:`apply_events` replays a stream against a
+:class:`~repro.streaming.index.DynamicKnnIndex`.  The test harness
+(``tests/conftest.py`` and the parity suite) replays its randomized
+streams through this function, so the tested event semantics are the
+library's own.  Bulk consumers (the CLI and benchmarks) use the
+array-based ``add_ratings`` batch API directly instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["AddRating", "AddUser", "RemoveUser", "Event", "apply_events"]
+
+
+@dataclass(frozen=True)
+class AddRating:
+    """Set one rating; ``rating = 0.0`` removes the edge."""
+
+    user: int
+    item: int
+    rating: float = 1.0
+
+
+@dataclass(frozen=True)
+class AddUser:
+    """Allocate the next user id with an optional initial profile."""
+
+    items: tuple = ()
+    ratings: tuple | None = None
+
+
+@dataclass(frozen=True)
+class RemoveUser:
+    """Clear one user's profile (the id stays in the universe)."""
+
+    user: int
+
+
+#: Any streaming event.
+Event = Union[AddRating, AddUser, RemoveUser]
+
+
+def apply_events(index, events) -> list[int]:
+    """Replay *events* against *index*; returns ids minted by AddUser.
+
+    Events are applied in order through the index's public API, so the
+    index's ``auto_refresh`` policy decides when refinement runs.
+    """
+    minted: list[int] = []
+    for event in events:
+        if isinstance(event, AddRating):
+            index.add_ratings([event.user], [event.item], [event.rating])
+        elif isinstance(event, AddUser):
+            minted.append(index.add_user(event.items, event.ratings))
+        elif isinstance(event, RemoveUser):
+            index.remove_user(event.user)
+        else:
+            raise TypeError(f"unknown streaming event {event!r}")
+    return minted

@@ -1,0 +1,452 @@
+"""Incremental maintenance of a KIFF KNN graph under rating streams.
+
+KIFF (Algorithm 1) is an offline batch algorithm, but its two-phase
+counting/refinement split is exactly what an online system needs: item
+profiles and candidate sets update in O(1) per rating event, and the
+refinement step — ``merge_topk`` over freshly evaluated candidate pairs —
+localises naturally to the users whose candidacies changed.
+
+:class:`DynamicKnnIndex` maintains the **converged** KIFF graph: the
+fixed point KIFF reaches with ``beta = 0`` (every Ranked Candidate Set
+exhausted), which is each user's exact top-k over her co-rating
+candidates and is independent of ``gamma``, ``beta`` and the iteration
+schedule.  That is the graph a cold ``kiff(engine, config)`` rebuild with
+``beta = 0.0`` produces on the same data, and the differential-parity
+test suite (``tests/streaming/test_parity.py``) asserts exact neighbour
+and similarity equality against such rebuilds after arbitrary event
+interleavings.
+
+Maintenance invariant
+---------------------
+After ``refresh()`` the graph equals the cold rebuild because:
+
+* An event only changes user *u*'s profile, so for *profile-local*
+  metrics only similarities involving *u* change, and *u* joins the
+  **dirty set**.  For metrics with global terms (Adamic-Adar's item
+  weights; see ``SimilarityMetric.profile_local``) an item-membership
+  change also shifts every pair sharing that item, so all of the item's
+  raters join the dirty set too.
+* A dirty user's row is rebuilt from scratch: all its pair similarities
+  are stale (e.g. cosine renormalises the whole row when one rating
+  lands).
+* A clean user *x* whose row **contains** a dirty user holds a stale
+  entry whose true replacement may be an arbitrary rank-(k+1) candidate,
+  so *x* joins the **affected set** and is rebuilt too.
+* Every other clean user *x* has only unchanged entries; a dirty user
+  can at most *enter* her row, which the mirror merge of the freshly
+  evaluated (dirty, x) pairs performs — ``merge_topk`` applies the same
+  (sim desc, id asc) tie-breaks as the batch algorithm.
+
+Cost: similarity evaluations proportional to the affected users'
+candidate sets instead of the whole population's — the streaming
+analogue of KIFF's "only scan the RCS" guarantee.  The throughput bench
+(``benchmarks/bench_streaming_throughput.py``) measures the resulting
+evaluation savings against rebuild-per-batch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.config import KiffConfig
+from ..core.kiff import kiff
+from ..core.result import ConstructionResult
+from ..datasets.bipartite import BipartiteDataset, DatasetError
+from ..datasets.mutable import MutableBipartiteBuilder
+from ..graph.knn_graph import MISSING, KnnGraph
+from ..graph.updates import dedupe_pairs, merge_topk
+from ..similarity.base import SimilarityMetric
+from ..similarity.engine import SimilarityEngine
+
+__all__ = [
+    "DynamicKnnIndex",
+    "RefreshStats",
+    "cold_rebuild_graph",
+    "converged_config",
+]
+
+
+def converged_config(config: KiffConfig) -> KiffConfig:
+    """The cold-rebuild configuration matching a maintained graph.
+
+    ``beta = 0`` exhausts every Ranked Candidate Set, producing the
+    gamma-independent fixed point :class:`DynamicKnnIndex` maintains.
+    """
+    return replace(config, beta=0.0, track_snapshots=False)
+
+
+def cold_rebuild_graph(
+    dataset: BipartiteDataset,
+    config: KiffConfig,
+    metric: str | SimilarityMetric = "cosine",
+) -> KnnGraph:
+    """The converged KIFF graph on *dataset* — the parity reference.
+
+    This is the single definition of "what the streaming index must
+    equal"; the CLI, the staleness experiment and the parity test suite
+    all compare against it.  A fresh engine is used so the caller's
+    instrumentation is not polluted.
+    """
+    engine = SimilarityEngine(dataset, metric=metric)
+    return kiff(engine, converged_config(config)).graph
+
+
+@dataclass(frozen=True)
+class RefreshStats:
+    """Cost accounting for one localized refinement pass."""
+
+    #: Events absorbed since the previous refresh.
+    events: int
+    #: Users whose own profile changed.
+    dirty_users: int
+    #: Users whose row was rebuilt (dirty + rows referencing them).
+    affected_users: int
+    #: Similarity evaluations performed by this pass.
+    evaluations: int
+    #: KNN slots changed by the pass (merge_topk's change counter).
+    changes: int
+    #: Wall-clock seconds spent in the pass.
+    wall_time: float
+
+
+class DynamicKnnIndex:
+    """A KIFF KNN graph maintained under insert/remove rating events.
+
+    Parameters
+    ----------
+    dataset:
+        Initial dataset; the index starts from a converged KIFF build on
+        it (skipped with ``build=False``, leaving an empty graph that a
+        first ``refresh()`` or ``rebuild()`` populates).
+    config:
+        KIFF parameters.  ``k``, ``min_rating`` and ``pivot`` shape the
+        maintained graph and its cost; ``beta`` is forced to ``0.0``
+        internally because the index maintains the converged graph.
+    metric:
+        Similarity metric name or instance (as for
+        :class:`~repro.similarity.engine.SimilarityEngine`).
+    auto_refresh:
+        When True (default) every mutation batch triggers an immediate
+        ``refresh()``, keeping the graph exact at all times.  When False,
+        events accumulate in the dirty set and the caller chooses the
+        staleness/cost trade-off by calling ``refresh()`` explicitly —
+        the policy knob the staleness experiment sweeps.
+    """
+
+    def __init__(
+        self,
+        dataset: BipartiteDataset,
+        config: KiffConfig | None = None,
+        metric: str | SimilarityMetric = "cosine",
+        auto_refresh: bool = True,
+        build: bool = True,
+    ):
+        self.config = config or KiffConfig()
+        self.auto_refresh = auto_refresh
+        self.builder = MutableBipartiteBuilder.from_dataset(dataset)
+        self.engine = SimilarityEngine(dataset, metric=metric)
+        # Backing arrays may hold slack capacity (geometric growth, so a
+        # burst of user joins doesn't copy the graph per join); the first
+        # _n_rows rows are the live graph.
+        self._n_rows = dataset.n_users
+        self._neighbors = np.full(
+            (dataset.n_users, self.config.k), MISSING, dtype=np.int64
+        )
+        self._sims = np.full(
+            (dataset.n_users, self.config.k), -np.inf, dtype=np.float64
+        )
+        self._dirty: set[int] = set()
+        self._pending_events = 0
+        self.refresh_log: list[RefreshStats] = []
+        self.initial_evaluations = 0
+        #: Non-local metrics (e.g. Adamic-Adar) weigh items by global
+        #: popularity, so an item-membership change invalidates every
+        #: pair sharing that item — those raters must join the dirty set.
+        self._profile_local = self.engine.metric.profile_local
+        if build:
+            self.rebuild()
+            self.initial_evaluations = self.engine.counter.evaluations
+        else:
+            # Deferred build: everyone is dirty, so the first refresh()
+            # constructs the full converged graph.
+            self._dirty.update(range(dataset.n_users))
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> KnnGraph:
+        """The maintained KNN graph (a copy; exact iff no events pending)."""
+        neighbors, sims = self._rows()
+        return KnnGraph(neighbors.copy(), sims.copy())
+
+    @property
+    def dataset(self) -> BipartiteDataset:
+        """Snapshot of the current ratings (cached between mutations)."""
+        return self.builder.snapshot()
+
+    @property
+    def n_users(self) -> int:
+        return self.builder.n_users
+
+    @property
+    def pending_events(self) -> int:
+        """Events absorbed since the last refresh."""
+        return self._pending_events
+
+    @property
+    def dirty_users(self) -> frozenset:
+        """Users whose profile changed since the last refresh."""
+        return frozenset(self._dirty)
+
+    @property
+    def maintenance_evaluations(self) -> int:
+        """Similarity evaluations spent after the initial build."""
+        return self.engine.counter.evaluations - self.initial_evaluations
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add_ratings(self, users, items, ratings=None) -> None:
+        """Absorb a batch of ``(user, item, rating)`` events.
+
+        Users must already exist (use :meth:`add_user` to grow the
+        population); items may extend the item universe freely.  A rating
+        of ``0.0`` deletes the edge.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if ratings is None:
+            ratings = np.ones(users.size, dtype=np.float64)
+        else:
+            ratings = np.asarray(ratings, dtype=np.float64)
+        if users.shape != items.shape or users.shape != ratings.shape:
+            raise ValueError(
+                f"users, items and ratings must have equal length, got "
+                f"{users.size}, {items.size}, {ratings.size}"
+            )
+        # Validate the whole batch before mutating anything, so a bad
+        # event cannot leave earlier events applied but unrefreshed.
+        if users.size:
+            if users.min() < 0 or users.max() >= self.builder.n_users:
+                bad = users[(users < 0) | (users >= self.builder.n_users)][0]
+                raise DatasetError(
+                    f"user id {bad} out of range [0, {self.builder.n_users})"
+                )
+            if items.min() < 0:
+                raise DatasetError(
+                    f"item id must be non-negative, got {items.min()}"
+                )
+            if not np.all(np.isfinite(ratings)):
+                raise DatasetError("ratings must be finite")
+        for user, item, rating in zip(
+            users.tolist(), items.tolist(), ratings.tolist()
+        ):
+            old = self.builder.rating(user, item)
+            if old == rating:
+                continue  # duplicate delivery / identical overwrite: no-op
+            membership_change = (old != 0.0) != (rating != 0.0)
+            self.builder.set_rating(user, item, rating)
+            self._dirty.add(user)
+            if membership_change and not self._profile_local:
+                # |IP_item| changed: every pair sharing the item shifts.
+                self._dirty.update(self.builder.users_of(item))
+        self._pending_events += int(users.size)
+        if self.auto_refresh:
+            self.refresh()
+
+    def add_user(self, items=(), ratings=None) -> int:
+        """Grow the population by one user; returns the new id."""
+        user = self.builder.add_user(items, ratings)
+        self._grow_rows(self.builder.n_users)
+        self._dirty.add(user)
+        if not self._profile_local:
+            for item in self.builder.profile(user):
+                self._dirty.update(self.builder.users_of(item))
+        self._pending_events += 1
+        if self.auto_refresh:
+            self.refresh()
+        return user
+
+    def remove_user(self, user: int) -> None:
+        """Clear *user*'s profile; the id stays allocated (empty row)."""
+        touched_items = (
+            None if self._profile_local else list(self.builder.profile(user))
+        )
+        self.builder.clear_user(user)
+        self._dirty.add(user)
+        if touched_items is not None:
+            for item in touched_items:
+                self._dirty.update(self.builder.users_of(item))
+        self._pending_events += 1
+        if self.auto_refresh:
+            self.refresh()
+
+    # ------------------------------------------------------------------
+    # Refinement
+    # ------------------------------------------------------------------
+    def refresh(self) -> RefreshStats:
+        """Run the localized KIFF refinement over the dirty set.
+
+        Rebuilds the rows of the affected set (dirty users plus rows
+        referencing them) from their live candidate sets and mirror-merges
+        the freshly evaluated pairs into every other row, restoring the
+        converged-graph invariant.  Returns the pass's cost accounting.
+        """
+        start = time.perf_counter()
+        n_events, n_dirty = self._pending_events, len(self._dirty)
+        if n_dirty == 0:
+            # All pending events were no-ops; log the pass anyway so
+            # refresh_log stays one entry per refresh performed.
+            stats = RefreshStats(
+                n_events, 0, 0, 0, 0, time.perf_counter() - start
+            )
+            self._pending_events = 0
+            self.refresh_log.append(stats)
+            return stats
+        engine = self.engine
+        with engine.timer.phase("preprocessing"):
+            engine.rebind(self.builder.snapshot())
+        with engine.timer.phase("candidate_selection"):
+            neighbors, sims = self._rows()
+            dirty = np.fromiter(self._dirty, count=n_dirty, dtype=np.int64)
+            referencing = np.isin(neighbors, dirty).any(axis=1)
+            affected = np.union1d(dirty, np.flatnonzero(referencing))
+            # Retry safety: once their rows are cleared, affected users
+            # must count as dirty until the merge lands — if evaluation
+            # fails mid-pass (metric error, interrupt), the next refresh
+            # rebuilds them instead of leaving their rows silently empty.
+            truly_dirty = frozenset(self._dirty)
+            self._dirty.update(affected.tolist())
+            neighbors[affected] = MISSING
+            sims[affected] = -np.inf
+            us, vs = self._candidate_pairs(affected, truly_dirty)
+        before = engine.counter.evaluations
+        pair_sims = engine.batch(us, vs)
+        evaluations = engine.counter.evaluations - before
+        with engine.timer.phase("candidate_selection"):
+            if self.config.pivot:
+                # One evaluation serves both directions (Section II-D).
+                cand_users = np.concatenate([us, vs])
+                cand_ids = np.concatenate([vs, us])
+                cand_sims = np.concatenate([pair_sims, pair_sims])
+            else:
+                cand_users, cand_ids, cand_sims = us, vs, pair_sims
+            new_neighbors, new_sims, changes = merge_topk(
+                neighbors, sims, cand_users, cand_ids, cand_sims
+            )
+            # Write back through the views so backing-array slack
+            # capacity (geometric growth) survives the refresh.
+            neighbors[:] = new_neighbors
+            sims[:] = new_sims
+        self._dirty.clear()
+        self._pending_events = 0
+        stats = RefreshStats(
+            events=n_events,
+            dirty_users=n_dirty,
+            affected_users=int(affected.size),
+            evaluations=int(evaluations),
+            changes=int(changes),
+            wall_time=time.perf_counter() - start,
+        )
+        self.refresh_log.append(stats)
+        return stats
+
+    def rebuild(self) -> ConstructionResult:
+        """Cold full KIFF rebuild — the baseline ``refresh()`` undercuts.
+
+        Also the recovery path: whatever the graph state, a rebuild
+        restores the invariant from the ratings alone.
+        """
+        self.engine.rebind(self.builder.snapshot())
+        result = kiff(self.engine, converged_config(self.config))
+        self._neighbors = result.graph.neighbors.copy()
+        self._sims = result.graph.sims.copy()
+        self._n_rows = result.graph.n_users
+        self._dirty.clear()
+        self._pending_events = 0
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _rows(self) -> tuple[np.ndarray, np.ndarray]:
+        """Views of the live graph rows (backing arrays may hold slack)."""
+        return self._neighbors[: self._n_rows], self._sims[: self._n_rows]
+
+    def _grow_rows(self, n_users: int) -> None:
+        """Extend the live row count, doubling capacity when exhausted.
+
+        Geometric growth keeps a burst of user joins between refreshes at
+        amortized O(k) per join instead of copying the whole graph state
+        on every event.
+        """
+        if n_users <= self._n_rows:
+            return
+        capacity = self._neighbors.shape[0]
+        if n_users > capacity:
+            k = self.config.k
+            new_capacity = max(n_users, 2 * capacity)
+            neighbors = np.full((new_capacity, k), MISSING, dtype=np.int64)
+            sims = np.full((new_capacity, k), -np.inf, dtype=np.float64)
+            neighbors[: self._n_rows] = self._neighbors[: self._n_rows]
+            sims[: self._n_rows] = self._sims[: self._n_rows]
+            self._neighbors, self._sims = neighbors, sims
+        else:
+            # Recycled capacity: reset the newly exposed rows.
+            self._neighbors[self._n_rows : n_users] = MISSING
+            self._sims[self._n_rows : n_users] = -np.inf
+        self._n_rows = n_users
+
+    def _candidates_of(self, user: int) -> set:
+        """Live co-rating candidates of *user* (``min_rating`` honoured).
+
+        The streaming analogue of one Ranked Candidate Set: the union of
+        the item profiles of the user's (qualifying) items.  Rank order is
+        irrelevant here because refinement always exhausts the set.
+        """
+        builder = self.builder
+        min_rating = self.config.min_rating
+        candidates: set = set()
+        for item, rating in builder.profile(user).items():
+            if min_rating is not None and rating < min_rating:
+                continue
+            if min_rating is None:
+                candidates.update(builder.users_of(item))
+            else:
+                for other in builder.users_of(item):
+                    if builder.rating(other, item) >= min_rating:
+                        candidates.add(other)
+        candidates.discard(user)
+        return candidates
+
+    def _candidate_pairs(
+        self, affected: np.ndarray, dirty: frozenset
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Directed (row, candidate) evaluation needs for one refresh.
+
+        Every affected row needs its full candidate set; additionally a
+        dirty user must be offered to the rows of her clean candidates
+        (the mirror direction).  With the pivot strategy the pairs are
+        collapsed to unordered form and each is evaluated once; without
+        it, each needed direction is evaluated separately — the same
+        accounting split as the batch algorithm.
+        """
+        affected_set = set(affected.tolist())
+        rows: list[int] = []
+        cands: list[int] = []
+        for user in affected.tolist():
+            candidates = self._candidates_of(user)
+            needs_mirror = user in dirty
+            for other in candidates:
+                rows.append(user)
+                cands.append(other)
+                if needs_mirror and other not in affected_set:
+                    rows.append(other)
+                    cands.append(user)
+        us = np.asarray(rows, dtype=np.int64)
+        vs = np.asarray(cands, dtype=np.int64)
+        return dedupe_pairs(us, vs, self.builder.n_users, ordered=not self.config.pivot)

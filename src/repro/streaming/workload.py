@@ -1,0 +1,144 @@
+"""Streaming workload helpers shared by the CLI, experiments and benches.
+
+The canonical maintenance workload is *hold-out replay*: take a dataset,
+hold out a fraction of its ratings, cold-build the index on the rest and
+stream the hold-out back in batches.  The final state equals the original
+dataset, so parity against a cold rebuild is checkable by construction.
+
+The full-rebuild baseline cost is computed exactly without running the
+rebuilds: a converged KIFF run (``beta = 0``) evaluates each Ranked
+Candidate Set entry exactly once, so its evaluation count *is* the RCS
+total of the snapshot (pinned by
+``tests/core/test_kiff.py::TestTermination::test_terminates_with_beta_zero``),
+which :func:`repro.core.rcs.count_rcs_candidates` computes from the
+co-occurrence sparsity pattern alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rcs import count_rcs_candidates
+from ..datasets.bipartite import BipartiteDataset
+from .index import DynamicKnnIndex
+
+__all__ = ["StreamReplayResult", "holdout_stream", "replay_stream"]
+
+
+@dataclass(frozen=True)
+class StreamReplayResult:
+    """Cost accounting for one hold-out replay."""
+
+    events: int
+    batches: int
+    wall_time: float
+    #: Similarity evaluations spent by incremental maintenance.
+    incremental_evaluations: int
+    #: Exact evaluations a cold converged rebuild per batch would spend.
+    rebuild_evaluations: int
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.wall_time if self.wall_time > 0 else float("inf")
+
+    @property
+    def savings(self) -> float:
+        """How many times fewer evaluations than rebuild-per-batch."""
+        if self.incremental_evaluations == 0:
+            return float("inf")
+        return self.rebuild_evaluations / self.incremental_evaluations
+
+
+def holdout_stream(
+    dataset: BipartiteDataset,
+    fraction: float = 0.1,
+    seed: int = 0,
+) -> tuple[BipartiteDataset, np.ndarray, np.ndarray, np.ndarray]:
+    """Split *dataset* into a base dataset and a shuffled event stream.
+
+    Returns ``(base, users, items, ratings)`` where streaming the parallel
+    event arrays into an index built on ``base`` reproduces *dataset*.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    coo = dataset.matrix.tocoo()
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(coo.nnz)
+    n_stream = max(1, int(round(fraction * coo.nnz)))
+    stream, base = order[:n_stream], order[n_stream:]
+    if base.size == 0:
+        raise ValueError("hold-out fraction leaves no base ratings")
+    base_dataset = BipartiteDataset.from_edges(
+        coo.row[base],
+        coo.col[base],
+        coo.data[base],
+        n_users=dataset.n_users,
+        n_items=dataset.n_items,
+        name=f"{dataset.name}-base",
+    )
+    return (
+        base_dataset,
+        coo.row[stream].astype(np.int64),
+        coo.col[stream].astype(np.int64),
+        coo.data[stream].astype(np.float64),
+    )
+
+
+def replay_stream(
+    index: DynamicKnnIndex,
+    users: np.ndarray,
+    items: np.ndarray,
+    ratings: np.ndarray,
+    batch_size: int = 10,
+    track_rebuild_cost: bool = True,
+    on_batch=None,
+) -> StreamReplayResult:
+    """Stream events into *index* in batches, refreshing after each batch.
+
+    ``on_batch(index)`` (when given) is called *before* each refresh, with
+    the graph stale — the hook the staleness experiment uses to sample
+    recall.  The rebuild baseline is accumulated per refresh point, i.e.
+    the cost of the "just rebuild on every batch" strategy the streaming
+    subsystem replaces.  Only the maintenance work (event absorption +
+    refresh) is timed; the hook and the baseline accounting run outside
+    the measured window so ``events_per_second`` reflects the subsystem,
+    not the instrumentation.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    evaluations_before = index.engine.counter.evaluations
+    rebuild_evaluations = 0
+    batches = 0
+    wall_time = 0.0
+    for lo in range(0, len(users), batch_size):
+        hi = lo + batch_size
+        was_auto = index.auto_refresh
+        index.auto_refresh = False
+        start = time.perf_counter()
+        try:
+            index.add_ratings(users[lo:hi], items[lo:hi], ratings[lo:hi])
+        finally:
+            index.auto_refresh = was_auto
+        if on_batch is not None:
+            wall_time += time.perf_counter() - start
+            on_batch(index)
+            start = time.perf_counter()
+        index.refresh()
+        wall_time += time.perf_counter() - start
+        batches += 1
+        if track_rebuild_cost:
+            rebuild_evaluations += count_rcs_candidates(
+                index.dataset,
+                pivot=index.config.pivot,
+                min_rating=index.config.min_rating,
+            )
+    return StreamReplayResult(
+        events=int(len(users)),
+        batches=batches,
+        wall_time=wall_time,
+        incremental_evaluations=index.engine.counter.evaluations - evaluations_before,
+        rebuild_evaluations=int(rebuild_evaluations),
+    )

@@ -1,12 +1,28 @@
-"""Shared fixtures: small deterministic datasets and engines."""
+"""Shared fixtures: small deterministic datasets, engines, strategies."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
+from hypothesis import strategies as st
 
 from repro import BipartiteDataset, SimilarityEngine
 from repro.datasets import load_dataset
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles: seeded and deadline-free in CI, lenient locally.
+# ----------------------------------------------------------------------
+hypothesis_settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 @pytest.fixture
@@ -65,6 +81,64 @@ def toy_engine(toy_dataset) -> SimilarityEngine:
 @pytest.fixture
 def wiki_engine(tiny_wikipedia) -> SimilarityEngine:
     return SimilarityEngine(tiny_wikipedia, metric="cosine")
+
+
+# ----------------------------------------------------------------------
+# Streaming event streams (shared by parity and property suites)
+# ----------------------------------------------------------------------
+def streaming_events(
+    max_items: int = 12, max_events: int = 24, max_rating: int = 5
+):
+    """Shrinkable Hypothesis strategy of streaming event tuples.
+
+    Events are encoded abstractly so the stream stays valid however the
+    population evolves: user references are *slots* that
+    :func:`apply_streaming_events` resolves modulo the live user count.
+
+    * ``("rate", slot, item, rating)`` — set a rating (0 deletes);
+    * ``("add_user", [(item, rating), ...])`` — a user joins;
+    * ``("remove", slot)`` — a user's profile is cleared.
+    """
+    rate = st.tuples(
+        st.just("rate"),
+        st.integers(0, 63),
+        st.integers(0, max_items - 1),
+        st.integers(0, max_rating),
+    )
+    add_user = st.tuples(
+        st.just("add_user"),
+        st.lists(
+            st.tuples(st.integers(0, max_items - 1), st.integers(1, max_rating)),
+            max_size=4,
+        ),
+    )
+    remove = st.tuples(st.just("remove"), st.integers(0, 63))
+    return st.lists(st.one_of(rate, add_user, remove), max_size=max_events)
+
+
+def apply_streaming_events(index, events) -> None:
+    """Replay :func:`streaming_events` tuples against a DynamicKnnIndex.
+
+    Tuples are resolved into :mod:`repro.streaming.events` objects one at
+    a time (user slots are taken modulo the live user count) and applied
+    through :func:`repro.streaming.apply_events`, so the tests exercise
+    the same event semantics the library defines.
+    """
+    from repro.streaming import AddRating, AddUser, RemoveUser, apply_events
+
+    for event in events:
+        kind = event[0]
+        if kind == "rate":
+            _, slot, item, rating = event
+            resolved = AddRating(slot % index.n_users, item, float(rating))
+        elif kind == "add_user":
+            profile = {item: float(rating) for item, rating in event[1]}
+            resolved = AddUser(tuple(profile), tuple(profile.values()))
+        elif kind == "remove":
+            resolved = RemoveUser(event[1] % index.n_users)
+        else:  # pragma: no cover - strategy never produces this
+            raise ValueError(f"unknown event {event!r}")
+        apply_events(index, [resolved])
 
 
 def random_dataset(

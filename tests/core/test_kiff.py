@@ -66,6 +66,54 @@ class TestModes:
         assert fast.scan_rate == pytest.approx(reference.scan_rate)
 
 
+class TestModeParitySweep:
+    """Reference-vs-fast parity across the (gamma, beta, min_rating) grid.
+
+    The streaming subsystem asserts its graphs against cold rebuilds; this
+    sweep is what lets it assert against *either* execution mode with
+    confidence — on the seeded test datasets the two modes agree on the
+    graph and the evaluation count across the whole parameter grid, not
+    just at the defaults.
+    """
+
+    GAMMAS = (1, 7, None, math.inf)
+    BETAS = (0.0, 0.001, 0.05, math.inf)
+    MIN_RATINGS = (None, 3.0)
+
+    @pytest.mark.parametrize("min_rating", MIN_RATINGS)
+    @pytest.mark.parametrize("beta", BETAS)
+    @pytest.mark.parametrize("gamma", GAMMAS)
+    def test_reference_equals_fast_on_grid(self, gamma, beta, min_rating):
+        ds = random_dataset(
+            n_users=40, n_items=30, density=0.15, seed=11, ratings=True
+        )
+        config = dict(k=5, gamma=gamma, beta=beta, min_rating=min_rating)
+        fast = kiff(SimilarityEngine(ds), KiffConfig(mode="fast", **config))
+        reference = kiff(
+            SimilarityEngine(ds), KiffConfig(mode="reference", **config)
+        )
+        assert fast.graph == reference.graph
+        assert fast.evaluations == reference.evaluations
+
+    @pytest.mark.parametrize("min_rating", MIN_RATINGS)
+    @pytest.mark.parametrize("gamma", (1, 7, math.inf))
+    def test_converged_graph_is_gamma_invariant(self, gamma, min_rating):
+        """With beta = 0 the final graph is the gamma-independent fixed
+        point — the invariant the streaming subsystem maintains."""
+        ds = random_dataset(
+            n_users=40, n_items=30, density=0.15, seed=12, ratings=True
+        )
+        swept = kiff(
+            SimilarityEngine(ds),
+            KiffConfig(k=5, gamma=gamma, beta=0.0, min_rating=min_rating),
+        )
+        anchor = kiff(
+            SimilarityEngine(ds),
+            KiffConfig(k=5, gamma=math.inf, beta=0.0, min_rating=min_rating),
+        )
+        assert swept.graph == anchor.graph
+
+
 class TestOptimality:
     """Section III-D: gamma=inf + metric with properties (5)/(6) => exact."""
 

@@ -169,3 +169,30 @@ class TestStructure:
                 items_u = set(tiny_wikipedia.user_items(int(u)).tolist())
                 items_v = set(tiny_wikipedia.user_items(int(v)).tolist())
                 assert not (items_u & items_v)
+
+
+class TestCountCandidates:
+    """count_rcs_candidates must agree with build_rcs everywhere — it is
+    the streaming workload's exact rebuild-cost accounting."""
+
+    @pytest.mark.parametrize("pivot", [True, False])
+    @pytest.mark.parametrize("min_rating", [None, 3.0])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_build_rcs(self, pivot, min_rating, seed):
+        from repro.core.rcs import count_rcs_candidates
+
+        ds = random_dataset(
+            n_users=40, n_items=30, density=0.15, seed=seed, ratings=True
+        )
+        expected = build_rcs(
+            ds, pivot=pivot, min_rating=min_rating
+        ).total_candidates
+        assert count_rcs_candidates(ds, pivot=pivot, min_rating=min_rating) == expected
+
+    def test_matches_on_preset(self, tiny_wikipedia):
+        from repro.core.rcs import count_rcs_candidates
+
+        assert (
+            count_rcs_candidates(tiny_wikipedia)
+            == build_rcs(tiny_wikipedia).total_candidates
+        )

@@ -1,0 +1,132 @@
+"""Unit tests for the append-friendly dataset builder."""
+
+import pytest
+
+from repro.datasets import BipartiteDataset, DatasetError, MutableBipartiteBuilder
+
+
+@pytest.fixture
+def builder(rated_dataset) -> MutableBipartiteBuilder:
+    return MutableBipartiteBuilder.from_dataset(rated_dataset)
+
+
+class TestRoundTrip:
+    def test_from_dataset_snapshot_is_identical(self, rated_dataset, builder):
+        assert builder.snapshot() == rated_dataset
+        assert builder.n_users == rated_dataset.n_users
+        assert builder.n_items == rated_dataset.n_items
+        assert builder.n_ratings == rated_dataset.n_ratings
+
+    def test_snapshot_cached_until_mutation(self, builder):
+        first = builder.snapshot()
+        assert builder.snapshot() is first
+        builder.set_rating(0, 3, 2.0)
+        assert builder.snapshot() is not first
+
+    def test_named_snapshot_does_not_pollute_cache(self, builder):
+        named = builder.snapshot(name="probe")
+        assert named.name == "probe"
+        assert builder.snapshot().name != "probe"
+
+
+class TestMutations:
+    def test_set_rating_adds_edge(self, builder):
+        builder.set_rating(0, 3, 4.5)
+        assert builder.rating(0, 3) == 4.5
+        assert 0 in builder.users_of(3)
+        assert builder.snapshot().user_profile(0)[3] == 4.5
+
+    def test_set_rating_overwrites(self, builder):
+        before = builder.n_ratings
+        builder.set_rating(0, 0, 1.5)
+        assert builder.n_ratings == before
+        assert builder.rating(0, 0) == 1.5
+
+    def test_zero_rating_deletes_edge(self, builder):
+        builder.set_rating(0, 0, 0.0)
+        assert builder.rating(0, 0) == 0.0
+        assert 0 not in builder.users_of(0)
+        assert 0 not in builder.snapshot().user_items(0).tolist()
+
+    def test_noop_mutations_keep_snapshot_and_shape(self, builder):
+        """Duplicate deliveries must be free: an absent-edge delete or an
+        identical overwrite neither grows the item universe nor drops
+        the snapshot cache."""
+        snapshot = builder.snapshot()
+        builder.set_rating(0, 5000, 0.0)  # delete of an absent edge
+        assert builder.n_items == snapshot.n_items
+        builder.set_rating(0, 0, builder.rating(0, 0))  # identical overwrite
+        assert builder.snapshot() is snapshot
+
+    def test_new_item_grows_item_space(self, builder):
+        builder.set_rating(0, 40, 1.0)
+        assert builder.n_items == 41
+        assert builder.snapshot().n_items == 41
+
+    def test_add_user_allocates_dense_ids(self, builder):
+        first = builder.add_user([0, 2], [5.0, 1.0])
+        second = builder.add_user()
+        assert (first, second) == (5, 6)
+        assert builder.profile(second) == {}
+        assert builder.snapshot().n_users == 7
+
+    def test_clear_user_empties_profile_keeps_id(self, builder):
+        n = builder.n_users
+        builder.clear_user(3)
+        assert builder.profile(3) == {}
+        assert builder.n_users == n
+        assert 3 not in builder.users_of(0)
+
+    def test_item_index_tracks_mutations(self, builder):
+        assert builder.users_of(0) == {0, 1, 3}
+        builder.set_rating(2, 0, 2.0)
+        assert 2 in builder.users_of(0)
+        builder.clear_user(1)
+        assert 1 not in builder.users_of(0)
+
+
+class TestValidation:
+    def test_unknown_user_rejected(self, builder):
+        with pytest.raises(DatasetError, match="out of range"):
+            builder.set_rating(99, 0, 1.0)
+
+    def test_negative_item_rejected(self, builder):
+        with pytest.raises(DatasetError, match="non-negative"):
+            builder.set_rating(0, -1, 1.0)
+
+    def test_non_finite_rating_rejected(self, builder):
+        with pytest.raises(DatasetError, match="finite"):
+            builder.set_rating(0, 0, float("nan"))
+
+    def test_mismatched_profile_lengths_rejected(self, builder):
+        with pytest.raises(DatasetError, match="equal length"):
+            builder.add_user([0, 1], [1.0])
+
+    @pytest.mark.parametrize(
+        "items, ratings",
+        [([0, 1], [1.0]), ([-1], [1.0]), ([0], [float("inf")])],
+    )
+    def test_rejected_add_user_leaks_no_phantom_id(self, builder, items, ratings):
+        """Validation happens before id allocation: a rejected profile
+        must leave the builder (and any index built on it) unchanged."""
+        before = builder.n_users
+        with pytest.raises(DatasetError):
+            builder.add_user(items, ratings)
+        assert builder.n_users == before
+        assert builder.add_user() == before  # next id unaffected
+
+    def test_userless_builder_snapshot_rejected(self):
+        """No phantom users: snapshotting before any add_user must fail
+        loudly instead of desynchronizing builder and dataset shapes."""
+        builder = MutableBipartiteBuilder()
+        with pytest.raises(DatasetError, match="no users"):
+            builder.snapshot()
+
+    def test_ratingless_users_snapshot_pads_item_universe(self):
+        builder = MutableBipartiteBuilder()
+        builder.add_user()
+        snapshot = builder.snapshot()
+        assert isinstance(snapshot, BipartiteDataset)
+        assert snapshot.n_users == 1
+        assert snapshot.n_items == 1  # padded; no item ids exist yet
+        assert snapshot.n_ratings == 0

@@ -40,6 +40,24 @@ class TestMain:
         assert main(["table1", "--scale", "tiny", "--metric", "jaccard"]) == 0
 
 
+class TestStreamCommand:
+    def test_stream_command_reports_parity(self, capsys):
+        assert main(["stream", "--scale", "tiny", "--batch-size", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "events streamed" in out
+        assert "savings" in out
+        parity_line = next(
+            line for line in out.splitlines() if "parity" in line
+        )
+        assert "True" in parity_line
+
+    def test_stream_fraction_validated_by_parser(self, capsys):
+        """Bad fractions are an argparse usage error, not a traceback."""
+        with pytest.raises(SystemExit):
+            main(["stream", "--scale", "tiny", "--stream-fraction", "1.5"])
+        assert "between 0 and 1" in capsys.readouterr().err
+
+
 class TestUtilityCommands:
     def test_datasets_command(self, capsys):
         assert main(["datasets", "--scale", "tiny"]) == 0

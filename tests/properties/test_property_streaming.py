@@ -1,0 +1,114 @@
+"""Property-based tests for streaming KNN maintenance.
+
+Random event streams (insert user, add/overwrite/delete rating, remove
+user) from the shared shrinkable strategy in ``tests/conftest.py`` are
+replayed against a :class:`DynamicKnnIndex`; whatever the interleaving,
+the maintained graph must stay structurally sound and — after a refresh —
+exactly equal a cold converged rebuild.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro import DynamicKnnIndex, KiffConfig
+from repro.graph.knn_graph import MISSING
+from repro.streaming import cold_rebuild_graph
+from tests.conftest import (
+    apply_streaming_events,
+    random_dataset,
+    streaming_events,
+)
+
+
+def _fresh_index(k=3, auto_refresh=False, seed=3):
+    dataset = random_dataset(
+        n_users=8, n_items=12, density=0.2, seed=seed, ratings=True
+    )
+    return DynamicKnnIndex(dataset, KiffConfig(k=k), auto_refresh=auto_refresh)
+
+
+class TestStructuralInvariants:
+    @given(events=streaming_events())
+    @settings(max_examples=40)
+    def test_no_self_edges(self, events):
+        index = _fresh_index()
+        apply_streaming_events(index, events)
+        index.refresh()
+        graph = index.graph
+        rows = np.arange(graph.n_users)[:, None]
+        assert not np.any(graph.neighbors == rows)
+
+    @given(events=streaming_events())
+    @settings(max_examples=40)
+    def test_ids_in_range(self, events):
+        index = _fresh_index()
+        apply_streaming_events(index, events)
+        index.refresh()
+        graph = index.graph
+        valid = graph.neighbors[graph.valid_mask]
+        assert graph.n_users == index.n_users
+        if valid.size:
+            assert valid.min() >= 0
+            assert valid.max() < index.n_users
+
+    @given(events=streaming_events())
+    @settings(max_examples=40)
+    def test_rows_canonical_and_sims_monotone(self, events):
+        """Valid entries first; per-row sims non-increasing."""
+        index = _fresh_index()
+        apply_streaming_events(index, events)
+        index.refresh()
+        graph = index.graph
+        for user in range(graph.n_users):
+            row = graph.neighbors[user]
+            valid = row != MISSING
+            # Valid prefix: no hole before a valid entry.
+            assert not np.any(valid[1:] & ~valid[:-1])
+            sims = graph.sims[user][valid]
+            assert np.all(sims[:-1] >= sims[1:])
+            # Empty slots carry -inf.
+            assert np.all(np.isneginf(graph.sims[user][~valid]))
+
+    @given(events=streaming_events())
+    @settings(max_examples=40)
+    def test_no_duplicate_neighbors_per_row(self, events):
+        index = _fresh_index()
+        apply_streaming_events(index, events)
+        index.refresh()
+        graph = index.graph
+        for user in range(graph.n_users):
+            ids = graph.neighbors_of(user)
+            assert ids.size == np.unique(ids).size
+
+    @given(events=streaming_events())
+    @settings(max_examples=40)
+    def test_removed_users_have_empty_rows(self, events):
+        index = _fresh_index()
+        apply_streaming_events(index, events)
+        index.refresh()
+        graph = index.graph
+        degrees = graph.degree()
+        for user in range(index.n_users):
+            if not index.builder.profile(user):
+                assert degrees[user] == 0
+
+
+class TestStreamParityProperty:
+    @given(events=streaming_events(max_events=14))
+    @settings(max_examples=20)
+    def test_refresh_restores_cold_rebuild_parity(self, events):
+        index = _fresh_index()
+        apply_streaming_events(index, events)
+        index.refresh()
+        assert index.graph == cold_rebuild_graph(index.dataset, index.config)
+
+    @given(events=streaming_events(max_events=10))
+    @settings(max_examples=15)
+    def test_auto_refresh_matches_deferred(self, events):
+        """Refresh granularity never changes the final graph."""
+        eager = _fresh_index(auto_refresh=True)
+        deferred = _fresh_index(auto_refresh=False)
+        apply_streaming_events(eager, events)
+        apply_streaming_events(deferred, events)
+        deferred.refresh()
+        assert eager.graph == deferred.graph

@@ -132,6 +132,81 @@ class TestTiming:
         assert timer.get("similarity") > 0
 
 
+class TestRebind:
+    def test_rebind_swaps_dataset_and_index(self, toy_dataset, rated_dataset):
+        engine = SimilarityEngine(toy_dataset)
+        old_index = engine.index
+        engine.rebind(rated_dataset)
+        assert engine.dataset is rated_dataset
+        assert engine.index is not old_index
+        assert engine.n_users == rated_dataset.n_users
+
+    def test_rebind_keeps_instrumentation(self, toy_dataset, rated_dataset):
+        engine = SimilarityEngine(toy_dataset)
+        engine.pair(0, 1)
+        engine.rebind(rated_dataset)
+        engine.pair(0, 1)
+        assert engine.counter.evaluations == 2
+        assert engine.timer.get("similarity") > 0
+
+    def test_rebind_scores_against_new_data(self, toy_dataset):
+        import scipy.sparse as sp
+
+        from repro.datasets import BipartiteDataset
+
+        engine = SimilarityEngine(toy_dataset, metric="overlap")
+        assert engine.pair(2, 3) == 1.0  # Carl and Dave share 'shopping'
+        grown = BipartiteDataset.from_profiles(
+            [{0: 1.0, 1: 1.0}, {1: 1.0, 2: 1.0}, {3: 1.0}, {0: 1.0}],
+            n_items=4,
+        )
+        engine.rebind(grown)
+        assert engine.pair(2, 3) == 0.0  # Dave switched to the book
+
+
+class TestChunkBoundary:
+    """Dispatch at the us.size == batch_size boundary (exactly one chunk).
+
+    A single-chunk request is scored directly — there is nothing to
+    parallelise — even when ``n_jobs > 1``; one extra pair tips it into
+    the multi-chunk path.  Results must be identical either way.
+    """
+
+    @pytest.mark.parametrize("extra", [0, 1])
+    def test_boundary_matches_serial(self, tiny_wikipedia, extra):
+        size = 128 + extra
+        rng = np.random.default_rng(5)
+        us = rng.integers(0, tiny_wikipedia.n_users, size=size)
+        vs = rng.integers(0, tiny_wikipedia.n_users, size=size)
+        serial = SimilarityEngine(tiny_wikipedia, batch_size=128, n_jobs=1)
+        parallel = SimilarityEngine(tiny_wikipedia, batch_size=128, n_jobs=4)
+        np.testing.assert_array_equal(
+            serial.batch(us, vs), parallel.batch(us, vs)
+        )
+        assert serial.counter.evaluations == size
+        assert parallel.counter.evaluations == size
+
+    def test_single_chunk_never_uses_pool(self, tiny_wikipedia, monkeypatch):
+        engine = SimilarityEngine(tiny_wikipedia, batch_size=16, n_jobs=4)
+        monkeypatch.setattr(
+            engine,
+            "_batch_parallel",
+            lambda us, vs: (_ for _ in ()).throw(
+                AssertionError("pool used for a single chunk")
+            ),
+        )
+        out = engine.batch(np.arange(16), np.arange(16) + 1)
+        assert out.size == 16
+
+    def test_two_chunks_use_pool(self, tiny_wikipedia):
+        engine = SimilarityEngine(tiny_wikipedia, batch_size=16, n_jobs=4)
+        calls = []
+        original = engine._batch_parallel
+        engine._batch_parallel = lambda us, vs: calls.append(us.size) or original(us, vs)
+        engine.batch(np.arange(17), np.arange(17) + 1)
+        assert calls == [17]
+
+
 class TestParallelBatch:
     def test_parallel_matches_serial(self, tiny_wikipedia):
         import numpy as np
