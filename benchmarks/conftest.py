@@ -26,6 +26,25 @@ import pytest
 from repro.experiments import ExperimentContext
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "Smoke mode: force REPRO_BENCH_SCALE=tiny so every bench runs "
+            "its smallest workload (the CI smoke job uses this)."
+        ),
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--quick"):
+        # Set before bench modules import (they read the scale at import
+        # time), so one flag flips the whole suite to the tiny workloads.
+        os.environ["REPRO_BENCH_SCALE"] = "tiny"
+
+
 @pytest.fixture(scope="session")
 def context() -> ExperimentContext:
     scale = os.environ.get("REPRO_BENCH_SCALE", "laptop")

@@ -45,8 +45,10 @@ from .core import (
     KiffConfig,
     KnnHeap,
     RankedCandidateSets,
+    RcsDelta,
     build_rcs,
     build_rcs_reference,
+    delta_rcs,
     kiff,
 )
 from .datasets import (
@@ -57,9 +59,17 @@ from .datasets import (
     load_evaluation_suite,
     load_movielens_family,
 )
-from .graph import KnnGraph, average_similarity, per_user_recall, recall, strict_recall
+from .graph import (
+    KnnGraph,
+    ReverseNeighborIndex,
+    average_similarity,
+    per_user_recall,
+    recall,
+    strict_recall,
+)
 from .instrumentation import (
     ConvergenceTrace,
+    MaintenanceCounter,
     PhaseTimer,
     SimilarityCounter,
     scan_rate,
@@ -87,12 +97,15 @@ __all__ = [
     "KnnGraph",
     "KnnHeap",
     "LshConfig",
+    "MaintenanceCounter",
     "MutableBipartiteBuilder",
     "NNDescentConfig",
     "PhaseTimer",
     "ProfileIndex",
     "RankedCandidateSets",
+    "RcsDelta",
     "RefreshStats",
+    "ReverseNeighborIndex",
     "SimilarityCounter",
     "SimilarityEngine",
     "SimilarityMetric",
@@ -101,6 +114,7 @@ __all__ = [
     "brute_force_knn",
     "build_rcs",
     "build_rcs_reference",
+    "delta_rcs",
     "get_metric",
     "hyrec",
     "kiff",

@@ -215,15 +215,18 @@ def _refine_reference(
         if not popped_any:
             iteration -= 1
             break
-        snapshot = _heaps_to_graph(heaps) if config.track_snapshots else None
+        snapshot = (
+            _heaps_to_graph(heaps, config.k) if config.track_snapshots else None
+        )
         trace.record(iteration, engine.counter.evaluations, changes, snapshot)
         if changes / n_users < config.beta:  # line 13
             break
-    return _heaps_to_graph(heaps), iteration
+    return _heaps_to_graph(heaps, config.k), iteration
 
 
-def _heaps_to_graph(heaps: list[KnnHeap]) -> KnnGraph:
-    k = heaps[0].k
+def _heaps_to_graph(heaps: list[KnnHeap], k: int) -> KnnGraph:
+    # k is passed in (not read off heaps[0]) so a 0-user dataset yields
+    # an empty (0, k) graph instead of an IndexError.
     n_users = len(heaps)
     neighbors = np.full((n_users, k), -1, dtype=np.int64)
     sims = np.full((n_users, k), -np.inf, dtype=np.float64)

@@ -17,15 +17,84 @@ produce an immutable snapshot on demand.
 ``snapshot()`` materialises the current state as a canonical
 :class:`BipartiteDataset`; the result is cached until the next mutation,
 so repeated reads between event batches are free.
+
+Incremental snapshotting
+------------------------
+The builder tracks which users mutated since the last materialised
+snapshot.  When a new snapshot is requested and a previous one exists,
+only the *dirty* CSR rows are re-materialised from the live profiles —
+clean rows are block-copied from the previous snapshot — and, when the
+previous snapshot had its CSC mirror built, the mirror is patched
+column-wise the same way.  The result is exactly equal to a full
+materialisation (the Hypothesis suite interleaves both paths and asserts
+equality); when the fast path's preconditions fail (no base snapshot, a
+supplied ``dirty_users`` hint that does not cover the tracked dirty set,
+or a dirty set too large to be worth patching) the builder falls back to
+the full path, which is always exact.  Row-materialisation work is
+tallied into a :class:`~repro.instrumentation.counters.MaintenanceCounter`
+so benchmarks can assert snapshot cost scales with the dirty set, not
+with ``n_ratings``.
 """
 
 from __future__ import annotations
 
 import math
 
+import numpy as np
+import scipy.sparse as sp
+
+from ..instrumentation.counters import MaintenanceCounter
 from .bipartite import BipartiteDataset, DatasetError
 
-__all__ = ["MutableBipartiteBuilder"]
+__all__ = ["MutableBipartiteBuilder", "splice_compressed"]
+
+
+def splice_compressed(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    n_segments: int,
+    dirty: np.ndarray,
+    replacements: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rebuild a compressed (CSR/CSC) structure with some segments replaced.
+
+    ``dirty`` is a sorted array of segment ids whose contents are replaced
+    by the aligned ``replacements``; every other segment is block-copied
+    from the old arrays.  ``n_segments`` may exceed the old segment count:
+    new segments default to empty unless listed dirty.  Python-level work
+    is O(len(dirty)); clean spans move as bulk ``memcpy`` slices.
+    """
+    n_old = indptr.size - 1
+    lengths = np.zeros(n_segments, dtype=np.int64)
+    lengths[:n_old] = np.diff(indptr)
+    for pos, seg in enumerate(dirty.tolist()):
+        lengths[seg] = replacements[pos][0].size
+    new_indptr = np.zeros(n_segments + 1, dtype=np.int64)
+    np.cumsum(lengths, out=new_indptr[1:])
+    total = int(new_indptr[-1])
+    new_indices = np.empty(total, dtype=indices.dtype)
+    new_data = np.empty(total, dtype=data.dtype)
+
+    def copy_clean(lo: int, hi: int) -> None:
+        hi = min(hi, n_old)
+        if lo >= hi:
+            return
+        src_lo, src_hi = indptr[lo], indptr[hi]
+        dst_lo = new_indptr[lo]
+        new_indices[dst_lo : dst_lo + (src_hi - src_lo)] = indices[src_lo:src_hi]
+        new_data[dst_lo : dst_lo + (src_hi - src_lo)] = data[src_lo:src_hi]
+
+    prev = 0
+    for pos, seg in enumerate(dirty.tolist()):
+        copy_clean(prev, seg)
+        seg_indices, seg_data = replacements[pos]
+        lo = new_indptr[seg]
+        new_indices[lo : lo + seg_indices.size] = seg_indices
+        new_data[lo : lo + seg_data.size] = seg_data
+        prev = seg + 1
+    copy_clean(prev, n_old)
+    return new_indptr, new_indices, new_data
 
 
 class MutableBipartiteBuilder:
@@ -34,26 +103,49 @@ class MutableBipartiteBuilder:
     User ids are allocated densely by :meth:`add_user` and never reused:
     removing a user clears its profile but keeps the id in the universe,
     so KNN graph rows and snapshots stay aligned across the stream.
+
+    ``maintenance`` (optional) is a shared
+    :class:`~repro.instrumentation.counters.MaintenanceCounter` that
+    tallies snapshot row materialisations; a private one is created when
+    omitted.
     """
 
-    def __init__(self, n_items: int = 0, name: str = "stream"):
+    def __init__(
+        self,
+        n_items: int = 0,
+        name: str = "stream",
+        maintenance: MaintenanceCounter | None = None,
+    ):
         if n_items < 0:
             raise DatasetError(f"n_items must be >= 0, got {n_items}")
         self.name = name
+        self.maintenance = (
+            maintenance if maintenance is not None else MaintenanceCounter()
+        )
         self._profiles: list[dict[int, float]] = []
         self._item_users: dict[int, set[int]] = {}
         self._n_items = int(n_items)
         self._n_ratings = 0
-        self._snapshot: BipartiteDataset | None = None
+        #: Last materialised snapshot — the patch base for the fast path.
+        self._base: BipartiteDataset | None = None
+        #: Users mutated since ``_base``; empty means ``_base`` is current.
+        self._dirty_rows: set[int] = set()
 
     @classmethod
-    def from_dataset(cls, dataset: BipartiteDataset) -> "MutableBipartiteBuilder":
+    def from_dataset(
+        cls,
+        dataset: BipartiteDataset,
+        maintenance: MaintenanceCounter | None = None,
+    ) -> "MutableBipartiteBuilder":
         """Seed a builder with every rating of an existing dataset."""
-        builder = cls(n_items=dataset.n_items, name=dataset.name)
+        builder = cls(
+            n_items=dataset.n_items, name=dataset.name, maintenance=maintenance
+        )
         for _, items, ratings in dataset.iter_user_profiles():
             builder.add_user(items.tolist(), ratings.tolist())
         # The seed dataset IS the current state; reuse it as the snapshot.
-        builder._snapshot = dataset
+        builder._base = dataset
+        builder._dirty_rows.clear()
         return builder
 
     # ------------------------------------------------------------------
@@ -73,6 +165,11 @@ class MutableBipartiteBuilder:
     def n_ratings(self) -> int:
         """Number of stored ratings."""
         return self._n_ratings
+
+    @property
+    def dirty_rows(self) -> frozenset:
+        """Users mutated since the last materialised snapshot."""
+        return frozenset(self._dirty_rows)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -103,7 +200,9 @@ class MutableBipartiteBuilder:
         self._profiles.append({})
         for item, rating in zip(items, ratings):
             self.set_rating(user, item, rating)
-        self._snapshot = None
+        # A new (possibly empty) row exists either way; the snapshot must
+        # grow even when no rating landed.
+        self._dirty_rows.add(user)
         return user
 
     def set_rating(self, user: int, item: int, rating: float = 1.0) -> None:
@@ -138,12 +237,14 @@ class MutableBipartiteBuilder:
                 self._n_ratings += 1
                 self._item_users.setdefault(item, set()).add(user)
             self._n_items = max(self._n_items, item + 1)
-        self._snapshot = None
+        self._dirty_rows.add(user)
 
     def clear_user(self, user: int) -> None:
         """Remove every rating of *user* (the id stays allocated)."""
         self._check_user(user)
         profile = self._profiles[user]
+        if not profile:
+            return  # already empty: the snapshot is unaffected
         for item in profile:
             users = self._item_users.get(item)
             if users is not None:
@@ -152,7 +253,7 @@ class MutableBipartiteBuilder:
                     del self._item_users[item]
         self._n_ratings -= len(profile)
         profile.clear()
-        self._snapshot = None
+        self._dirty_rows.add(user)
 
     # ------------------------------------------------------------------
     # Access
@@ -174,8 +275,22 @@ class MutableBipartiteBuilder:
     # ------------------------------------------------------------------
     # Snapshot
     # ------------------------------------------------------------------
-    def snapshot(self, name: str | None = None) -> BipartiteDataset:
+    def snapshot(
+        self,
+        name: str | None = None,
+        dirty_users=None,
+    ) -> BipartiteDataset:
         """The current state as an immutable dataset (cached until mutated).
+
+        When a previous snapshot exists, only the rows of users mutated
+        since it (plus any extra ids in the optional ``dirty_users`` hint)
+        are re-materialised; everything else is block-copied, so snapshot
+        cost scales with the dirty set.  ``dirty_users`` must cover the
+        internally tracked dirty set — a hint that does not triggers the
+        exact-equality fallback (a full materialisation), as does a dirty
+        set spanning more than half the population, where patching stops
+        paying for itself.  Passing ``name`` returns a fresh, uncached
+        dataset and leaves the builder's cache state untouched.
 
         Raises :class:`DatasetError` while no user exists — a dataset
         needs at least one user, and padding one in would break the
@@ -187,27 +302,175 @@ class MutableBipartiteBuilder:
             raise DatasetError(
                 "cannot snapshot a builder with no users; add_user first"
             )
-        if self._snapshot is None or name is not None:
-            users: list[int] = []
-            items: list[int] = []
-            ratings: list[float] = []
-            for user, profile in enumerate(self._profiles):
-                for item, rating in profile.items():
-                    users.append(user)
-                    items.append(item)
-                    ratings.append(rating)
-            dataset = BipartiteDataset.from_edges(
-                users,
-                items,
-                ratings,
-                n_users=self.n_users,
-                n_items=max(self._n_items, 1),
-                name=name or self.name,
+        if self._base is not None and not self._dirty_rows and name is None:
+            return self._base
+        dirty: set[int] | None = set(self._dirty_rows)
+        if dirty_users is not None:
+            supplied = {int(u) for u in dirty_users}
+            for u in supplied:
+                self._check_user(u)
+            if dirty <= supplied:
+                dirty = supplied
+            else:
+                dirty = None  # hint misses mutations: exact fallback
+        fast = (
+            dirty is not None
+            and self._base is not None
+            and 2 * len(dirty) <= self.n_users
+        )
+        if fast:
+            dataset = self._materialize_incremental(sorted(dirty), name)
+            self.maintenance.rows_materialized += len(dirty)
+            self.maintenance.snapshots_incremental += 1
+        else:
+            dataset = self._materialize_full(name)
+            self.maintenance.rows_materialized += self.n_users
+            self.maintenance.snapshots_full += 1
+        if name is not None:
+            return dataset
+        self._base = dataset
+        self._dirty_rows.clear()
+        return dataset
+
+    def _materialize_full(self, name: str | None) -> BipartiteDataset:
+        """Rebuild the whole matrix from the live profiles (exact path)."""
+        users: list[int] = []
+        items: list[int] = []
+        ratings: list[float] = []
+        for user, profile in enumerate(self._profiles):
+            for item, rating in profile.items():
+                users.append(user)
+                items.append(item)
+                ratings.append(rating)
+        return BipartiteDataset.from_edges(
+            users,
+            items,
+            ratings,
+            n_users=self.n_users,
+            n_items=max(self._n_items, 1),
+            name=name or self.name,
+        )
+
+    def _materialize_incremental(
+        self, dirty_sorted: list[int], name: str | None
+    ) -> BipartiteDataset:
+        """Patch the previous snapshot's CSR rows (and CSC mirror)."""
+        base = self._base
+        assert base is not None
+        base_matrix = base.matrix
+        n_users = self.n_users
+        n_items = max(self._n_items, 1)
+        dirty_arr = np.asarray(dirty_sorted, dtype=np.int64)
+        replacements: list[tuple[np.ndarray, np.ndarray]] = []
+        for user in dirty_sorted:
+            profile = self._profiles[user]
+            row_items = np.fromiter(profile.keys(), np.int64, len(profile))
+            row_data = np.fromiter(profile.values(), np.float64, len(profile))
+            order = np.argsort(row_items)  # canonical rows sort indices
+            replacements.append((row_items[order], row_data[order]))
+        indptr, indices, data = splice_compressed(
+            base_matrix.indptr,
+            base_matrix.indices,
+            base_matrix.data,
+            n_users,
+            dirty_arr,
+            replacements,
+        )
+        matrix = sp.csr_matrix((data, indices, indptr), shape=(n_users, n_items))
+        # symmetric stays False to match the full path (from_edges default).
+        dataset = BipartiteDataset(matrix=matrix, name=name or self.name)
+        if base._csc_cache:
+            dataset._csc_cache.append(
+                self._patch_csc(
+                    base, dirty_arr, replacements, n_users, n_items
+                )
             )
-            if name is not None:
-                return dataset
-            self._snapshot = dataset
-        return self._snapshot
+        return dataset
+
+    def _patch_csc(
+        self,
+        base: BipartiteDataset,
+        dirty_arr: np.ndarray,
+        replacements: list[tuple[np.ndarray, np.ndarray]],
+        n_users: int,
+        n_items: int,
+    ) -> sp.csc_matrix:
+        """Patch the base snapshot's cached CSC mirror column-wise.
+
+        Affected columns are the union of the dirty users' old and new
+        items; each is rebuilt by dropping the dirty users' old entries
+        and merging their new ones in row order.  Every other column is
+        block-copied, so the mirror stays as cheap as the CSR patch.
+        """
+        old_csc = base.csc
+        n_old_users = base.n_users
+        n_old_items = old_csc.shape[1]
+        # Inserted entries, grouped by column then row.
+        ins_cols = (
+            np.concatenate([r[0] for r in replacements])
+            if replacements
+            else np.empty(0, dtype=np.int64)
+        )
+        ins_rows = np.repeat(
+            dirty_arr, [r[0].size for r in replacements]
+        )
+        ins_data = (
+            np.concatenate([r[1] for r in replacements])
+            if replacements
+            else np.empty(0, dtype=np.float64)
+        )
+        order = np.lexsort((ins_rows, ins_cols))
+        ins_cols, ins_rows, ins_data = (
+            ins_cols[order],
+            ins_rows[order],
+            ins_data[order],
+        )
+        old_cols = [
+            base.matrix.indices[
+                base.matrix.indptr[u] : base.matrix.indptr[u + 1]
+            ]
+            for u in dirty_arr.tolist()
+            if u < n_old_users
+        ]
+        affected = np.union1d(
+            np.unique(ins_cols),
+            np.unique(np.concatenate(old_cols))
+            if old_cols
+            else np.empty(0, dtype=np.int64),
+        ).astype(np.int64)
+        new_columns: list[tuple[np.ndarray, np.ndarray]] = []
+        for col in affected.tolist():
+            if col < n_old_items:
+                lo, hi = old_csc.indptr[col], old_csc.indptr[col + 1]
+                col_rows = old_csc.indices[lo:hi]
+                col_data = old_csc.data[lo:hi]
+                pos = np.searchsorted(dirty_arr, col_rows)
+                pos_c = np.minimum(pos, dirty_arr.size - 1)
+                is_dirty = (pos < dirty_arr.size) & (
+                    dirty_arr[pos_c] == col_rows
+                )
+                col_rows = col_rows[~is_dirty]
+                col_data = col_data[~is_dirty]
+            else:
+                col_rows = np.empty(0, dtype=old_csc.indices.dtype)
+                col_data = np.empty(0, dtype=np.float64)
+            lo = np.searchsorted(ins_cols, col, side="left")
+            hi = np.searchsorted(ins_cols, col, side="right")
+            merged_rows = np.concatenate([col_rows, ins_rows[lo:hi]])
+            merged_data = np.concatenate([col_data, ins_data[lo:hi]])
+            row_order = np.argsort(merged_rows, kind="stable")
+            new_columns.append(
+                (merged_rows[row_order], merged_data[row_order])
+            )
+        indptr, indices, data = splice_compressed(
+            old_csc.indptr,
+            old_csc.indices,
+            old_csc.data,
+            n_items,
+            affected,
+            new_columns,
+        )
+        return sp.csc_matrix((data, indices, indptr), shape=(n_users, n_items))
 
     # ------------------------------------------------------------------
     # Misc

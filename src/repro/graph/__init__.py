@@ -11,12 +11,13 @@ from .analysis import (
 from .io import load_graph, save_graph, to_networkx, write_edge_list
 from .knn_graph import MISSING, KnnGraph
 from .metrics import average_similarity, per_user_recall, recall, strict_recall
-from .updates import dedupe_pairs, merge_topk
+from .updates import ReverseNeighborIndex, dedupe_pairs, merge_topk
 
 __all__ = [
     "GraphStats",
     "KnnGraph",
     "MISSING",
+    "ReverseNeighborIndex",
     "analyze",
     "average_similarity",
     "dedupe_pairs",

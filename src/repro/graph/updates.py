@@ -15,7 +15,69 @@ import numpy as np
 
 from .knn_graph import MISSING
 
-__all__ = ["merge_topk", "dedupe_pairs"]
+__all__ = ["ReverseNeighborIndex", "merge_topk", "dedupe_pairs"]
+
+
+class ReverseNeighborIndex:
+    """Inverted KNN adjacency: user -> rows whose top-k cites her.
+
+    Streaming maintenance must find every row holding a stale entry for
+    a dirty user.  Scanning ``neighbors`` with ``np.isin`` costs
+    O(n_users * k) per refresh — a full-graph floor even for one dirty
+    user.  This index answers the same query by lookup and is kept
+    current from the same row diffs the top-k merge produces, so its
+    maintenance cost is proportional to the rows a refresh actually
+    touched.
+
+    The structure is exact, not approximate: after ``apply_row(row, old,
+    new)`` calls mirroring every row change, ``referrers_of(users)``
+    equals the ``np.isin`` scan (the property suite pins this).
+    """
+
+    def __init__(self, neighbors: np.ndarray | None = None):
+        self._referrers: dict[int, set[int]] = {}
+        if neighbors is not None:
+            self.rebuild(neighbors)
+
+    def rebuild(self, neighbors: np.ndarray) -> None:
+        """Re-derive the whole index from a ``(n_users, k)`` row array."""
+        referrers: dict[int, set[int]] = {}
+        rows, slots = np.nonzero(neighbors != MISSING)
+        for row, neighbor in zip(
+            rows.tolist(), neighbors[rows, slots].tolist()
+        ):
+            referrers.setdefault(neighbor, set()).add(row)
+        self._referrers = referrers
+
+    def referrers_of(self, users) -> np.ndarray:
+        """Sorted unique rows citing any of *users* (int64 array)."""
+        rows: set[int] = set()
+        for user in np.asarray(users, dtype=np.int64).tolist():
+            cited_by = self._referrers.get(user)
+            if cited_by:
+                rows.update(cited_by)
+        return np.fromiter(sorted(rows), dtype=np.int64, count=len(rows))
+
+    def apply_row(self, row: int, old_ids, new_ids) -> None:
+        """Record that *row*'s neighbour list changed from old to new.
+
+        ``old_ids`` / ``new_ids`` are the row's neighbour id arrays;
+        ``MISSING`` slots are ignored.  Cost O(k) per changed row.
+        """
+        old = {int(i) for i in old_ids if i != MISSING}
+        new = {int(i) for i in new_ids if i != MISSING}
+        for neighbor in old - new:
+            cited_by = self._referrers.get(neighbor)
+            if cited_by is not None:
+                cited_by.discard(row)
+                if not cited_by:
+                    del self._referrers[neighbor]
+        for neighbor in new - old:
+            self._referrers.setdefault(neighbor, set()).add(row)
+
+    def referrer_count(self) -> int:
+        """Total stored (user, citing-row) entries (for tests/benchmarks)."""
+        return sum(len(rows) for rows in self._referrers.values())
 
 
 def dedupe_pairs(

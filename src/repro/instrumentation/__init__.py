@@ -1,6 +1,6 @@
 """Measurement substrate: similarity counters, phase timers, traces."""
 
-from .counters import SimilarityCounter, scan_rate
+from .counters import MaintenanceCounter, SimilarityCounter, scan_rate
 from .timers import PHASES, PhaseTimer
 from .trace import ConvergenceTrace, IterationRecord
 
@@ -8,6 +8,7 @@ __all__ = [
     "PHASES",
     "ConvergenceTrace",
     "IterationRecord",
+    "MaintenanceCounter",
     "PhaseTimer",
     "SimilarityCounter",
     "scan_rate",

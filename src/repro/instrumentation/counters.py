@@ -11,7 +11,48 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SimilarityCounter", "scan_rate"]
+__all__ = ["MaintenanceCounter", "SimilarityCounter", "scan_rate"]
+
+
+@dataclass
+class MaintenanceCounter:
+    """Counts the per-user work of incremental maintenance.
+
+    The streaming subsystem's claim is that a refresh costs work
+    proportional to the *dirty set*, not to the dataset.  Similarity
+    evaluations are already counted by :class:`SimilarityCounter`; this
+    counter covers the remaining full-dataset floors the incremental
+    paths eliminate:
+
+    * ``rows_materialized`` — CSR rows rebuilt from live profiles when a
+      :class:`~repro.datasets.mutable.MutableBipartiteBuilder` snapshots
+      (a full materialisation charges ``n_users``, an incremental patch
+      only the dirty rows).
+    * ``index_users_recomputed`` — users whose norms / profile sizes /
+      metric caches a :class:`~repro.similarity.base.ProfileIndex`
+      (re)computed (a cold build charges ``n_users``, an incremental
+      ``update`` only the dirty users).
+
+    The mode tallies (``snapshots_full`` vs ``snapshots_incremental``,
+    ``index_builds_full`` vs ``index_updates_incremental``) record which
+    path ran, so benchmarks can assert the fast paths actually engaged.
+    ``candidate_cache_hits`` / ``candidate_cache_misses`` account the
+    streaming layer's per-user candidate-set cache.
+    """
+
+    rows_materialized: int = 0
+    index_users_recomputed: int = 0
+    snapshots_full: int = 0
+    snapshots_incremental: int = 0
+    index_builds_full: int = 0
+    index_updates_incremental: int = 0
+    candidate_cache_hits: int = 0
+    candidate_cache_misses: int = 0
+
+    def reset(self) -> None:
+        """Zero every tally."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
 
 
 @dataclass

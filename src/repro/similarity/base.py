@@ -25,6 +25,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..datasets.bipartite import BipartiteDataset
+from ..datasets.mutable import splice_compressed
+from ..instrumentation.counters import MaintenanceCounter
 
 __all__ = ["ProfileIndex", "SimilarityMetric", "intersect_profiles"]
 
@@ -33,13 +35,40 @@ class ProfileIndex:
     """Precomputed per-user arrays shared by all metrics.
 
     Holds the rating matrix, its binarised twin, row norms and profile
-    sizes, plus lazily computed item weights for Adamic-Adar.  Building one
-    index per dataset and sharing it across metrics and algorithms keeps
-    the "preprocessing" phase honest: profile construction is paid once,
-    exactly as in the paper's measurement protocol.
+    sizes, plus lazily computed item weights for Adamic-Adar and the
+    mean-centred matrix for Pearson.  Building one index per dataset and
+    sharing it across metrics and algorithms keeps the "preprocessing"
+    phase honest: profile construction is paid once, exactly as in the
+    paper's measurement protocol.
+
+    :meth:`update` rebinds the index to an evolved dataset while
+    recomputing only the *dirty* users' state — the streaming subsystem's
+    per-refresh path.  Per-user (re)computation work is tallied into
+    ``maintenance`` (a shared
+    :class:`~repro.instrumentation.counters.MaintenanceCounter`; a
+    private one is created when omitted).
+
+    Subclassing contract: custom indexes must keep this constructor
+    signature (``dataset``, ``maintenance=None``) so
+    :meth:`SimilarityEngine.rebind <repro.similarity.engine.SimilarityEngine.rebind>`
+    can rebuild them, and subclasses that precompute extra derived state
+    must override :meth:`update` (typically calling ``super().update``)
+    to refresh that state — the base implementation only knows about its
+    own arrays.
     """
 
-    def __init__(self, dataset: BipartiteDataset):
+    def __init__(
+        self,
+        dataset: BipartiteDataset,
+        maintenance: MaintenanceCounter | None = None,
+    ):
+        self.maintenance = (
+            maintenance if maintenance is not None else MaintenanceCounter()
+        )
+        self._build(dataset)
+
+    def _build(self, dataset: BipartiteDataset) -> None:
+        """Cold build: every user's state is (re)computed."""
         self.dataset = dataset
         self.matrix: sp.csr_matrix = dataset.matrix
         binary = dataset.matrix.copy()
@@ -48,8 +77,12 @@ class ProfileIndex:
         self.norms: np.ndarray = np.sqrt(
             np.asarray(self.matrix.multiply(self.matrix).sum(axis=1)).ravel()
         )
-        self.sizes: np.ndarray = np.diff(self.matrix.indptr)
+        self.sizes: np.ndarray = np.diff(self.matrix.indptr).astype(np.int64)
         self._adamic_adar_matrix: sp.csr_matrix | None = None
+        self._item_degrees: np.ndarray | None = None
+        self._centered_cache: tuple[sp.csr_matrix, np.ndarray] | None = None
+        self.maintenance.index_users_recomputed += dataset.n_users
+        self.maintenance.index_builds_full += 1
 
     @property
     def n_users(self) -> int:
@@ -69,6 +102,9 @@ class ProfileIndex:
         start, end = self.matrix.indptr[user], self.matrix.indptr[user + 1]
         return self.matrix.data[start:end]
 
+    # ------------------------------------------------------------------
+    # Lazily derived metric state
+    # ------------------------------------------------------------------
     @property
     def adamic_adar_matrix(self) -> sp.csr_matrix:
         """Binary matrix reweighted by ``1 / ln |IP_i|`` per item column.
@@ -79,14 +115,242 @@ class ProfileIndex:
         """
         if self._adamic_adar_matrix is None:
             item_degrees = np.asarray(self.binary.sum(axis=0)).ravel()
-            weights = np.zeros_like(item_degrees, dtype=np.float64)
-            mask = item_degrees >= 2
-            weights[mask] = 1.0 / np.log(item_degrees[mask])
+            weights = _adamic_adar_weights(item_degrees)
             weighted = self.binary.copy().astype(np.float64)
             weighted.data = weights[weighted.indices]
             weighted.eliminate_zeros()
             self._adamic_adar_matrix = weighted
+            self._item_degrees = item_degrees.astype(np.int64)
         return self._adamic_adar_matrix
+
+    @property
+    def centered(self) -> tuple[sp.csr_matrix, np.ndarray]:
+        """Mean-centred matrix and its row norms (Pearson's substrate).
+
+        Each user's stored ratings are shifted by that user's mean; the
+        sparsity pattern is preserved (entries centred to zero stay
+        stored) so profile intersections keep working unchanged.
+        """
+        if self._centered_cache is None:
+            matrix = self.matrix.copy()
+            sizes = np.maximum(self.sizes, 1)
+            means = np.asarray(matrix.sum(axis=1)).ravel() / sizes
+            row_of_entry = np.repeat(
+                np.arange(self.n_users), np.diff(matrix.indptr)
+            )
+            matrix.data = matrix.data - means[row_of_entry]
+            norms = np.sqrt(
+                np.asarray(matrix.multiply(matrix).sum(axis=1)).ravel()
+            )
+            self._centered_cache = (matrix, norms)
+        return self._centered_cache
+
+    # ------------------------------------------------------------------
+    # Incremental rebind
+    # ------------------------------------------------------------------
+    def update(self, dataset: BipartiteDataset, dirty_users) -> "ProfileIndex":
+        """Rebind to *dataset*, recomputing only *dirty_users*' state.
+
+        Contract: the rows of every user **not** in ``dirty_users`` must
+        be identical between the current and the new dataset (a superset
+        of the truly changed users is always safe).  New users appended
+        by the dataset must all be listed dirty.  Norms, profile sizes
+        and the lazily built metric caches (Adamic-Adar weights, the
+        centred matrix) are patched for the dirty users only; everything
+        else is block-copied.
+
+        Global-weight caveat: Adamic-Adar's ``1 / ln |IP_i|`` weights
+        shift for *every* rater of an item whose membership changed.
+        Callers honouring :attr:`SimilarityMetric.profile_local` already
+        put all those raters in the dirty set (the streaming subsystem's
+        documented dirty-all-raters semantics), and the patch verifies
+        this cheaply — if a reweighted item has a clean rater the cache
+        is dropped and lazily rebuilt instead of being patched wrongly.
+
+        Falls back to a full :meth:`_build` (always exact) when the
+        contract cannot hold — population shrank, new users are missing
+        from the dirty set, the dirty set spans more than half the
+        population, or the clean-row nnz bookkeeping does not line up.
+        Returns ``self``.
+        """
+        old_matrix = self.matrix
+        n_old = int(old_matrix.shape[0])
+        n_new = dataset.n_users
+        dirty = np.unique(
+            np.fromiter((int(u) for u in dirty_users), dtype=np.int64)
+        )
+        usable = (
+            n_new >= n_old
+            and (dirty.size == 0 or (dirty[0] >= 0 and dirty[-1] < n_new))
+            and int((dirty >= n_old).sum()) == n_new - n_old
+            and 2 * dirty.size <= n_new
+        )
+        if usable:
+            matrix = dataset.matrix
+            old_dirty = dirty[dirty < n_old]
+            old_dirty_nnz = int(
+                (
+                    old_matrix.indptr[old_dirty + 1]
+                    - old_matrix.indptr[old_dirty]
+                ).sum()
+            )
+            new_dirty_nnz = int(
+                (matrix.indptr[dirty + 1] - matrix.indptr[dirty]).sum()
+            )
+            usable = (
+                int(old_matrix.nnz) - old_dirty_nnz + new_dirty_nnz
+                == int(matrix.nnz)
+            )
+        if not usable:
+            self._build(dataset)
+            return self
+
+        matrix = dataset.matrix
+        norms = np.empty(n_new, dtype=np.float64)
+        norms[:n_old] = self.norms
+        sizes = np.empty(n_new, dtype=np.int64)
+        sizes[:n_old] = self.sizes
+        if dirty.size:
+            # Recompute through the same scipy expression as the cold
+            # build (restricted to the dirty rows) so the patched values
+            # are bit-identical — the parity oracle compares sims exactly,
+            # and a last-ulp drift from a different summation order would
+            # surface there.
+            sub = matrix[dirty]
+            norms[dirty] = np.sqrt(
+                np.asarray(sub.multiply(sub).sum(axis=1)).ravel()
+            )
+            sizes[dirty] = np.diff(sub.indptr)
+        self.dataset = dataset
+        self.matrix = matrix
+        # Content-identical to the cold build's binarised copy; sharing
+        # the index arrays is safe because nothing mutates them.
+        self.binary = sp.csr_matrix(
+            (np.ones_like(matrix.data), matrix.indices, matrix.indptr),
+            shape=matrix.shape,
+        )
+        self.norms = norms
+        self.sizes = sizes
+        self._patch_adamic_adar(old_matrix, dirty)
+        self._patch_centered(dirty)
+        self.maintenance.index_users_recomputed += int(dirty.size)
+        self.maintenance.index_updates_incremental += 1
+        return self
+
+    def _patch_adamic_adar(
+        self, old_matrix: sp.csr_matrix, dirty: np.ndarray
+    ) -> None:
+        """Patch the lazily built Adamic-Adar cache, if it exists."""
+        if self._adamic_adar_matrix is None:
+            return
+        matrix = self.matrix
+        n_old = int(old_matrix.shape[0])
+        n_items_new = int(matrix.shape[1])
+        old_degrees = self._item_degrees
+        degrees = np.zeros(n_items_new, dtype=np.int64)
+        degrees[: old_degrees.size] = old_degrees
+        old_dirty = dirty[dirty < n_old]
+        old_idx = np.concatenate(
+            [
+                old_matrix.indices[
+                    old_matrix.indptr[u] : old_matrix.indptr[u + 1]
+                ]
+                for u in old_dirty.tolist()
+            ]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        new_idx = np.concatenate(
+            [
+                matrix.indices[matrix.indptr[u] : matrix.indptr[u + 1]]
+                for u in dirty.tolist()
+            ]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        degrees -= np.bincount(old_idx, minlength=n_items_new).astype(np.int64)
+        dirty_rater_counts = np.bincount(
+            new_idx, minlength=n_items_new
+        ).astype(np.int64)
+        degrees += dirty_rater_counts
+        old_weights = np.zeros(n_items_new, dtype=np.float64)
+        old_weights[: old_degrees.size] = _adamic_adar_weights(old_degrees)
+        weights = _adamic_adar_weights(degrees)
+        changed = np.flatnonzero(weights != old_weights)
+        if np.any(degrees[changed] != dirty_rater_counts[changed]):
+            # A reweighted item has a clean rater (profile-local dirtying
+            # was in force): the clean rows cannot be patched — drop the
+            # cache and let the next Adamic-Adar query rebuild it.
+            self._adamic_adar_matrix = None
+            self._item_degrees = None
+            return
+        old_aa = self._adamic_adar_matrix
+        replacements = []
+        for u in dirty.tolist():
+            row_items = matrix.indices[matrix.indptr[u] : matrix.indptr[u + 1]]
+            row_weights = weights[row_items]
+            keep = row_weights != 0.0  # mirror eliminate_zeros()
+            replacements.append((row_items[keep], row_weights[keep]))
+        aa_indptr, aa_indices, aa_data = splice_compressed(
+            old_aa.indptr,
+            old_aa.indices,
+            old_aa.data,
+            self.n_users,
+            dirty,
+            replacements,
+        )
+        self._adamic_adar_matrix = sp.csr_matrix(
+            (aa_data, aa_indices, aa_indptr),
+            shape=(self.n_users, n_items_new),
+        )
+        self._item_degrees = degrees
+
+    def _patch_centered(self, dirty: np.ndarray) -> None:
+        """Patch the lazily built mean-centred cache, if it exists."""
+        if self._centered_cache is None:
+            return
+        old_centered, old_norms = self._centered_cache
+        n_old = int(old_centered.shape[0])
+        matrix = self.matrix
+        norms = np.empty(self.n_users, dtype=np.float64)
+        norms[:n_old] = old_norms
+        # Same scipy expressions as the cold path, on the dirty rows only,
+        # so the patched cache is bit-identical (see update()).
+        sub = matrix[dirty]
+        sub_sizes = np.diff(sub.indptr)
+        means = np.asarray(sub.sum(axis=1)).ravel() / np.maximum(sub_sizes, 1)
+        centered_sub = sub.copy()
+        centered_sub.data = sub.data - np.repeat(means, sub_sizes)
+        norms[dirty] = np.sqrt(
+            np.asarray(centered_sub.multiply(centered_sub).sum(axis=1)).ravel()
+        )
+        replacements = []
+        for pos in range(dirty.size):
+            lo, hi = centered_sub.indptr[pos], centered_sub.indptr[pos + 1]
+            replacements.append(
+                (centered_sub.indices[lo:hi], centered_sub.data[lo:hi])
+            )
+        c_indptr, c_indices, c_data = splice_compressed(
+            old_centered.indptr,
+            old_centered.indices,
+            old_centered.data,
+            self.n_users,
+            dirty,
+            replacements,
+        )
+        self._centered_cache = (
+            sp.csr_matrix(
+                (c_data, c_indices, c_indptr),
+                shape=(self.n_users, self.n_items),
+            ),
+            norms,
+        )
+
+
+def _adamic_adar_weights(item_degrees: np.ndarray) -> np.ndarray:
+    """``1 / ln |IP_i|`` per item, zero for degrees below two."""
+    weights = np.zeros(item_degrees.shape[0], dtype=np.float64)
+    mask = item_degrees >= 2
+    weights[mask] = 1.0 / np.log(item_degrees[mask])
+    return weights
 
 
 def intersect_profiles(

@@ -116,19 +116,46 @@ class SimilarityEngine:
     def n_users(self) -> int:
         return self.dataset.n_users
 
-    def rebind(self, dataset: BipartiteDataset) -> None:
+    def rebind(self, dataset: BipartiteDataset, dirty_users=None) -> None:
         """Point the engine at a new (possibly grown) dataset.
 
         The streaming subsystem mutates its rating store and periodically
-        snapshots it; ``rebind`` swaps the snapshot in and rebuilds the
+        snapshots it; ``rebind`` swaps the snapshot in and refreshes the
         :class:`ProfileIndex` (norms, profile sizes, Adamic-Adar weights
-        all depend on the data).  The counter and timer are deliberately
-        kept: a stream's evaluation cost accumulates across refreshes,
-        exactly like the paper's scan-rate bookkeeping accumulates across
-        iterations.
+        all depend on the data).  With ``dirty_users`` given, the index
+        is updated **in place** via :meth:`ProfileIndex.update`, which
+        recomputes only the dirty users' state — the caller guarantees
+        every other user's profile is unchanged.  Without it, a full
+        index rebuild runs.
+
+        Custom index contract: a caller-supplied :class:`ProfileIndex`
+        subclass is preserved — full rebuilds reconstruct it via
+        ``type(self.index)``, so subclasses must accept the base
+        ``(dataset, maintenance=...)`` constructor signature (a bare
+        ``(dataset)`` constructor is tolerated), and subclasses holding
+        extra derived state must override ``update`` to refresh it.
+
+        The counter and timer are deliberately kept: a stream's
+        evaluation cost accumulates across refreshes, exactly like the
+        paper's scan-rate bookkeeping accumulates across iterations.
         """
         self.dataset = dataset
-        self.index = ProfileIndex(dataset)
+        if dataset is self.index.dataset:
+            # Same (immutable) dataset object: the index is already its
+            # index — e.g. the first rebuild() after construction, where
+            # the builder's cached snapshot IS the seed dataset.
+            return
+        if dirty_users is not None:
+            self.index.update(dataset, dirty_users)
+            return
+        index_class = type(self.index)
+        try:
+            self.index = index_class(
+                dataset, maintenance=self.index.maintenance
+            )
+        except TypeError:
+            # Subclasses with a bare (dataset) constructor.
+            self.index = index_class(dataset)
 
     def pair(self, u: int, v: int) -> float:
         """Similarity of one pair (counted as one evaluation)."""

@@ -41,21 +41,9 @@ class PearsonSimilarity(SimilarityMetric):
     satisfies_overlap_properties = False
 
     def _centered(self, index: ProfileIndex) -> tuple[sp.csr_matrix, np.ndarray]:
-        cache = getattr(index, "_pearson_cache", None)
-        if cache is None:
-            matrix = index.matrix.copy()
-            sizes = np.maximum(index.sizes, 1)
-            means = np.asarray(matrix.sum(axis=1)).ravel() / sizes
-            row_of_entry = np.repeat(
-                np.arange(index.n_users), np.diff(matrix.indptr)
-            )
-            matrix.data = matrix.data - means[row_of_entry]
-            norms = np.sqrt(
-                np.asarray(matrix.multiply(matrix).sum(axis=1)).ravel()
-            )
-            cache = (matrix, norms)
-            index._pearson_cache = cache
-        return cache
+        # The centred matrix lives on the index (like the Adamic-Adar
+        # weights) so incremental ProfileIndex.update can patch it.
+        return index.centered
 
     def score_pair(self, index: ProfileIndex, u: int, v: int) -> float:
         matrix, norms = self._centered(index)

@@ -37,11 +37,35 @@ After ``refresh()`` the graph equals the cold rebuild because:
   evaluated (dirty, x) pairs performs — ``merge_topk`` applies the same
   (sim desc, id asc) tie-breaks as the batch algorithm.
 
-Cost: similarity evaluations proportional to the affected users'
-candidate sets instead of the whole population's — the streaming
-analogue of KIFF's "only scan the RCS" guarantee.  The throughput bench
-(``benchmarks/bench_streaming_throughput.py``) measures the resulting
-evaluation savings against rebuild-per-batch.
+Dirty-set-proportional cost
+---------------------------
+Every stage of a refresh scales with the dirty set, not the dataset:
+
+* **Snapshot** — ``MutableBipartiteBuilder.snapshot`` patches only the
+  dirty CSR rows (and the CSC mirror) of the previous snapshot instead
+  of re-materialising O(n_ratings) state.
+* **Index** — ``SimilarityEngine.rebind(..., dirty_users=...)`` updates
+  the :class:`~repro.similarity.base.ProfileIndex` in place, recomputing
+  norms / profile sizes / metric caches for dirty users only.
+* **Affected-row discovery** — a
+  :class:`~repro.graph.updates.ReverseNeighborIndex` (user -> rows
+  citing her), kept current from the row diffs of every top-k merge,
+  replaces the per-pass O(n_users * k) ``np.isin`` scan with a lookup.
+* **Candidate sets** — per-user candidate multisets are cached and
+  delta-maintained from the item profiles touched by each event, so
+  repeat-dirty users never re-derive their candidate sets; cache misses
+  are re-derived in bulk by :func:`repro.core.rcs.delta_rcs`, whose cost
+  is proportional to the dirty users' item profiles.
+* **Similarity evaluations** — proportional to the affected users'
+  candidate sets, the streaming analogue of KIFF's "only scan the RCS"
+  guarantee.
+
+The per-user work is tallied into a shared
+:class:`~repro.instrumentation.counters.MaintenanceCounter`
+(``index.maintenance``); ``benchmarks/bench_refresh_locality.py``
+asserts the proportionality on a 95/5 workload, and the throughput bench
+(``benchmarks/bench_streaming_throughput.py``) measures the evaluation
+savings against rebuild-per-batch.
 """
 
 from __future__ import annotations
@@ -53,12 +77,14 @@ import numpy as np
 
 from ..core.config import KiffConfig
 from ..core.kiff import kiff
+from ..core.rcs import delta_rcs
 from ..core.result import ConstructionResult
 from ..datasets.bipartite import BipartiteDataset, DatasetError
 from ..datasets.mutable import MutableBipartiteBuilder
 from ..graph.knn_graph import MISSING, KnnGraph
-from ..graph.updates import dedupe_pairs, merge_topk
-from ..similarity.base import SimilarityMetric
+from ..graph.updates import ReverseNeighborIndex, dedupe_pairs, merge_topk
+from ..instrumentation.counters import MaintenanceCounter
+from ..similarity.base import ProfileIndex, SimilarityMetric
 from ..similarity.engine import SimilarityEngine
 
 __all__ = [
@@ -110,6 +136,14 @@ class RefreshStats:
     changes: int
     #: Wall-clock seconds spent in the pass.
     wall_time: float
+    #: Snapshot CSR rows materialised by this pass (dirty rows on the
+    #: incremental path, ``n_users`` on a full fallback).
+    rows_materialized: int = 0
+    #: Users whose ProfileIndex state this pass recomputed.
+    index_users_recomputed: int = 0
+    #: Candidate-set cache hits / misses among the affected users.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class DynamicKnnIndex:
@@ -134,6 +168,11 @@ class DynamicKnnIndex:
         events accumulate in the dirty set and the caller chooses the
         staleness/cost trade-off by calling ``refresh()`` explicitly —
         the policy knob the staleness experiment sweeps.
+    candidate_cache_size:
+        Maximum users whose candidate multisets are cached.  The default
+        (65536) is effectively unbounded for bench-scale datasets while
+        capping long-stream memory at production scale; ``None`` removes
+        the bound, ``0`` disables the cache.  Evictions are oldest-first.
     """
 
     def __init__(
@@ -143,11 +182,21 @@ class DynamicKnnIndex:
         metric: str | SimilarityMetric = "cosine",
         auto_refresh: bool = True,
         build: bool = True,
+        candidate_cache_size: int | None = 65_536,
     ):
         self.config = config or KiffConfig()
         self.auto_refresh = auto_refresh
-        self.builder = MutableBipartiteBuilder.from_dataset(dataset)
-        self.engine = SimilarityEngine(dataset, metric=metric)
+        #: Shared per-user maintenance work accounting (snapshot rows,
+        #: ProfileIndex recomputations, candidate-cache traffic).
+        self.maintenance = MaintenanceCounter()
+        self.builder = MutableBipartiteBuilder.from_dataset(
+            dataset, maintenance=self.maintenance
+        )
+        self.engine = SimilarityEngine(
+            dataset,
+            metric=metric,
+            index=ProfileIndex(dataset, maintenance=self.maintenance),
+        )
         # Backing arrays may hold slack capacity (geometric growth, so a
         # burst of user joins doesn't copy the graph per join); the first
         # _n_rows rows are the live graph.
@@ -158,6 +207,16 @@ class DynamicKnnIndex:
         self._sims = np.full(
             (dataset.n_users, self.config.k), -np.inf, dtype=np.float64
         )
+        #: user -> rows citing her; kept current inside every top-k merge
+        #: so refresh() finds referencing rows by lookup, not by scanning.
+        self._reverse = ReverseNeighborIndex()
+        #: user -> {candidate: shared-qualifying-item count}; the cached
+        #: streaming RCS, delta-maintained from touched item profiles.
+        self._candidate_counts: dict[int, dict[int, int]] = {}
+        #: item -> cached users rating it at a qualifying level (the
+        #: propagation targets of a membership change on that item).
+        self._cached_raters: dict[int, set[int]] = {}
+        self.candidate_cache_size = candidate_cache_size
         self._dirty: set[int] = set()
         self._pending_events = 0
         self.refresh_log: list[RefreshStats] = []
@@ -249,11 +308,15 @@ class DynamicKnnIndex:
             if old == rating:
                 continue  # duplicate delivery / identical overwrite: no-op
             membership_change = (old != 0.0) != (rating != 0.0)
+            qualified = self._qualifies(old)
+            qualifies = self._qualifies(rating)
             self.builder.set_rating(user, item, rating)
             self._dirty.add(user)
             if membership_change and not self._profile_local:
                 # |IP_item| changed: every pair sharing the item shifts.
                 self._dirty.update(self.builder.users_of(item))
+            if qualified != qualifies:
+                self._note_candidacy_change(user, item, added=qualifies)
         self._pending_events += int(users.size)
         if self.auto_refresh:
             self.refresh()
@@ -266,6 +329,9 @@ class DynamicKnnIndex:
         if not self._profile_local:
             for item in self.builder.profile(user):
                 self._dirty.update(self.builder.users_of(item))
+        for item, rating in self.builder.profile(user).items():
+            if self._qualifies(rating):
+                self._note_candidacy_change(user, item, added=True)
         self._pending_events += 1
         if self.auto_refresh:
             self.refresh()
@@ -273,14 +339,19 @@ class DynamicKnnIndex:
 
     def remove_user(self, user: int) -> None:
         """Clear *user*'s profile; the id stays allocated (empty row)."""
+        profile_items = list(self.builder.profile(user).items())
         touched_items = (
-            None if self._profile_local else list(self.builder.profile(user))
+            None if self._profile_local else [item for item, _ in profile_items]
         )
+        self._cache_evict(user)  # before the profile vanishes
         self.builder.clear_user(user)
         self._dirty.add(user)
         if touched_items is not None:
             for item in touched_items:
                 self._dirty.update(self.builder.users_of(item))
+        for item, rating in profile_items:
+            if self._qualifies(rating):
+                self._note_candidacy_change(user, item, added=False)
         self._pending_events += 1
         if self.auto_refresh:
             self.refresh()
@@ -292,11 +363,17 @@ class DynamicKnnIndex:
         """Run the localized KIFF refinement over the dirty set.
 
         Rebuilds the rows of the affected set (dirty users plus rows
-        referencing them) from their live candidate sets and mirror-merges
-        the freshly evaluated pairs into every other row, restoring the
+        referencing them, found via the reverse-neighbor index) from
+        their cached candidate sets and mirror-merges the freshly
+        evaluated pairs into every other row, restoring the
         converged-graph invariant.  Returns the pass's cost accounting.
         """
         start = time.perf_counter()
+        maintenance = self.maintenance
+        rows_before = maintenance.rows_materialized
+        index_before = maintenance.index_users_recomputed
+        hits_before = maintenance.candidate_cache_hits
+        misses_before = maintenance.candidate_cache_misses
         n_events, n_dirty = self._pending_events, len(self._dirty)
         if n_dirty == 0:
             # All pending events were no-ops; log the pass anyway so
@@ -309,20 +386,26 @@ class DynamicKnnIndex:
             return stats
         engine = self.engine
         with engine.timer.phase("preprocessing"):
-            engine.rebind(self.builder.snapshot())
+            # Incremental end to end: the snapshot patches only dirty
+            # rows, and the ProfileIndex recomputes only dirty users.
+            engine.rebind(self.builder.snapshot(), dirty_users=self._dirty)
         with engine.timer.phase("candidate_selection"):
             neighbors, sims = self._rows()
             dirty = np.fromiter(self._dirty, count=n_dirty, dtype=np.int64)
-            referencing = np.isin(neighbors, dirty).any(axis=1)
-            affected = np.union1d(dirty, np.flatnonzero(referencing))
+            affected = np.union1d(dirty, self._reverse.referrers_of(dirty))
             # Retry safety: once their rows are cleared, affected users
             # must count as dirty until the merge lands — if evaluation
             # fails mid-pass (metric error, interrupt), the next refresh
             # rebuilds them instead of leaving their rows silently empty.
             truly_dirty = frozenset(self._dirty)
             self._dirty.update(affected.tolist())
+            old_affected = neighbors[affected].copy()
             neighbors[affected] = MISSING
             sims[affected] = -np.inf
+            # The reverse index mirrors the arrays at every exit point,
+            # so a mid-pass failure leaves it consistent for the retry.
+            for pos, row in enumerate(affected.tolist()):
+                self._reverse.apply_row(row, old_affected[pos], ())
             us, vs = self._candidate_pairs(affected, truly_dirty)
         before = engine.counter.evaluations
         pair_sims = engine.batch(us, vs)
@@ -335,6 +418,8 @@ class DynamicKnnIndex:
                 cand_sims = np.concatenate([pair_sims, pair_sims])
             else:
                 cand_users, cand_ids, cand_sims = us, vs, pair_sims
+            touched = np.union1d(affected, np.unique(cand_users))
+            pre_merge = neighbors[touched].copy()
             new_neighbors, new_sims, changes = merge_topk(
                 neighbors, sims, cand_users, cand_ids, cand_sims
             )
@@ -342,6 +427,14 @@ class DynamicKnnIndex:
             # capacity (geometric growth) survives the refresh.
             neighbors[:] = new_neighbors
             sims[:] = new_sims
+            # Only rows whose neighbour ids actually moved need reverse
+            # index diffs — most merge targets keep their row intact.
+            post_merge = neighbors[touched]
+            moved = np.flatnonzero((post_merge != pre_merge).any(axis=1))
+            for pos in moved.tolist():
+                self._reverse.apply_row(
+                    int(touched[pos]), pre_merge[pos], post_merge[pos]
+                )
         self._dirty.clear()
         self._pending_events = 0
         stats = RefreshStats(
@@ -351,6 +444,11 @@ class DynamicKnnIndex:
             evaluations=int(evaluations),
             changes=int(changes),
             wall_time=time.perf_counter() - start,
+            rows_materialized=maintenance.rows_materialized - rows_before,
+            index_users_recomputed=maintenance.index_users_recomputed
+            - index_before,
+            cache_hits=maintenance.candidate_cache_hits - hits_before,
+            cache_misses=maintenance.candidate_cache_misses - misses_before,
         )
         self.refresh_log.append(stats)
         return stats
@@ -359,13 +457,15 @@ class DynamicKnnIndex:
         """Cold full KIFF rebuild — the baseline ``refresh()`` undercuts.
 
         Also the recovery path: whatever the graph state, a rebuild
-        restores the invariant from the ratings alone.
+        restores the invariant from the ratings alone (including the
+        reverse-neighbor index, re-derived from the fresh rows).
         """
         self.engine.rebind(self.builder.snapshot())
         result = kiff(self.engine, converged_config(self.config))
         self._neighbors = result.graph.neighbors.copy()
         self._sims = result.graph.sims.copy()
         self._n_rows = result.graph.n_users
+        self._reverse.rebuild(self._neighbors[: self._n_rows])
         self._dirty.clear()
         self._pending_events = 0
         return result
@@ -401,27 +501,119 @@ class DynamicKnnIndex:
             self._sims[self._n_rows : n_users] = -np.inf
         self._n_rows = n_users
 
+    # ------------------------------------------------------------------
+    # Candidate-set cache (the streaming RCS, delta-maintained)
+    # ------------------------------------------------------------------
+    def _qualifies(self, rating: float) -> bool:
+        """Does *rating* let an item contribute candidacies?"""
+        if rating == 0.0:
+            return False
+        min_rating = self.config.min_rating
+        return min_rating is None or rating >= min_rating
+
+    def _note_candidacy_change(
+        self, user: int, item: int, added: bool
+    ) -> None:
+        """Propagate a qualifying-membership flip of (user, item).
+
+        Called after the builder mutated: *user* started (or stopped)
+        contributing candidacies through *item*.  Every cached rater of
+        the item gains/loses one shared item with *user*, and *user*'s
+        own cached multiset (if any) gains/loses the item's qualifying
+        raters — the per-event delta that keeps cached candidate sets
+        exact without re-derivation.
+        """
+        delta = 1 if added else -1
+        cached_raters = self._cached_raters.get(item)
+        if cached_raters:
+            for other in cached_raters:
+                if other != user:
+                    _bump(self._candidate_counts[other], user, delta)
+        counts = self._candidate_counts.get(user)
+        if counts is not None:
+            builder = self.builder
+            for other in builder.users_of(item):
+                if other != user and self._qualifies(
+                    builder.rating(other, item)
+                ):
+                    _bump(counts, other, delta)
+            if added:
+                self._cached_raters.setdefault(item, set()).add(user)
+            else:
+                raters = self._cached_raters.get(item)
+                if raters is not None:
+                    raters.discard(user)
+                    if not raters:
+                        del self._cached_raters[item]
+
+    def _cache_insert(self, user: int, counts: dict[int, int]) -> None:
+        limit = self.candidate_cache_size
+        if limit is not None and limit <= 0:
+            return  # cache disabled
+        self._cache_evict(user)  # replacing: drop stale rater links first
+        while limit is not None and len(self._candidate_counts) >= limit:
+            self._cache_evict(next(iter(self._candidate_counts)))
+        self._candidate_counts[user] = counts
+        for item, rating in self.builder.profile(user).items():
+            if self._qualifies(rating):
+                self._cached_raters.setdefault(item, set()).add(user)
+
+    def _cache_evict(self, user: int) -> None:
+        if self._candidate_counts.pop(user, None) is None:
+            return
+        for item, rating in self.builder.profile(user).items():
+            raters = self._cached_raters.get(item)
+            if raters is not None:
+                raters.discard(user)
+                if not raters:
+                    del self._cached_raters[item]
+
+    def _candidate_sets(
+        self, users: np.ndarray
+    ) -> dict[int, dict[int, int]]:
+        """Candidate multisets for *users*: cached, or bulk re-derived.
+
+        Misses are recomputed in one vectorised :func:`delta_rcs` call on
+        the current snapshot (cost proportional to the missing users'
+        item profiles) and cached for the next refresh.
+        """
+        result: dict[int, dict[int, int]] = {}
+        missing: list[int] = []
+        for user in users.tolist():
+            cached = self._candidate_counts.get(user)
+            if cached is not None:
+                result[user] = cached
+            else:
+                missing.append(user)
+        self.maintenance.candidate_cache_hits += len(result)
+        if missing:
+            self.maintenance.candidate_cache_misses += len(missing)
+            rcs_delta = delta_rcs(
+                self.builder.snapshot(),
+                missing,
+                pivot=False,
+                min_rating=self.config.min_rating,
+            )
+            for user in missing:
+                counts = dict(
+                    zip(
+                        rcs_delta.candidates_of(user).tolist(),
+                        (int(c) for c in rcs_delta.counts_of(user).tolist()),
+                    )
+                )
+                result[user] = counts
+                self._cache_insert(user, counts)
+        return result
+
     def _candidates_of(self, user: int) -> set:
         """Live co-rating candidates of *user* (``min_rating`` honoured).
 
-        The streaming analogue of one Ranked Candidate Set: the union of
-        the item profiles of the user's (qualifying) items.  Rank order is
-        irrelevant here because refinement always exhausts the set.
+        The streaming analogue of one Ranked Candidate Set: the users
+        sharing a qualifying item with *user*.  Served from the
+        delta-maintained cache (rank order is irrelevant here because
+        refinement always exhausts the set).
         """
-        builder = self.builder
-        min_rating = self.config.min_rating
-        candidates: set = set()
-        for item, rating in builder.profile(user).items():
-            if min_rating is not None and rating < min_rating:
-                continue
-            if min_rating is None:
-                candidates.update(builder.users_of(item))
-            else:
-                for other in builder.users_of(item):
-                    if builder.rating(other, item) >= min_rating:
-                        candidates.add(other)
-        candidates.discard(user)
-        return candidates
+        return set(self._candidate_sets(np.asarray([user], dtype=np.int64))[user])
 
     def _candidate_pairs(
         self, affected: np.ndarray, dirty: frozenset
@@ -436,10 +628,11 @@ class DynamicKnnIndex:
         accounting split as the batch algorithm.
         """
         affected_set = set(affected.tolist())
+        candidate_sets = self._candidate_sets(affected)
         rows: list[int] = []
         cands: list[int] = []
         for user in affected.tolist():
-            candidates = self._candidates_of(user)
+            candidates = candidate_sets[user]
             needs_mirror = user in dirty
             for other in candidates:
                 rows.append(user)
@@ -450,3 +643,12 @@ class DynamicKnnIndex:
         us = np.asarray(rows, dtype=np.int64)
         vs = np.asarray(cands, dtype=np.int64)
         return dedupe_pairs(us, vs, self.builder.n_users, ordered=not self.config.pivot)
+
+
+def _bump(counts: dict[int, int], key: int, delta: int) -> None:
+    """Adjust a candidate multiset entry, dropping it at zero."""
+    value = counts.get(key, 0) + delta
+    if value <= 0:
+        counts.pop(key, None)
+    else:
+        counts[key] = value

@@ -285,3 +285,34 @@ class TestDegenerateInputs:
             KiffConfig(k=5, gamma=1000, beta=0.0),
         )
         assert slow.graph == fast.graph
+
+
+class TestZeroUserDataset:
+    """kiff() on a 0-user dataset must return an empty graph, not crash.
+
+    BipartiteDataset itself forbids zero users, but engines can be bound
+    to custom dataset objects (sharded streams drain, filters reject all
+    rows); _heaps_to_graph used to IndexError on ``heaps[0]``.
+    """
+
+    class _EmptyDataset:
+        import scipy.sparse as _sp
+
+        matrix = _sp.csr_matrix((0, 3))
+        n_users = 0
+        n_items = 3
+
+    @pytest.mark.parametrize("mode", ["reference", "fast"])
+    def test_returns_empty_graph(self, mode):
+        engine = SimilarityEngine(self._EmptyDataset())
+        result = kiff(engine, KiffConfig(k=4, mode=mode))
+        assert result.graph.n_users == 0
+        assert result.graph.k == 4
+        assert result.graph.edge_count() == 0
+        assert result.evaluations == 0
+
+    def test_zero_user_rcs_stats_are_finite(self):
+        rcs = build_rcs(self._EmptyDataset())
+        assert rcs.n_users == 0
+        assert rcs.avg_size == 0.0
+        assert rcs.max_scan_rate() == 0.0

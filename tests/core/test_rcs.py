@@ -196,3 +196,67 @@ class TestCountCandidates:
             count_rcs_candidates(tiny_wikipedia)
             == build_rcs(tiny_wikipedia).total_candidates
         )
+
+
+class TestDeltaRcs:
+    """delta_rcs rows must be bit-identical to the full counting phase."""
+
+    from repro.core.rcs import delta_rcs as _delta_rcs
+
+    @pytest.mark.parametrize("pivot", [True, False])
+    @pytest.mark.parametrize("min_rating", [None, 3.0])
+    def test_rows_match_build_rcs(self, pivot, min_rating):
+        from repro.core.rcs import delta_rcs
+
+        dataset = random_dataset(
+            n_users=40, n_items=25, density=0.12, seed=3, ratings=True
+        )
+        full = build_rcs(dataset, pivot=pivot, min_rating=min_rating)
+        dirty = [0, 7, 13, 39]
+        delta = delta_rcs(
+            dataset, dirty, pivot=pivot, min_rating=min_rating
+        )
+        assert delta.users.tolist() == dirty
+        for user in dirty:
+            np.testing.assert_array_equal(
+                delta.candidates_of(user), full.candidates_of(user)
+            )
+            np.testing.assert_array_equal(
+                delta.counts_of(user), full.counts_of(user)
+            )
+
+    def test_added_removed_against_base(self):
+        from repro.core.rcs import delta_rcs
+
+        dataset = random_dataset(n_users=20, n_items=12, density=0.2, seed=5)
+        base = build_rcs(dataset, pivot=False)
+        # Drop every rating of user 4: her candidacies disappear.
+        matrix = dataset.matrix.tolil()
+        matrix[4, :] = 0
+        from repro.datasets import BipartiteDataset
+
+        mutated = BipartiteDataset(matrix=matrix.tocsr(), name="mutated")
+        delta = delta_rcs(mutated, [4], base=base, pivot=False)
+        assert delta.candidates_of(4).size == 0
+        np.testing.assert_array_equal(
+            delta.removed[4], np.sort(base.candidates_of(4))
+        )
+        assert delta.added[4].size == 0
+
+    def test_unknown_user_raises(self):
+        from repro.core.rcs import delta_rcs
+
+        dataset = random_dataset(n_users=10, n_items=8, density=0.2, seed=1)
+        delta = delta_rcs(dataset, [2])
+        with pytest.raises(KeyError):
+            delta.candidates_of(3)
+        with pytest.raises(ValueError):
+            delta_rcs(dataset, [99])
+
+    def test_empty_dirty_set(self):
+        from repro.core.rcs import delta_rcs
+
+        dataset = random_dataset(n_users=10, n_items=8, density=0.2, seed=1)
+        delta = delta_rcs(dataset, [])
+        assert delta.users.size == 0
+        assert delta.total_candidates == 0

@@ -130,3 +130,67 @@ class TestValidation:
         assert snapshot.n_users == 1
         assert snapshot.n_items == 1  # padded; no item ids exist yet
         assert snapshot.n_ratings == 0
+
+
+class TestIncrementalSnapshot:
+    def test_dirty_rows_tracked_and_cleared(self, builder):
+        assert builder.dirty_rows == frozenset()
+        builder.set_rating(2, 0, 4.0)
+        builder.set_rating(0, 1, 2.0)
+        assert builder.dirty_rows == frozenset({0, 2})
+        builder.snapshot()
+        assert builder.dirty_rows == frozenset()
+
+    def test_noop_mutations_stay_clean(self, builder):
+        snapshot = builder.snapshot()
+        builder.set_rating(0, 0, builder.rating(0, 0))  # identical overwrite
+        builder.set_rating(0, 4, 0.0)  # delete an absent edge
+        assert builder.dirty_rows == frozenset()
+        assert builder.snapshot() is snapshot  # cache untouched
+
+    def test_incremental_path_engages_and_counts_rows(self, builder):
+        counter = builder.maintenance
+        builder.set_rating(1, 3, 5.0)
+        before = counter.rows_materialized
+        snapshot = builder.snapshot()
+        assert counter.snapshots_incremental == 1
+        assert counter.rows_materialized - before == 1
+        assert snapshot == builder.snapshot(name="full-check")
+
+    def test_large_dirty_set_falls_back_to_full(self, builder):
+        for user in range(builder.n_users):
+            builder.set_rating(user, 4, 1.5)
+        builder.snapshot()
+        assert builder.maintenance.snapshots_incremental == 0
+        assert builder.maintenance.snapshots_full >= 1
+
+    def test_dirty_users_hint_must_be_valid_ids(self, builder):
+        builder.set_rating(0, 1, 2.0)
+        with pytest.raises(DatasetError):
+            builder.snapshot(dirty_users=[0, 99])
+
+    def test_csc_mirror_patched_when_base_had_one(self, builder):
+        base = builder.snapshot()
+        base.csc  # build the mirror on the patch base
+        builder.set_rating(3, 1, 0.0)  # delete
+        builder.set_rating(1, 4, 2.5)  # insert (new column usage)
+        snapshot = builder.snapshot()
+        assert snapshot._csc_cache  # pre-seeded, not lazily rebuilt
+        truth = snapshot.matrix.tocsc()
+        patched = snapshot._csc_cache[0]
+        assert abs(patched - truth).nnz == 0
+
+    def test_incremental_snapshot_after_user_growth(self, builder):
+        builder.snapshot()
+        newcomer = builder.add_user([2], [3.0])
+        snapshot = builder.snapshot()
+        assert snapshot.n_users == builder.n_users
+        assert snapshot.user_profile(newcomer) == {2: 3.0}
+        assert builder.maintenance.snapshots_incremental == 1
+
+    def test_incremental_snapshot_after_item_growth(self, builder):
+        builder.snapshot()
+        builder.set_rating(0, 11, 4.0)
+        snapshot = builder.snapshot()
+        assert snapshot.n_items == 12
+        assert snapshot.user_profile(0)[11] == 4.0

@@ -141,3 +141,66 @@ class TestHeapEquivalence:
             heap_n, heap_s = heap.to_arrays()
             assert new_n[user].tolist() == heap_n.tolist()
             np.testing.assert_allclose(new_s[user], heap_s)
+
+
+class TestReverseNeighborIndex:
+    def _graph(self):
+        from repro.graph.updates import ReverseNeighborIndex
+
+        neighbors = np.array(
+            [
+                [1, 2, MISSING],
+                [0, MISSING, MISSING],
+                [0, 1, 3],
+                [MISSING, MISSING, MISSING],
+            ],
+            dtype=np.int64,
+        )
+        return neighbors, ReverseNeighborIndex(neighbors)
+
+    def test_rebuild_matches_isin_scan(self):
+        neighbors, index = self._graph()
+        for user in range(4):
+            scan = np.flatnonzero(np.isin(neighbors, [user]).any(axis=1))
+            np.testing.assert_array_equal(index.referrers_of([user]), scan)
+
+    def test_referrers_of_multiple_users_unions(self):
+        _, index = self._graph()
+        np.testing.assert_array_equal(index.referrers_of([1, 3]), [0, 2])
+
+    def test_apply_row_diffs(self):
+        neighbors, index = self._graph()
+        # Row 0 drops 2 and gains 3.
+        index.apply_row(0, neighbors[0], np.array([1, 3, MISSING]))
+        assert index.referrers_of([2]).tolist() == []
+        assert index.referrers_of([3]).tolist() == [0, 2]
+        # Clearing a row removes all its citations.
+        index.apply_row(2, np.array([0, 1, 3]), ())
+        assert index.referrers_of([3]).tolist() == [0]
+        assert index.referrers_of([1]).tolist() == [0]  # row 0 still cites 1
+
+    def test_missing_users_have_no_referrers(self):
+        _, index = self._graph()
+        assert index.referrers_of([99]).size == 0
+        assert index.referrers_of([]).size == 0
+
+    def test_randomized_equivalence_with_scan(self):
+        from repro.graph.updates import ReverseNeighborIndex
+
+        rng = np.random.default_rng(7)
+        n, k = 30, 4
+        neighbors = np.full((n, k), MISSING, dtype=np.int64)
+        index = ReverseNeighborIndex(neighbors)
+        for _ in range(200):
+            row = int(rng.integers(0, n))
+            size = int(rng.integers(0, k + 1))
+            new_row = np.full(k, MISSING, dtype=np.int64)
+            if size:
+                new_row[:size] = rng.choice(n, size=size, replace=False)
+            index.apply_row(row, neighbors[row], new_row)
+            neighbors[row] = new_row
+        for user in range(n):
+            scan = np.flatnonzero(np.isin(neighbors, [user]).any(axis=1))
+            np.testing.assert_array_equal(
+                index.referrers_of([user]), scan, err_msg=f"user {user}"
+            )

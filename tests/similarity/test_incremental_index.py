@@ -1,0 +1,264 @@
+"""Incremental ProfileIndex updates vs cold rebuilds, across all metrics.
+
+ProfileIndex.update(dataset, dirty_users) must leave the index
+indistinguishable from ProfileIndex(dataset) — same norms, sizes,
+binarised matrix and (patched) lazy metric caches — because the
+streaming parity oracle compares similarities *bit-exactly*.  Pearson's
+mean-centring and Adamic-Adar's global item weights are the two caches
+with sharp edges, so they get focused coverage on top of the all-metric
+sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import BipartiteDataset
+from repro.similarity import ProfileIndex, SimilarityEngine
+from repro.similarity.engine import get_metric, metric_names
+from tests.conftest import random_dataset
+
+
+def _mutate_rows(dataset, dirty, seed, n_users=None, n_items=None):
+    """A dataset differing from *dataset* exactly in the *dirty* rows."""
+    rng = np.random.default_rng(seed)
+    n_items = n_items or dataset.n_items
+    profiles = [dataset.user_profile(u) for u in range(dataset.n_users)]
+    if n_users is not None:
+        profiles.extend({} for _ in range(n_users - dataset.n_users))
+    for user in dirty:
+        profiles[user] = {
+            int(rng.integers(0, n_items)): float(rng.integers(1, 6))
+            for _ in range(rng.integers(0, 5))
+        }
+    return BipartiteDataset.from_profiles(
+        profiles, n_users=len(profiles), n_items=n_items, name="mutated"
+    )
+
+
+def _all_pairs(n):
+    us, vs = np.meshgrid(np.arange(n), np.arange(n))
+    us, vs = us.ravel(), vs.ravel()
+    keep = us != vs
+    return us[keep], vs[keep]
+
+
+class TestUpdateParity:
+    """update() == cold build, for every registered metric."""
+
+    @pytest.mark.parametrize("metric_name", metric_names())
+    @pytest.mark.parametrize("seed", range(3))
+    def test_scores_bit_identical_after_update(self, metric_name, seed):
+        dataset = random_dataset(
+            n_users=18, n_items=12, density=0.2, seed=seed, ratings=True
+        )
+        dirty = [0, 5, 11]
+        mutated = _mutate_rows(dataset, dirty, seed + 100)
+        incremental = ProfileIndex(dataset)
+        metric = get_metric(metric_name)
+        us, vs = _all_pairs(dataset.n_users)
+        metric.score_batch(incremental, us, vs)  # force the lazy caches
+        incremental.update(mutated, dirty)
+        cold = ProfileIndex(mutated)
+        np.testing.assert_array_equal(
+            metric.score_batch(incremental, us, vs),
+            metric.score_batch(cold, us, vs),
+        )
+        for u, v in [(0, 5), (5, 11), (2, 3)]:
+            assert metric.score_pair(incremental, u, v) == metric.score_pair(
+                cold, u, v
+            )
+
+    def test_arrays_match_cold_build(self):
+        dataset = random_dataset(
+            n_users=20, n_items=10, density=0.25, seed=9, ratings=True
+        )
+        dirty = [1, 19]
+        mutated = _mutate_rows(dataset, dirty, 7)
+        index = ProfileIndex(dataset)
+        index.update(mutated, dirty)
+        cold = ProfileIndex(mutated)
+        np.testing.assert_array_equal(index.norms, cold.norms)
+        np.testing.assert_array_equal(index.sizes, cold.sizes)
+        assert abs(index.matrix - cold.matrix).nnz == 0
+        assert abs(index.binary - cold.binary).nnz == 0
+
+    def test_population_growth_lists_new_users_dirty(self):
+        dataset = random_dataset(n_users=8, n_items=6, density=0.3, seed=2)
+        mutated = _mutate_rows(dataset, [3, 8, 9], 5, n_users=10)
+        index = ProfileIndex(dataset)
+        index.update(mutated, [3, 8, 9])
+        cold = ProfileIndex(mutated)
+        assert index.n_users == 10
+        np.testing.assert_array_equal(index.norms, cold.norms)
+
+    def test_item_universe_growth(self):
+        dataset = random_dataset(n_users=8, n_items=6, density=0.3, seed=2)
+        mutated = _mutate_rows(dataset, [0], 5, n_items=9)
+        index = ProfileIndex(dataset)
+        index.update(mutated, [0])
+        assert index.n_items == 9
+        np.testing.assert_array_equal(
+            index.norms, ProfileIndex(mutated).norms
+        )
+
+    def test_counter_charges_dirty_users_only(self):
+        dataset = random_dataset(n_users=30, n_items=10, density=0.2, seed=0)
+        mutated = _mutate_rows(dataset, [4], 1)
+        index = ProfileIndex(dataset)
+        assert index.maintenance.index_users_recomputed == 30
+        index.update(mutated, [4])
+        assert index.maintenance.index_users_recomputed == 31
+        assert index.maintenance.index_updates_incremental == 1
+
+    def test_missing_new_users_fall_back_to_full_build(self):
+        dataset = random_dataset(n_users=8, n_items=6, density=0.3, seed=2)
+        mutated = _mutate_rows(dataset, [0, 8], 5, n_users=9)
+        index = ProfileIndex(dataset)
+        index.update(mutated, [0])  # new user 8 not declared dirty
+        assert index.maintenance.index_builds_full == 2  # ctor + fallback
+        np.testing.assert_array_equal(
+            index.norms, ProfileIndex(mutated).norms
+        )
+
+
+class TestPearsonCache:
+    def test_centered_cache_patched_bit_identically(self):
+        dataset = random_dataset(
+            n_users=15, n_items=9, density=0.3, seed=4, ratings=True
+        )
+        dirty = [2, 7]
+        mutated = _mutate_rows(dataset, dirty, 11)
+        index = ProfileIndex(dataset)
+        index.centered  # build the lazy cache before the update
+        index.update(mutated, dirty)
+        cold_matrix, cold_norms = ProfileIndex(mutated).centered
+        patched_matrix, patched_norms = index.centered
+        np.testing.assert_array_equal(patched_norms, cold_norms)
+        assert abs(patched_matrix - cold_matrix).nnz == 0
+        np.testing.assert_array_equal(patched_matrix.data, cold_matrix.data)
+
+    def test_unbuilt_cache_stays_lazy(self):
+        dataset = random_dataset(n_users=10, n_items=8, density=0.3, seed=4)
+        mutated = _mutate_rows(dataset, [0], 2)
+        index = ProfileIndex(dataset)
+        index.update(mutated, [0])
+        assert index._centered_cache is None  # built on first demand only
+
+
+class TestAdamicAdarCache:
+    def test_patched_when_dirty_covers_raters(self):
+        """Dirty-all-raters semantics: the weights patch in place."""
+        dataset = random_dataset(
+            n_users=12, n_items=8, density=0.3, seed=6, ratings=True
+        )
+        rater = int(np.flatnonzero(dataset.user_profile_sizes() > 0)[0])
+        item = int(dataset.user_items(rater)[0])
+        profiles = [dataset.user_profile(u) for u in range(12)]
+        profile = dict(profiles[rater])
+        profile.pop(item)
+        profiles[rater] = profile
+        mutated = BipartiteDataset.from_profiles(profiles, n_users=12, n_items=8)
+        dirty = sorted(set(dataset.item_users(item).tolist()) | {rater})
+        index = ProfileIndex(dataset)
+        index.adamic_adar_matrix
+        index.update(mutated, dirty)
+        assert index._adamic_adar_matrix is not None  # patched, not dropped
+        cold = ProfileIndex(mutated)
+        np.testing.assert_array_equal(
+            index.adamic_adar_matrix.toarray(),
+            cold.adamic_adar_matrix.toarray(),
+        )
+        np.testing.assert_array_equal(
+            index._item_degrees,
+            np.asarray(cold.binary.sum(axis=0)).ravel().astype(np.int64),
+        )
+
+    def test_dropped_when_a_reweighted_item_has_clean_raters(self):
+        """Profile-local dirtying can't patch global weights: the cache
+        must be invalidated (and lazily rebuilt), never patched wrongly."""
+        dataset = random_dataset(
+            n_users=12, n_items=8, density=0.3, seed=6, ratings=True
+        )
+        shared = int(np.flatnonzero(dataset.item_profile_sizes() >= 2)[0])
+        rater = int(dataset.item_users(shared)[0])
+        profiles = [dataset.user_profile(u) for u in range(12)]
+        profile = dict(profiles[rater])
+        profile.pop(shared)
+        profiles[rater] = profile
+        mutated = BipartiteDataset.from_profiles(profiles, n_users=12, n_items=8)
+        index = ProfileIndex(dataset)
+        index.adamic_adar_matrix
+        index.update(mutated, [rater])  # only the rater is dirty
+        assert index._adamic_adar_matrix is None
+        cold = ProfileIndex(mutated)
+        np.testing.assert_array_equal(
+            index.adamic_adar_matrix.toarray(),
+            cold.adamic_adar_matrix.toarray(),
+        )
+
+
+class _TaggedIndex(ProfileIndex):
+    """A subclass with extra derived state (tests the rebind contract)."""
+
+    def __init__(self, dataset, maintenance=None):
+        super().__init__(dataset, maintenance=maintenance)
+        self.tag = f"tagged:{dataset.name}"
+
+    def update(self, dataset, dirty_users):
+        super().update(dataset, dirty_users)
+        self.tag = f"tagged:{dataset.name}"
+        return self
+
+
+class _BareCtorIndex(ProfileIndex):
+    """A subclass with the minimal (dataset)-only constructor."""
+
+    def __init__(self, dataset):
+        super().__init__(dataset)
+
+
+class TestRebindPreservesIndexClass:
+    """SimilarityEngine.rebind must not discard custom index subclasses."""
+
+    def test_full_rebind_reconstructs_subclass(self, rated_dataset):
+        engine = SimilarityEngine(
+            rated_dataset, index=_TaggedIndex(rated_dataset)
+        )
+        grown = random_dataset(n_users=7, n_items=6, density=0.4, seed=3)
+        engine.rebind(grown)
+        assert type(engine.index) is _TaggedIndex
+        assert engine.index.tag == f"tagged:{grown.name}"
+        assert engine.index.dataset is grown
+
+    def test_full_rebind_tolerates_bare_constructor(self, rated_dataset):
+        engine = SimilarityEngine(
+            rated_dataset, index=_BareCtorIndex(rated_dataset)
+        )
+        grown = random_dataset(n_users=7, n_items=6, density=0.4, seed=3)
+        engine.rebind(grown)
+        assert type(engine.index) is _BareCtorIndex
+        assert engine.index.dataset is grown
+
+    def test_incremental_rebind_updates_in_place(self, rated_dataset):
+        index = _TaggedIndex(rated_dataset)
+        engine = SimilarityEngine(rated_dataset, index=index)
+        mutated = _mutate_rows(rated_dataset, [1], 8)
+        engine.rebind(mutated, dirty_users=[1])
+        assert engine.index is index  # same object, updated in place
+        assert engine.index.tag == f"tagged:{mutated.name}"
+        np.testing.assert_array_equal(
+            engine.index.norms, ProfileIndex(mutated).norms
+        )
+
+    def test_streaming_index_preserves_custom_profile_index(self, rated_dataset):
+        """End to end: a DynamicKnnIndex built on an engine with a custom
+        index keeps it across refreshes."""
+        from repro import DynamicKnnIndex, KiffConfig
+
+        index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2))
+        index.engine.index = _TaggedIndex(rated_dataset)
+        index.add_ratings([0], [3], [4.0])
+        assert type(index.engine.index) is _TaggedIndex
+        from repro.streaming import cold_rebuild_graph
+
+        assert index.graph == cold_rebuild_graph(index.dataset, index.config)
