@@ -17,7 +17,7 @@ import os
 import numpy as np
 
 from repro import BipartiteDataset, DynamicKnnIndex, KiffConfig
-from repro.streaming import holdout_stream
+from repro.streaming import holdout_stream, ratings_batch
 
 from _bench_utils import run_once
 
@@ -77,7 +77,7 @@ def test_refresh_locality_one_percent_dirty(benchmark):
     index, users, items, ratings = _prebuilt_index(params)
     n_users = index.n_users
     n_dirty = max(1, n_users // 100)
-    index.add_ratings(*_dirty_batch(users, items, ratings, n_dirty))
+    index.apply(ratings_batch(*_dirty_batch(users, items, ratings, n_dirty)))
     assert len(index.dirty_users) == n_dirty
 
     stats = run_once(benchmark, index.refresh)
@@ -107,7 +107,7 @@ def test_refresh_cost_scales_with_dirty_set():
     for fraction in (0.01, 0.04):
         index, users, items, ratings = _prebuilt_index(params)
         n_dirty = max(1, int(n_users * fraction))
-        index.add_ratings(*_dirty_batch(users, items, ratings, n_dirty))
+        index.apply(ratings_batch(*_dirty_batch(users, items, ratings, n_dirty)))
         stats = index.refresh()
         results[fraction] = stats
     small, large = results[0.01], results[0.04]
@@ -128,7 +128,7 @@ def test_refresh_cost_flat_in_n_ratings():
         index, users, items, ratings = _prebuilt_index(
             params, density=params["density"] * factor
         )
-        index.add_ratings(*_dirty_batch(users, items, ratings, n_dirty))
+        index.apply(ratings_batch(*_dirty_batch(users, items, ratings, n_dirty)))
         stats = index.refresh()
         counted[factor] = (
             stats.rows_materialized,

@@ -19,15 +19,19 @@ Quickstart::
 Streaming maintenance
 ---------------------
 When ratings arrive continuously, :class:`repro.streaming.DynamicKnnIndex`
-keeps the converged KIFF graph exact under ``add_ratings`` / ``add_user``
-/ ``remove_user`` events through dirty-set-driven localized refinement —
-see ``README.md`` ("Streaming maintenance") and
-``examples/streaming_updates.py``::
+keeps the converged KIFF graph exact under typed events (``AddRating``,
+``RemoveRating``, ``AddUser``, ``RemoveUser``, ``Batch``) through
+dirty-set-driven localized refinement — see ``README.md`` ("Streaming
+maintenance") and ``examples/streaming_updates.py``::
 
-    from repro import DynamicKnnIndex
+    from repro import AddRating, DynamicKnnIndex
 
     index = DynamicKnnIndex(dataset, KiffConfig(k=10))
-    index.add_ratings([3, 7], [12, 40])   # graph stays exact
+    index.apply(AddRating(user=3, item=12))   # graph stays exact
+
+With a :class:`repro.persistence.WriteAheadLog` attached and periodic
+``index.checkpoint(dir)`` calls, ``DynamicKnnIndex.restore(dir)``
+recovers a bit-identical graph after a crash (README: "Durability").
 """
 
 from .baselines import (
@@ -74,6 +78,7 @@ from .instrumentation import (
     SimilarityCounter,
     scan_rate,
 )
+from .persistence import WriteAheadLog
 from .similarity import (
     ProfileIndex,
     SimilarityEngine,
@@ -82,11 +87,25 @@ from .similarity import (
     metric_names,
     register_metric,
 )
-from .streaming import DynamicKnnIndex, RefreshStats
+from .streaming import (
+    AddRating,
+    AddUser,
+    ApplyResult,
+    Batch,
+    DynamicKnnIndex,
+    RefreshStats,
+    RemoveRating,
+    RemoveUser,
+    ratings_batch,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AddRating",
+    "AddUser",
+    "ApplyResult",
+    "Batch",
     "BipartiteDataset",
     "ConstructionResult",
     "ConvergenceTrace",
@@ -105,10 +124,13 @@ __all__ = [
     "RankedCandidateSets",
     "RcsDelta",
     "RefreshStats",
+    "RemoveRating",
+    "RemoveUser",
     "ReverseNeighborIndex",
     "SimilarityCounter",
     "SimilarityEngine",
     "SimilarityMetric",
+    "WriteAheadLog",
     "__version__",
     "average_similarity",
     "brute_force_knn",
@@ -126,6 +148,7 @@ __all__ = [
     "nn_descent",
     "per_user_recall",
     "random_knn_graph",
+    "ratings_batch",
     "recall",
     "register_metric",
     "scan_rate",

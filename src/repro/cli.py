@@ -41,14 +41,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "datasets", "graph-stats", "stream"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "datasets", "graph-stats", "stream", "recover"],
         help=(
             "which paper artefact to regenerate ('all' runs everything; "
             "'datasets' prints Table-I statistics for every registry "
             "preset and can cache them to disk; 'graph-stats' builds a "
             "KNN graph with KIFF and prints its analytics; 'stream' "
             "replays a hold-out rating stream through the dynamic KNN "
-            "index and reports maintenance cost vs full rebuilds)"
+            "index and reports maintenance cost vs full rebuilds; "
+            "'recover' restores a crashed streaming index from a state "
+            "directory's checkpoint + write-ahead log tail)"
+        ),
+    )
+    parser.add_argument(
+        "directory",
+        nargs="?",
+        default=None,
+        help=(
+            "with 'recover': the state directory holding wal.jsonl and "
+            "checkpoint-*.npz files"
         ),
     )
     parser.add_argument(
@@ -92,6 +104,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10,
         help="with 'stream': events absorbed between refinement passes",
+    )
+    parser.add_argument(
+        "--wal",
+        default=None,
+        help=(
+            "with 'stream': journal every event into this write-ahead "
+            "log file (checkpoints land in the same directory)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help=(
+            "with 'stream' + --wal: checkpoint the index every N "
+            "batches (a seed checkpoint is always written before the "
+            "stream starts)"
+        ),
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "with 'recover': also cold-rebuild the converged graph on "
+            "the recovered dataset and check exact parity (exit 1 on "
+            "mismatch)"
+        ),
     )
     return parser
 
@@ -159,6 +198,8 @@ def _run_graph_stats(args) -> int:
 
 def _run_stream(args) -> int:
     """The 'stream' utility: hold-out replay through the dynamic index."""
+    from pathlib import Path
+
     from .core import KiffConfig
     from .datasets import load_dataset
     from .experiments.report import render_table
@@ -169,6 +210,9 @@ def _run_stream(args) -> int:
         replay_stream,
     )
 
+    if args.checkpoint_every is not None and not args.wal:
+        print("error: --checkpoint-every requires --wal", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.dataset, scale=args.scale)
     k = _cli_k(args)
     base, users, items, ratings = holdout_stream(
@@ -177,8 +221,34 @@ def _run_stream(args) -> int:
     index = DynamicKnnIndex(
         base, KiffConfig(k=k), metric=args.metric, auto_refresh=False
     )
+    state_dir = None
+    if args.wal:
+        from .persistence import WriteAheadLog
+
+        wal_path = Path(args.wal)
+        wal = WriteAheadLog(wal_path)
+        if wal.last_seq > 0:
+            wal.close()
+            print(
+                f"error: {wal_path} already holds events up to sequence "
+                f"{wal.last_seq}; recover that state with "
+                f"'repro-kiff recover {wal_path.parent}' or pass a fresh "
+                f"--wal path",
+                file=sys.stderr,
+            )
+            return 2
+        index.attach_wal(wal)
+        state_dir = wal_path.parent
+        # Seed checkpoint: recovery needs a base to replay the log onto.
+        index.checkpoint(state_dir)
     outcome = replay_stream(
-        index, users, items, ratings, batch_size=args.batch_size
+        index,
+        users,
+        items,
+        ratings,
+        batch_size=args.batch_size,
+        checkpoint_every=args.checkpoint_every if state_dir else None,
+        checkpoint_dir=state_dir,
     )
     cold = cold_rebuild_graph(index.dataset, index.config, metric=args.metric)
     rows = [
@@ -191,6 +261,13 @@ def _run_stream(args) -> int:
         ["savings", f"{outcome.savings:.1f}x"],
         ["parity with cold rebuild", index.graph == cold],
     ]
+    if state_dir is not None:
+        rows.append(["wal", str(index.wal.path)])
+        rows.append(["last sequence", index.last_seq])
+        if args.checkpoint_every is not None:
+            rows.append(
+                ["checkpoint cadence", f"every {args.checkpoint_every} batches"]
+            )
     print(
         render_table(
             ["Statistic", "Value"],
@@ -205,6 +282,46 @@ def _run_stream(args) -> int:
     return 0
 
 
+def _run_recover(args) -> int:
+    """The 'recover' utility: checkpoint + WAL-tail restart recovery."""
+    from .experiments.report import render_table
+    from .streaming import DynamicKnnIndex, cold_rebuild_graph
+
+    if not args.directory:
+        print(
+            "error: recover needs a state directory "
+            "(repro-kiff recover <dir>)",
+            file=sys.stderr,
+        )
+        return 2
+    index = DynamicKnnIndex.restore(args.directory)
+    info = index.restore_info
+    dataset = index.dataset
+    rows = [
+        ["checkpoint", info.checkpoint.name],
+        ["checkpoint sequence", info.checkpoint_seq],
+        ["wal events replayed", info.replayed_events],
+        ["last sequence", info.last_seq],
+        ["users", dataset.n_users],
+        ["items", dataset.n_items],
+        ["ratings", dataset.n_ratings],
+        ["recovery evaluations", info.evaluations],
+    ]
+    parity = None
+    if args.verify:
+        cold = cold_rebuild_graph(dataset, index.config, metric=index.engine.metric)
+        parity = index.graph == cold
+        rows.append(["parity with cold rebuild", parity])
+    print(
+        render_table(
+            ["Statistic", "Value"],
+            rows,
+            title=f"Recovered DynamicKnnIndex from {args.directory}",
+        )
+    )
+    return 0 if parity in (None, True) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -214,6 +331,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_graph_stats(args)
     if args.experiment == "stream":
         return _run_stream(args)
+    if args.experiment == "recover":
+        return _run_recover(args)
     context = ExperimentContext(
         scale=args.scale, metric=args.metric, seed=args.seed
     )

@@ -46,7 +46,49 @@ import scipy.sparse as sp
 from ..instrumentation.counters import MaintenanceCounter
 from .bipartite import BipartiteDataset, DatasetError
 
-__all__ = ["MutableBipartiteBuilder", "splice_compressed"]
+__all__ = [
+    "MutableBipartiteBuilder",
+    "snapshot_from_arrays",
+    "snapshot_to_arrays",
+    "splice_compressed",
+]
+
+
+def snapshot_to_arrays(dataset: BipartiteDataset) -> dict[str, np.ndarray]:
+    """A snapshot's ratings as plain arrays (for checkpoint archives).
+
+    Captures the canonical CSR triplet plus the matrix shape, so
+    tombstone rows (a removed user's empty profile) and trailing empty
+    item columns survive the round-trip — :class:`BipartiteDataset`
+    equality holds exactly after :func:`snapshot_from_arrays`.
+    """
+    matrix = dataset.matrix
+    return {
+        "dataset_indptr": matrix.indptr,
+        "dataset_indices": matrix.indices,
+        "dataset_data": matrix.data,
+        "dataset_shape": np.asarray(matrix.shape, dtype=np.int64),
+    }
+
+
+def snapshot_from_arrays(arrays, name: str = "restored") -> BipartiteDataset:
+    """Inverse of :func:`snapshot_to_arrays` (accepts any array mapping).
+
+    The result is a canonical dataset; seeding a
+    :class:`MutableBipartiteBuilder` from it (``from_dataset``) restores
+    the builder state the snapshot was taken from, dense user ids,
+    tombstones and item universe included.
+    """
+    shape = tuple(int(extent) for extent in np.asarray(arrays["dataset_shape"]))
+    matrix = sp.csr_matrix(
+        (
+            np.asarray(arrays["dataset_data"], dtype=np.float64),
+            np.asarray(arrays["dataset_indices"], dtype=np.int64),
+            np.asarray(arrays["dataset_indptr"], dtype=np.int64),
+        ),
+        shape=shape,
+    )
+    return BipartiteDataset(matrix=matrix, name=name)
 
 
 def splice_compressed(

@@ -8,7 +8,14 @@ from .analysis import (
     similarity_by_rank,
     weakly_connected_components,
 )
-from .io import load_graph, save_graph, to_networkx, write_edge_list
+from .io import (
+    graph_from_arrays,
+    graph_to_arrays,
+    load_graph,
+    save_graph,
+    to_networkx,
+    write_edge_list,
+)
 from .knn_graph import MISSING, KnnGraph
 from .metrics import average_similarity, per_user_recall, recall, strict_recall
 from .updates import ReverseNeighborIndex, dedupe_pairs, merge_topk
@@ -21,6 +28,8 @@ __all__ = [
     "analyze",
     "average_similarity",
     "dedupe_pairs",
+    "graph_from_arrays",
+    "graph_to_arrays",
     "in_degrees",
     "load_graph",
     "merge_topk",

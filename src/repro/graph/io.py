@@ -15,9 +15,34 @@ import numpy as np
 
 from .knn_graph import KnnGraph
 
-__all__ = ["save_graph", "load_graph", "write_edge_list", "to_networkx"]
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "graph_to_arrays",
+    "graph_from_arrays",
+    "write_edge_list",
+    "to_networkx",
+]
 
 _FORMAT_VERSION = 1
+
+
+def graph_to_arrays(graph: KnnGraph) -> dict[str, np.ndarray]:
+    """*graph* as plain arrays, embeddable in larger archives.
+
+    The payload :func:`save_graph` writes, factored out so composite
+    formats (e.g. :mod:`repro.persistence` checkpoints) can bundle a
+    graph without a second file.  Tombstone rows (a removed user's
+    all-``MISSING`` row) and 0-user graphs round-trip exactly.
+    """
+    return {"neighbors": graph.neighbors, "sims": graph.sims}
+
+
+def graph_from_arrays(arrays) -> KnnGraph:
+    """Inverse of :func:`graph_to_arrays` (accepts any array mapping)."""
+    return KnnGraph(
+        np.asarray(arrays["neighbors"]), np.asarray(arrays["sims"])
+    )
 
 
 def save_graph(graph: KnnGraph, path: str | Path) -> Path:
@@ -27,8 +52,7 @@ def save_graph(graph: KnnGraph, path: str | Path) -> Path:
     np.savez_compressed(
         path,
         version=np.int64(_FORMAT_VERSION),
-        neighbors=graph.neighbors,
-        sims=graph.sims,
+        **graph_to_arrays(graph),
     )
     # np.savez appends .npz when missing; report the real location.
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
@@ -43,7 +67,7 @@ def load_graph(path: str | Path) -> KnnGraph:
                 f"unsupported graph file version {version} "
                 f"(this library writes version {_FORMAT_VERSION})"
             )
-        return KnnGraph(archive["neighbors"], archive["sims"])
+        return graph_from_arrays(archive)
 
 
 def write_edge_list(graph: KnnGraph, path: str | Path) -> Path:

@@ -1,0 +1,55 @@
+"""Durability for streaming KNN maintenance: WAL + checkpoint/restore.
+
+The streaming subsystem keeps the converged KIFF graph exact under live
+events; this package makes that state survive restarts:
+
+* :class:`WriteAheadLog` — an append-only JSONL journal every applied
+  event flows through (fsync-batched, sequence-numbered, torn-tail
+  tolerant).
+* :func:`save_checkpoint` / :func:`load_checkpoint` — one ``.npz``
+  archive holding the full maintained state (dataset snapshot, graph
+  rows, dirty set, candidate cache, counters).
+* :func:`restore_index` — latest checkpoint + WAL-tail replay; the
+  refreshed result is bit-identical to the uninterrupted run.
+
+Use through the index: ``index.checkpoint(dir)`` and
+``DynamicKnnIndex.restore(dir)`` — see README ("Durability").
+"""
+
+from .checkpoint import (
+    CheckpointError,
+    CheckpointState,
+    RestoreInfo,
+    checkpoint_path,
+    latest_checkpoint,
+    load_checkpoint,
+    restore_index,
+    save_checkpoint,
+)
+from .wal import (
+    WAL_FILENAME,
+    PersistenceError,
+    WalError,
+    WriteAheadLog,
+    decode_event,
+    encode_event,
+    read_wal,
+)
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointState",
+    "PersistenceError",
+    "RestoreInfo",
+    "WAL_FILENAME",
+    "WalError",
+    "WriteAheadLog",
+    "checkpoint_path",
+    "decode_event",
+    "encode_event",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "read_wal",
+    "restore_index",
+    "save_checkpoint",
+]

@@ -1,0 +1,374 @@
+"""Checkpoint format: the full maintained streaming state in one archive.
+
+A checkpoint serializes everything a
+:class:`~repro.streaming.index.DynamicKnnIndex` needs to resume exactly
+where it was: the dataset snapshot (via
+:func:`repro.datasets.mutable.snapshot_to_arrays`), the KNN graph rows
+(via :func:`repro.graph.io.graph_to_arrays`), the dirty set, the
+delta-maintained candidate-multiset cache (in insertion order, so
+eviction order survives), and the cost counters.  The reverse-neighbor
+index is *not* stored: it is a pure function of the graph rows and is
+re-derived on load, which is both cheaper than parsing it and immune to
+drift.
+
+Recovery = latest checkpoint + :mod:`write-ahead log
+<repro.persistence.wal>` tail replay.  Because the maintained graph is
+the converged KIFF fixed point — independent of the refresh schedule —
+the restored index's refreshed graph is **bit-identical** to the
+uninterrupted run's (the recovery parity suite pins this across
+randomized kill points).
+
+Checkpoints are written atomically (temp file + ``os.replace``) as
+``checkpoint-<seq>.npz`` so a crash mid-checkpoint leaves the previous
+one intact and :func:`latest_checkpoint` always finds a complete file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import KiffConfig
+from ..datasets.bipartite import BipartiteDataset
+from ..datasets.mutable import snapshot_from_arrays, snapshot_to_arrays
+from ..graph.io import graph_from_arrays, graph_to_arrays
+from ..graph.knn_graph import KnnGraph
+from .wal import WAL_FILENAME, PersistenceError, WriteAheadLog, read_wal
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointState",
+    "RestoreInfo",
+    "checkpoint_path",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "restore_index",
+    "save_checkpoint",
+]
+
+
+class CheckpointError(PersistenceError):
+    """Raised when a checkpoint is missing, corrupt or incompatible."""
+
+
+CHECKPOINT_VERSION = 1
+_PREFIX = "checkpoint-"
+
+
+@dataclass(frozen=True)
+class CheckpointState:
+    """Everything :func:`load_checkpoint` recovers from one archive."""
+
+    path: Path
+    seq: int
+    name: str
+    metric: str
+    config: KiffConfig
+    auto_refresh: bool
+    pending_events: int
+    candidate_cache_size: int | None
+    initial_evaluations: int
+    evaluations: int
+    maintenance: dict
+    dataset: BipartiteDataset
+    neighbors: np.ndarray
+    sims: np.ndarray
+    dirty: tuple[int, ...]
+    #: ``(user, {candidate: count})`` pairs in cache-insertion order.
+    cache: tuple
+
+
+@dataclass(frozen=True)
+class RestoreInfo:
+    """Provenance of a restored index (stashed as ``index.restore_info``)."""
+
+    checkpoint: Path
+    checkpoint_seq: int
+    #: WAL-tail events replayed on top of the checkpoint.
+    replayed_events: int
+    last_seq: int
+    #: Similarity evaluations the restore spent (tail replay + refresh).
+    evaluations: int
+
+
+def checkpoint_path(directory: str | Path, seq: int) -> Path:
+    """Canonical archive path for a checkpoint at sequence *seq*."""
+    return Path(directory) / f"{_PREFIX}{seq:012d}.npz"
+
+
+def _checkpoint_candidates(directory: Path) -> list[Path]:
+    """Every ``checkpoint-*.npz`` under *directory*, newest first."""
+    if not directory.is_dir():
+        return []
+    found: list[tuple[int, Path]] = []
+    for path in directory.glob(f"{_PREFIX}*.npz"):
+        stem = path.name[len(_PREFIX) : -len(".npz")]
+        try:
+            found.append((int(stem), path))
+        except ValueError:
+            continue
+    return [path for _, path in sorted(found, reverse=True)]
+
+
+def latest_checkpoint(directory: str | Path) -> Path | None:
+    """The highest-sequence ``checkpoint-*.npz`` under *directory*."""
+    candidates = _checkpoint_candidates(Path(directory))
+    return candidates[0] if candidates else None
+
+
+def save_checkpoint(index, directory: str | Path) -> Path:
+    """Serialize *index* into ``directory/checkpoint-<seq>.npz``.
+
+    Callable at any point of the stream — pending (unrefreshed) events
+    are captured through the dataset snapshot plus the dirty set, so a
+    restore followed by one refresh lands on the same converged graph.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    dataset = index.builder.snapshot()
+    neighbors, sims = index._rows()
+    graph_arrays = graph_to_arrays(KnnGraph(neighbors, sims))
+    cache_users = list(index._candidate_counts)
+    cache_lengths = [len(index._candidate_counts[u]) for u in cache_users]
+    cache_indptr = np.zeros(len(cache_users) + 1, dtype=np.int64)
+    np.cumsum(cache_lengths, out=cache_indptr[1:])
+    cache_candidates = np.concatenate(
+        [
+            np.fromiter(counts.keys(), np.int64, len(counts))
+            for counts in (index._candidate_counts[u] for u in cache_users)
+        ]
+        or [np.empty(0, dtype=np.int64)]
+    )
+    cache_counts = np.concatenate(
+        [
+            np.fromiter(counts.values(), np.int64, len(counts))
+            for counts in (index._candidate_counts[u] for u in cache_users)
+        ]
+        or [np.empty(0, dtype=np.int64)]
+    )
+    metric = index.engine.metric.name
+    meta = {
+        "version": CHECKPOINT_VERSION,
+        "seq": index.last_seq,
+        "name": dataset.name,
+        "metric": metric,
+        "config": asdict(index.config),
+        "auto_refresh": bool(index.auto_refresh),
+        "pending_events": int(index.pending_events),
+        "candidate_cache_size": index.candidate_cache_size,
+        "initial_evaluations": int(index.initial_evaluations),
+        "evaluations": int(index.engine.counter.evaluations),
+        "maintenance": {
+            field: int(getattr(index.maintenance, field))
+            for field in index.maintenance.__dataclass_fields__
+        },
+    }
+    path = checkpoint_path(directory, index.last_seq)
+    tmp = path.with_name(path.name + ".tmp.npz")
+    try:
+        np.savez_compressed(
+            tmp,
+            meta=np.asarray(json.dumps(meta)),
+            graph_neighbors=graph_arrays["neighbors"],
+            graph_sims=graph_arrays["sims"],
+            dirty=np.asarray(sorted(index._dirty), dtype=np.int64),
+            cache_users=np.asarray(cache_users, dtype=np.int64),
+            cache_indptr=cache_indptr,
+            cache_candidates=cache_candidates,
+            cache_counts=cache_counts,
+            **snapshot_to_arrays(dataset),
+        )
+        # Make the data durable before the rename makes it visible —
+        # otherwise a power loss can leave a durable name pointing at
+        # lost bytes (restore still falls back to older checkpoints).
+        with tmp.open("rb+") as handle:
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # savez failed before the atomic rename
+            tmp.unlink()
+    return path
+
+
+def load_checkpoint(path: str | Path) -> CheckpointState:
+    """Parse a checkpoint archive back into a :class:`CheckpointState`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            meta = json.loads(str(np.asarray(archive["meta"]).item()))
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(f"corrupt checkpoint metadata in {path}") from exc
+        version = meta.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version!r} in {path} "
+                f"(this library writes version {CHECKPOINT_VERSION})"
+            )
+        graph = graph_from_arrays(
+            {
+                "neighbors": archive["graph_neighbors"],
+                "sims": archive["graph_sims"],
+            }
+        )
+        dataset = snapshot_from_arrays(archive, name=meta["name"])
+        cache_users = archive["cache_users"].tolist()
+        cache_indptr = archive["cache_indptr"]
+        cache_candidates = archive["cache_candidates"]
+        cache_counts = archive["cache_counts"]
+        cache = tuple(
+            (
+                user,
+                dict(
+                    zip(
+                        cache_candidates[
+                            cache_indptr[pos] : cache_indptr[pos + 1]
+                        ].tolist(),
+                        cache_counts[
+                            cache_indptr[pos] : cache_indptr[pos + 1]
+                        ].tolist(),
+                    )
+                ),
+            )
+            for pos, user in enumerate(cache_users)
+        )
+        config_fields = dict(meta["config"])
+        gamma = config_fields.get("gamma")
+        if gamma is not None:
+            config_fields["gamma"] = float(gamma)
+        return CheckpointState(
+            path=path,
+            seq=int(meta["seq"]),
+            name=meta["name"],
+            metric=meta["metric"],
+            config=KiffConfig(**config_fields),
+            auto_refresh=bool(meta["auto_refresh"]),
+            pending_events=int(meta["pending_events"]),
+            candidate_cache_size=meta["candidate_cache_size"],
+            initial_evaluations=int(meta["initial_evaluations"]),
+            evaluations=int(meta["evaluations"]),
+            maintenance=dict(meta["maintenance"]),
+            dataset=dataset,
+            neighbors=graph.neighbors,
+            sims=graph.sims,
+            dirty=tuple(archive["dirty"].tolist()),
+            cache=cache,
+        )
+
+
+def restore_index(
+    cls,
+    directory: str | Path,
+    metric=None,
+    refresh: bool = True,
+    fsync_every: int | None = 64,
+):
+    """Recover a ``DynamicKnnIndex`` from *directory* (checkpoint + WAL).
+
+    Loads the latest checkpoint, replays the write-ahead log tail
+    (events with ``seq`` beyond the checkpoint) with refinement
+    suppressed, then runs one refresh — restoring the converged graph at
+    a cost proportional to the tail's dirty set, not the dataset.  When
+    a ``wal.jsonl`` is present it is reopened for append, so the
+    restored index keeps journaling where the crashed one stopped.
+
+    *cls* is the index class (passed in to avoid a circular import);
+    call this as ``DynamicKnnIndex.restore(directory)``.
+    """
+    directory = Path(directory)
+    candidates = _checkpoint_candidates(directory)
+    if not candidates:
+        raise CheckpointError(
+            f"no {_PREFIX}*.npz under {directory}; call "
+            f"index.checkpoint(directory) at least once before restoring"
+        )
+    # Newest first, falling back past unreadable archives (a crash can
+    # leave the latest one truncated even with atomic renames); the WAL
+    # tail bridges whatever an older checkpoint is missing — the replay
+    # below verifies sequence contiguity and fails loudly if it can't.
+    state = None
+    failures: list[str] = []
+    for candidate in candidates:
+        try:
+            state = load_checkpoint(candidate)
+            break
+        except Exception as exc:  # noqa: BLE001 - any corruption: try older
+            failures.append(f"{candidate.name}: {exc}")
+    if state is None:
+        raise CheckpointError(
+            f"no readable checkpoint under {directory} "
+            f"({'; '.join(failures)})"
+        )
+    ckpt = state.path
+    index = cls(
+        state.dataset,
+        state.config,
+        metric=state.metric if metric is None else metric,
+        auto_refresh=False,
+        build=False,
+        candidate_cache_size=state.candidate_cache_size,
+    )
+    # build=False left an all-dirty empty graph; install the checkpoint.
+    index._neighbors = state.neighbors.copy()
+    index._sims = state.sims.copy()
+    index._n_rows = state.neighbors.shape[0]
+    index._reverse.rebuild(state.neighbors)
+    index._dirty = set(state.dirty)
+    index._pending_events = state.pending_events
+    for user, counts in state.cache:
+        index._cache_insert(int(user), dict(counts))
+    index.engine.counter.evaluations = state.evaluations
+    index.initial_evaluations = state.initial_evaluations
+    for field, value in state.maintenance.items():
+        if field in index.maintenance.__dataclass_fields__:
+            setattr(index.maintenance, field, value)
+    index._seq = state.seq
+    wal_file = directory / WAL_FILENAME
+    replayed = 0
+    if wal_file.exists():
+        for seq, event in read_wal(wal_file, after=state.seq):
+            if seq != index._seq + 1:
+                # The log's first surviving record starts beyond the
+                # checkpoint (e.g. the newer checkpoint that covered
+                # the gap is the corrupt one we skipped): replaying
+                # would silently drop the events in between.
+                raise CheckpointError(
+                    f"write-ahead log {wal_file} resumes at sequence "
+                    f"{seq} but checkpoint {ckpt.name} ends at "
+                    f"{index._seq}; events {index._seq + 1}..{seq - 1} "
+                    f"are not recoverable from this state directory"
+                )
+            index._absorb(event)
+            index._pending_events += 1
+            index._seq = seq
+            replayed += 1
+    if refresh:
+        index.refresh()
+    index.auto_refresh = state.auto_refresh
+    if wal_file.exists():
+        wal = WriteAheadLog(wal_file, fsync_every=fsync_every)
+        if wal.last_seq < index.last_seq:
+            # An fsync-batched tail died with the crash while a durable
+            # checkpoint got further: the checkpoint already contains
+            # those events, so rotate the superseded log aside and
+            # restart journaling at the index's sequence.
+            wal.close()
+            os.replace(
+                wal_file,
+                wal_file.with_name(
+                    f"{wal_file.name}.superseded-{index.last_seq}"
+                ),
+            )
+            wal = WriteAheadLog(wal_file, fsync_every=fsync_every)
+        index.attach_wal(wal)
+    index.restore_info = RestoreInfo(
+        checkpoint=ckpt,
+        checkpoint_seq=state.seq,
+        replayed_events=replayed,
+        last_seq=index.last_seq,
+        evaluations=index.engine.counter.evaluations - state.evaluations,
+    )
+    return index

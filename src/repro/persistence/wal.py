@@ -1,0 +1,374 @@
+"""Durable write-ahead event log (append-only JSONL).
+
+Every event a :class:`~repro.streaming.index.DynamicKnnIndex` applies is
+journaled here *before* it mutates in-memory state, so a crash loses at
+most the unsynced tail of the current fsync batch.  Recovery is
+checkpoint + log-tail replay (see :mod:`repro.persistence.checkpoint`).
+
+Format: one JSON object per line.  The first line is a header carrying
+the format version; every subsequent record carries a strictly
+monotonically increasing ``seq`` starting at 1, so replay can resume
+"after sequence N" and detect gaps.  A torn final line (the crash wrote
+half a record) is tolerated on read and truncated away when the log is
+reopened for append — the standard WAL recovery rule.
+
+Durability is tunable through ``fsync_every``: every append is flushed
+to the OS (so a same-machine reader and a SIGKILL survive it), but
+``fsync`` — the expensive disk barrier — runs once per *N* appends, on
+:meth:`WriteAheadLog.flush` and on close.  ``fsync_every=1`` is
+strictest; ``None`` never fsyncs (OS-crash durability traded for
+throughput).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from ..streaming.events import (
+    AddRating,
+    AddUser,
+    Batch,
+    Event,
+    RemoveRating,
+    RemoveUser,
+    flatten_events,
+)
+
+__all__ = [
+    "PersistenceError",
+    "WalError",
+    "WriteAheadLog",
+    "WAL_FILENAME",
+    "decode_event",
+    "encode_event",
+    "read_wal",
+]
+
+
+class PersistenceError(ValueError):
+    """Raised when durable state is malformed or an operation is invalid."""
+
+
+class WalError(PersistenceError):
+    """Raised when a write-ahead log is corrupt or misused."""
+
+
+#: Format version written into (and required of) the header line.
+WAL_VERSION = 1
+
+#: Conventional log filename inside a state directory (what
+#: ``DynamicKnnIndex.restore`` and ``repro-kiff recover`` look for).
+WAL_FILENAME = "wal.jsonl"
+
+
+def encode_event(event: Event) -> dict:
+    """*event* as a JSON-serializable record (without its ``seq``)."""
+    if isinstance(event, AddRating):
+        return {
+            "type": "add_rating",
+            "user": int(event.user),
+            "item": int(event.item),
+            "rating": float(event.rating),
+        }
+    if isinstance(event, RemoveRating):
+        return {
+            "type": "remove_rating",
+            "user": int(event.user),
+            "item": int(event.item),
+        }
+    if isinstance(event, AddUser):
+        return {
+            "type": "add_user",
+            "items": [int(item) for item in event.items],
+            "ratings": (
+                None
+                if event.ratings is None
+                else [float(rating) for rating in event.ratings]
+            ),
+        }
+    if isinstance(event, RemoveUser):
+        return {"type": "remove_user", "user": int(event.user)}
+    if isinstance(event, Batch):
+        raise WalError(
+            "batches are journaled flattened; encode their primitive events"
+        )
+    raise TypeError(f"unknown streaming event {event!r}")
+
+
+def decode_event(record: dict) -> Event:
+    """Inverse of :func:`encode_event`."""
+    kind = record.get("type")
+    try:
+        if kind == "add_rating":
+            return AddRating(
+                int(record["user"]), int(record["item"]), float(record["rating"])
+            )
+        if kind == "remove_rating":
+            return RemoveRating(int(record["user"]), int(record["item"]))
+        if kind == "add_user":
+            ratings = record["ratings"]
+            return AddUser(
+                tuple(int(item) for item in record["items"]),
+                None
+                if ratings is None
+                else tuple(float(rating) for rating in ratings),
+            )
+        if kind == "remove_user":
+            return RemoveUser(int(record["user"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WalError(f"malformed WAL record {record!r}") from exc
+    raise WalError(f"unknown WAL record type {kind!r}")
+
+
+def _parse(raw: bytes, path: Path) -> tuple[list[tuple[int, dict]], int]:
+    """Parse raw log bytes into ``[(seq, record), ...]`` + clean length.
+
+    A torn *final* line (no trailing newline, or undecodable JSON at the
+    very end) is dropped; the returned clean length excludes it so a
+    reopen can truncate.  Corruption anywhere else — an undecodable line
+    followed by valid data, a sequence gap, a bad header — raises
+    :class:`WalError`, because silently skipping records would replay a
+    different history than the one that was applied.
+    """
+    records: list[tuple[int, dict]] = []
+    clean = 0
+    offset = 0
+    saw_header = False
+    lines = raw.split(b"\n")
+    for pos, line in enumerate(lines):
+        is_last = pos == len(lines) - 1
+        if line == b"":
+            offset += 1  # the split point's newline (or trailing empty)
+            continue
+        torn = is_last  # no newline terminated this line
+        try:
+            record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            if torn:
+                break  # torn tail: recovered by truncation
+            raise WalError(
+                f"corrupt WAL record at byte {offset} of {path}"
+            ) from exc
+        if torn:
+            break  # a complete-looking but unterminated record: drop it
+        if not saw_header:
+            if record.get("type") != "header":
+                raise WalError(f"{path} does not start with a WAL header")
+            version = record.get("version")
+            if version != WAL_VERSION:
+                raise WalError(
+                    f"unsupported WAL version {version!r} in {path} "
+                    f"(this library writes version {WAL_VERSION})"
+                )
+            saw_header = True
+        else:
+            seq = record.get("seq")
+            if records:
+                # Contiguous after the first record; the log may *start*
+                # at any sequence (journaling can begin mid-history,
+                # with a checkpoint covering everything before it).
+                expected = records[-1][0] + 1
+                if seq != expected:
+                    raise WalError(
+                        f"WAL sequence gap in {path}: expected {expected}, "
+                        f"got {seq!r}"
+                    )
+            elif not isinstance(seq, int) or seq < 1:
+                raise WalError(
+                    f"WAL record in {path} has invalid sequence {seq!r}"
+                )
+            records.append((seq, record))
+        offset += len(line) + 1
+        clean = offset
+    return records, clean
+
+
+def read_wal(path: str | Path, after: int = 0) -> Iterator[tuple[int, Event]]:
+    """Yield ``(seq, event)`` for every logged event with ``seq > after``.
+
+    Tolerates a torn final line; raises :class:`WalError` on any other
+    corruption (mid-file garbage, sequence gaps, version mismatch).
+    """
+    path = Path(path)
+    records, _ = _parse(path.read_bytes(), path)
+    for seq, record in records:
+        if seq > after:
+            yield seq, decode_event(record)
+
+
+class WriteAheadLog:
+    """Append-only durable event journal with fsync batching.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file.  A missing file is created (with its header); an
+        existing one is recovered — torn tail truncated, last sequence
+        number adopted — and appended to.
+    fsync_every:
+        Run ``os.fsync`` once per this many appends (plus on
+        :meth:`flush` and :meth:`close`).  ``1`` syncs every append;
+        ``None`` never syncs (every append is still flushed to the OS).
+    """
+
+    def __init__(self, path: str | Path, fsync_every: int | None = 64):
+        if fsync_every is not None and fsync_every <= 0:
+            raise ValueError(
+                f"fsync_every must be positive or None, got {fsync_every}"
+            )
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._last_seq = 0
+        self._unsynced = 0
+        if self.path.exists() and self.path.stat().st_size > 0:
+            raw = self.path.read_bytes()
+            records, clean = _parse(raw, self.path)
+            if clean < len(raw):
+                # Torn tail from a crash mid-write: truncate before
+                # appending, or the next record would corrupt the file.
+                with self.path.open("r+b") as handle:
+                    handle.truncate(clean)
+            self._last_seq = records[-1][0] if records else 0
+            self._handle = self.path.open("ab")
+            if clean == 0:
+                # Even the header line was torn (crash at creation):
+                # the truncation emptied the file, so re-create it, or
+                # every future read would reject a header-less log.
+                self._write_record({"type": "header", "version": WAL_VERSION})
+                self.flush()
+        else:
+            self._handle = self.path.open("ab")
+            self._write_record({"type": "header", "version": WAL_VERSION})
+            self.flush()
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended event."""
+        return self._last_seq
+
+    def advance_to(self, seq: int) -> None:
+        """Fast-forward an *empty* log to sequence *seq*.
+
+        Lets journaling begin mid-history (the index is at event N, a
+        checkpoint covers 1..N, the log records N+1 onward).  Refused on
+        a log that already holds events — renumbering history would
+        desynchronize replay.
+        """
+        if self._last_seq != 0:
+            raise WalError(
+                f"cannot advance {self.path} to sequence {seq}: the log "
+                f"already holds events up to {self._last_seq}"
+            )
+        if seq < 0:
+            raise ValueError(f"seq must be >= 0, got {seq}")
+        self._last_seq = int(seq)
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def _write_record(self, record: dict) -> None:
+        if self._handle.closed:
+            raise WalError(f"write-ahead log {self.path} is closed")
+        self._handle.write(
+            json.dumps(record, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+
+    def append(self, event: Event) -> int:
+        """Journal one primitive event; returns its sequence number.
+
+        The record is flushed to the OS immediately (a SIGKILL of this
+        process cannot lose it) and fsynced per the batching policy.
+        A failed write (disk full) leaves the sequence counter and —
+        best effort — the file exactly as before, so a caller retry
+        reuses the same sequence number instead of leaving a gap that
+        would render the log unreadable.
+        """
+        record = encode_event(event)
+        if self._handle.closed:
+            raise WalError(f"write-ahead log {self.path} is closed")
+        self._handle.flush()
+        offset = self._handle.tell()
+        seq = self._last_seq + 1
+        try:
+            self._write_record({"seq": seq, **record})
+            self._handle.flush()
+        except Exception:
+            try:
+                # Drop any partially landed bytes; if even this fails,
+                # the next reopen's torn-tail truncation recovers.
+                os.ftruncate(self._handle.fileno(), offset)
+            except OSError:
+                pass
+            raise
+        self._last_seq = seq
+        self._unsynced += 1
+        if self.fsync_every is not None and self._unsynced >= self.fsync_every:
+            self._fsync()
+        return self._last_seq
+
+    def append_many(self, events) -> int:
+        """Journal a batch (flattened); returns the last sequence number."""
+        for event in events:
+            for primitive in flatten_events(event):
+                self.append(primitive)
+        return self._last_seq
+
+    def mark(self) -> tuple[int, int]:
+        """The current ``(last_seq, byte offset)`` — a :meth:`rollback`
+        target taken before a multi-event journaling unit."""
+        if self._handle.closed:
+            raise WalError(f"write-ahead log {self.path} is closed")
+        self._handle.flush()
+        return (self._last_seq, self._handle.tell())
+
+    def rollback(self, mark: tuple[int, int]) -> None:
+        """Discard every append made after :meth:`mark`.
+
+        Restores journal/state atomicity when journaling a batch fails
+        partway (e.g. disk full on the Kth record): without the
+        rollback, already-journaled events the index never absorbed
+        would replay as phantoms — and a caller retry would journal them
+        twice, silently diverging recovery from the live run.
+        """
+        seq, offset = mark
+        if self._handle.closed:
+            raise WalError(f"write-ahead log {self.path} is closed")
+        self._handle.flush()
+        os.ftruncate(self._handle.fileno(), offset)
+        os.fsync(self._handle.fileno())
+        self._last_seq = seq
+        self._unsynced = 0
+
+    def _fsync(self) -> None:
+        os.fsync(self._handle.fileno())
+        self._unsynced = 0
+
+    def flush(self) -> None:
+        """Flush and fsync everything appended so far."""
+        if not self._handle.closed:
+            self._handle.flush()
+            self._fsync()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WriteAheadLog(path={str(self.path)!r}, "
+            f"last_seq={self._last_seq}, fsync_every={self.fsync_every})"
+        )

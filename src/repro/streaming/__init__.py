@@ -1,12 +1,25 @@
 """Streaming KNN maintenance: KIFF as an online subsystem.
 
 See :mod:`repro.streaming.index` for the maintenance invariant and
-``README.md`` ("Streaming maintenance") for usage.  The subsystem keeps
-the converged KIFF graph exact under continuous ``(user, item, rating)``
-events at a fraction of the full-rebuild similarity cost.
+``README.md`` ("Streaming maintenance" / "Durability") for usage.  The
+subsystem keeps the converged KIFF graph exact under continuous typed
+events — :meth:`DynamicKnnIndex.apply` is the single ingestion path —
+at a fraction of the full-rebuild similarity cost, and (with
+:mod:`repro.persistence`) survives restarts via a write-ahead log plus
+checkpoint/restore.
 """
 
-from .events import AddRating, AddUser, Event, RemoveUser, apply_events
+from .events import (
+    AddRating,
+    AddUser,
+    ApplyResult,
+    Batch,
+    Event,
+    RemoveRating,
+    RemoveUser,
+    apply_events,
+    ratings_batch,
+)
 from .index import (
     DynamicKnnIndex,
     RefreshStats,
@@ -18,14 +31,18 @@ from .workload import StreamReplayResult, holdout_stream, replay_stream
 __all__ = [
     "AddRating",
     "AddUser",
+    "ApplyResult",
+    "Batch",
     "DynamicKnnIndex",
     "Event",
     "RefreshStats",
+    "RemoveRating",
     "RemoveUser",
     "StreamReplayResult",
     "apply_events",
     "cold_rebuild_graph",
     "converged_config",
     "holdout_stream",
+    "ratings_batch",
     "replay_stream",
 ]

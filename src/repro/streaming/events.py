@@ -1,28 +1,57 @@
-"""Event vocabulary for streaming KNN maintenance.
+"""Typed event vocabulary for streaming KNN maintenance.
 
-A stream is a sequence of three event kinds, mirroring the mutations a
-production rating front-end produces:
+Every mutation of a :class:`~repro.streaming.index.DynamicKnnIndex` is one
+of five event kinds, mirroring what a production rating front-end
+produces:
 
 * :class:`AddRating` — one ``(user, item, rating)`` edge lands (or an
   existing rating is overwritten; ``rating = 0`` deletes the edge).
+* :class:`RemoveRating` — one edge is deleted (first-class form of
+  ``AddRating(rating=0)``, so deletion intent survives in logs).
 * :class:`AddUser` — a new user joins with an optional initial profile.
 * :class:`RemoveUser` — a user leaves; her profile is cleared but the id
   stays allocated so graph rows remain aligned.
+* :class:`Batch` — a group of events validated together, applied as one
+  unit and refreshed once (the bulk form the array helpers construct).
 
-:func:`apply_events` replays a stream against a
-:class:`~repro.streaming.index.DynamicKnnIndex`.  The test harness
-(``tests/conftest.py`` and the parity suite) replays its randomized
-streams through this function, so the tested event semantics are the
-library's own.  Bulk consumers (the CLI and benchmarks) use the
-array-based ``add_ratings`` batch API directly instead.
+Typed events are the **only** ingestion path:
+``DynamicKnnIndex.apply(events)`` is the single entry point every
+mutation flows through (the historical ``add_ratings`` / ``add_user`` /
+``remove_user`` methods are deprecated shims that construct events and
+delegate).  That single choke point is what lets the
+:mod:`repro.persistence` subsystem journal every applied event into a
+:class:`~repro.persistence.WriteAheadLog` and recover a bit-identical
+graph from a checkpoint plus the log tail.
+
+:func:`apply_events` is the legacy free-function replay helper; it now
+delegates to ``index.apply`` and returns the structured
+:class:`ApplyResult` (which still iterates like the historical
+``list[int]`` of minted user ids, with a :class:`DeprecationWarning`).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
-__all__ = ["AddRating", "AddUser", "RemoveUser", "Event", "apply_events"]
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (hints only)
+    from .index import RefreshStats
+
+__all__ = [
+    "AddRating",
+    "AddUser",
+    "ApplyResult",
+    "Batch",
+    "Event",
+    "RemoveRating",
+    "RemoveUser",
+    "apply_events",
+    "flatten_events",
+    "ratings_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -32,6 +61,14 @@ class AddRating:
     user: int
     item: int
     rating: float = 1.0
+
+
+@dataclass(frozen=True)
+class RemoveRating:
+    """Delete one rating edge (a no-op when the edge is absent)."""
+
+    user: int
+    item: int
 
 
 @dataclass(frozen=True)
@@ -49,24 +86,139 @@ class RemoveUser:
     user: int
 
 
-#: Any streaming event.
-Event = Union[AddRating, AddUser, RemoveUser]
+@dataclass(frozen=True)
+class Batch:
+    """A group of events applied as one unit.
 
-
-def apply_events(index, events) -> list[int]:
-    """Replay *events* against *index*; returns ids minted by AddUser.
-
-    Events are applied in order through the index's public API, so the
-    index's ``auto_refresh`` policy decides when refinement runs.
+    The whole batch is validated before anything mutates (a bad event
+    cannot leave earlier ones applied but unrefreshed) and, under
+    ``auto_refresh``, triggers a single refinement pass instead of one
+    per event.  Batches may nest; they are flattened on application and
+    journaled as their primitive events.
     """
-    minted: list[int] = []
-    for event in events:
-        if isinstance(event, AddRating):
-            index.add_ratings([event.user], [event.item], [event.rating])
-        elif isinstance(event, AddUser):
-            minted.append(index.add_user(event.items, event.ratings))
-        elif isinstance(event, RemoveUser):
-            index.remove_user(event.user)
-        else:
-            raise TypeError(f"unknown streaming event {event!r}")
-    return minted
+
+    events: tuple = ()
+
+
+#: Any streaming event.
+Event = Union[AddRating, RemoveRating, AddUser, RemoveUser, Batch]
+
+#: The event kinds that directly mutate state (everything but Batch).
+PRIMITIVE_EVENTS = (AddRating, RemoveRating, AddUser, RemoveUser)
+
+#: Every event kind accepted by ``DynamicKnnIndex.apply``.
+EVENT_TYPES = PRIMITIVE_EVENTS + (Batch,)
+
+
+def flatten_events(event: Event) -> list:
+    """*event* as a flat list of primitive events (batches unnested)."""
+    if isinstance(event, Batch):
+        flat: list = []
+        for sub in event.events:
+            flat.extend(flatten_events(sub))
+        return flat
+    if isinstance(event, PRIMITIVE_EVENTS):
+        return [event]
+    raise TypeError(f"unknown streaming event {event!r}")
+
+
+def ratings_batch(users, items, ratings=None) -> Batch:
+    """A :class:`Batch` of :class:`AddRating` events from parallel arrays.
+
+    The bulk form the deprecated ``add_ratings`` wrapper (and the
+    replay helpers) construct; ``ratings`` defaults to all-ones.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    items = np.asarray(items, dtype=np.int64)
+    if ratings is None:
+        ratings = np.ones(users.size, dtype=np.float64)
+    else:
+        ratings = np.asarray(ratings, dtype=np.float64)
+    if users.shape != items.shape or users.shape != ratings.shape:
+        raise ValueError(
+            f"users, items and ratings must have equal length, got "
+            f"{users.size}, {items.size}, {ratings.size}"
+        )
+    return Batch(
+        tuple(
+            AddRating(user, item, rating)
+            for user, item, rating in zip(
+                users.tolist(), items.tolist(), ratings.tolist()
+            )
+        )
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class ApplyResult:
+    """Structured outcome of one ``DynamicKnnIndex.apply`` call.
+
+    For backwards compatibility with the historical ``apply_events``
+    contract (a bare ``list[int]`` of minted user ids), the result still
+    iterates, indexes and compares like that list — each such use emits a
+    :class:`DeprecationWarning`; read :attr:`new_users` instead.
+    """
+
+    #: User ids minted by AddUser events, in application order.
+    new_users: tuple[int, ...]
+    #: RefreshStats of every refinement pass this apply triggered.
+    refreshes: tuple["RefreshStats", ...]
+    #: Primitive events applied (batches counted flattened).
+    events: int
+    #: The index's event sequence number after the last applied event.
+    last_seq: int
+
+    def _warn_list_compat(self) -> None:
+        warnings.warn(
+            "treating ApplyResult as the legacy list of minted user ids "
+            "is deprecated; read result.new_users instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __iter__(self):
+        self._warn_list_compat()
+        return iter(self.new_users)
+
+    def __len__(self) -> int:
+        self._warn_list_compat()
+        return len(self.new_users)
+
+    def __getitem__(self, index):
+        self._warn_list_compat()
+        return list(self.new_users)[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ApplyResult):
+            return (
+                self.new_users == other.new_users
+                and self.refreshes == other.refreshes
+                and self.events == other.events
+                and self.last_seq == other.last_seq
+            )
+        if isinstance(other, (list, tuple)):
+            self._warn_list_compat()
+            return list(self.new_users) == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # eq=False (the custom __eq__ above) would otherwise leave the
+        # frozen dataclass unhashable.
+        return hash((self.new_users, self.refreshes, self.events, self.last_seq))
+
+
+def apply_events(index, events) -> ApplyResult:
+    """Replay *events* against *index* (legacy helper).
+
+    .. deprecated::
+        Call ``index.apply(events)`` directly; this shim delegates to it.
+        The return value changed from a bare ``list[int]`` of minted user
+        ids to a structured :class:`ApplyResult`; the historical list
+        behaviour is preserved (with a warning) by the result itself.
+    """
+    warnings.warn(
+        "apply_events() is deprecated; call DynamicKnnIndex.apply(events)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return index.apply(events)

@@ -66,12 +66,29 @@ The per-user work is tallied into a shared
 asserts the proportionality on a 95/5 workload, and the throughput bench
 (``benchmarks/bench_streaming_throughput.py``) measures the evaluation
 savings against rebuild-per-batch.
+
+Ingestion and durability
+------------------------
+Typed events (:mod:`repro.streaming.events`) are the only ingestion
+path: :meth:`DynamicKnnIndex.apply` validates, journals (into an
+attached :class:`~repro.persistence.WriteAheadLog`), absorbs and
+refreshes — one choke point for every mutation.  Because of that,
+restart recovery is a property of the whole API:
+:meth:`DynamicKnnIndex.checkpoint` serializes the maintained state and
+:meth:`DynamicKnnIndex.restore` replays the log tail on top of the
+latest checkpoint, landing on a graph bit-identical to the
+uninterrupted run (``tests/streaming/test_recovery.py`` pins this
+across randomized kill points; ``benchmarks/bench_recovery.py`` pins
+the cost).
 """
 
 from __future__ import annotations
 
+import math
 import time
+import warnings
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -86,6 +103,16 @@ from ..graph.updates import ReverseNeighborIndex, dedupe_pairs, merge_topk
 from ..instrumentation.counters import MaintenanceCounter
 from ..similarity.base import ProfileIndex, SimilarityMetric
 from ..similarity.engine import SimilarityEngine
+from .events import (
+    EVENT_TYPES,
+    AddRating,
+    AddUser,
+    ApplyResult,
+    RemoveRating,
+    RemoveUser,
+    flatten_events,
+    ratings_batch,
+)
 
 __all__ = [
     "DynamicKnnIndex",
@@ -173,6 +200,21 @@ class DynamicKnnIndex:
         (65536) is effectively unbounded for bench-scale datasets while
         capping long-stream memory at production scale; ``None`` removes
         the bound, ``0`` disables the cache.  Evictions are oldest-first.
+    wal:
+        Optional :class:`~repro.persistence.WriteAheadLog` to journal
+        every applied event into (write-ahead, i.e. before the event
+        mutates in-memory state).  Equivalent to calling
+        :meth:`attach_wal` after construction; the log must be at the
+        index's sequence number (0 for a fresh pair).
+
+    Ingestion
+    ---------
+    Typed events are the only ingestion path: :meth:`apply` is the
+    single entry point every mutation flows through, which is what makes
+    durability (:meth:`checkpoint` / :meth:`restore` plus the WAL) a
+    property of the whole API instead of one code path.  The historical
+    ``add_ratings`` / ``add_user`` / ``remove_user`` methods survive as
+    deprecated shims that construct events and delegate.
     """
 
     def __init__(
@@ -183,6 +225,7 @@ class DynamicKnnIndex:
         auto_refresh: bool = True,
         build: bool = True,
         candidate_cache_size: int | None = 65_536,
+        wal=None,
     ):
         self.config = config or KiffConfig()
         self.auto_refresh = auto_refresh
@@ -225,6 +268,12 @@ class DynamicKnnIndex:
         #: popularity, so an item-membership change invalidates every
         #: pair sharing that item — those raters must join the dirty set.
         self._profile_local = self.engine.metric.profile_local
+        #: Monotonic event sequence number (aligned with the WAL's when
+        #: one is attached); event 1 is the first applied event.
+        self._seq = 0
+        self._wal = None
+        #: Provenance of a restore() (None for a fresh index).
+        self.restore_info = None
         if build:
             self.rebuild()
             self.initial_evaluations = self.engine.counter.evaluations
@@ -232,6 +281,8 @@ class DynamicKnnIndex:
             # Deferred build: everyone is dirty, so the first refresh()
             # constructs the full converged graph.
             self._dirty.update(range(dataset.n_users))
+        if wal is not None:
+            self.attach_wal(wal)
 
     # ------------------------------------------------------------------
     # State access
@@ -266,63 +317,172 @@ class DynamicKnnIndex:
         """Similarity evaluations spent after the initial build."""
         return self.engine.counter.evaluations - self.initial_evaluations
 
-    # ------------------------------------------------------------------
-    # Mutations
-    # ------------------------------------------------------------------
-    def add_ratings(self, users, items, ratings=None) -> None:
-        """Absorb a batch of ``(user, item, rating)`` events.
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last applied event (WAL-aligned)."""
+        return self._seq
 
-        Users must already exist (use :meth:`add_user` to grow the
-        population); items may extend the item universe freely.  A rating
-        of ``0.0`` deletes the edge.
+    @property
+    def wal(self):
+        """The attached :class:`~repro.persistence.WriteAheadLog` (or None)."""
+        return self._wal
+
+    # ------------------------------------------------------------------
+    # Ingestion: typed events through one choke point
+    # ------------------------------------------------------------------
+    def apply(self, events) -> ApplyResult:
+        """Apply typed events — the single ingestion entry point.
+
+        *events* is one :data:`~repro.streaming.events.Event` or an
+        iterable of them.  Each top-level event is processed as a unit:
+
+        1. **validate** — the whole event (a :class:`Batch` entirely,
+           with user ids checked against the population as it would
+           evolve inside the batch), so a bad event cannot leave earlier
+           parts applied but unrefreshed;
+        2. **journal** — every primitive event is appended to the
+           attached write-ahead log *before* state mutates, so a crash
+           replays exactly what was applied;
+        3. **absorb** — profiles, dirty set and candidate caches update
+           in O(1) per event;
+        4. **refresh** — under ``auto_refresh``, one refinement pass per
+           top-level event (a batch refreshes once, not per member).
+
+        Returns an :class:`ApplyResult` with the minted user ids, the
+        :class:`RefreshStats` of every pass this call triggered, the
+        primitive-event count and the last sequence number.
         """
-        users = np.asarray(users, dtype=np.int64)
-        items = np.asarray(items, dtype=np.int64)
-        if ratings is None:
-            ratings = np.ones(users.size, dtype=np.float64)
-        else:
-            ratings = np.asarray(ratings, dtype=np.float64)
-        if users.shape != items.shape or users.shape != ratings.shape:
-            raise ValueError(
-                f"users, items and ratings must have equal length, got "
-                f"{users.size}, {items.size}, {ratings.size}"
-            )
-        # Validate the whole batch before mutating anything, so a bad
-        # event cannot leave earlier events applied but unrefreshed.
-        if users.size:
-            if users.min() < 0 or users.max() >= self.builder.n_users:
-                bad = users[(users < 0) | (users >= self.builder.n_users)][0]
-                raise DatasetError(
-                    f"user id {bad} out of range [0, {self.builder.n_users})"
-                )
-            if items.min() < 0:
-                raise DatasetError(
-                    f"item id must be non-negative, got {items.min()}"
-                )
-            if not np.all(np.isfinite(ratings)):
-                raise DatasetError("ratings must be finite")
-        for user, item, rating in zip(
-            users.tolist(), items.tolist(), ratings.tolist()
-        ):
-            old = self.builder.rating(user, item)
-            if old == rating:
-                continue  # duplicate delivery / identical overwrite: no-op
-            membership_change = (old != 0.0) != (rating != 0.0)
-            qualified = self._qualifies(old)
-            qualifies = self._qualifies(rating)
-            self.builder.set_rating(user, item, rating)
-            self._dirty.add(user)
-            if membership_change and not self._profile_local:
-                # |IP_item| changed: every pair sharing the item shifts.
-                self._dirty.update(self.builder.users_of(item))
-            if qualified != qualifies:
-                self._note_candidacy_change(user, item, added=qualifies)
-        self._pending_events += int(users.size)
-        if self.auto_refresh:
-            self.refresh()
+        if isinstance(events, EVENT_TYPES):
+            events = (events,)
+        new_users: list[int] = []
+        log_start = len(self.refresh_log)
+        n_applied = 0
+        for event in events:
+            primitives = flatten_events(event)
+            self._validate(primitives)
+            self._journal(primitives)
+            for primitive in primitives:
+                minted = self._absorb(primitive)
+                if minted is not None:
+                    new_users.append(minted)
+            self._pending_events += len(primitives)
+            n_applied += len(primitives)
+            if self.auto_refresh:
+                self.refresh()
+        return ApplyResult(
+            new_users=tuple(new_users),
+            refreshes=tuple(self.refresh_log[log_start:]),
+            events=n_applied,
+            last_seq=self._seq,
+        )
 
-    def add_user(self, items=(), ratings=None) -> int:
-        """Grow the population by one user; returns the new id."""
+    def _validate(self, primitives) -> None:
+        """Check every primitive event before anything mutates.
+
+        ``n_users`` is simulated forward through the list, so a batch
+        may rate or remove a user minted by an earlier AddUser in the
+        same batch.
+        """
+        n_users = self.builder.n_users
+        for event in primitives:
+            if isinstance(event, (AddRating, RemoveRating)):
+                if not 0 <= event.user < n_users:
+                    raise DatasetError(
+                        f"user id {event.user} out of range [0, {n_users})"
+                    )
+                if event.item < 0:
+                    raise DatasetError(
+                        f"item id must be non-negative, got {event.item}"
+                    )
+                if isinstance(event, AddRating) and not math.isfinite(
+                    event.rating
+                ):
+                    raise DatasetError("ratings must be finite")
+            elif isinstance(event, AddUser):
+                if event.ratings is not None and len(event.items) != len(
+                    event.ratings
+                ):
+                    raise DatasetError(
+                        f"items and ratings must have equal length, got "
+                        f"{len(event.items)} vs {len(event.ratings)}"
+                    )
+                for item in event.items:
+                    if item < 0:
+                        raise DatasetError(
+                            f"item id must be non-negative, got {item}"
+                        )
+                for rating in event.ratings or ():
+                    if not math.isfinite(rating):
+                        raise DatasetError(
+                            f"rating must be finite, got {rating}"
+                        )
+                n_users += 1
+            elif isinstance(event, RemoveUser):
+                if not 0 <= event.user < n_users:
+                    raise DatasetError(
+                        f"user id {event.user} out of range [0, {n_users})"
+                    )
+            else:
+                raise TypeError(f"unknown streaming event {event!r}")
+
+    def _journal(self, primitives) -> None:
+        """Advance the sequence; journal into the WAL when attached.
+
+        All-or-nothing per event unit: if an append fails partway (disk
+        full), the WAL is rolled back to its pre-unit state so nothing
+        is journaled that was never absorbed — a caller retry starts
+        from a clean log instead of double-journaling.
+        """
+        if self._wal is None:
+            self._seq += len(primitives)
+            return
+        mark = self._wal.mark()
+        try:
+            for primitive in primitives:
+                self._seq = self._wal.append(primitive)
+        except BaseException:
+            self._wal.rollback(mark)
+            self._seq = mark[0]
+            raise
+
+    def _absorb(self, event) -> int | None:
+        """Mutate state for one validated primitive event (no refresh).
+
+        Returns the minted user id for AddUser, else None.  Also the
+        replay path of :meth:`restore`, which is why it must stay free
+        of WAL appends and refreshes.
+        """
+        if isinstance(event, AddRating):
+            self._absorb_rating(
+                int(event.user), int(event.item), float(event.rating)
+            )
+            return None
+        if isinstance(event, RemoveRating):
+            self._absorb_rating(int(event.user), int(event.item), 0.0)
+            return None
+        if isinstance(event, AddUser):
+            return self._absorb_user(event.items, event.ratings)
+        if isinstance(event, RemoveUser):
+            self._absorb_removal(int(event.user))
+            return None
+        raise TypeError(f"unknown streaming event {event!r}")
+
+    def _absorb_rating(self, user: int, item: int, rating: float) -> None:
+        old = self.builder.rating(user, item)
+        if old == rating:
+            return  # duplicate delivery / identical overwrite: no-op
+        membership_change = (old != 0.0) != (rating != 0.0)
+        qualified = self._qualifies(old)
+        qualifies = self._qualifies(rating)
+        self.builder.set_rating(user, item, rating)
+        self._dirty.add(user)
+        if membership_change and not self._profile_local:
+            # |IP_item| changed: every pair sharing the item shifts.
+            self._dirty.update(self.builder.users_of(item))
+        if qualified != qualifies:
+            self._note_candidacy_change(user, item, added=qualifies)
+
+    def _absorb_user(self, items, ratings) -> int:
         user = self.builder.add_user(items, ratings)
         self._grow_rows(self.builder.n_users)
         self._dirty.add(user)
@@ -332,13 +492,9 @@ class DynamicKnnIndex:
         for item, rating in self.builder.profile(user).items():
             if self._qualifies(rating):
                 self._note_candidacy_change(user, item, added=True)
-        self._pending_events += 1
-        if self.auto_refresh:
-            self.refresh()
         return user
 
-    def remove_user(self, user: int) -> None:
-        """Clear *user*'s profile; the id stays allocated (empty row)."""
+    def _absorb_removal(self, user: int) -> None:
         profile_items = list(self.builder.profile(user).items())
         touched_items = (
             None if self._profile_local else [item for item, _ in profile_items]
@@ -352,9 +508,136 @@ class DynamicKnnIndex:
         for item, rating in profile_items:
             if self._qualifies(rating):
                 self._note_candidacy_change(user, item, added=False)
-        self._pending_events += 1
-        if self.auto_refresh:
-            self.refresh()
+
+    # ------------------------------------------------------------------
+    # Deprecated mutation wrappers (events are the ingestion path)
+    # ------------------------------------------------------------------
+    def add_ratings(self, users, items, ratings=None) -> None:
+        """Absorb a batch of ``(user, item, rating)`` events.
+
+        .. deprecated::
+            Use ``index.apply(ratings_batch(users, items, ratings))``;
+            this shim constructs that batch and delegates.  Semantics
+            are unchanged: the whole batch validates before anything
+            mutates, a rating of ``0.0`` deletes the edge, and one
+            refresh covers the batch under ``auto_refresh``.
+        """
+        warnings.warn(
+            "DynamicKnnIndex.add_ratings is deprecated; use "
+            "index.apply(ratings_batch(users, items, ratings))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.apply(ratings_batch(users, items, ratings))
+
+    def add_user(self, items=(), ratings=None) -> int:
+        """Grow the population by one user; returns the new id.
+
+        .. deprecated::
+            Use ``index.apply(AddUser(items, ratings)).new_users[0]``;
+            this shim constructs that event and delegates.
+        """
+        warnings.warn(
+            "DynamicKnnIndex.add_user is deprecated; use "
+            "index.apply(AddUser(items, ratings))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = self.apply(
+            AddUser(
+                tuple(int(item) for item in items),
+                None
+                if ratings is None
+                else tuple(float(rating) for rating in ratings),
+            )
+        )
+        return result.new_users[0]
+
+    def remove_user(self, user: int) -> None:
+        """Clear *user*'s profile; the id stays allocated (empty row).
+
+        .. deprecated::
+            Use ``index.apply(RemoveUser(user))``; this shim constructs
+            that event and delegates.
+        """
+        warnings.warn(
+            "DynamicKnnIndex.remove_user is deprecated; use "
+            "index.apply(RemoveUser(user))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.apply(RemoveUser(int(user)))
+
+    # ------------------------------------------------------------------
+    # Durability: write-ahead log + checkpoint/restore
+    # ------------------------------------------------------------------
+    def attach_wal(self, wal) -> None:
+        """Journal every subsequently applied event into *wal*.
+
+        The log must either be at the index's sequence number (the
+        recovered log :meth:`restore` reattaches) or empty — an empty
+        log is fast-forwarded so journaling can begin mid-history, with
+        a :meth:`checkpoint` covering everything before it (take one
+        after attaching, or recovery has no base to replay onto).  A log
+        from a different history would make replay diverge from the
+        state, so it raises
+        :class:`~repro.persistence.PersistenceError`.
+        """
+        if wal.last_seq != self._seq:
+            if wal.last_seq == 0:
+                wal.advance_to(self._seq)
+            else:
+                from ..persistence import PersistenceError
+
+                raise PersistenceError(
+                    f"WAL {wal.path} is at sequence {wal.last_seq} but the "
+                    f"index is at {self._seq}; recover with "
+                    f"DynamicKnnIndex.restore() instead of attaching "
+                    f"mid-history"
+                )
+        self._wal = wal
+
+    def detach_wal(self):
+        """Stop journaling; returns the detached log (left on disk)."""
+        wal, self._wal = self._wal, None
+        return wal
+
+    def checkpoint(self, directory: str | Path) -> Path:
+        """Serialize the full maintained state into *directory*.
+
+        Writes ``checkpoint-<seq>.npz`` (atomic rename) holding the
+        dataset snapshot, graph rows, dirty set, candidate cache and
+        counters — callable mid-stream with events pending.  Recovery is
+        :meth:`restore`: latest checkpoint + WAL-tail replay.
+        """
+        from ..persistence import save_checkpoint
+
+        return save_checkpoint(self, directory)
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str | Path,
+        metric: str | SimilarityMetric | None = None,
+        refresh: bool = True,
+        fsync_every: int | None = 64,
+    ) -> "DynamicKnnIndex":
+        """Recover an index from *directory* (checkpoint + WAL tail).
+
+        Loads the latest checkpoint, replays logged events beyond it
+        with refinement suppressed, then runs one refresh — after which
+        the graph is bit-identical to the uninterrupted run's, at a cost
+        proportional to the log tail rather than the dataset.  ``metric``
+        defaults to the checkpointed metric name; pass an instance for
+        unregistered custom metrics.  The recovered WAL (when present)
+        is reattached so journaling continues seamlessly; provenance is
+        stashed as ``index.restore_info``.
+        """
+        from ..persistence import restore_index
+
+        return restore_index(
+            cls, directory, metric=metric, refresh=refresh, fsync_every=fsync_every
+        )
 
     # ------------------------------------------------------------------
     # Refinement

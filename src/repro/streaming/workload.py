@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.rcs import count_rcs_candidates
 from ..datasets.bipartite import BipartiteDataset
+from .events import ratings_batch
 from .index import DynamicKnnIndex
 
 __all__ = ["StreamReplayResult", "holdout_stream", "replay_stream"]
@@ -95,6 +96,8 @@ def replay_stream(
     batch_size: int = 10,
     track_rebuild_cost: bool = True,
     on_batch=None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir=None,
 ) -> StreamReplayResult:
     """Stream events into *index* in batches, refreshing after each batch.
 
@@ -103,23 +106,36 @@ def replay_stream(
     recall.  The rebuild baseline is accumulated per refresh point, i.e.
     the cost of the "just rebuild on every batch" strategy the streaming
     subsystem replaces.  Only the maintenance work (event absorption +
-    refresh) is timed; the hook and the baseline accounting run outside
-    the measured window so ``events_per_second`` reflects the subsystem,
-    not the instrumentation.
+    refresh) is timed; the hook, the baseline accounting and checkpoint
+    writes run outside the measured window so ``events_per_second``
+    reflects the subsystem, not the instrumentation.
+
+    ``checkpoint_every`` (with ``checkpoint_dir``) checkpoints the index
+    every that many batches — the durability cadence ``repro-kiff stream
+    --wal ... --checkpoint-every N`` drives; attach the WAL on the index
+    itself.
     """
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if checkpoint_every is not None:
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
     evaluations_before = index.engine.counter.evaluations
     rebuild_evaluations = 0
     batches = 0
     wall_time = 0.0
     for lo in range(0, len(users), batch_size):
         hi = lo + batch_size
+        batch = ratings_batch(users[lo:hi], items[lo:hi], ratings[lo:hi])
         was_auto = index.auto_refresh
         index.auto_refresh = False
         start = time.perf_counter()
         try:
-            index.add_ratings(users[lo:hi], items[lo:hi], ratings[lo:hi])
+            index.apply(batch)
         finally:
             index.auto_refresh = was_auto
         if on_batch is not None:
@@ -129,6 +145,8 @@ def replay_stream(
         index.refresh()
         wall_time += time.perf_counter() - start
         batches += 1
+        if checkpoint_every is not None and batches % checkpoint_every == 0:
+            index.checkpoint(checkpoint_dir)
         if track_rebuild_cost:
             rebuild_evaluations += count_rcs_candidates(
                 index.dataset,

@@ -121,10 +121,10 @@ def apply_streaming_events(index, events) -> None:
 
     Tuples are resolved into :mod:`repro.streaming.events` objects one at
     a time (user slots are taken modulo the live user count) and applied
-    through :func:`repro.streaming.apply_events`, so the tests exercise
-    the same event semantics the library defines.
+    through ``index.apply`` — the library's single ingestion path — so
+    the tests exercise the same event semantics the library defines.
     """
-    from repro.streaming import AddRating, AddUser, RemoveUser, apply_events
+    from repro.streaming import AddRating, AddUser, RemoveUser
 
     for event in events:
         kind = event[0]
@@ -138,7 +138,7 @@ def apply_streaming_events(index, events) -> None:
             resolved = RemoveUser(event[1] % index.n_users)
         else:  # pragma: no cover - strategy never produces this
             raise ValueError(f"unknown event {event!r}")
-        apply_events(index, [resolved])
+        index.apply(resolved)
 
 
 def random_dataset(

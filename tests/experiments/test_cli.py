@@ -57,6 +57,88 @@ class TestStreamCommand:
             main(["stream", "--scale", "tiny", "--stream-fraction", "1.5"])
         assert "between 0 and 1" in capsys.readouterr().err
 
+    def test_stream_with_wal_writes_durable_state(self, capsys, tmp_path):
+        wal_path = tmp_path / "wal.jsonl"
+        assert (
+            main(
+                [
+                    "stream",
+                    "--scale",
+                    "tiny",
+                    "--batch-size",
+                    "50",
+                    "--wal",
+                    str(wal_path),
+                    "--checkpoint-every",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wal" in out
+        assert wal_path.exists()
+        assert list(tmp_path.glob("checkpoint-*.npz"))
+
+    def test_checkpoint_every_requires_wal(self, capsys):
+        assert main(["stream", "--scale", "tiny", "--checkpoint-every", "5"]) == 2
+        assert "--wal" in capsys.readouterr().err
+
+    def test_reused_wal_path_is_a_usage_error(self, capsys, tmp_path):
+        """Re-streaming onto a log that already holds events must be a
+        friendly exit-2 error, not a PersistenceError traceback."""
+        argv = [
+            "stream",
+            "--scale",
+            "tiny",
+            "--batch-size",
+            "50",
+            "--wal",
+            str(tmp_path / "wal.jsonl"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 2
+        assert "already holds events" in capsys.readouterr().err
+
+
+class TestRecoverCommand:
+    def test_recover_round_trip(self, capsys, tmp_path):
+        """stream --wal then recover --verify: exact parity, exit 0."""
+        assert (
+            main(
+                [
+                    "stream",
+                    "--scale",
+                    "tiny",
+                    "--batch-size",
+                    "50",
+                    "--wal",
+                    str(tmp_path / "wal.jsonl"),
+                    "--checkpoint-every",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["recover", str(tmp_path), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint" in out
+        assert "wal events replayed" in out
+        parity_line = next(line for line in out.splitlines() if "parity" in line)
+        assert "True" in parity_line
+
+    def test_recover_requires_directory(self, capsys):
+        assert main(["recover"]) == 2
+        assert "state directory" in capsys.readouterr().err
+
+    def test_recover_empty_directory_is_an_error(self, tmp_path):
+        from repro.persistence import CheckpointError
+
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            main(["recover", str(tmp_path)])
+
 
 class TestUtilityCommands:
     def test_datasets_command(self, capsys):

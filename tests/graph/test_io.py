@@ -3,7 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.graph import KnnGraph, load_graph, save_graph, to_networkx, write_edge_list
+from repro.graph import (
+    MISSING,
+    KnnGraph,
+    graph_from_arrays,
+    graph_to_arrays,
+    load_graph,
+    save_graph,
+    to_networkx,
+    write_edge_list,
+)
 
 
 @pytest.fixture
@@ -44,6 +53,47 @@ class TestNpzRoundTrip:
         result = kiff(wiki_engine, KiffConfig(k=5))
         path = save_graph(result.graph, tmp_path / "wiki.npz")
         assert load_graph(path) == result.graph
+
+    def test_round_trip_tombstone_rows(self, tmp_path):
+        """A removed user's all-MISSING row (and users referencing no
+        one) must survive the round-trip exactly — the case streaming
+        checkpoints hit whenever a RemoveUser landed."""
+        graph = KnnGraph.from_neighbor_dict(
+            {0: [(2, 0.8)], 2: [(0, 0.8)]}, n_users=4, k=3
+        )
+        assert graph.degree().tolist() == [1, 0, 1, 0]  # 1 and 3 tombstoned
+        loaded = load_graph(save_graph(graph, tmp_path / "tomb.npz"))
+        assert loaded == graph
+        assert loaded.neighbors.tolist() == graph.neighbors.tolist()
+        assert (loaded.neighbors[1] == MISSING).all()
+        assert np.isneginf(loaded.sims[1]).all()
+
+    def test_round_trip_zero_user_graph(self, tmp_path):
+        """A 0-user graph (empty population, k columns intact) must
+        round-trip; `kiff()` produces one on an emptied dataset."""
+        graph = KnnGraph(
+            np.empty((0, 3), dtype=np.int64), np.empty((0, 3), dtype=np.float64)
+        )
+        loaded = load_graph(save_graph(graph, tmp_path / "empty.npz"))
+        assert loaded == graph
+        assert loaded.n_users == 0
+        assert loaded.k == 3
+        assert loaded.edge_count() == 0
+
+
+class TestArrayHelpers:
+    def test_arrays_round_trip(self, sample_graph):
+        arrays = graph_to_arrays(sample_graph)
+        assert set(arrays) == {"neighbors", "sims"}
+        assert graph_from_arrays(arrays) == sample_graph
+
+    def test_arrays_embeddable_in_archive(self, sample_graph, tmp_path):
+        """The helper payload survives embedding in a larger npz — the
+        composite-archive use the persistence checkpoints rely on."""
+        path = tmp_path / "bundle.npz"
+        np.savez(path, extra=np.arange(3), **graph_to_arrays(sample_graph))
+        with np.load(path) as archive:
+            assert graph_from_arrays(archive) == sample_graph
 
 
 class TestEdgeList:

@@ -1,0 +1,158 @@
+"""Unit tests for checkpoint save/load and checkpoint-only restore."""
+
+import numpy as np
+import pytest
+
+from repro import DynamicKnnIndex, KiffConfig
+from repro.persistence import (
+    CheckpointError,
+    checkpoint_path,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.streaming import AddRating, AddUser, RemoveUser
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def streamed_index(rated_dataset):
+    """An index mid-stream: applied events, a pending dirty set, a warm
+    candidate cache — the state a checkpoint must capture fully."""
+    index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2), auto_refresh=False)
+    index.apply([AddRating(0, 3, 4.0), AddUser((1, 4), (5.0, 2.0))])
+    index.refresh()
+    index.apply([RemoveUser(2), AddRating(4, 1, 3.0)])  # left pending
+    return index
+
+
+class TestSaveLoad:
+    def test_archive_name_carries_sequence(self, streamed_index, tmp_path):
+        path = save_checkpoint(streamed_index, tmp_path)
+        assert path == checkpoint_path(tmp_path, streamed_index.last_seq)
+        assert path.exists()
+
+    def test_state_round_trip(self, streamed_index, tmp_path):
+        state = load_checkpoint(save_checkpoint(streamed_index, tmp_path))
+        assert state.seq == streamed_index.last_seq == 4
+        assert state.dataset == streamed_index.dataset
+        assert state.config == streamed_index.config
+        assert state.metric == "cosine"
+        assert state.auto_refresh is False
+        assert state.pending_events == streamed_index.pending_events == 2
+        assert set(state.dirty) == set(streamed_index.dirty_users)
+        assert state.evaluations == streamed_index.engine.counter.evaluations
+        assert state.initial_evaluations == streamed_index.initial_evaluations
+        neighbors, sims = streamed_index._rows()
+        assert np.array_equal(state.neighbors, neighbors)
+        assert np.array_equal(state.sims, sims)
+
+    def test_candidate_cache_round_trip(self, streamed_index, tmp_path):
+        state = load_checkpoint(save_checkpoint(streamed_index, tmp_path))
+        cached = dict(state.cache)
+        assert cached == streamed_index._candidate_counts
+        # Insertion order is part of the state (it is the eviction order).
+        assert [user for user, _ in state.cache] == list(
+            streamed_index._candidate_counts
+        )
+
+    def test_config_inf_gamma_round_trips(self, rated_dataset, tmp_path):
+        import math
+
+        index = DynamicKnnIndex(
+            rated_dataset, KiffConfig(k=2, gamma=math.inf, min_rating=2.0)
+        )
+        state = load_checkpoint(save_checkpoint(index, tmp_path))
+        assert state.config.gamma == math.inf
+        assert state.config.min_rating == 2.0
+
+    def test_version_check(self, streamed_index, tmp_path):
+        path = save_checkpoint(streamed_index, tmp_path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["meta"] = np.asarray(
+            str(data["meta"]).replace('"version": 1', '"version": 99')
+        )
+        np.savez_compressed(path, **data)
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+
+class TestLatestCheckpoint:
+    def test_picks_highest_sequence(self, streamed_index, tmp_path):
+        early = save_checkpoint(streamed_index, tmp_path)
+        streamed_index.apply(AddRating(0, 2, 2.0))
+        late = save_checkpoint(streamed_index, tmp_path)
+        assert latest_checkpoint(tmp_path) == late != early
+
+    def test_ignores_foreign_files(self, streamed_index, tmp_path):
+        (tmp_path / "checkpoint-garbage.npz").write_bytes(b"")
+        (tmp_path / "notes.txt").write_text("hi")
+        path = save_checkpoint(streamed_index, tmp_path)
+        assert latest_checkpoint(tmp_path) == path
+
+    def test_missing_directory_is_none(self, tmp_path):
+        assert latest_checkpoint(tmp_path / "nope") is None
+
+
+class TestCheckpointOnlyRestore:
+    """restore() without any WAL: pure checkpoint recovery."""
+
+    def test_restore_resumes_exactly(self, streamed_index, tmp_path):
+        streamed_index.checkpoint(tmp_path)
+        streamed_index.refresh()
+        restored = DynamicKnnIndex.restore(tmp_path)
+        # The pending dirty set was serialized; restore's refresh
+        # converges it to the same graph the live index reached.
+        assert restored.graph == streamed_index.graph
+        assert restored.dataset == streamed_index.dataset
+        assert restored.last_seq == streamed_index.last_seq
+        assert restored.pending_events == 0
+        assert restored.restore_info.replayed_events == 0
+        assert restored.auto_refresh is False
+        assert restored._candidate_counts  # cache survived
+
+    def test_restore_without_refresh_keeps_pending_state(
+        self, streamed_index, tmp_path
+    ):
+        streamed_index.checkpoint(tmp_path)
+        restored = DynamicKnnIndex.restore(tmp_path, refresh=False)
+        assert restored.pending_events == streamed_index.pending_events
+        assert restored.dirty_users == streamed_index.dirty_users
+        neighbors, sims = restored._rows()
+        live_neighbors, live_sims = streamed_index._rows()
+        assert np.array_equal(neighbors, live_neighbors)
+        assert np.array_equal(sims, live_sims)
+
+    def test_restore_continues_accounting(self, streamed_index, tmp_path):
+        streamed_index.checkpoint(tmp_path)
+        restored = DynamicKnnIndex.restore(tmp_path)
+        # Counter continuity: maintenance_evaluations includes the
+        # pre-crash history plus the recovery refresh, nothing is reset.
+        assert (
+            restored.engine.counter.evaluations
+            >= streamed_index.engine.counter.evaluations
+        )
+        assert restored.initial_evaluations == streamed_index.initial_evaluations
+        assert restored.restore_info.evaluations > 0  # the pending refresh
+
+    def test_restore_metric_override(self, tmp_path):
+        dataset = random_dataset(n_users=12, n_items=10, seed=3, ratings=True)
+        index = DynamicKnnIndex(dataset, KiffConfig(k=3), metric="jaccard")
+        index.checkpoint(tmp_path)
+        assert DynamicKnnIndex.restore(tmp_path).engine.metric.name == "jaccard"
+        override = DynamicKnnIndex.restore(tmp_path, metric="cosine")
+        assert override.engine.metric.name == "cosine"
+
+    def test_restore_empty_directory_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            DynamicKnnIndex.restore(tmp_path)
+
+    def test_restore_after_remove_user_keeps_tombstone(self, tmp_path):
+        dataset = random_dataset(n_users=10, n_items=8, seed=1, ratings=True)
+        index = DynamicKnnIndex(dataset, KiffConfig(k=3))
+        index.apply(RemoveUser(4))
+        index.checkpoint(tmp_path)
+        restored = DynamicKnnIndex.restore(tmp_path)
+        assert restored.n_users == 10  # the id stays allocated
+        assert restored.dataset.user_items(4).size == 0
+        assert restored.graph == index.graph

@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import BipartiteDataset
+from repro.streaming import ratings_batch
 from repro.similarity import ProfileIndex, SimilarityEngine
 from repro.similarity.engine import get_metric, metric_names
 from tests.conftest import random_dataset
@@ -257,7 +258,7 @@ class TestRebindPreservesIndexClass:
 
         index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2))
         index.engine.index = _TaggedIndex(rated_dataset)
-        index.add_ratings([0], [3], [4.0])
+        index.apply(ratings_batch([0], [3], [4.0]))
         assert type(index.engine.index) is _TaggedIndex
         from repro.streaming import cold_rebuild_graph
 

@@ -12,7 +12,12 @@ import pytest
 
 from repro import DynamicKnnIndex, KiffConfig
 from repro.core.rcs import delta_rcs
-from repro.streaming import cold_rebuild_graph
+from repro.streaming import (
+    AddRating,
+    RemoveUser,
+    cold_rebuild_graph,
+    ratings_batch,
+)
 from tests.conftest import random_dataset
 
 
@@ -28,7 +33,7 @@ def _index(n_users=120, n_items=80, density=0.05, seed=3, k=5, **kwargs):
 class TestRefreshLocality:
     def test_snapshot_and_index_are_incremental(self):
         index = _index()
-        index.add_ratings([7], [3], [4.0])
+        index.apply(ratings_batch([7], [3], [4.0]))
         stats = index.refresh()
         assert index.maintenance.snapshots_incremental >= 1
         assert index.maintenance.index_updates_incremental >= 1
@@ -42,7 +47,7 @@ class TestRefreshLocality:
         small = _index(n_users=60)
         large = _index(n_users=120)
         for index in (small, large):
-            index.add_ratings([7], [3], [4.0])
+            index.apply(ratings_batch([7], [3], [4.0]))
         stats_small = small.refresh()
         stats_large = large.refresh()
         assert stats_large.rows_materialized == stats_small.rows_materialized
@@ -53,7 +58,7 @@ class TestRefreshLocality:
 
     def test_stats_expose_locality_fields(self):
         index = _index()
-        index.add_ratings([0, 1], [2, 2], [3.0, 5.0])
+        index.apply(ratings_batch([0, 1], [2, 2], [3.0, 5.0]))
         stats = index.refresh()
         assert stats.rows_materialized == 2
         assert stats.index_users_recomputed == 2
@@ -64,11 +69,11 @@ class TestRefreshLocality:
 class TestCandidateCache:
     def test_repeat_dirty_user_hits_cache(self):
         index = _index()
-        index.add_ratings([9], [4], [5.0])
+        index.apply(ratings_batch([9], [4], [5.0]))
         first = index.refresh()
         assert first.cache_hits == 0
         assert first.cache_misses == first.affected_users
-        index.add_ratings([9], [6], [2.0])
+        index.apply(ratings_batch([9], [6], [2.0]))
         second = index.refresh()
         assert second.cache_hits >= 1  # user 9 and her repeat referencers
 
@@ -76,12 +81,12 @@ class TestCandidateCache:
         """Other users' events must delta-update cached candidate sets
         (the reverse item-profile propagation), not leave them stale."""
         index = _index(n_users=40, n_items=20, density=0.15)
-        index.add_ratings([0], [5], [4.0])
+        index.apply(ratings_batch([0], [5], [4.0]))
         index.refresh()  # caches user 0's multiset
         # Foreign membership changes on items user 0 rates:
         items = list(index.builder.profile(0))
-        index.add_ratings([1, 2], [items[0], items[0]], [3.0, 0.0])
-        index.remove_user(3)
+        index.apply(ratings_batch([1, 2], [items[0], items[0]], [3.0, 0.0]))
+        index.apply(RemoveUser(3))
         index.refresh()
         snapshot = index.builder.snapshot()
         cached_users = sorted(index._candidate_counts)
@@ -97,18 +102,18 @@ class TestCandidateCache:
 
     def test_cache_size_zero_disables_caching(self):
         index = _index(candidate_cache_size=0)
-        index.add_ratings([9], [4], [5.0])
+        index.apply(ratings_batch([9], [4], [5.0]))
         index.refresh()
         assert index._candidate_counts == {}
         assert index._cached_raters == {}
-        index.add_ratings([9], [6], [2.0])
+        index.apply(ratings_batch([9], [6], [2.0]))
         stats = index.refresh()
         assert stats.cache_hits == 0
         assert index.graph == cold_rebuild_graph(index.dataset, index.config)
 
     def test_cache_size_bound_is_respected(self):
         index = _index(candidate_cache_size=3)
-        index.add_ratings([1, 2, 3, 4, 5], [0, 1, 2, 3, 4], [5.0] * 5)
+        index.apply(ratings_batch([1, 2, 3, 4, 5], [0, 1, 2, 3, 4], [5.0] * 5))
         index.refresh()
         assert len(index._candidate_counts) <= 3
         assert index.graph == cold_rebuild_graph(index.dataset, index.config)
@@ -122,12 +127,12 @@ class TestCandidateCache:
         index = DynamicKnnIndex(
             dataset, KiffConfig(k=4, min_rating=3.0), auto_refresh=False
         )
-        index.add_ratings([0], [2], [5.0])
+        index.apply(ratings_batch([0], [2], [5.0]))
         index.refresh()
         # 4.0 -> 1.0 -> 4.0 crossings on an existing edge:
-        index.add_ratings([0], [2], [1.0])
+        index.apply(ratings_batch([0], [2], [1.0]))
         index.refresh()
-        index.add_ratings([0], [2], [4.0])
+        index.apply(ratings_batch([0], [2], [4.0]))
         index.refresh()
         snapshot = index.builder.snapshot()
         cached_users = sorted(index._candidate_counts)
@@ -148,10 +153,12 @@ class TestReverseIndex:
         index = _index(n_users=30, n_items=18, density=0.15)
         rng = np.random.default_rng(4)
         for _ in range(25):
-            index.add_ratings(
-                [int(rng.integers(0, index.n_users))],
-                [int(rng.integers(0, 20))],
-                [float(rng.integers(0, 6))],
+            index.apply(
+                AddRating(
+                    int(rng.integers(0, index.n_users)),
+                    int(rng.integers(0, 20)),
+                    float(rng.integers(0, 6)),
+                )
             )
             if rng.random() < 0.4:
                 index.refresh()
@@ -165,7 +172,7 @@ class TestReverseIndex:
 
     def test_rebuild_restores_reverse_index(self):
         index = _index(n_users=30, n_items=18, density=0.15)
-        index.add_ratings([0, 1], [2, 3], [4.0, 5.0])
+        index.apply(ratings_batch([0, 1], [2, 3], [4.0, 5.0]))
         index.rebuild()
         neighbors, _ = index._rows()
         for user in range(index.n_users):
@@ -178,7 +185,7 @@ class TestReverseIndex:
         """A mid-pass evaluation failure must leave the reverse index
         mirroring the (cleared) rows so the retry is exact."""
         index = _index(n_users=30, n_items=18, density=0.15)
-        index.add_ratings([0], [3], [4.0])
+        index.apply(ratings_batch([0], [3], [4.0]))
         original_batch = index.engine.batch
 
         def exploding_batch(us, vs):

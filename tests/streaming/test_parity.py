@@ -16,8 +16,8 @@ from repro.streaming import (
     AddRating,
     AddUser,
     RemoveUser,
-    apply_events,
     cold_rebuild_graph,
+    ratings_batch,
 )
 from tests.conftest import random_dataset
 
@@ -47,7 +47,7 @@ def drive_random_stream(index, seed, n_events=30, max_item=20):
             )
         else:  # a user leaves
             event = RemoveUser(int(rng.integers(0, n)))
-        apply_events(index, [event])
+        index.apply(event)
         if rng.random() < 0.3:
             index.refresh()
     index.refresh()
@@ -76,22 +76,22 @@ class TestRandomizedStreams:
 class TestEventKinds:
     def test_add_rating_parity(self, toy_dataset):
         index = DynamicKnnIndex(toy_dataset, KiffConfig(k=3))
-        index.add_ratings([2], [0], [1.0])  # Carl rates the book
+        index.apply(ratings_batch([2], [0], [1.0]))  # Carl rates the book
         assert index.graph == cold_rebuild(index)
         # Carl now shares the book with Alice.
         assert 0 in index.graph.neighbors_of(2).tolist()
 
     def test_overwrite_and_delete_rating_parity(self, rated_dataset):
         index = DynamicKnnIndex(rated_dataset, KiffConfig(k=3))
-        index.add_ratings([0], [0], [2.0])  # overwrite
+        index.apply(ratings_batch([0], [0], [2.0]))  # overwrite
         assert index.graph == cold_rebuild(index)
-        index.add_ratings([0], [0], [0.0])  # delete the edge
+        index.apply(ratings_batch([0], [0], [0.0]))  # delete the edge
         assert index.graph == cold_rebuild(index)
         assert index.dataset.user_items(0).tolist() == [1, 2]
 
     def test_add_user_parity_and_growth(self, toy_dataset):
         index = DynamicKnnIndex(toy_dataset, KiffConfig(k=3))
-        newcomer = index.add_user([3], [1.0])  # shares 'shopping' with 2, 3
+        newcomer = index.apply(AddUser([3], [1.0])).new_users[0]  # shares 'shopping' with 2, 3
         assert newcomer == 4
         assert index.n_users == 5
         assert index.graph.n_users == 5
@@ -102,7 +102,7 @@ class TestEventKinds:
         """Many joins in deferred mode (exercises geometric row growth)."""
         index = DynamicKnnIndex(toy_dataset, KiffConfig(k=3), auto_refresh=False)
         for i in range(12):
-            index.add_user([i % 4], [1.0])
+            index.apply(AddUser([i % 4], [1.0]))
         index.refresh()
         assert index.n_users == 16
         assert index.graph.n_users == 16
@@ -121,7 +121,7 @@ class TestEventKinds:
             ([0, 1], [1, 1], [3.0, float("nan")]),  # non-finite rating
         ):
             with pytest.raises(DatasetError):
-                index.add_ratings(*bad_batch)
+                index.apply(ratings_batch(*bad_batch))
             assert index.pending_events == 0
             assert index.dirty_users == frozenset()
         assert index.dataset == before
@@ -133,29 +133,29 @@ class TestEventKinds:
 
         index = DynamicKnnIndex(toy_dataset, KiffConfig(k=3))
         with pytest.raises(DatasetError):
-            index.add_user([0, 1], [1.0])
+            index.apply(AddUser([0, 1], [1.0]))
         assert index.n_users == 4
-        newcomer = index.add_user([0], [1.0])
+        newcomer = index.apply(AddUser([0], [1.0])).new_users[0]
         assert newcomer == 4
         assert index.graph == cold_rebuild(index)
 
     def test_add_user_with_new_items_grows_item_space(self, toy_dataset):
         index = DynamicKnnIndex(toy_dataset, KiffConfig(k=3))
-        index.add_user([99], [1.0])
+        index.apply(AddUser([99], [1.0]))
         assert index.dataset.n_items == 100
         assert index.graph == cold_rebuild(index)
 
     def test_remove_user_parity(self, toy_dataset):
         index = DynamicKnnIndex(toy_dataset, KiffConfig(k=3))
-        index.remove_user(3)  # Dave leaves; Carl loses his only neighbour
+        index.apply(RemoveUser(3))  # Dave leaves; Carl loses his only neighbour
         assert index.graph == cold_rebuild(index)
         assert index.graph.neighbors_of(2).size == 0
         assert index.graph.degree()[3] == 0
 
     def test_remove_then_rejoin_parity(self, toy_dataset):
         index = DynamicKnnIndex(toy_dataset, KiffConfig(k=3))
-        index.remove_user(1)
-        index.add_ratings([1], [1], [1.0])  # Bob re-rates coffee
+        index.apply(RemoveUser(1))
+        index.apply(ratings_batch([1], [1], [1.0]))  # Bob re-rates coffee
         assert index.graph == cold_rebuild(index)
         assert 0 in index.graph.neighbors_of(1).tolist()
 
@@ -169,23 +169,25 @@ class TestPolicyKnobs:
         index = DynamicKnnIndex(dataset, KiffConfig(k=4, min_rating=min_rating))
         rng = np.random.default_rng(0)
         for _ in range(15):
-            index.add_ratings(
-                [int(rng.integers(0, index.n_users))],
-                [int(rng.integers(0, 20))],
-                [float(rng.integers(1, 6))],
+            index.apply(
+                AddRating(
+                    int(rng.integers(0, index.n_users)),
+                    int(rng.integers(0, 20)),
+                    float(rng.integers(1, 6)),
+                )
             )
         assert index.graph == cold_rebuild(index)
 
     def test_auto_refresh_keeps_graph_exact_each_event(self, rated_dataset):
         index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2))
         for user, item, rating in [(0, 3, 4.0), (4, 0, 2.0), (1, 4, 5.0)]:
-            index.add_ratings([user], [item], [rating])
+            index.apply(ratings_batch([user], [item], [rating]))
             assert index.pending_events == 0
             assert index.graph == cold_rebuild(index)
 
     def test_deferred_refresh_restores_parity(self, rated_dataset):
         index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2), auto_refresh=False)
-        index.add_ratings([0, 4], [3, 0], [4.0, 2.0])
+        index.apply(ratings_batch([0, 4], [3, 0], [4.0, 2.0]))
         assert index.pending_events == 2
         assert index.dirty_users == frozenset({0, 4})
         index.refresh()
@@ -194,7 +196,7 @@ class TestPolicyKnobs:
 
     def test_rebuild_recovers_from_any_state(self, rated_dataset):
         index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2), auto_refresh=False)
-        index.add_ratings([0, 1, 2], [4, 4, 4], [1.0, 2.0, 3.0])
+        index.apply(ratings_batch([0, 1, 2], [4, 4, 4], [1.0, 2.0, 3.0]))
         result = index.rebuild()
         assert index.pending_events == 0
         assert index.graph == result.graph
@@ -203,7 +205,7 @@ class TestPolicyKnobs:
     @pytest.mark.parametrize("metric", ["cosine", "jaccard", "overlap"])
     def test_metric_plumbing(self, metric, rated_dataset):
         index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2), metric=metric)
-        index.add_ratings([2], [0], [3.0])
+        index.apply(ratings_batch([2], [0], [3.0]))
         assert index.graph == cold_rebuild(index, metric)
 
     @pytest.mark.parametrize("seed", range(4))
@@ -227,7 +229,7 @@ class TestPolicyKnobs:
             rated_dataset, KiffConfig(k=2), auto_refresh=False, build=False
         )
         assert index.graph.edge_count() == 0
-        index.add_ratings([0], [3], [4.0])
+        index.apply(ratings_batch([0], [3], [4.0]))
         index.refresh()
         assert index.graph == cold_rebuild(index)
 
@@ -244,7 +246,7 @@ class TestRefreshRobustness:
         """A mid-pass evaluation failure must not strand cleared rows:
         the next refresh rebuilds every row the failed pass touched."""
         index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2), auto_refresh=False)
-        index.add_ratings([0], [3], [4.0])
+        index.apply(ratings_batch([0], [3], [4.0]))
         original_batch = index.engine.batch
 
         def exploding_batch(us, vs):
@@ -261,11 +263,11 @@ class TestRefreshRobustness:
         """merge results are written back through views, so the slack
         from geometric growth survives refreshes between joins."""
         index = DynamicKnnIndex(toy_dataset, KiffConfig(k=3), auto_refresh=False)
-        index.add_user([0], [1.0])  # grows capacity to 2 * 4 = 8 rows
+        index.apply(AddUser([0], [1.0]))  # grows capacity to 2 * 4 = 8 rows
         index.refresh()
         assert index._neighbors.shape[0] == 8
         assert index.n_users == 5
-        index.add_user([1], [1.0])  # fits in slack: no reallocation
+        index.apply(AddUser([1], [1.0]))  # fits in slack: no reallocation
         index.refresh()
         assert index._neighbors.shape[0] == 8
         assert index.graph == cold_rebuild(index)
@@ -274,7 +276,7 @@ class TestRefreshRobustness:
 class TestRefreshAccounting:
     def test_refresh_stats_recorded(self, rated_dataset):
         index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2), auto_refresh=False)
-        index.add_ratings([0], [3], [4.0])
+        index.apply(ratings_batch([0], [3], [4.0]))
         stats = index.refresh()
         assert stats.events == 1
         assert stats.dirty_users == 1
@@ -287,8 +289,8 @@ class TestRefreshAccounting:
         delete of an absent edge) must not dirty anyone or spend evals."""
         index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2))
         before = index.engine.counter.evaluations
-        index.add_ratings([0], [0], [5.0])  # identical to the stored rating
-        index.add_ratings([0], [4], [0.0])  # delete of an absent edge
+        index.apply(ratings_batch([0], [0], [5.0]))  # identical to the stored rating
+        index.apply(ratings_batch([0], [4], [0.0]))  # delete of an absent edge
         assert index.engine.counter.evaluations == before
         assert index.graph == cold_rebuild(index)
 
@@ -304,12 +306,12 @@ class TestRefreshAccounting:
             n_users=80, n_items=60, density=0.05, seed=9, ratings=True
         )
         index = DynamicKnnIndex(dataset, KiffConfig(k=5), auto_refresh=False)
-        index.add_ratings([0], [0], [5.0])
+        index.apply(ratings_batch([0], [0], [5.0]))
         stats = index.refresh()
         assert 0 < stats.evaluations < index.initial_evaluations
 
     def test_maintenance_evaluations_accumulate(self, rated_dataset):
         index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2))
         assert index.maintenance_evaluations == 0
-        index.add_ratings([0], [3], [4.0])
+        index.apply(ratings_batch([0], [3], [4.0]))
         assert index.maintenance_evaluations > 0
