@@ -1,0 +1,126 @@
+"""Sharded refresh bench: shard-parallel refinement vs the sequential index.
+
+A synthetic sparse workload is split 90%/10%; the 90% is prebuilt and
+the 10% streamed back in *multi-event batches* (hundreds of events per
+refresh — the regime where a refresh touches enough rows for the
+shard fan-out to amortize).  The same stream is replayed through the
+sequential :class:`DynamicKnnIndex` and a thread-backed
+:class:`ShardedKnnIndex`, and per-refresh wall time is compared.
+
+Assertions:
+
+* **Parity always** — the sharded graph is bit-identical to the
+  sequential one after every replay (the subsystem's contract).
+* **Speedup at full scale** — on the 20k-user laptop workload the
+  4-shard refresh must be >= 1.5x faster than sequential.  The tiny
+  (``--quick``) workload is a smoke run only: its refreshes are far too
+  small to amortize the fan-out, so only parity is asserted there.
+  Thread workers need hardware to run on, so the bar also only applies
+  when the machine has at least ``n_shards`` cores (a single-core
+  runner physically cannot express the parallelism; the numbers are
+  still reported).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro import BipartiteDataset, DynamicKnnIndex, KiffConfig, ShardedKnnIndex
+from repro.streaming import holdout_stream, ratings_batch
+
+from _bench_utils import run_once
+
+#: 90%-prebuilt / 10%-streamed synthetic workloads.  ``batch_size`` is
+#: deliberately large (multi-event batches): sharding parallelizes the
+#: *refresh*, so each refresh must carry enough dirty users to split.
+_SCALES = {
+    "tiny": dict(
+        n_users=500, n_items=350, density=0.012, batch_size=64, k=8,
+        n_shards=2, min_speedup=None,
+    ),
+    "laptop": dict(
+        n_users=20_000, n_items=6_000, density=0.0012, batch_size=1_024,
+        k=10, n_shards=4, min_speedup=1.5,
+    ),
+}
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop")
+
+
+def _workload(n_users, n_items, density, seed=7):
+    """A seeded sparse rating matrix, 90/10-split via holdout_stream."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n_users, n_items)) < density
+    users, items = np.nonzero(mask)
+    ratings = rng.integers(1, 6, size=users.size).astype(np.float64)
+    dataset = BipartiteDataset.from_edges(
+        users, items, ratings,
+        n_users=n_users,
+        n_items=n_items,
+        name="sharded-bench",
+    )
+    return holdout_stream(dataset, fraction=0.1, seed=seed)
+
+
+def _replay(index, users, items, ratings, batch_size):
+    """Stream the hold-out in batches; returns summed refresh seconds."""
+    refresh_seconds = 0.0
+    for lo in range(0, len(users), batch_size):
+        hi = lo + batch_size
+        index.apply(ratings_batch(users[lo:hi], items[lo:hi], ratings[lo:hi]))
+        start = time.perf_counter()
+        index.refresh()
+        refresh_seconds += time.perf_counter() - start
+    return refresh_seconds
+
+
+def test_sharded_refresh_speedup(benchmark):
+    """Shard-parallel refresh: bit-identical, and faster at full scale."""
+    params = _SCALES.get(_SCALE, _SCALES["laptop"])
+    benchmark.group = "sharded:refresh"
+    base, users, items, ratings = _workload(
+        params["n_users"], params["n_items"], params["density"]
+    )
+    config = KiffConfig(k=params["k"])
+    batch_size = params["batch_size"]
+    n_shards = params["n_shards"]
+
+    sequential = DynamicKnnIndex(base, config, auto_refresh=False)
+    sequential_seconds = _replay(
+        sequential, users, items, ratings, batch_size
+    )
+
+    sharded = ShardedKnnIndex(
+        base, config, auto_refresh=False, n_shards=n_shards,
+        executor="threads",
+    )
+    sharded_seconds = run_once(
+        benchmark,
+        lambda: _replay(sharded, users, items, ratings, batch_size),
+    )
+    sharded.close()
+
+    speedup = (
+        sequential_seconds / sharded_seconds
+        if sharded_seconds > 0
+        else float("inf")
+    )
+    benchmark.extra_info["events_streamed"] = int(len(users))
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["n_shards"] = n_shards
+    benchmark.extra_info["sequential_refresh_s"] = round(sequential_seconds, 4)
+    benchmark.extra_info["sharded_refresh_s"] = round(sharded_seconds, 4)
+    benchmark.extra_info["refresh_speedup"] = round(speedup, 3)
+
+    # The contract first: sharding must never change the graph.
+    assert sharded.graph == sequential.graph
+    assert sharded.last_seq == sequential.last_seq
+    enough_cores = (os.cpu_count() or 1) >= n_shards
+    benchmark.extra_info["cores"] = os.cpu_count() or 1
+    if params["min_speedup"] is not None and enough_cores:
+        assert speedup >= params["min_speedup"], (
+            f"sharded refresh speedup {speedup:.2f}x at {n_shards} shards "
+            f"is below the {params['min_speedup']}x acceptance bar "
+            f"({sequential_seconds:.2f}s sequential vs "
+            f"{sharded_seconds:.2f}s sharded)"
+        )

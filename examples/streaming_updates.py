@@ -14,7 +14,10 @@ checkpoints, and can SIGKILL itself mid-stream to simulate a crash::
 
 Running the same seed with ``--events K`` (no kill) produces the
 uninterrupted reference state at event K — what the recovery test
-compares bit-identically against.
+compares bit-identically against.  ``--shards N`` runs the same durable
+stream through a :class:`ShardedKnnIndex` with per-shard
+``wal-<shard>.jsonl`` segments and partitioned checkpoints (the sharded
+crash-recovery smoke job drives this mode).
 """
 
 import argparse
@@ -68,12 +71,23 @@ def durable_stream(args) -> None:
     dataset = load_dataset("wikipedia", scale="tiny")
     state = Path(args.state_dir)
     state.mkdir(parents=True, exist_ok=True)
-    index = DynamicKnnIndex(
-        dataset,
-        KiffConfig(k=8),
-        auto_refresh=False,
-        wal=WriteAheadLog(state / "wal.jsonl", fsync_every=8),
-    )
+    if args.shards > 1:
+        from repro import PartitionedWriteAheadLog, ShardedKnnIndex
+
+        index = ShardedKnnIndex(
+            dataset,
+            KiffConfig(k=8),
+            auto_refresh=False,
+            n_shards=args.shards,
+            wal=PartitionedWriteAheadLog(state, args.shards, fsync_every=8),
+        )
+    else:
+        index = DynamicKnnIndex(
+            dataset,
+            KiffConfig(k=8),
+            auto_refresh=False,
+            wal=WriteAheadLog(state / "wal.jsonl", fsync_every=8),
+        )
     index.checkpoint(state)  # seed checkpoint: the base recovery replays onto
     rng = np.random.default_rng(args.seed)
     for done in range(1, args.events + 1):
@@ -173,6 +187,15 @@ def main(argv=None) -> None:
     )
     parser.add_argument("--events", type=int, default=80)
     parser.add_argument("--checkpoint-every", type=int, default=20)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "durable-stream mode: shard the index across N workers "
+            "(partitioned wal-<shard>.jsonl segments + sharded checkpoints)"
+        ),
+    )
     parser.add_argument(
         "--kill-after",
         type=int,

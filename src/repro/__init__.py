@@ -32,6 +32,10 @@ maintenance") and ``examples/streaming_updates.py``::
 With a :class:`repro.persistence.WriteAheadLog` attached and periodic
 ``index.checkpoint(dir)`` calls, ``DynamicKnnIndex.restore(dir)``
 recovers a bit-identical graph after a crash (README: "Durability").
+:class:`repro.streaming.ShardedKnnIndex` runs the refinement
+shard-parallel across workers — bit-identical at any shard count — with
+per-shard ``wal-<shard>.jsonl`` segments and partitioned checkpoints
+(README: "Sharding").
 """
 
 from .baselines import (
@@ -78,7 +82,7 @@ from .instrumentation import (
     SimilarityCounter,
     scan_rate,
 )
-from .persistence import WriteAheadLog
+from .persistence import PartitionedWriteAheadLog, WriteAheadLog
 from .similarity import (
     ProfileIndex,
     SimilarityEngine,
@@ -96,6 +100,7 @@ from .streaming import (
     RefreshStats,
     RemoveRating,
     RemoveUser,
+    ShardedKnnIndex,
     ratings_batch,
 )
 
@@ -119,6 +124,7 @@ __all__ = [
     "MaintenanceCounter",
     "MutableBipartiteBuilder",
     "NNDescentConfig",
+    "PartitionedWriteAheadLog",
     "PhaseTimer",
     "ProfileIndex",
     "RankedCandidateSets",
@@ -129,6 +135,7 @@ __all__ = [
     "ReverseNeighborIndex",
     "SimilarityCounter",
     "SimilarityEngine",
+    "ShardedKnnIndex",
     "SimilarityMetric",
     "WriteAheadLog",
     "__version__",

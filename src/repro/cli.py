@@ -106,6 +106,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'stream': events absorbed between refinement passes",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "with 'stream': partition users across N shard workers "
+            "(ShardedKnnIndex; 1 = the sequential DynamicKnnIndex).  "
+            "With --wal, events journal into per-shard wal-<i>.jsonl "
+            "segments in the log's directory"
+        ),
+    )
+    parser.add_argument(
         "--wal",
         default=None,
         help=(
@@ -205,6 +216,7 @@ def _run_stream(args) -> int:
     from .experiments.report import render_table
     from .streaming import (
         DynamicKnnIndex,
+        ShardedKnnIndex,
         cold_rebuild_graph,
         holdout_stream,
         replay_stream,
@@ -213,32 +225,66 @@ def _run_stream(args) -> int:
     if args.checkpoint_every is not None and not args.wal:
         print("error: --checkpoint-every requires --wal", file=sys.stderr)
         return 2
+    if args.checkpoint_every is not None and args.checkpoint_every <= 0:
+        print(
+            f"error: --checkpoint-every must be a positive number of "
+            f"batches, got {args.checkpoint_every}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards < 1:
+        print(
+            f"error: --shards must be >= 1, got {args.shards}",
+            file=sys.stderr,
+        )
+        return 2
     dataset = load_dataset(args.dataset, scale=args.scale)
     k = _cli_k(args)
     base, users, items, ratings = holdout_stream(
         dataset, fraction=args.stream_fraction, seed=args.seed
     )
-    index = DynamicKnnIndex(
-        base, KiffConfig(k=k), metric=args.metric, auto_refresh=False
-    )
+    if args.shards > 1:
+        index = ShardedKnnIndex(
+            base,
+            KiffConfig(k=k),
+            metric=args.metric,
+            auto_refresh=False,
+            n_shards=args.shards,
+        )
+    else:
+        index = DynamicKnnIndex(
+            base, KiffConfig(k=k), metric=args.metric, auto_refresh=False
+        )
     state_dir = None
     if args.wal:
-        from .persistence import WriteAheadLog
-
         wal_path = Path(args.wal)
-        wal = WriteAheadLog(wal_path)
+        if args.shards > 1:
+            from .persistence import PartitionedWriteAheadLog
+
+            # Per-shard segments live in the log's directory; a bare
+            # directory path is accepted directly.
+            state_dir = (
+                wal_path.parent if wal_path.suffix == ".jsonl" else wal_path
+            )
+            wal = PartitionedWriteAheadLog(state_dir, args.shards)
+            log_name = f"{state_dir}/wal-<shard>.jsonl"
+        else:
+            from .persistence import WriteAheadLog
+
+            state_dir = wal_path.parent
+            wal = WriteAheadLog(wal_path)
+            log_name = str(wal_path)
         if wal.last_seq > 0:
             wal.close()
             print(
-                f"error: {wal_path} already holds events up to sequence "
+                f"error: {log_name} already holds events up to sequence "
                 f"{wal.last_seq}; recover that state with "
-                f"'repro-kiff recover {wal_path.parent}' or pass a fresh "
+                f"'repro-kiff recover {state_dir}' or pass a fresh "
                 f"--wal path",
                 file=sys.stderr,
             )
             return 2
         index.attach_wal(wal)
-        state_dir = wal_path.parent
         # Seed checkpoint: recovery needs a base to replay the log onto.
         index.checkpoint(state_dir)
     outcome = replay_stream(
@@ -261,6 +307,8 @@ def _run_stream(args) -> int:
         ["savings", f"{outcome.savings:.1f}x"],
         ["parity with cold rebuild", index.graph == cold],
     ]
+    if args.shards > 1:
+        rows.insert(1, ["shards", args.shards])
     if state_dir is not None:
         rows.append(["wal", str(index.wal.path)])
         rows.append(["last sequence", index.last_seq])
@@ -274,8 +322,8 @@ def _run_stream(args) -> int:
             rows,
             title=(
                 f"Streaming {int(args.stream_fraction * 100)}% of "
-                f"{args.dataset} ({args.scale}) through DynamicKnnIndex, "
-                f"metric={args.metric}, k={k}"
+                f"{args.dataset} ({args.scale}) through "
+                f"{type(index).__name__}, metric={args.metric}, k={k}"
             ),
         )
     )
@@ -283,9 +331,18 @@ def _run_stream(args) -> int:
 
 
 def _run_recover(args) -> int:
-    """The 'recover' utility: checkpoint + WAL-tail restart recovery."""
+    """The 'recover' utility: checkpoint + WAL-tail restart recovery.
+
+    Handles both durable layouts: a flat ``wal.jsonl`` + ``checkpoint-
+    *.npz`` directory restores a :class:`DynamicKnnIndex`, a partitioned
+    one (``wal-<shard>.jsonl`` segments / ``checkpoint-*.shards``) a
+    :class:`ShardedKnnIndex`.
+    """
+    from pathlib import Path
+
     from .experiments.report import render_table
-    from .streaming import DynamicKnnIndex, cold_rebuild_graph
+    from .persistence import detect_state_layout
+    from .streaming import DynamicKnnIndex, ShardedKnnIndex, cold_rebuild_graph
 
     if not args.directory:
         print(
@@ -294,10 +351,29 @@ def _run_recover(args) -> int:
             file=sys.stderr,
         )
         return 2
-    index = DynamicKnnIndex.restore(args.directory)
+    directory = Path(args.directory)
+    layout = detect_state_layout(directory)
+    if layout is None:
+        state = (
+            "is missing"
+            if not directory.is_dir()
+            else "holds no recoverable streaming state (no "
+            "wal[-<shard>].jsonl or checkpoint archives)"
+        )
+        print(
+            f"error: {directory} {state}; stream with "
+            f"'repro-kiff stream --wal {directory}/wal.jsonl' first",
+            file=sys.stderr,
+        )
+        return 2
+    if layout == "sharded":
+        index = ShardedKnnIndex.restore(directory)
+    else:
+        index = DynamicKnnIndex.restore(directory)
     info = index.restore_info
     dataset = index.dataset
     rows = [
+        ["layout", layout],
         ["checkpoint", info.checkpoint.name],
         ["checkpoint sequence", info.checkpoint_seq],
         ["wal events replayed", info.replayed_events],
@@ -307,6 +383,8 @@ def _run_recover(args) -> int:
         ["ratings", dataset.n_ratings],
         ["recovery evaluations", info.evaluations],
     ]
+    if layout == "sharded":
+        rows.insert(1, ["shards", index.n_shards])
     parity = None
     if args.verify:
         cold = cold_rebuild_graph(dataset, index.config, metric=index.engine.metric)
@@ -316,7 +394,7 @@ def _run_recover(args) -> int:
         render_table(
             ["Statistic", "Value"],
             rows,
-            title=f"Recovered DynamicKnnIndex from {args.directory}",
+            title=f"Recovered {type(index).__name__} from {args.directory}",
         )
     )
     return 0 if parity in (None, True) else 1

@@ -18,7 +18,12 @@ from .io import (
 )
 from .knn_graph import MISSING, KnnGraph
 from .metrics import average_similarity, per_user_recall, recall, strict_recall
-from .updates import ReverseNeighborIndex, dedupe_pairs, merge_topk
+from .updates import (
+    ReverseNeighborIndex,
+    dedupe_pairs,
+    merge_topk,
+    merge_topk_rows,
+)
 
 __all__ = [
     "GraphStats",
@@ -33,6 +38,7 @@ __all__ = [
     "in_degrees",
     "load_graph",
     "merge_topk",
+    "merge_topk_rows",
     "per_user_recall",
     "recall",
     "reciprocity",

@@ -15,7 +15,12 @@ import numpy as np
 
 from .knn_graph import MISSING
 
-__all__ = ["ReverseNeighborIndex", "merge_topk", "dedupe_pairs"]
+__all__ = [
+    "ReverseNeighborIndex",
+    "merge_topk",
+    "merge_topk_rows",
+    "dedupe_pairs",
+]
 
 
 class ReverseNeighborIndex:
@@ -57,6 +62,16 @@ class ReverseNeighborIndex:
             if cited_by:
                 rows.update(cited_by)
         return np.fromiter(sorted(rows), dtype=np.int64, count=len(rows))
+
+    def add_referrer(self, neighbor: int, row: int) -> None:
+        """Record that *row* cites *neighbor* (bulk-load primitive).
+
+        Lets callers assemble an index from an externally partitioned
+        edge scan (e.g. one pass over the rows of a sharded graph,
+        routing each row to its owner's index) without materialising a
+        masked copy of the neighbour array per partition.
+        """
+        self._referrers.setdefault(int(neighbor), set()).add(int(row))
 
     def apply_row(self, row: int, old_ids, new_ids) -> None:
         """Record that *row*'s neighbour list changed from old to new.
@@ -136,14 +151,50 @@ def merge_topk(
     matters for small-gamma KIFF runs whose late iterations touch few
     users.  Ties are broken by ascending neighbour id, matching
     ``KnnGraph`` canonical ordering, so fast and reference paths stay
-    comparable.
+    comparable.  :func:`merge_topk_rows` exposes the same computation
+    without the O(n_users * k) full-array copies, for callers that write
+    the re-ranked rows back in place (the streaming refresh paths).
+    """
+    active, new_sub_neighbors, new_sub_sims, changes = merge_topk_rows(
+        neighbors, sims, cand_users, cand_ids, cand_sims
+    )
+    new_neighbors = neighbors.copy()
+    new_sims = sims.copy()
+    if active.size:
+        new_neighbors[active] = new_sub_neighbors
+        new_sims[active] = new_sub_sims
+    return new_neighbors, new_sims, changes
+
+
+def merge_topk_rows(
+    neighbors: np.ndarray,
+    sims: np.ndarray,
+    cand_users: np.ndarray,
+    cand_ids: np.ndarray,
+    cand_sims: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """:func:`merge_topk` restricted to the rows that receive candidates.
+
+    Returns ``(active, new_neighbors, new_sims, changes)`` where
+    ``active`` is the sorted array of re-ranked row ids and the two
+    ``(active.size, k)`` arrays are those rows' new canonical state —
+    every row not in ``active`` is untouched.  Cost is proportional to
+    the candidate batch; no full-graph array is copied, which is what
+    lets shard workers merge disjoint row sets of one shared graph
+    concurrently.
     """
     n_users, k = neighbors.shape
     cand_users = np.asarray(cand_users, dtype=np.int64)
     cand_ids = np.asarray(cand_ids, dtype=np.int64)
     cand_sims = np.asarray(cand_sims, dtype=np.float64)
     if cand_users.size == 0:
-        return neighbors.copy(), sims.copy(), 0
+        empty = np.empty(0, dtype=np.int64)
+        return (
+            empty,
+            np.empty((0, k), dtype=np.int64),
+            np.empty((0, k), dtype=np.float64),
+            0,
+        )
 
     # Work on the subset of rows that can change.
     active = np.unique(cand_users)
@@ -207,12 +258,7 @@ def merge_topk(
     changes = _count_new_edges(
         cur_rows, cur_ids, kept_rows, kept_ids, n_users
     )
-
-    new_neighbors = neighbors.copy()
-    new_sims = sims.copy()
-    new_neighbors[active] = new_sub_neighbors
-    new_sims[active] = new_sub_sims
-    return new_neighbors, new_sims, changes
+    return active, new_sub_neighbors, new_sub_sims, changes
 
 
 def _count_new_edges(

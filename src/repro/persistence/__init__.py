@@ -12,8 +12,19 @@ events; this package makes that state survive restarts:
 * :func:`restore_index` — latest checkpoint + WAL-tail replay; the
   refreshed result is bit-identical to the uninterrupted run.
 
+Sharded deployments partition the same durable state per worker
+(:mod:`repro.persistence.partition`):
+
+* :class:`PartitionedWriteAheadLog` — ``wal-<shard>.jsonl`` segments
+  sharing one global sequence; :func:`read_partitioned_wal` merges them
+  back into the total event order for replay.
+* :func:`save_sharded_checkpoint` / :func:`restore_sharded_index` —
+  ``checkpoint-<seq>.shards/`` directories with per-shard state files;
+  restore handles both layouts (and re-shards exactly).
+
 Use through the index: ``index.checkpoint(dir)`` and
-``DynamicKnnIndex.restore(dir)`` — see README ("Durability").
+``DynamicKnnIndex.restore(dir)`` / ``ShardedKnnIndex.restore(dir)`` —
+see README ("Durability" / "Sharding").
 """
 
 from .checkpoint import (
@@ -21,10 +32,22 @@ from .checkpoint import (
     CheckpointState,
     RestoreInfo,
     checkpoint_path,
+    install_checkpoint_state,
     latest_checkpoint,
     load_checkpoint,
     restore_index,
     save_checkpoint,
+)
+from .partition import (
+    PartitionedWriteAheadLog,
+    ShardedCheckpointState,
+    detect_state_layout,
+    load_sharded_checkpoint,
+    read_partitioned_wal,
+    restore_sharded_index,
+    save_sharded_checkpoint,
+    sharded_checkpoint_path,
+    wal_segment_path,
 )
 from .wal import (
     WAL_FILENAME,
@@ -33,23 +56,37 @@ from .wal import (
     WriteAheadLog,
     decode_event,
     encode_event,
+    fsync_dir,
     read_wal,
+    rotate_superseded,
 )
 
 __all__ = [
     "CheckpointError",
     "CheckpointState",
+    "PartitionedWriteAheadLog",
     "PersistenceError",
     "RestoreInfo",
+    "ShardedCheckpointState",
     "WAL_FILENAME",
     "WalError",
     "WriteAheadLog",
     "checkpoint_path",
     "decode_event",
+    "detect_state_layout",
     "encode_event",
+    "fsync_dir",
+    "install_checkpoint_state",
     "latest_checkpoint",
     "load_checkpoint",
+    "load_sharded_checkpoint",
+    "read_partitioned_wal",
     "read_wal",
     "restore_index",
+    "restore_sharded_index",
+    "rotate_superseded",
     "save_checkpoint",
+    "save_sharded_checkpoint",
+    "sharded_checkpoint_path",
+    "wal_segment_path",
 ]

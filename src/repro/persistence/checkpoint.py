@@ -37,15 +37,21 @@ from ..datasets.bipartite import BipartiteDataset
 from ..datasets.mutable import snapshot_from_arrays, snapshot_to_arrays
 from ..graph.io import graph_from_arrays, graph_to_arrays
 from ..graph.knn_graph import KnnGraph
+from . import wal as _wal
 from .wal import WAL_FILENAME, PersistenceError, WriteAheadLog, read_wal
 
 __all__ = [
     "CheckpointError",
     "CheckpointState",
     "RestoreInfo",
+    "cache_from_arrays",
+    "cache_to_arrays",
+    "checkpoint_meta",
     "checkpoint_path",
+    "install_checkpoint_state",
     "latest_checkpoint",
     "load_checkpoint",
+    "load_latest_checkpoint",
     "restore_index",
     "save_checkpoint",
 ]
@@ -102,22 +108,89 @@ def checkpoint_path(directory: str | Path, seq: int) -> Path:
 
 def _checkpoint_candidates(directory: Path) -> list[Path]:
     """Every ``checkpoint-*.npz`` under *directory*, newest first."""
-    if not directory.is_dir():
-        return []
-    found: list[tuple[int, Path]] = []
-    for path in directory.glob(f"{_PREFIX}*.npz"):
-        stem = path.name[len(_PREFIX) : -len(".npz")]
-        try:
-            found.append((int(stem), path))
-        except ValueError:
-            continue
-    return [path for _, path in sorted(found, reverse=True)]
+    return [path for _, path in sorted(_discover_flat(directory), reverse=True)]
 
 
 def latest_checkpoint(directory: str | Path) -> Path | None:
     """The highest-sequence ``checkpoint-*.npz`` under *directory*."""
     candidates = _checkpoint_candidates(Path(directory))
     return candidates[0] if candidates else None
+
+
+def cache_to_arrays(candidate_counts: dict) -> dict[str, np.ndarray]:
+    """A candidate-multiset cache as compressed parallel arrays.
+
+    Insertion order is preserved (it is the cache's eviction order).
+    The inverse is :func:`cache_from_arrays`.
+    """
+    cache_users = list(candidate_counts)
+    cache_lengths = [len(candidate_counts[u]) for u in cache_users]
+    cache_indptr = np.zeros(len(cache_users) + 1, dtype=np.int64)
+    np.cumsum(cache_lengths, out=cache_indptr[1:])
+    cache_candidates = np.concatenate(
+        [
+            np.fromiter(counts.keys(), np.int64, len(counts))
+            for counts in (candidate_counts[u] for u in cache_users)
+        ]
+        or [np.empty(0, dtype=np.int64)]
+    )
+    cache_counts = np.concatenate(
+        [
+            np.fromiter(counts.values(), np.int64, len(counts))
+            for counts in (candidate_counts[u] for u in cache_users)
+        ]
+        or [np.empty(0, dtype=np.int64)]
+    )
+    return {
+        "cache_users": np.asarray(cache_users, dtype=np.int64),
+        "cache_indptr": cache_indptr,
+        "cache_candidates": cache_candidates,
+        "cache_counts": cache_counts,
+    }
+
+
+def cache_from_arrays(archive) -> tuple:
+    """Inverse of :func:`cache_to_arrays` (accepts any array mapping)."""
+    cache_users = np.asarray(archive["cache_users"]).tolist()
+    cache_indptr = np.asarray(archive["cache_indptr"])
+    cache_candidates = np.asarray(archive["cache_candidates"])
+    cache_counts = np.asarray(archive["cache_counts"])
+    return tuple(
+        (
+            user,
+            dict(
+                zip(
+                    cache_candidates[
+                        cache_indptr[pos] : cache_indptr[pos + 1]
+                    ].tolist(),
+                    cache_counts[
+                        cache_indptr[pos] : cache_indptr[pos + 1]
+                    ].tolist(),
+                )
+            ),
+        )
+        for pos, user in enumerate(cache_users)
+    )
+
+
+def checkpoint_meta(index, dataset) -> dict:
+    """The JSON metadata block shared by the flat and sharded layouts."""
+    return {
+        "version": CHECKPOINT_VERSION,
+        "seq": index.last_seq,
+        "name": dataset.name,
+        "metric": index.engine.metric.name,
+        "config": asdict(index.config),
+        "auto_refresh": bool(index.auto_refresh),
+        "pending_events": int(index.pending_events),
+        "candidate_cache_size": index.candidate_cache_size,
+        "initial_evaluations": int(index.initial_evaluations),
+        "evaluations": int(index.engine.counter.evaluations),
+        "maintenance": {
+            field: int(getattr(index.maintenance, field))
+            for field in index.maintenance.__dataclass_fields__
+        },
+    }
 
 
 def save_checkpoint(index, directory: str | Path) -> Path:
@@ -132,41 +205,8 @@ def save_checkpoint(index, directory: str | Path) -> Path:
     dataset = index.builder.snapshot()
     neighbors, sims = index._rows()
     graph_arrays = graph_to_arrays(KnnGraph(neighbors, sims))
-    cache_users = list(index._candidate_counts)
-    cache_lengths = [len(index._candidate_counts[u]) for u in cache_users]
-    cache_indptr = np.zeros(len(cache_users) + 1, dtype=np.int64)
-    np.cumsum(cache_lengths, out=cache_indptr[1:])
-    cache_candidates = np.concatenate(
-        [
-            np.fromiter(counts.keys(), np.int64, len(counts))
-            for counts in (index._candidate_counts[u] for u in cache_users)
-        ]
-        or [np.empty(0, dtype=np.int64)]
-    )
-    cache_counts = np.concatenate(
-        [
-            np.fromiter(counts.values(), np.int64, len(counts))
-            for counts in (index._candidate_counts[u] for u in cache_users)
-        ]
-        or [np.empty(0, dtype=np.int64)]
-    )
-    metric = index.engine.metric.name
-    meta = {
-        "version": CHECKPOINT_VERSION,
-        "seq": index.last_seq,
-        "name": dataset.name,
-        "metric": metric,
-        "config": asdict(index.config),
-        "auto_refresh": bool(index.auto_refresh),
-        "pending_events": int(index.pending_events),
-        "candidate_cache_size": index.candidate_cache_size,
-        "initial_evaluations": int(index.initial_evaluations),
-        "evaluations": int(index.engine.counter.evaluations),
-        "maintenance": {
-            field: int(getattr(index.maintenance, field))
-            for field in index.maintenance.__dataclass_fields__
-        },
-    }
+    cache_arrays = cache_to_arrays(index._candidate_counts)
+    meta = checkpoint_meta(index, dataset)
     path = checkpoint_path(directory, index.last_seq)
     tmp = path.with_name(path.name + ".tmp.npz")
     try:
@@ -176,10 +216,7 @@ def save_checkpoint(index, directory: str | Path) -> Path:
             graph_neighbors=graph_arrays["neighbors"],
             graph_sims=graph_arrays["sims"],
             dirty=np.asarray(sorted(index._dirty), dtype=np.int64),
-            cache_users=np.asarray(cache_users, dtype=np.int64),
-            cache_indptr=cache_indptr,
-            cache_candidates=cache_candidates,
-            cache_counts=cache_counts,
+            **cache_arrays,
             **snapshot_to_arrays(dataset),
         )
         # Make the data durable before the rename makes it visible —
@@ -188,6 +225,10 @@ def save_checkpoint(index, directory: str | Path) -> Path:
         with tmp.open("rb+") as handle:
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+        # ... and make the *rename* durable: the new directory entry
+        # lives in the parent's metadata, which needs its own fsync or
+        # a power loss can silently undo the just-"committed" rename.
+        _wal.fsync_dir(directory)
     finally:
         if tmp.exists():  # savez failed before the atomic rename
             tmp.unlink()
@@ -215,48 +256,110 @@ def load_checkpoint(path: str | Path) -> CheckpointState:
             }
         )
         dataset = snapshot_from_arrays(archive, name=meta["name"])
-        cache_users = archive["cache_users"].tolist()
-        cache_indptr = archive["cache_indptr"]
-        cache_candidates = archive["cache_candidates"]
-        cache_counts = archive["cache_counts"]
-        cache = tuple(
-            (
-                user,
-                dict(
-                    zip(
-                        cache_candidates[
-                            cache_indptr[pos] : cache_indptr[pos + 1]
-                        ].tolist(),
-                        cache_counts[
-                            cache_indptr[pos] : cache_indptr[pos + 1]
-                        ].tolist(),
-                    )
-                ),
-            )
-            for pos, user in enumerate(cache_users)
-        )
-        config_fields = dict(meta["config"])
-        gamma = config_fields.get("gamma")
-        if gamma is not None:
-            config_fields["gamma"] = float(gamma)
-        return CheckpointState(
+        cache = cache_from_arrays(archive)
+        return checkpoint_state_from_meta(
+            meta,
             path=path,
-            seq=int(meta["seq"]),
-            name=meta["name"],
-            metric=meta["metric"],
-            config=KiffConfig(**config_fields),
-            auto_refresh=bool(meta["auto_refresh"]),
-            pending_events=int(meta["pending_events"]),
-            candidate_cache_size=meta["candidate_cache_size"],
-            initial_evaluations=int(meta["initial_evaluations"]),
-            evaluations=int(meta["evaluations"]),
-            maintenance=dict(meta["maintenance"]),
             dataset=dataset,
             neighbors=graph.neighbors,
             sims=graph.sims,
             dirty=tuple(archive["dirty"].tolist()),
             cache=cache,
         )
+
+
+def checkpoint_state_from_meta(
+    meta: dict, cls=None, **fields
+) -> CheckpointState:
+    """Assemble a :class:`CheckpointState` (or subclass) from metadata."""
+    config_fields = dict(meta["config"])
+    gamma = config_fields.get("gamma")
+    if gamma is not None:
+        config_fields["gamma"] = float(gamma)
+    return (cls or CheckpointState)(
+        seq=int(meta["seq"]),
+        name=meta["name"],
+        metric=meta["metric"],
+        config=KiffConfig(**config_fields),
+        auto_refresh=bool(meta["auto_refresh"]),
+        pending_events=int(meta["pending_events"]),
+        candidate_cache_size=meta["candidate_cache_size"],
+        initial_evaluations=int(meta["initial_evaluations"]),
+        evaluations=int(meta["evaluations"]),
+        maintenance=dict(meta["maintenance"]),
+        **fields,
+    )
+
+
+def load_latest_checkpoint(directory: Path, loaders) -> "CheckpointState":
+    """Newest *readable* checkpoint state under *directory*.
+
+    ``loaders`` maps a glob-discovery function to a load function; every
+    discovered candidate is tried newest-first, falling back past
+    unreadable archives (a crash can leave the latest one truncated even
+    with atomic renames) — the WAL tail bridges whatever an older
+    checkpoint is missing, and replay verifies sequence contiguity and
+    fails loudly if it can't.
+    """
+    candidates: list[tuple[int, Path, object]] = []
+    for discover, load in loaders:
+        for seq, path in discover(directory):
+            candidates.append((seq, path, load))
+    if not candidates:
+        raise CheckpointError(
+            f"no checkpoint archives under {directory}; call "
+            f"index.checkpoint(directory) at least once before restoring"
+        )
+    failures: list[str] = []
+    for seq, path, load in sorted(
+        candidates, key=lambda entry: entry[0], reverse=True
+    ):
+        try:
+            return load(path)
+        except Exception as exc:  # noqa: BLE001 - any corruption: try older
+            failures.append(f"{path.name}: {exc}")
+    raise CheckpointError(
+        f"no readable checkpoint under {directory} ({'; '.join(failures)})"
+    )
+
+
+def _discover_flat(directory: Path) -> list[tuple[int, Path]]:
+    """``(seq, path)`` for every flat ``checkpoint-*.npz`` candidate."""
+    found: list[tuple[int, Path]] = []
+    if not directory.is_dir():
+        return found
+    for path in directory.glob(f"{_PREFIX}*.npz"):
+        stem = path.name[len(_PREFIX) : -len(".npz")]
+        try:
+            found.append((int(stem), path))
+        except ValueError:
+            continue
+    return found
+
+
+def install_checkpoint_state(index, state: CheckpointState) -> None:
+    """Install a loaded checkpoint into a freshly built (build=False) index.
+
+    Works through the index's own state surfaces (``_dirty``,
+    ``_reverse``, ``_cache_insert``) rather than raw assignment, so a
+    :class:`~repro.streaming.sharding.ShardedKnnIndex` — whose surfaces
+    route to per-shard slices — restores through the same code path.
+    """
+    index._neighbors = state.neighbors.copy()
+    index._sims = state.sims.copy()
+    index._n_rows = state.neighbors.shape[0]
+    index._reverse.rebuild(state.neighbors)
+    index._dirty.clear()
+    index._dirty.update(state.dirty)
+    index._pending_events = state.pending_events
+    for user, counts in state.cache:
+        index._cache_insert(int(user), dict(counts))
+    index.engine.counter.evaluations = state.evaluations
+    index.initial_evaluations = state.initial_evaluations
+    for field, value in state.maintenance.items():
+        if field in index.maintenance.__dataclass_fields__:
+            setattr(index.maintenance, field, value)
+    index._seq = state.seq
 
 
 def restore_index(
@@ -279,29 +382,16 @@ def restore_index(
     call this as ``DynamicKnnIndex.restore(directory)``.
     """
     directory = Path(directory)
-    candidates = _checkpoint_candidates(directory)
-    if not candidates:
+    from .partition import detect_state_layout
+
+    if detect_state_layout(directory) == "sharded":
         raise CheckpointError(
-            f"no {_PREFIX}*.npz under {directory}; call "
-            f"index.checkpoint(directory) at least once before restoring"
+            f"{directory} holds a partitioned (sharded) state layout; "
+            f"recover it with ShardedKnnIndex.restore(...) or "
+            f"'repro-kiff recover {directory}' — replaying only the flat "
+            f"artifacts would silently drop the per-shard events"
         )
-    # Newest first, falling back past unreadable archives (a crash can
-    # leave the latest one truncated even with atomic renames); the WAL
-    # tail bridges whatever an older checkpoint is missing — the replay
-    # below verifies sequence contiguity and fails loudly if it can't.
-    state = None
-    failures: list[str] = []
-    for candidate in candidates:
-        try:
-            state = load_checkpoint(candidate)
-            break
-        except Exception as exc:  # noqa: BLE001 - any corruption: try older
-            failures.append(f"{candidate.name}: {exc}")
-    if state is None:
-        raise CheckpointError(
-            f"no readable checkpoint under {directory} "
-            f"({'; '.join(failures)})"
-        )
+    state = load_latest_checkpoint(directory, [(_discover_flat, load_checkpoint)])
     ckpt = state.path
     index = cls(
         state.dataset,
@@ -312,20 +402,7 @@ def restore_index(
         candidate_cache_size=state.candidate_cache_size,
     )
     # build=False left an all-dirty empty graph; install the checkpoint.
-    index._neighbors = state.neighbors.copy()
-    index._sims = state.sims.copy()
-    index._n_rows = state.neighbors.shape[0]
-    index._reverse.rebuild(state.neighbors)
-    index._dirty = set(state.dirty)
-    index._pending_events = state.pending_events
-    for user, counts in state.cache:
-        index._cache_insert(int(user), dict(counts))
-    index.engine.counter.evaluations = state.evaluations
-    index.initial_evaluations = state.initial_evaluations
-    for field, value in state.maintenance.items():
-        if field in index.maintenance.__dataclass_fields__:
-            setattr(index.maintenance, field, value)
-    index._seq = state.seq
+    install_checkpoint_state(index, state)
     wal_file = directory / WAL_FILENAME
     replayed = 0
     if wal_file.exists():
@@ -356,12 +433,7 @@ def restore_index(
             # those events, so rotate the superseded log aside and
             # restart journaling at the index's sequence.
             wal.close()
-            os.replace(
-                wal_file,
-                wal_file.with_name(
-                    f"{wal_file.name}.superseded-{index.last_seq}"
-                ),
-            )
+            _wal.rotate_superseded(wal_file, index.last_seq)
             wal = WriteAheadLog(wal_file, fsync_every=fsync_every)
         index.attach_wal(wal)
     index.restore_info = RestoreInfo(

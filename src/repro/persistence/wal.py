@@ -44,7 +44,9 @@ __all__ = [
     "WAL_FILENAME",
     "decode_event",
     "encode_event",
+    "fsync_dir",
     "read_wal",
+    "rotate_superseded",
 ]
 
 
@@ -62,6 +64,46 @@ WAL_VERSION = 1
 #: Conventional log filename inside a state directory (what
 #: ``DynamicKnnIndex.restore`` and ``repro-kiff recover`` look for).
 WAL_FILENAME = "wal.jsonl"
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so just-created/renamed entries survive power loss.
+
+    ``fsync`` on a file makes its *bytes* durable; the directory entry
+    pointing at them is metadata of the *parent directory* and needs its
+    own fsync — without it, a power loss right after an ``os.replace``
+    can silently roll the rename back, losing a checkpoint or log the
+    caller already reported as committed.  Best effort on platforms that
+    cannot open directories (e.g. Windows); tests monkeypatch this hook
+    to assert the durability barriers are actually requested.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def rotate_superseded(path: str | Path, last_seq: int) -> Path:
+    """Rotate a superseded log aside as ``<name>.superseded-<seq>``.
+
+    Used by recovery when a durable checkpoint got further than the
+    fsync-batched log (the crash ate the unsynced tail): the events are
+    already inside the checkpoint, so the stale log is renamed out of
+    the way and journaling restarts fresh.  The rename is made durable
+    with a parent-directory fsync — otherwise a power loss could resurrect
+    the stale log next to the new one and desynchronize a later replay.
+    """
+    path = Path(path)
+    target = path.with_name(f"{path.name}.superseded-{last_seq}")
+    os.replace(path, target)
+    fsync_dir(path.parent)
+    return target
 
 
 def encode_event(event: Event) -> dict:
@@ -123,7 +165,9 @@ def decode_event(record: dict) -> Event:
     raise WalError(f"unknown WAL record type {kind!r}")
 
 
-def _parse(raw: bytes, path: Path) -> tuple[list[tuple[int, dict]], int]:
+def _parse(
+    raw: bytes, path: Path, contiguous: bool = True
+) -> tuple[list[tuple[int, dict]], int]:
     """Parse raw log bytes into ``[(seq, record), ...]`` + clean length.
 
     A torn *final* line (no trailing newline, or undecodable JSON at the
@@ -132,6 +176,12 @@ def _parse(raw: bytes, path: Path) -> tuple[list[tuple[int, dict]], int]:
     followed by valid data, a sequence gap, a bad header — raises
     :class:`WalError`, because silently skipping records would replay a
     different history than the one that was applied.
+
+    ``contiguous=False`` relaxes the gap rule to *strictly increasing*:
+    a partitioned segment (``wal-<shard>.jsonl``) records only the events
+    routed to its shard, so gaps in its global sequence numbers are
+    expected — cross-segment contiguity is checked by the merged reader
+    (:func:`repro.persistence.partition.read_partitioned_wal`) instead.
     """
     records: list[tuple[int, dict]] = []
     clean = 0
@@ -173,10 +223,17 @@ def _parse(raw: bytes, path: Path) -> tuple[list[tuple[int, dict]], int]:
                 # at any sequence (journaling can begin mid-history,
                 # with a checkpoint covering everything before it).
                 expected = records[-1][0] + 1
-                if seq != expected:
+                if contiguous and seq != expected:
                     raise WalError(
                         f"WAL sequence gap in {path}: expected {expected}, "
                         f"got {seq!r}"
+                    )
+                if not contiguous and (
+                    not isinstance(seq, int) or seq < expected
+                ):
+                    raise WalError(
+                        f"WAL sequence regression in {path}: expected "
+                        f">= {expected}, got {seq!r}"
                     )
             elif not isinstance(seq, int) or seq < 1:
                 raise WalError(
@@ -188,14 +245,18 @@ def _parse(raw: bytes, path: Path) -> tuple[list[tuple[int, dict]], int]:
     return records, clean
 
 
-def read_wal(path: str | Path, after: int = 0) -> Iterator[tuple[int, Event]]:
+def read_wal(
+    path: str | Path, after: int = 0, contiguous: bool = True
+) -> Iterator[tuple[int, Event]]:
     """Yield ``(seq, event)`` for every logged event with ``seq > after``.
 
     Tolerates a torn final line; raises :class:`WalError` on any other
     corruption (mid-file garbage, sequence gaps, version mismatch).
+    ``contiguous=False`` reads one partitioned segment, whose global
+    sequence numbers may legitimately hold gaps (see :func:`_parse`).
     """
     path = Path(path)
-    records, _ = _parse(path.read_bytes(), path)
+    records, _ = _parse(path.read_bytes(), path, contiguous=contiguous)
     for seq, record in records:
         if seq > after:
             yield seq, decode_event(record)
@@ -214,21 +275,33 @@ class WriteAheadLog:
         Run ``os.fsync`` once per this many appends (plus on
         :meth:`flush` and :meth:`close`).  ``1`` syncs every append;
         ``None`` never syncs (every append is still flushed to the OS).
+    contiguous:
+        When True (default) sequence numbers must be gap-free and
+        :meth:`append` auto-assigns ``last_seq + 1``.  ``False`` opens a
+        *partitioned segment* (``wal-<shard>.jsonl``): the caller
+        assigns each record its global sequence number explicitly and
+        gaps are expected (events routed to other shards).
     """
 
-    def __init__(self, path: str | Path, fsync_every: int | None = 64):
+    def __init__(
+        self,
+        path: str | Path,
+        fsync_every: int | None = 64,
+        contiguous: bool = True,
+    ):
         if fsync_every is not None and fsync_every <= 0:
             raise ValueError(
                 f"fsync_every must be positive or None, got {fsync_every}"
             )
         self.path = Path(path)
         self.fsync_every = fsync_every
+        self.contiguous = contiguous
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._last_seq = 0
         self._unsynced = 0
         if self.path.exists() and self.path.stat().st_size > 0:
             raw = self.path.read_bytes()
-            records, clean = _parse(raw, self.path)
+            records, clean = _parse(raw, self.path, contiguous=contiguous)
             if clean < len(raw):
                 # Torn tail from a crash mid-write: truncate before
                 # appending, or the next record would corrupt the file.
@@ -246,6 +319,10 @@ class WriteAheadLog:
             self._handle = self.path.open("ab")
             self._write_record({"type": "header", "version": WAL_VERSION})
             self.flush()
+            # Make the new log's directory entry durable: a power loss
+            # must not leave a durable checkpoint referring to a log the
+            # filesystem forgot it created.
+            fsync_dir(self.path.parent)
 
     @property
     def last_seq(self) -> int:
@@ -280,7 +357,7 @@ class WriteAheadLog:
             json.dumps(record, separators=(",", ":")).encode("utf-8") + b"\n"
         )
 
-    def append(self, event: Event) -> int:
+    def append(self, event: Event, seq: int | None = None) -> int:
         """Journal one primitive event; returns its sequence number.
 
         The record is flushed to the OS immediately (a SIGKILL of this
@@ -289,13 +366,30 @@ class WriteAheadLog:
         best effort — the file exactly as before, so a caller retry
         reuses the same sequence number instead of leaving a gap that
         would render the log unreadable.
+
+        ``seq`` (partitioned segments only) assigns the record an
+        explicit global sequence number; it must advance — contiguously
+        for a contiguous log, strictly for a segment.
         """
         record = encode_event(event)
         if self._handle.closed:
             raise WalError(f"write-ahead log {self.path} is closed")
+        if seq is not None:
+            seq = int(seq)
+            if self.contiguous and seq != self._last_seq + 1:
+                raise WalError(
+                    f"contiguous log {self.path} is at {self._last_seq}; "
+                    f"cannot append explicit sequence {seq}"
+                )
+            if seq <= self._last_seq:
+                raise WalError(
+                    f"sequence must advance past {self._last_seq} in "
+                    f"{self.path}, got {seq}"
+                )
         self._handle.flush()
         offset = self._handle.tell()
-        seq = self._last_seq + 1
+        if seq is None:
+            seq = self._last_seq + 1
         try:
             self._write_record({"seq": seq, **record})
             self._handle.flush()

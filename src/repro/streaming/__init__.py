@@ -6,7 +6,10 @@ subsystem keeps the converged KIFF graph exact under continuous typed
 events — :meth:`DynamicKnnIndex.apply` is the single ingestion path —
 at a fraction of the full-rebuild similarity cost, and (with
 :mod:`repro.persistence`) survives restarts via a write-ahead log plus
-checkpoint/restore.
+checkpoint/restore.  :class:`ShardedKnnIndex` (see
+:mod:`repro.streaming.sharding`) runs the same refinement
+shard-parallel across workers, bit-identically, with partitioned WAL
+segments and checkpoints.
 """
 
 from .events import (
@@ -26,6 +29,7 @@ from .index import (
     cold_rebuild_graph,
     converged_config,
 )
+from .sharding import ShardedKnnIndex, ShardOutbox, shard_of
 from .workload import StreamReplayResult, holdout_stream, replay_stream
 
 __all__ = [
@@ -38,6 +42,8 @@ __all__ = [
     "RefreshStats",
     "RemoveRating",
     "RemoveUser",
+    "ShardOutbox",
+    "ShardedKnnIndex",
     "StreamReplayResult",
     "apply_events",
     "cold_rebuild_graph",
@@ -45,4 +51,5 @@ __all__ = [
     "holdout_stream",
     "ratings_batch",
     "replay_stream",
+    "shard_of",
 ]

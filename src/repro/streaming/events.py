@@ -31,6 +31,7 @@ delegates to ``index.apply`` and returns the structured
 
 from __future__ import annotations
 
+import sys
 import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Union
@@ -169,6 +170,26 @@ class ApplyResult:
     last_seq: int
 
     def _warn_list_compat(self) -> None:
+        # One warning per *call site*, not per dunder: a single
+        # ``list(result)`` invokes both ``__len__`` (presizing) and
+        # ``__iter__`` from the same caller line, which would otherwise
+        # double-warn — noise under always-on filters and a miscount
+        # under ``-W error`` migrations.  The caller's location is two
+        # frames up (this helper + the dunder; C-level callers like
+        # ``list()`` add no frame), matching ``stacklevel=3`` below.
+        try:
+            frame = sys._getframe(2)
+            site = (frame.f_code.co_filename, frame.f_lineno)
+        except (AttributeError, ValueError):  # pragma: no cover - non-CPython
+            site = None
+        if site is not None:
+            seen = self.__dict__.get("_warned_sites")
+            if seen is None:
+                seen = set()
+                object.__setattr__(self, "_warned_sites", seen)
+            if site in seen:
+                return
+            seen.add(site)
         warnings.warn(
             "treating ApplyResult as the legacy list of minted user ids "
             "is deprecated; read result.new_users instead",

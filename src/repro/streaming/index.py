@@ -99,7 +99,7 @@ from ..core.result import ConstructionResult
 from ..datasets.bipartite import BipartiteDataset, DatasetError
 from ..datasets.mutable import MutableBipartiteBuilder
 from ..graph.knn_graph import MISSING, KnnGraph
-from ..graph.updates import ReverseNeighborIndex, dedupe_pairs, merge_topk
+from ..graph.updates import ReverseNeighborIndex, dedupe_pairs, merge_topk_rows
 from ..instrumentation.counters import MaintenanceCounter
 from ..similarity.base import ProfileIndex, SimilarityMetric
 from ..similarity.engine import SimilarityEngine
@@ -703,13 +703,14 @@ class DynamicKnnIndex:
                 cand_users, cand_ids, cand_sims = us, vs, pair_sims
             touched = np.union1d(affected, np.unique(cand_users))
             pre_merge = neighbors[touched].copy()
-            new_neighbors, new_sims, changes = merge_topk(
+            active, new_neighbors, new_sims, changes = merge_topk_rows(
                 neighbors, sims, cand_users, cand_ids, cand_sims
             )
-            # Write back through the views so backing-array slack
-            # capacity (geometric growth) survives the refresh.
-            neighbors[:] = new_neighbors
-            sims[:] = new_sims
+            # Write only the re-ranked rows back, through the views, so
+            # backing-array slack capacity (geometric growth) survives
+            # the refresh and no O(n_users * k) copy is paid.
+            neighbors[active] = new_neighbors
+            sims[active] = new_sims
             # Only rows whose neighbour ids actually moved need reverse
             # index diffs — most merge targets keep their row intact.
             post_merge = neighbors[touched]
@@ -806,50 +807,26 @@ class DynamicKnnIndex:
         raters — the per-event delta that keeps cached candidate sets
         exact without re-derivation.
         """
-        delta = 1 if added else -1
-        cached_raters = self._cached_raters.get(item)
-        if cached_raters:
-            for other in cached_raters:
-                if other != user:
-                    _bump(self._candidate_counts[other], user, delta)
-        counts = self._candidate_counts.get(user)
-        if counts is not None:
-            builder = self.builder
-            for other in builder.users_of(item):
-                if other != user and self._qualifies(
-                    builder.rating(other, item)
-                ):
-                    _bump(counts, other, delta)
-            if added:
-                self._cached_raters.setdefault(item, set()).add(user)
-            else:
-                raters = self._cached_raters.get(item)
-                if raters is not None:
-                    raters.discard(user)
-                    if not raters:
-                        del self._cached_raters[item]
+        store = (self._candidate_counts, self._cached_raters)
+        propagate_candidacy_change(
+            (store,), store, user, item, added, self.builder, self._qualifies
+        )
 
     def _cache_insert(self, user: int, counts: dict[int, int]) -> None:
-        limit = self.candidate_cache_size
-        if limit is not None and limit <= 0:
-            return  # cache disabled
-        self._cache_evict(user)  # replacing: drop stale rater links first
-        while limit is not None and len(self._candidate_counts) >= limit:
-            self._cache_evict(next(iter(self._candidate_counts)))
-        self._candidate_counts[user] = counts
-        for item, rating in self.builder.profile(user).items():
-            if self._qualifies(rating):
-                self._cached_raters.setdefault(item, set()).add(user)
+        cache_store_insert(
+            self._candidate_counts,
+            self._cached_raters,
+            user,
+            counts,
+            self.builder,
+            self._qualifies,
+            self.candidate_cache_size,
+        )
 
     def _cache_evict(self, user: int) -> None:
-        if self._candidate_counts.pop(user, None) is None:
-            return
-        for item, rating in self.builder.profile(user).items():
-            raters = self._cached_raters.get(item)
-            if raters is not None:
-                raters.discard(user)
-                if not raters:
-                    del self._cached_raters[item]
+        cache_store_evict(
+            self._candidate_counts, self._cached_raters, user, self.builder
+        )
 
     def _candidate_sets(
         self, users: np.ndarray
@@ -860,32 +837,15 @@ class DynamicKnnIndex:
         the current snapshot (cost proportional to the missing users'
         item profiles) and cached for the next refresh.
         """
-        result: dict[int, dict[int, int]] = {}
-        missing: list[int] = []
-        for user in users.tolist():
-            cached = self._candidate_counts.get(user)
-            if cached is not None:
-                result[user] = cached
-            else:
-                missing.append(user)
-        self.maintenance.candidate_cache_hits += len(result)
-        if missing:
-            self.maintenance.candidate_cache_misses += len(missing)
-            rcs_delta = delta_rcs(
-                self.builder.snapshot(),
-                missing,
-                pivot=False,
-                min_rating=self.config.min_rating,
-            )
-            for user in missing:
-                counts = dict(
-                    zip(
-                        rcs_delta.candidates_of(user).tolist(),
-                        (int(c) for c in rcs_delta.counts_of(user).tolist()),
-                    )
-                )
-                result[user] = counts
-                self._cache_insert(user, counts)
+        result, hits, misses = derive_candidate_sets(
+            self._candidate_counts,
+            users,
+            self._cache_insert,
+            self.builder,
+            self.config.min_rating,
+        )
+        self.maintenance.candidate_cache_hits += hits
+        self.maintenance.candidate_cache_misses += misses
         return result
 
     def _candidates_of(self, user: int) -> set:
@@ -935,3 +895,132 @@ def _bump(counts: dict[int, int], key: int, delta: int) -> None:
         counts.pop(key, None)
     else:
         counts[key] = value
+
+
+# ----------------------------------------------------------------------
+# Candidate-cache store primitives
+#
+# One cache *store* is a pair of dicts: ``counts_map`` (user -> candidate
+# multiset) and ``raters_map`` (item -> cached users rating it at a
+# qualifying level).  The flat index holds a single store; the sharded
+# index one per shard — both route through these functions, so the
+# delta-maintenance semantics (qualifying ``min_rating``, eviction
+# order, rater bookkeeping) have exactly one implementation.
+# ----------------------------------------------------------------------
+def cache_store_insert(
+    counts_map: dict,
+    raters_map: dict,
+    user: int,
+    counts: dict[int, int],
+    builder,
+    qualifies,
+    limit: int | None,
+) -> None:
+    """Cache *user*'s multiset, evicting oldest-first past *limit*."""
+    if limit is not None and limit <= 0:
+        return  # cache disabled
+    # Replacing: drop stale rater links first.
+    cache_store_evict(counts_map, raters_map, user, builder)
+    while limit is not None and len(counts_map) >= limit:
+        cache_store_evict(
+            counts_map, raters_map, next(iter(counts_map)), builder
+        )
+    counts_map[user] = counts
+    for item, rating in builder.profile(user).items():
+        if qualifies(rating):
+            raters_map.setdefault(item, set()).add(user)
+
+
+def cache_store_evict(
+    counts_map: dict, raters_map: dict, user: int, builder
+) -> None:
+    """Drop *user*'s cached multiset and her rater registrations."""
+    if counts_map.pop(user, None) is None:
+        return
+    for item, rating in builder.profile(user).items():
+        raters = raters_map.get(item)
+        if raters is not None:
+            raters.discard(user)
+            if not raters:
+                del raters_map[item]
+
+
+def derive_candidate_sets(
+    counts_map: dict,
+    users: np.ndarray,
+    insert,
+    builder,
+    min_rating: float | None,
+) -> tuple[dict[int, dict[int, int]], int, int]:
+    """Candidate multisets for *users* from one store: cached or bulk
+    re-derived via :func:`~repro.core.rcs.delta_rcs`.
+
+    Returns ``(sets, hits, misses)`` — counter deltas are the caller's
+    to record, which is what lets shard workers run this concurrently
+    without racing on the shared ``MaintenanceCounter``.
+    """
+    result: dict[int, dict[int, int]] = {}
+    missing: list[int] = []
+    for user in users.tolist():
+        cached = counts_map.get(user)
+        if cached is not None:
+            result[user] = cached
+        else:
+            missing.append(user)
+    hits = len(result)
+    if missing:
+        rcs_delta = delta_rcs(
+            builder.snapshot(),
+            missing,
+            pivot=False,
+            min_rating=min_rating,
+        )
+        for user in missing:
+            counts = dict(
+                zip(
+                    rcs_delta.candidates_of(user).tolist(),
+                    (int(c) for c in rcs_delta.counts_of(user).tolist()),
+                )
+            )
+            result[user] = counts
+            insert(user, counts)
+    return result, hits, len(missing)
+
+
+def propagate_candidacy_change(
+    stores,
+    owner_store,
+    user: int,
+    item: int,
+    added: bool,
+    builder,
+    qualifies,
+) -> None:
+    """Apply one qualifying-membership flip of ``(user, item)`` to caches.
+
+    *stores* iterates every ``(counts_map, raters_map)`` pair that may
+    hold cached raters of *item* (the flat index has one store, the
+    sharded index one per shard); *owner_store* is the pair owning
+    *user*'s own cached state.
+    """
+    delta = 1 if added else -1
+    for counts_map, raters_map in stores:
+        raters = raters_map.get(item)
+        if raters:
+            for other in raters:
+                if other != user:
+                    _bump(counts_map[other], user, delta)
+    owner_counts, owner_raters = owner_store
+    counts = owner_counts.get(user)
+    if counts is not None:
+        for other in builder.users_of(item):
+            if other != user and qualifies(builder.rating(other, item)):
+                _bump(counts, other, delta)
+        if added:
+            owner_raters.setdefault(item, set()).add(user)
+        else:
+            raters = owner_raters.get(item)
+            if raters is not None:
+                raters.discard(user)
+                if not raters:
+                    del owner_raters[item]

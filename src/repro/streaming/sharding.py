@@ -1,0 +1,751 @@
+"""Shard-parallel dirty-set refinement: KIFF maintenance across workers.
+
+The KIFF pipeline is embarrassingly partitionable: candidate selection
+and top-k refinement are *per-user* computations over shared read-only
+profiles.  :class:`ShardedKnnIndex` exploits exactly that — users are
+hash-partitioned across ``n_shards`` workers (``user % n_shards``), and
+each shard **owns** its users' slice of the maintained state:
+
+* the dirty set (events dirty a user; her owner shard records it),
+* the candidate-multiset cache + cached-rater index (the streaming RCS),
+* a :class:`~repro.graph.updates.ReverseNeighborIndex` restricted to
+  the *rows* the shard owns (keyed by cited user, which may belong to
+  any shard — updates stay row-local, so they never cross shards).
+
+A refresh then runs shard-parallel against the shared read-only
+snapshot/:class:`~repro.similarity.base.ProfileIndex` (rebound once,
+serially, before the fan-out):
+
+1. **Affected discovery** — each shard unions its dirty slice with its
+   own rows citing *any* dirty user (a lookup in its reverse index).
+2. **Planning** — each shard clears its affected rows, derives their
+   candidate sets (shard-local cache; misses re-derived in bulk) and
+   emits the evaluation pairs for rows it owns.  A dirty user must also
+   be *offered* to the rows of her clean candidates; when such a row
+   belongs to another shard, the pair travels through a per-shard
+   **outbox** keyed by the WAL sequence number the refresh covers —
+   the cross-shard effect channel (mirroring how a top-k merge on shard
+   A can change rows citing users owned by shard B).
+3. **Evaluate + merge** — each shard dedupes its pairs, scores them
+   against the shared profile index, and merges into *its own rows
+   only* (:func:`~repro.graph.updates.merge_topk_rows`, no full-array
+   copy) — writes are disjoint by construction, so workers touch the
+   one shared graph concurrently without locks.
+
+Because similarity is a pure per-pair function of the shared profile
+index, every row receives the same candidate-edge multiset as the
+sequential :class:`~repro.streaming.index.DynamicKnnIndex` pass, and
+the merged graph is **bit-identical** at any shard count — the sharded
+parity suite (``tests/streaming/test_sharding.py``) pins this across
+the randomized stream corpus at 1/2/4 shards, both metrics, thread and
+serial executors.
+
+The executor is ``concurrent.futures``-backed (``executor="threads"``);
+``executor="serial"`` runs the same per-shard closures in-process, in
+shard order — the deterministic mode tests and debuggers want.  With
+threads, the attainable speedup tracks how much of the work runs in
+NumPy/SciPy kernels; ``benchmarks/bench_sharded_refresh.py`` measures
+it on multi-event batches.
+
+Durability is partitioned the same way (:mod:`repro.persistence.partition`):
+events journal into per-shard ``wal-<shard>.jsonl`` segments sharing one
+global sequence, checkpoints write per-shard state files, and
+:meth:`ShardedKnnIndex.restore` recovers — bit-identically — from either
+the sharded or the flat layout.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..graph.knn_graph import MISSING
+from ..graph.updates import (
+    ReverseNeighborIndex,
+    dedupe_pairs,
+    merge_topk_rows,
+)
+from ..similarity.base import SimilarityMetric
+from .events import AddUser
+from .index import (
+    DynamicKnnIndex,
+    RefreshStats,
+    cache_store_evict,
+    cache_store_insert,
+    derive_candidate_sets,
+    propagate_candidacy_change,
+)
+
+__all__ = ["ShardOutbox", "ShardedKnnIndex", "shard_of"]
+
+
+def shard_of(user: int, n_shards: int) -> int:
+    """The shard owning *user* — a pure function of the id.
+
+    Hash partitioning by ``user % n_shards`` keeps ownership derivable
+    everywhere (event routing, outbox targeting, checkpoint slicing,
+    re-sharding on restore) without a directory service.
+    """
+    return int(user) % int(n_shards)
+
+
+@dataclass(frozen=True)
+class ShardOutbox:
+    """Cross-shard evaluation pairs emitted by one shard's planning step.
+
+    ``rows[j]`` (a row owned by *target*) must be offered candidate
+    ``candidates[j]`` (a dirty user owned by *source*).  ``seq`` keys the
+    exchange to the WAL sequence number the refresh covers, so the
+    outbox protocol lines up with the partition log: replaying every
+    shard's events through ``seq`` and refreshing reproduces exactly
+    these exchanges.
+    """
+
+    source: int
+    target: int
+    seq: int
+    rows: np.ndarray
+    candidates: np.ndarray
+
+
+class _Shard:
+    """One worker's owned slice of the maintained streaming state."""
+
+    __slots__ = (
+        "shard_id",
+        "dirty",
+        "reverse",
+        "candidate_counts",
+        "cached_raters",
+    )
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        #: Owned users whose profile changed since the last refresh.
+        self.dirty: set[int] = set()
+        #: cited user -> owned rows citing her (rows only from this shard).
+        self.reverse = ReverseNeighborIndex()
+        #: Owned user -> {candidate: shared-qualifying-item count}.
+        self.candidate_counts: dict[int, dict[int, int]] = {}
+        #: item -> owned cached users rating it at a qualifying level.
+        self.cached_raters: dict[int, set[int]] = {}
+
+    # The cache ops delegate to the shared store primitives in
+    # ``repro.streaming.index`` (one implementation for the flat and the
+    # sharded cache), scoped to this shard's dicts; they are only ever
+    # called for users this shard owns, either from the (serial)
+    # ingestion path or from this shard's own worker.
+    def cache_insert(self, user: int, counts: dict, index) -> None:
+        cache_store_insert(
+            self.candidate_counts,
+            self.cached_raters,
+            user,
+            counts,
+            index.builder,
+            index._qualifies,
+            index._shard_cache_limit,
+        )
+
+    def cache_evict(self, user: int, index) -> None:
+        cache_store_evict(
+            self.candidate_counts, self.cached_raters, user, index.builder
+        )
+
+    def candidate_sets(
+        self, users: np.ndarray, index
+    ) -> tuple[dict[int, dict[int, int]], int, int]:
+        """Candidate multisets for owned *users*; ``(sets, hits, misses)``.
+
+        Thread-safe by ownership: only this shard's worker touches its
+        cache dicts, and the miss path only *reads* the shared snapshot
+        (one bulk :func:`~repro.core.rcs.delta_rcs` call).  Counter
+        deltas are returned, not written — the caller folds them into
+        the shared ``MaintenanceCounter`` after the fan-in.
+        """
+        return derive_candidate_sets(
+            self.candidate_counts,
+            users,
+            lambda user, counts: self.cache_insert(user, counts, index),
+            index.builder,
+            index.config.min_rating,
+        )
+
+
+class _ShardedDirtySet:
+    """The global dirty set, physically stored as per-shard owned slices.
+
+    Exposes the mutable-set surface the base ingestion path uses
+    (``add`` / ``update`` / ``clear`` / iteration / membership), so
+    every ``DynamicKnnIndex._absorb_*`` method lands events in the
+    owner shard's slice without knowing about sharding.
+    """
+
+    __slots__ = ("_shards", "_n_shards")
+
+    def __init__(self, shards: list[_Shard]):
+        self._shards = shards
+        self._n_shards = len(shards)
+
+    def add(self, user: int) -> None:
+        user = int(user)
+        self._shards[user % self._n_shards].dirty.add(user)
+
+    def update(self, users) -> None:
+        for user in users:
+            self.add(user)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.dirty.clear()
+
+    def __len__(self) -> int:
+        return sum(len(shard.dirty) for shard in self._shards)
+
+    def __iter__(self):
+        for shard in self._shards:
+            yield from shard.dirty
+
+    def __contains__(self, user) -> bool:
+        user = int(user)
+        return user in self._shards[user % self._n_shards].dirty
+
+
+class _ShardedReverseIndex:
+    """Routes reverse-neighbor maintenance to the row-owner shard.
+
+    Shard *s*'s index stores only rows *s* owns, so ``apply_row`` — the
+    hot write inside every top-k merge — is always a shard-local
+    mutation, and ``referrers_of(dirty)`` per shard yields exactly the
+    shard's slice of the affected set.  The union over shards equals the
+    flat index (the routing is a partition of the rows).
+    """
+
+    __slots__ = ("_shards", "_n_shards")
+
+    def __init__(self, shards: list[_Shard]):
+        self._shards = shards
+        self._n_shards = len(shards)
+
+    def rebuild(self, neighbors: np.ndarray) -> None:
+        for shard in self._shards:
+            shard.reverse = ReverseNeighborIndex()
+        rows, slots = np.nonzero(neighbors != MISSING)
+        cited = neighbors[rows, slots]
+        for row, neighbor in zip(rows.tolist(), cited.tolist()):
+            self._shards[row % self._n_shards].reverse.add_referrer(
+                neighbor, row
+            )
+
+    def apply_row(self, row: int, old_ids, new_ids) -> None:
+        self._shards[int(row) % self._n_shards].reverse.apply_row(
+            row, old_ids, new_ids
+        )
+
+    def referrers_of(self, users) -> np.ndarray:
+        parts = [shard.reverse.referrers_of(users) for shard in self._shards]
+        return np.unique(np.concatenate(parts))
+
+    def referrer_count(self) -> int:
+        return sum(shard.reverse.referrer_count() for shard in self._shards)
+
+
+@dataclass
+class _ShardPlan:
+    """One shard's stage-B output: its pairs, outboxes and cache traffic."""
+
+    affected: np.ndarray
+    rows: np.ndarray
+    candidates: np.ndarray
+    outboxes: list[ShardOutbox]
+    cache_hits: int
+    cache_misses: int
+
+
+class ShardedKnnIndex(DynamicKnnIndex):
+    """A :class:`DynamicKnnIndex` whose refinement runs shard-parallel.
+
+    Same contract — the maintained graph is bit-identical to the
+    sequential index (and therefore to a cold converged rebuild) after
+    any event interleaving — with refresh work partitioned across
+    ``n_shards`` workers over one shared graph and profile index.
+
+    Parameters (beyond :class:`DynamicKnnIndex`'s)
+    ----------------------------------------------
+    n_shards:
+        Worker count; users are owned by ``user % n_shards``.
+    executor:
+        ``"threads"`` (default) fans each refresh stage out on a
+        ``concurrent.futures.ThreadPoolExecutor``; ``"serial"`` runs the
+        identical per-shard closures in-process in shard order — fully
+        deterministic scheduling for tests/debugging.  Results are
+        bit-identical either way.
+    wal:
+        Optional :class:`~repro.persistence.PartitionedWriteAheadLog`;
+        each event journals into its owner shard's ``wal-<shard>.jsonl``
+        segment under one global sequence.
+
+    ``candidate_cache_size`` bounds the cache *globally*; each shard
+    keeps at most ``max(1, size // n_shards)`` entries of its own users.
+    Note on cost accounting: with the pivot strategy a pair whose
+    endpoints live on different shards may be evaluated once per side
+    (evaluations are never shared across workers), so
+    ``RefreshStats.evaluations`` can exceed the sequential index's —
+    the graphs still match exactly.
+    """
+
+    def __init__(
+        self,
+        dataset,
+        config=None,
+        metric: str | SimilarityMetric = "cosine",
+        auto_refresh: bool = True,
+        build: bool = True,
+        candidate_cache_size: int | None = 65_536,
+        wal=None,
+        n_shards: int = 2,
+        executor: str = "threads",
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if executor not in ("threads", "serial"):
+            raise ValueError(
+                f"executor must be 'threads' or 'serial', got {executor!r}"
+            )
+        self.n_shards = int(n_shards)
+        self.executor = executor
+        self._pool = None
+        self._shards = [_Shard(shard) for shard in range(self.n_shards)]
+        #: The cross-shard exchanges of the most recent refresh.
+        self.last_outboxes: tuple[ShardOutbox, ...] = ()
+        super().__init__(
+            dataset,
+            config,
+            metric=metric,
+            auto_refresh=auto_refresh,
+            build=False,
+            candidate_cache_size=candidate_cache_size,
+            wal=None,
+        )
+        # Swap the flat state containers for the sharded routers; the
+        # deferred base build only seeded the dirty set, which is
+        # re-seeded below.
+        self._dirty = _ShardedDirtySet(self._shards)
+        self._reverse = _ShardedReverseIndex(self._shards)
+        self._dirty.update(range(dataset.n_users))
+        if candidate_cache_size is None:
+            self._shard_cache_limit = None
+        elif candidate_cache_size <= 0:
+            self._shard_cache_limit = 0
+        else:
+            self._shard_cache_limit = max(
+                1, candidate_cache_size // self.n_shards
+            )
+        if build:
+            self.rebuild()
+            self.initial_evaluations = self.engine.counter.evaluations
+        if wal is not None:
+            self.attach_wal(wal)
+
+    # ------------------------------------------------------------------
+    # Worker fan-out
+    # ------------------------------------------------------------------
+    def _map(self, fn, items: list) -> list:
+        """Run *fn* over *items* (one per shard), per the executor mode."""
+        if self.executor == "serial" or self.n_shards == 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_shards, thread_name_prefix="repro-shard"
+            )
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the worker pool down (it is re-created on demand)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Sharded candidate-cache routing (ingestion path, serial)
+    # ------------------------------------------------------------------
+    def _note_candidacy_change(
+        self, user: int, item: int, added: bool
+    ) -> None:
+        # Every shard's cached raters of the item gain/lose one shared
+        # item with *user* — same propagation as the flat index, with
+        # the per-user state living in each rater's owner shard.
+        stores = [
+            (shard.candidate_counts, shard.cached_raters)
+            for shard in self._shards
+        ]
+        propagate_candidacy_change(
+            stores,
+            stores[shard_of(user, self.n_shards)],
+            user,
+            item,
+            added,
+            self.builder,
+            self._qualifies,
+        )
+
+    def _cache_insert(self, user: int, counts: dict[int, int]) -> None:
+        self._shards[shard_of(user, self.n_shards)].cache_insert(
+            user, counts, self
+        )
+
+    def _cache_evict(self, user: int) -> None:
+        self._shards[shard_of(user, self.n_shards)].cache_evict(user, self)
+
+    def _candidate_sets(self, users: np.ndarray) -> dict[int, dict[int, int]]:
+        """Serial (main-thread) candidate-set lookup across shards."""
+        owners = np.asarray(users, dtype=np.int64) % self.n_shards
+        result: dict[int, dict[int, int]] = {}
+        for shard in self._shards:
+            owned = np.asarray(users, dtype=np.int64)[
+                owners == shard.shard_id
+            ]
+            if owned.size == 0:
+                continue
+            sets, hits, misses = shard.candidate_sets(owned, self)
+            result.update(sets)
+            self.maintenance.candidate_cache_hits += hits
+            self.maintenance.candidate_cache_misses += misses
+        return result
+
+    # ------------------------------------------------------------------
+    # Partitioned journaling
+    # ------------------------------------------------------------------
+    def _event_shard(self, event, n_users: int) -> int:
+        """The shard whose segment journals *event* (its primary user)."""
+        if isinstance(event, AddUser):
+            return shard_of(n_users, self.n_shards)  # the id being minted
+        return shard_of(int(event.user), self.n_shards)
+
+    def _journal(self, primitives) -> None:
+        """Route each primitive into its owner shard's WAL segment.
+
+        Global sequence numbers are assigned by the partitioned log;
+        rollback on a partial failure spans every segment, preserving
+        the all-or-nothing unit the flat index guarantees.
+        """
+        if self._wal is None:
+            self._seq += len(primitives)
+            return
+        mark = self._wal.mark()
+        try:
+            n_users = self.builder.n_users
+            for primitive in primitives:
+                shard = self._event_shard(primitive, n_users)
+                if isinstance(primitive, AddUser):
+                    n_users += 1
+                self._seq = self._wal.append(primitive, shard)
+        except BaseException:
+            self._wal.rollback(mark)
+            self._seq = mark[0]
+            raise
+
+    def attach_wal(self, wal) -> None:
+        """Journal into *wal* — a :class:`PartitionedWriteAheadLog`."""
+        from ..persistence import PartitionedWriteAheadLog, PersistenceError
+
+        if not isinstance(wal, PartitionedWriteAheadLog):
+            raise PersistenceError(
+                f"ShardedKnnIndex journals into per-shard segments; attach "
+                f"a PartitionedWriteAheadLog (got {type(wal).__name__}) — "
+                f"PartitionedWriteAheadLog(directory, n_shards)"
+            )
+        super().attach_wal(wal)
+
+    # ------------------------------------------------------------------
+    # Partitioned durability
+    # ------------------------------------------------------------------
+    def checkpoint(self, directory: str | Path) -> Path:
+        """Serialize into the partitioned ``checkpoint-<seq>.shards/`` layout."""
+        from ..persistence import save_sharded_checkpoint
+
+        return save_sharded_checkpoint(self, directory)
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str | Path,
+        metric: str | SimilarityMetric | None = None,
+        refresh: bool = True,
+        fsync_every: int | None = 64,
+        n_shards: int | None = None,
+        executor: str | None = None,
+    ) -> "ShardedKnnIndex":
+        """Recover from *directory* — sharded **or** flat layout.
+
+        ``n_shards`` defaults to the checkpoint's shard count (2 for a
+        flat layout); any other value re-shards the recovered state
+        exactly, since ownership is a pure function of the user id.
+        """
+        from ..persistence import restore_sharded_index
+
+        return restore_sharded_index(
+            cls,
+            directory,
+            metric=metric,
+            refresh=refresh,
+            fsync_every=fsync_every,
+            n_shards=n_shards,
+            executor=executor,
+        )
+
+    # ------------------------------------------------------------------
+    # Shard-parallel refinement
+    # ------------------------------------------------------------------
+    def refresh(self) -> RefreshStats:
+        """Run the localized refinement, partitioned across the shards.
+
+        Semantically identical to :meth:`DynamicKnnIndex.refresh`; see
+        the module docstring for the three-stage fan-out and why the
+        result is bit-identical at any shard count.
+        """
+        start = time.perf_counter()
+        maintenance = self.maintenance
+        rows_before = maintenance.rows_materialized
+        index_before = maintenance.index_users_recomputed
+        hits_before = maintenance.candidate_cache_hits
+        misses_before = maintenance.candidate_cache_misses
+        n_events, n_dirty = self._pending_events, len(self._dirty)
+        if n_dirty == 0:
+            stats = RefreshStats(
+                n_events, 0, 0, 0, 0, time.perf_counter() - start
+            )
+            self._pending_events = 0
+            self.refresh_log.append(stats)
+            return stats
+        engine = self.engine
+        with engine.timer.phase("preprocessing"):
+            # Shared read-only state, rebound once before the fan-out.
+            engine.rebind(self.builder.snapshot(), dirty_users=self._dirty)
+        neighbors, sims = self._rows()
+        n_users = self.builder.n_users
+        all_dirty = np.fromiter(self._dirty, count=n_dirty, dtype=np.int64)
+        truly_dirty = frozenset(all_dirty.tolist())
+        with engine.timer.phase("candidate_selection"):
+            # Stage A: every shard discovers its slice of the affected
+            # set (its dirty users + its rows citing any dirty user).
+            affected_by_shard = self._map(
+                lambda shard: np.union1d(
+                    np.fromiter(
+                        shard.dirty, count=len(shard.dirty), dtype=np.int64
+                    ),
+                    shard.reverse.referrers_of(all_dirty),
+                ),
+                self._shards,
+            )
+            affected = np.unique(np.concatenate(affected_by_shard))
+            affected_mask = np.zeros(n_users, dtype=bool)
+            affected_mask[affected] = True
+            # Stage B: clear owned affected rows, derive candidate sets,
+            # emit local pairs + cross-shard outboxes.
+            seq = self._seq
+            plans = self._map(
+                lambda work: self._shard_plan(
+                    work[0],
+                    work[1],
+                    affected_mask,
+                    truly_dirty,
+                    neighbors,
+                    sims,
+                    seq,
+                ),
+                list(zip(self._shards, affected_by_shard)),
+            )
+            for plan in plans:
+                maintenance.candidate_cache_hits += plan.cache_hits
+                maintenance.candidate_cache_misses += plan.cache_misses
+            # Outbox exchange: deliver each shard's cross-shard pairs.
+            inboxes: list[list[ShardOutbox]] = [
+                [] for _ in range(self.n_shards)
+            ]
+            for plan in plans:
+                for outbox in plan.outboxes:
+                    inboxes[outbox.target].append(outbox)
+            self.last_outboxes = tuple(
+                outbox for plan in plans for outbox in plan.outboxes
+            )
+        # Stage C: evaluate and merge, each shard into its own rows.
+        with engine.timer.phase("similarity"):
+            merges = self._map(
+                lambda work: self._shard_merge(
+                    work[0], work[1], work[2], neighbors, sims, n_users
+                ),
+                list(zip(self._shards, plans, inboxes)),
+            )
+        evaluations = sum(merge[0] for merge in merges)
+        changes = sum(merge[1] for merge in merges)
+        engine.counter.add(int(evaluations))
+        self._dirty.clear()
+        self._pending_events = 0
+        stats = RefreshStats(
+            events=n_events,
+            dirty_users=n_dirty,
+            affected_users=int(affected.size),
+            evaluations=int(evaluations),
+            changes=int(changes),
+            wall_time=time.perf_counter() - start,
+            rows_materialized=maintenance.rows_materialized - rows_before,
+            index_users_recomputed=maintenance.index_users_recomputed
+            - index_before,
+            cache_hits=maintenance.candidate_cache_hits - hits_before,
+            cache_misses=maintenance.candidate_cache_misses - misses_before,
+        )
+        self.refresh_log.append(stats)
+        return stats
+
+    def _shard_plan(
+        self,
+        shard: _Shard,
+        affected: np.ndarray,
+        affected_mask: np.ndarray,
+        truly_dirty: frozenset,
+        neighbors: np.ndarray,
+        sims: np.ndarray,
+        seq: int,
+    ) -> _ShardPlan:
+        """Stage B for one shard: clear rows, plan pairs, fill outboxes."""
+        # Retry safety (mirrors the flat refresh): once cleared, affected
+        # rows count as dirty until the merge lands, so a mid-pass
+        # failure leaves them rebuildable, not silently empty.
+        shard.dirty.update(affected.tolist())
+        old_rows = neighbors[affected].copy()
+        neighbors[affected] = MISSING
+        sims[affected] = -np.inf
+        for pos, row in enumerate(affected.tolist()):
+            shard.reverse.apply_row(row, old_rows[pos], ())
+        cand_sets, hits, misses = shard.candidate_sets(affected, self)
+        row_parts: list[np.ndarray] = []
+        cand_parts: list[np.ndarray] = []
+        out_rows: list[list[np.ndarray]] = [[] for _ in range(self.n_shards)]
+        out_cands: list[list[np.ndarray]] = [[] for _ in range(self.n_shards)]
+        for user in affected.tolist():
+            counts = cand_sets[user]
+            candidates = np.fromiter(counts.keys(), np.int64, len(counts))
+            if candidates.size == 0:
+                continue
+            row_parts.append(np.full(candidates.size, user, dtype=np.int64))
+            cand_parts.append(candidates)
+            if user in truly_dirty:
+                # Mirror: the dirty user must be offered to the rows of
+                # her clean candidates (she can *enter* those top-ks).
+                mirror = candidates[~affected_mask[candidates]]
+                if mirror.size == 0:
+                    continue
+                owners = mirror % self.n_shards
+                for target in np.unique(owners).tolist():
+                    rows_t = mirror[owners == target]
+                    users_t = np.full(rows_t.size, user, dtype=np.int64)
+                    if target == shard.shard_id:
+                        row_parts.append(rows_t)
+                        cand_parts.append(users_t)
+                    else:
+                        out_rows[target].append(rows_t)
+                        out_cands[target].append(users_t)
+        empty = np.empty(0, dtype=np.int64)
+        outboxes = [
+            ShardOutbox(
+                source=shard.shard_id,
+                target=target,
+                seq=seq,
+                rows=np.concatenate(out_rows[target]),
+                candidates=np.concatenate(out_cands[target]),
+            )
+            for target in range(self.n_shards)
+            if out_rows[target]
+        ]
+        return _ShardPlan(
+            affected=affected,
+            rows=np.concatenate(row_parts) if row_parts else empty,
+            candidates=np.concatenate(cand_parts) if cand_parts else empty,
+            outboxes=outboxes,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+    def _shard_merge(
+        self,
+        shard: _Shard,
+        plan: _ShardPlan,
+        inbox: list[ShardOutbox],
+        neighbors: np.ndarray,
+        sims: np.ndarray,
+        n_users: int,
+    ) -> tuple[int, int]:
+        """Stage C for one shard: dedupe, evaluate, merge its own rows."""
+        us = np.concatenate([plan.rows] + [box.rows for box in inbox])
+        vs = np.concatenate(
+            [plan.candidates] + [box.candidates for box in inbox]
+        )
+        us, vs = dedupe_pairs(us, vs, n_users, ordered=not self.config.pivot)
+        pair_sims = self._score_pairs(us, vs)
+        evaluations = int(us.size)
+        if self.config.pivot:
+            # One evaluation serves both directions (Section II-D) —
+            # but only this shard's rows are merged here; the partner
+            # shard evaluates its own side of a cross-shard pair.
+            cand_users = np.concatenate([us, vs])
+            cand_ids = np.concatenate([vs, us])
+            cand_sims = np.concatenate([pair_sims, pair_sims])
+            owned = (cand_users % self.n_shards) == shard.shard_id
+            cand_users = cand_users[owned]
+            cand_ids = cand_ids[owned]
+            cand_sims = cand_sims[owned]
+        else:
+            cand_users, cand_ids, cand_sims = us, vs, pair_sims
+        if cand_users.size == 0:
+            return evaluations, 0
+        touched = np.unique(cand_users)
+        pre_merge = neighbors[touched].copy()
+        active, new_neighbors, new_sims, changes = merge_topk_rows(
+            neighbors, sims, cand_users, cand_ids, cand_sims
+        )
+        # Disjoint-row writes through the shared views: every active row
+        # is owned by this shard, so workers never collide.
+        neighbors[active] = new_neighbors
+        sims[active] = new_sims
+        post_merge = neighbors[touched]
+        moved = np.flatnonzero((post_merge != pre_merge).any(axis=1))
+        for pos in moved.tolist():
+            shard.reverse.apply_row(
+                int(touched[pos]), pre_merge[pos], post_merge[pos]
+            )
+        return evaluations, int(changes)
+
+    def _score_pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Chunked metric evaluation against the shared profile index.
+
+        Bypasses ``engine.batch`` so concurrent workers never race on
+        the shared counter/timer; the caller adds the evaluation totals
+        after the fan-in.  Chunk boundaries cannot change values — every
+        metric scores pairs independently — so results stay bit-identical
+        to the sequential engine path.
+        """
+        if us.size == 0:
+            return np.empty(0, dtype=np.float64)
+        engine = self.engine
+        if us.size <= engine.batch_size:
+            return engine.metric.score_batch(engine.index, us, vs)
+        chunks = []
+        for start in range(0, us.size, engine.batch_size):
+            stop = start + engine.batch_size
+            chunks.append(
+                engine.metric.score_batch(
+                    engine.index, us[start:stop], vs[start:stop]
+                )
+            )
+        return np.concatenate(chunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedKnnIndex(n_users={self.n_users}, "
+            f"n_shards={self.n_shards}, executor={self.executor!r}, "
+            f"last_seq={self.last_seq})"
+        )

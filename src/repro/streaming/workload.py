@@ -114,6 +114,11 @@ def replay_stream(
     every that many batches — the durability cadence ``repro-kiff stream
     --wal ... --checkpoint-every N`` drives; attach the WAL on the index
     itself.
+
+    *index* may be any maintained index sharing the ``apply`` /
+    ``refresh`` / ``checkpoint`` surface — in particular a
+    :class:`~repro.streaming.sharding.ShardedKnnIndex`, whose refreshes
+    then run shard-parallel (``repro-kiff stream --shards N``).
     """
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")

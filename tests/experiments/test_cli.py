@@ -84,6 +84,29 @@ class TestStreamCommand:
         assert main(["stream", "--scale", "tiny", "--checkpoint-every", "5"]) == 2
         assert "--wal" in capsys.readouterr().err
 
+    def test_checkpoint_every_zero_is_a_usage_error(self, capsys, tmp_path):
+        """--checkpoint-every 0 must be a one-line exit-2 message, not a
+        ValueError traceback from replay_stream."""
+        assert (
+            main(
+                [
+                    "stream",
+                    "--scale",
+                    "tiny",
+                    "--wal",
+                    str(tmp_path / "wal.jsonl"),
+                    "--checkpoint-every",
+                    "0",
+                ]
+            )
+            == 2
+        )
+        assert "positive" in capsys.readouterr().err
+
+    def test_shards_must_be_positive(self, capsys):
+        assert main(["stream", "--scale", "tiny", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
     def test_reused_wal_path_is_a_usage_error(self, capsys, tmp_path):
         """Re-streaming onto a log that already holds events must be a
         friendly exit-2 error, not a PersistenceError traceback."""
@@ -133,11 +156,101 @@ class TestRecoverCommand:
         assert main(["recover"]) == 2
         assert "state directory" in capsys.readouterr().err
 
-    def test_recover_empty_directory_is_an_error(self, tmp_path):
-        from repro.persistence import CheckpointError
+    def test_recover_empty_directory_is_a_usage_error(self, capsys, tmp_path):
+        """An empty state dir exits 2 with one actionable line — no
+        CheckpointError traceback."""
+        assert main(["recover", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "no recoverable streaming state" in err
+        assert "repro-kiff stream" in err
 
-        with pytest.raises(CheckpointError, match="no checkpoint"):
-            main(["recover", str(tmp_path)])
+    def test_recover_missing_directory_is_a_usage_error(self, capsys, tmp_path):
+        assert main(["recover", str(tmp_path / "nowhere")]) == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_recover_unrecognized_files_not_called_empty(self, capsys, tmp_path):
+        """A dir holding only unusable leftovers (rotated logs, typos)
+        must not be reported as empty — the files exist, the naming is
+        the problem."""
+        (tmp_path / "wal.jsonl.superseded-12").write_text("{}")
+        (tmp_path / "wal.json").write_text("{}")
+        assert main(["recover", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "no recoverable streaming state" in err
+        assert "empty" not in err
+
+
+class TestShardedStream:
+    def test_sharded_stream_reports_parity(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--scale",
+                    "tiny",
+                    "--batch-size",
+                    "50",
+                    "--shards",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ShardedKnnIndex" in out
+        shards_line = next(line for line in out.splitlines() if "shards" in line)
+        assert shards_line.strip().endswith("2")
+        parity_line = next(line for line in out.splitlines() if "parity" in line)
+        assert "True" in parity_line
+
+    def test_sharded_stream_recover_round_trip(self, capsys, tmp_path):
+        """stream --shards --wal writes the partitioned layout, and
+        recover --verify restores it with exact parity."""
+        assert (
+            main(
+                [
+                    "stream",
+                    "--scale",
+                    "tiny",
+                    "--batch-size",
+                    "50",
+                    "--shards",
+                    "2",
+                    "--wal",
+                    str(tmp_path),
+                    "--checkpoint-every",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (tmp_path / "wal-0.jsonl").exists()
+        assert (tmp_path / "wal-1.jsonl").exists()
+        assert list(tmp_path.glob("checkpoint-*.shards"))
+        assert main(["recover", str(tmp_path), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "ShardedKnnIndex" in out
+        assert "sharded" in out
+        parity_line = next(line for line in out.splitlines() if "parity" in line)
+        assert "True" in parity_line
+
+    def test_reused_sharded_state_is_a_usage_error(self, capsys, tmp_path):
+        argv = [
+            "stream",
+            "--scale",
+            "tiny",
+            "--batch-size",
+            "50",
+            "--shards",
+            "2",
+            "--wal",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 2
+        assert "already holds events" in capsys.readouterr().err
 
 
 class TestUtilityCommands:

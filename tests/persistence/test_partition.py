@@ -1,0 +1,304 @@
+"""Partitioned WAL segments, sharded checkpoints, and fsync barriers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import DynamicKnnIndex, KiffConfig, ShardedKnnIndex
+from repro.persistence import (
+    PartitionedWriteAheadLog,
+    WalError,
+    WriteAheadLog,
+    detect_state_layout,
+    load_sharded_checkpoint,
+    read_partitioned_wal,
+    read_wal,
+    rotate_superseded,
+    save_checkpoint,
+    save_sharded_checkpoint,
+    sharded_checkpoint_path,
+    wal_segment_path,
+)
+from repro.streaming import AddRating, AddUser, ratings_batch
+from tests.conftest import random_dataset
+
+
+def sharded_index(n_users=12, seed=3, n_shards=2, **kwargs):
+    dataset = random_dataset(
+        n_users=n_users, n_items=10, seed=seed, ratings=True
+    )
+    return ShardedKnnIndex(
+        dataset,
+        KiffConfig(k=3),
+        auto_refresh=False,
+        n_shards=n_shards,
+        executor="serial",
+        **kwargs,
+    )
+
+
+class TestPartitionedWal:
+    def test_segments_share_one_global_sequence(self, tmp_path):
+        wal = PartitionedWriteAheadLog(tmp_path, 2)
+        assert wal.append(AddRating(0, 1, 2.0), shard=0) == 1
+        assert wal.append(AddRating(1, 1, 2.0), shard=1) == 2
+        assert wal.append(AddRating(2, 1, 2.0), shard=0) == 3
+        wal.close()
+        # Each segment is a standard WAL file (same header format) whose
+        # records carry the *global* sequence — gaps are expected.
+        assert [s for s, _ in read_wal(wal_segment_path(tmp_path, 0), contiguous=False)] == [1, 3]
+        assert [s for s, _ in read_wal(wal_segment_path(tmp_path, 1), contiguous=False)] == [2]
+        header = json.loads(
+            wal_segment_path(tmp_path, 0).read_text().splitlines()[0]
+        )
+        assert header["type"] == "header"
+
+    def test_merged_read_restores_global_order(self, tmp_path):
+        wal = PartitionedWriteAheadLog(tmp_path, 3)
+        events = [AddRating(user, 0, 1.0) for user in range(7)]
+        for user, event in enumerate(events):
+            wal.append(event, shard=user % 3)
+        wal.close()
+        merged = list(read_partitioned_wal(tmp_path))
+        assert [seq for seq, _ in merged] == list(range(1, 8))
+        assert [event.user for _, event in merged] == list(range(7))
+        assert [seq for seq, _ in read_partitioned_wal(tmp_path, after=4)] == [5, 6, 7]
+
+    def test_reopen_resumes_global_counter(self, tmp_path):
+        with PartitionedWriteAheadLog(tmp_path, 2) as wal:
+            wal.append(AddRating(0, 1, 2.0), shard=0)
+            wal.append(AddRating(1, 1, 2.0), shard=1)
+        reopened = PartitionedWriteAheadLog(tmp_path, 2)
+        assert reopened.last_seq == 2
+        assert reopened.append(AddRating(0, 2, 1.0), shard=0) == 3
+        reopened.close()
+
+    def test_duplicate_sequences_across_segments_rejected(self, tmp_path):
+        WriteAheadLog(
+            wal_segment_path(tmp_path, 0), contiguous=False
+        ).append(AddRating(0, 1, 2.0), seq=5)
+        WriteAheadLog(
+            wal_segment_path(tmp_path, 1), contiguous=False
+        ).append(AddRating(1, 1, 2.0), seq=5)
+        with pytest.raises(WalError, match="duplicate"):
+            list(read_partitioned_wal(tmp_path))
+
+    def test_rollback_spans_every_segment(self, tmp_path):
+        wal = PartitionedWriteAheadLog(tmp_path, 2)
+        wal.append(AddRating(0, 1, 2.0), shard=0)
+        mark = wal.mark()
+        wal.append(AddRating(1, 1, 2.0), shard=1)
+        wal.append(AddRating(2, 1, 2.0), shard=0)
+        wal.rollback(mark)
+        assert wal.last_seq == 1
+        assert wal.append(AddRating(3, 1, 2.0), shard=1) == 2
+        wal.close()
+        assert [seq for seq, _ in read_partitioned_wal(tmp_path)] == [1, 2]
+
+    def test_advance_to_skips_checkpoint_covered_gap(self, tmp_path):
+        wal = PartitionedWriteAheadLog(tmp_path, 2)
+        wal.append(AddRating(0, 1, 2.0), shard=0)
+        wal.advance_to(5)  # events 2..5 live only in a durable checkpoint
+        assert wal.append(AddRating(1, 1, 2.0), shard=1) == 6
+        with pytest.raises(WalError, match="advance"):
+            wal.advance_to(3)
+        wal.close()
+
+    def test_contiguous_log_rejects_explicit_gap(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.append(AddRating(0, 1, 2.0))
+        with pytest.raises(WalError, match="contiguous"):
+            wal.append(AddRating(0, 1, 3.0), seq=5)
+        wal.close()
+
+    def test_segment_rejects_regressing_sequence(self, tmp_path):
+        segment = WriteAheadLog(
+            wal_segment_path(tmp_path, 0), contiguous=False
+        )
+        segment.append(AddRating(0, 1, 2.0), seq=4)
+        with pytest.raises(WalError, match="advance"):
+            segment.append(AddRating(0, 1, 3.0), seq=4)
+        segment.close()
+
+    def test_fsync_batches_as_a_group_commit(self, tmp_path, monkeypatch):
+        """The disk barrier must cover every segment together: a segment
+        fsyncing on its own cadence could make a high sequence durable
+        while a lower one in a sibling segment is still unsynced — a
+        mid-history gap no replay can bridge."""
+        wal = PartitionedWriteAheadLog(tmp_path, 2, fsync_every=2)
+        assert all(seg.fsync_every is None for seg in wal.segments)
+        flushed = []
+        real_flush = WriteAheadLog.flush
+
+        def recording_flush(self):
+            flushed.append(self.path.name)
+            real_flush(self)
+
+        monkeypatch.setattr(WriteAheadLog, "flush", recording_flush)
+        wal.append(AddRating(0, 1, 2.0), shard=0)
+        assert flushed == []  # below the cadence: no barrier yet
+        wal.append(AddRating(1, 1, 2.0), shard=1)
+        assert sorted(flushed) == ["wal-0.jsonl", "wal-1.jsonl"]
+        wal.close()
+
+    def test_merged_read_includes_flat_predecessor(self, tmp_path):
+        """A flat wal.jsonl from a pre-sharding run merges in seamlessly."""
+        flat = WriteAheadLog(tmp_path / "wal.jsonl")
+        flat.append(AddRating(0, 1, 2.0))
+        flat.append(AddRating(1, 1, 2.0))
+        flat.close()
+        wal = PartitionedWriteAheadLog(tmp_path, 2)
+        assert wal.last_seq == 2  # the flat history advances the counter
+        wal.append(AddRating(2, 1, 2.0), shard=0)
+        wal.close()
+        assert [seq for seq, _ in read_partitioned_wal(tmp_path)] == [1, 2, 3]
+
+
+class TestShardedCheckpoint:
+    def test_layout_and_round_trip(self, tmp_path):
+        index = sharded_index()
+        index.apply(ratings_batch([0, 1], [3, 3], [4.0, 2.0]))
+        path = index.checkpoint(tmp_path)
+        assert path == sharded_checkpoint_path(tmp_path, 2)
+        assert (path / "meta.json").exists()
+        assert (path / "base.npz").exists()
+        assert (path / "shard-0.npz").exists()
+        assert (path / "shard-1.npz").exists()
+        state = load_sharded_checkpoint(path)
+        assert state.n_shards == 2
+        assert state.seq == 2
+        assert state.dirty == (0, 1)
+        assert state.dataset == index.dataset
+
+    def test_per_shard_files_hold_owned_slices(self, tmp_path):
+        index = sharded_index()
+        index.apply(ratings_batch([0, 1, 2, 3], [3] * 4, [4.0] * 4))
+        index.refresh()  # populates the candidate cache
+        path = index.checkpoint(tmp_path)
+        for shard in range(2):
+            with np.load(path / f"shard-{shard}.npz") as archive:
+                assert all(
+                    user % 2 == shard
+                    for user in archive["cache_users"].tolist()
+                )
+
+    def test_version_check(self, tmp_path):
+        index = sharded_index()
+        path = index.checkpoint(tmp_path)
+        meta = json.loads((path / "meta.json").read_text())
+        meta["version"] = 99
+        (path / "meta.json").write_text(json.dumps(meta))
+        from repro.persistence import CheckpointError
+
+        with pytest.raises(CheckpointError, match="version"):
+            load_sharded_checkpoint(path)
+
+    def test_corrupt_latest_falls_back_to_older(self, tmp_path):
+        index = sharded_index(wal=PartitionedWriteAheadLog(tmp_path, 2))
+        index.checkpoint(tmp_path)
+        index.apply(AddRating(0, 4, 3.0))
+        newest = index.checkpoint(tmp_path)
+        (newest / "base.npz").write_bytes(b"")  # torn archive
+        index.refresh()
+        restored = ShardedKnnIndex.restore(tmp_path, executor="serial")
+        assert restored.restore_info.checkpoint != newest
+        assert restored.restore_info.replayed_events == 1
+        assert restored.graph == index.graph
+
+    def test_detect_state_layout(self, tmp_path):
+        assert detect_state_layout(tmp_path / "missing") is None
+        assert detect_state_layout(tmp_path) is None
+        dataset = random_dataset(n_users=10, n_items=8, seed=1, ratings=True)
+        flat_dir = tmp_path / "flat"
+        flat = DynamicKnnIndex(dataset, KiffConfig(k=3))
+        flat.checkpoint(flat_dir)
+        assert detect_state_layout(flat_dir) == "flat"
+        sharded_dir = tmp_path / "sharded"
+        index = sharded_index()
+        index.checkpoint(sharded_dir)
+        assert detect_state_layout(sharded_dir) == "sharded"
+        # Mixed (migrated) directories read as sharded: only the merged
+        # reader replays their full history.
+        flat_wal = tmp_path / "mixed"
+        flat2 = DynamicKnnIndex(
+            dataset,
+            KiffConfig(k=3),
+            wal=WriteAheadLog(flat_wal / "wal.jsonl"),
+        )
+        flat2.checkpoint(flat_wal)
+        PartitionedWriteAheadLog(flat_wal, 2).close()
+        assert detect_state_layout(flat_wal) == "sharded"
+
+    def test_flat_restore_refuses_sharded_layout(self, tmp_path):
+        from repro.persistence import CheckpointError
+
+        index = sharded_index(wal=PartitionedWriteAheadLog(tmp_path, 2))
+        index.checkpoint(tmp_path)
+        index.apply(AddRating(0, 4, 3.0))
+        with pytest.raises(CheckpointError, match="ShardedKnnIndex"):
+            DynamicKnnIndex.restore(tmp_path)
+
+
+class TestDirFsyncBarriers:
+    """The rename/creation durability barriers must actually be requested."""
+
+    @pytest.fixture
+    def fsync_calls(self, monkeypatch):
+        calls: list = []
+        from repro.persistence import wal as wal_module
+
+        monkeypatch.setattr(
+            wal_module, "fsync_dir", lambda path: calls.append(str(path))
+        )
+        return calls
+
+    def test_flat_checkpoint_fsyncs_directory_after_rename(
+        self, tmp_path, fsync_calls
+    ):
+        dataset = random_dataset(n_users=10, n_items=8, seed=2, ratings=True)
+        index = DynamicKnnIndex(dataset, KiffConfig(k=3))
+        fsync_calls.clear()
+        save_checkpoint(index, tmp_path)
+        assert str(tmp_path) in fsync_calls
+
+    def test_sharded_checkpoint_fsyncs_directory_after_rename(
+        self, tmp_path, fsync_calls
+    ):
+        index = sharded_index()
+        fsync_calls.clear()
+        save_sharded_checkpoint(index, tmp_path)
+        assert str(tmp_path) in fsync_calls
+
+    def test_wal_creation_fsyncs_directory(self, tmp_path, fsync_calls):
+        WriteAheadLog(tmp_path / "wal.jsonl").close()
+        assert str(tmp_path) in fsync_calls
+
+    def test_wal_rotation_fsyncs_directory(self, tmp_path, fsync_calls):
+        path = tmp_path / "wal.jsonl"
+        WriteAheadLog(path).close()
+        fsync_calls.clear()
+        rotated = rotate_superseded(path, 7)
+        assert rotated.name == "wal.jsonl.superseded-7"
+        assert rotated.exists() and not path.exists()
+        assert str(tmp_path) in fsync_calls
+
+    def test_lost_tail_recovery_rotates_with_barrier(
+        self, tmp_path, fsync_calls
+    ):
+        """The restore-path rotation goes through the fsync'd helper."""
+        dataset = random_dataset(n_users=12, n_items=10, seed=9, ratings=True)
+        live = DynamicKnnIndex(
+            dataset, KiffConfig(k=3), wal=WriteAheadLog(tmp_path / "wal.jsonl")
+        )
+        live.checkpoint(tmp_path)
+        live.apply([AddRating(0, 4, 3.0), AddRating(1, 4, 2.0)])
+        live.checkpoint(tmp_path)  # durable through seq 2
+        wal_file = tmp_path / "wal.jsonl"
+        lines = wal_file.read_bytes().splitlines(keepends=True)
+        wal_file.write_bytes(b"".join(lines[:-1]))  # the OS ate the tail
+        fsync_calls.clear()
+        restored = DynamicKnnIndex.restore(tmp_path)
+        assert restored.graph == live.graph
+        assert any("superseded" not in c for c in fsync_calls)
+        assert list(tmp_path.glob("wal.jsonl.superseded-*"))

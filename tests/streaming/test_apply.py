@@ -168,6 +168,86 @@ class TestDeprecatedShims:
         assert index.graph == cold(index)
 
 
+class TestDeprecationStacklevel:
+    """Every shim must warn once per call, blaming the *caller's* line.
+
+    A wrong ``stacklevel`` reports the warning against repro's own
+    source, which makes ``-W error::DeprecationWarning`` migrations
+    impossible to act on — so the reported filename is pinned to this
+    test file for every shim and list-compat surface.
+    """
+
+    def assert_one_warning_here(self, record):
+        assert len(record) == 1
+        assert record[0].category is DeprecationWarning
+        assert record[0].filename == __file__
+
+    def test_add_ratings_blames_caller(self, rated_dataset):
+        index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2))
+        with pytest.warns(DeprecationWarning) as record:
+            index.add_ratings([0], [3], [4.0])
+        self.assert_one_warning_here(record)
+
+    def test_add_user_blames_caller(self, toy_dataset):
+        index = DynamicKnnIndex(toy_dataset, KiffConfig(k=3))
+        with pytest.warns(DeprecationWarning) as record:
+            index.add_user([3], [1.0])
+        self.assert_one_warning_here(record)
+
+    def test_remove_user_blames_caller(self, toy_dataset):
+        index = DynamicKnnIndex(toy_dataset, KiffConfig(k=3))
+        with pytest.warns(DeprecationWarning) as record:
+            index.remove_user(3)
+        self.assert_one_warning_here(record)
+
+    def test_apply_events_blames_caller(self, toy_dataset):
+        index = DynamicKnnIndex(toy_dataset, KiffConfig(k=3))
+        with pytest.warns(DeprecationWarning) as record:
+            apply_events(index, [AddRating(0, 3, 1.0)])
+        self.assert_one_warning_here(record)
+
+    def test_list_compat_blames_caller(self):
+        result = ApplyResult(new_users=(4,), refreshes=(), events=1, last_seq=1)
+        with pytest.warns(DeprecationWarning) as record:
+            list(result)
+        self.assert_one_warning_here(record)
+        with pytest.warns(DeprecationWarning) as record:
+            len(result)
+        self.assert_one_warning_here(record)
+        with pytest.warns(DeprecationWarning) as record:
+            result[0]
+        self.assert_one_warning_here(record)
+        with pytest.warns(DeprecationWarning) as record:
+            result == [4]
+        self.assert_one_warning_here(record)
+
+    def test_sharded_shims_blame_caller(self, rated_dataset):
+        """The shims inherited by ShardedKnnIndex keep the stacklevel."""
+        from repro import ShardedKnnIndex
+
+        index = ShardedKnnIndex(
+            rated_dataset, KiffConfig(k=2), n_shards=2, executor="serial"
+        )
+        with pytest.warns(DeprecationWarning) as record:
+            index.add_ratings([0], [3], [4.0])
+        self.assert_one_warning_here(record)
+
+    def test_default_filter_warns_once_per_call_site(self, rated_dataset):
+        """With the default 'default' action, a loop over one call site
+        surfaces a single warning — per-site, not per-call, noise."""
+        import warnings
+
+        index = DynamicKnnIndex(rated_dataset, KiffConfig(k=2))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.resetwarnings()
+            warnings.simplefilter("default")
+            for rating in (1.0, 2.0, 3.0):
+                index.add_ratings([0], [3], [rating])
+        ours = [w for w in caught if w.category is DeprecationWarning]
+        assert len(ours) == 1
+        assert ours[0].filename == __file__
+
+
 class TestApplyResultListCompat:
     """The historical apply_events contract was a list of minted ids."""
 
