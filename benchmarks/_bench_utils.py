@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 
 def run_once(benchmark, fn):
     """Benchmark *fn* with a single measured execution.
@@ -10,3 +13,21 @@ def run_once(benchmark, fn):
     them for statistics would multiply the suite's runtime for no insight.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def write_bench_json(name: str, payload: dict, report_dir) -> Path:
+    """Write one machine-readable ``BENCH_<name>.json`` report.
+
+    The ``.txt`` reports render the paper's tables for humans; these
+    JSON twins are what CI consumes — uploaded as artifacts for the
+    bench trajectory and diffed against ``benchmarks/baselines/`` by
+    ``check_regression.py``.  Stable key order, so consecutive runs
+    diff cleanly.
+    """
+    path = Path(report_dir) / f"BENCH_{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

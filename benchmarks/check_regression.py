@@ -1,0 +1,240 @@
+"""Bench-regression gate: diff BENCH_*.json reports against a baseline.
+
+CI runs the ``--quick`` bench suite (``REPRO_BENCH_SCALE=tiny``), which
+emits ``benchmarks/reports/BENCH_<module>.json``, then::
+
+    python benchmarks/check_regression.py
+
+compares the reports' ``extra_info`` metrics against the committed
+``benchmarks/baselines/quick.json`` and exits non-zero on regression.
+Only *deterministic* metrics are gated — evaluation counts, savings
+ratios, recall — never wall times or anything derived from them
+(speedups, events/sec), which CI runners cannot reproduce.  The tiny
+workloads are seeded, so these metrics are exact across machines; the
+generous default tolerance only absorbs numeric/library drift.
+
+Each baseline metric carries a direction:
+
+* ``"higher"`` — only a drop beyond tolerance fails (e.g. recall),
+* ``"lower"``  — only a rise beyond tolerance fails (e.g. evaluations),
+* ``"both"``   — any drift beyond tolerance fails (the default: a
+  deterministic count that moved 35% in *either* direction means the
+  algorithm's behavior changed, which a human should sign off on).
+
+A bench or metric present in the baseline but missing from the reports
+also fails — a silently dropped benchmark is a regression of coverage.
+
+Re-baselining (after a deliberate behavior change)::
+
+    PYTHONPATH=src python -m pytest benchmarks -q --quick
+    python benchmarks/check_regression.py --write-baseline
+
+then review and commit ``benchmarks/baselines/quick.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+#: Metrics never worth baselining: timing and everything derived from it.
+_UNSTABLE_KEY = re.compile(
+    r"(_s$|_seconds|per_second|speedup|wall|time|cores)", re.IGNORECASE
+)
+
+DEFAULT_TOLERANCE = 0.35
+
+
+def load_reports(
+    report_dir: Path,
+) -> tuple[dict[str, dict[str, dict]], set[str]]:
+    """``({bench_module: {test: extra_info}}, scales)`` from BENCH_*.json."""
+    reports: dict[str, dict[str, dict]] = {}
+    scales: set[str] = set()
+    for path in sorted(report_dir.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        scales.add(payload.get("scale", "unknown"))
+        reports[payload["bench"]] = {
+            entry["test"]: entry.get("extra_info", {})
+            for entry in payload.get("results", [])
+        }
+    return reports, scales
+
+
+def stable_metrics(extra_info: dict) -> dict[str, float]:
+    """The numeric, machine-independent metrics of one test."""
+    stable: dict[str, float] = {}
+    for key, value in extra_info.items():
+        if _UNSTABLE_KEY.search(key):
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        stable[key] = float(value)
+    return stable
+
+
+def write_baseline(
+    reports, scales: set[str], baseline_path: Path, tolerance: float
+) -> int:
+    if scales != {"tiny"}:
+        # Baselining laptop-scale reports into quick.json would fail CI
+        # for everyone; reports carry their scale so this is checkable.
+        print(
+            f"error: refusing to baseline reports at scale(s) "
+            f"{sorted(scales)}; regenerate them with "
+            f"'PYTHONPATH=src python -m pytest benchmarks -q --quick'"
+        )
+        return 2
+    benches: dict[str, dict] = {}
+    for bench, tests in sorted(reports.items()):
+        for test, extra_info in sorted(tests.items()):
+            metrics = {
+                key: {"value": value, "direction": "both"}
+                for key, value in sorted(stable_metrics(extra_info).items())
+            }
+            if metrics:
+                benches.setdefault(bench, {})[test] = metrics
+    if not benches:
+        print("error: no gateable metrics found in the reports")
+        return 2
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    baseline_path.write_text(
+        json.dumps(
+            {"scale": "tiny", "tolerance": tolerance, "benches": benches},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    count = sum(
+        len(metrics) for tests in benches.values() for metrics in tests.values()
+    )
+    print(f"wrote {baseline_path} ({count} gated metrics)")
+    print("review the directions (higher/lower/both) before committing")
+    return 0
+
+
+def check(
+    reports, scales: set[str], baseline: dict, tolerance: float | None
+) -> int:
+    tol = tolerance if tolerance is not None else float(
+        baseline.get("tolerance", DEFAULT_TOLERANCE)
+    )
+    baseline_scale = baseline.get("scale")
+    if baseline_scale is not None and scales != {baseline_scale}:
+        print(
+            f"error: reports were generated at scale(s) {sorted(scales)} "
+            f"but the baseline is scale {baseline_scale!r}; regenerate "
+            f"with '--quick' before gating"
+        )
+        return 2
+    failures: list[str] = []
+    compared = 0
+    for bench, tests in sorted(baseline.get("benches", {}).items()):
+        measured_tests = reports.get(bench)
+        if measured_tests is None:
+            failures.append(f"{bench}: no BENCH_{bench}.json report emitted")
+            continue
+        for test, metrics in sorted(tests.items()):
+            extra_info = measured_tests.get(test)
+            if extra_info is None:
+                failures.append(f"{bench}::{test}: test missing from report")
+                continue
+            for key, spec in sorted(metrics.items()):
+                base = float(spec["value"])
+                direction = spec.get("direction", "both")
+                if key not in extra_info:
+                    failures.append(
+                        f"{bench}::{test}: metric {key!r} missing from report"
+                    )
+                    continue
+                value = float(extra_info[key])
+                compared += 1
+                slack = tol * max(abs(base), 1.0)
+                too_low = value < base - slack
+                too_high = value > base + slack
+                failed = (
+                    too_low
+                    if direction == "higher"
+                    else too_high
+                    if direction == "lower"
+                    else (too_low or too_high)
+                )
+                if failed:
+                    failures.append(
+                        f"{bench}::{test}: {key} = {value:g} vs baseline "
+                        f"{base:g} (direction={direction}, "
+                        f"tolerance={tol:.0%})"
+                    )
+    if failures:
+        print(f"bench regression gate: {len(failures)} failure(s)")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        print(
+            "\nIf the change is deliberate, re-baseline: "
+            "PYTHONPATH=src python -m pytest benchmarks -q --quick && "
+            "python benchmarks/check_regression.py --write-baseline"
+        )
+        return 1
+    print(f"bench regression gate: {compared} metrics within tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reports",
+        default=HERE / "reports",
+        type=Path,
+        help="directory holding BENCH_*.json (default: benchmarks/reports)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=HERE / "baselines" / "quick.json",
+        type=Path,
+        help="baseline to check against (default: baselines/quick.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative tolerance override (default: the baseline's)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the current reports and exit",
+    )
+    args = parser.parse_args(argv)
+    if not args.reports.is_dir():
+        print(f"error: report directory {args.reports} does not exist")
+        return 2
+    reports, scales = load_reports(args.reports)
+    if not reports:
+        print(f"error: no BENCH_*.json reports under {args.reports}")
+        return 2
+    if args.write_baseline:
+        return write_baseline(
+            reports,
+            scales,
+            args.baseline,
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE,
+        )
+    if not args.baseline.is_file():
+        print(
+            f"error: baseline {args.baseline} does not exist; create one "
+            f"with --write-baseline"
+        )
+        return 2
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    return check(reports, scales, baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ from repro import (
     register_metric,
 )
 from repro.datasets import load_dataset
-from repro.similarity.base import SimilarityMetric, _pairwise_dot, intersect_profiles
+from repro.similarity.base import SimilarityMetric, intersect_profiles
 
 
 @register_metric

@@ -17,7 +17,10 @@ uninterrupted reference state at event K — what the recovery test
 compares bit-identically against.  ``--shards N`` runs the same durable
 stream through a :class:`ShardedKnnIndex` with per-shard
 ``wal-<shard>.jsonl`` segments and partitioned checkpoints (the sharded
-crash-recovery smoke job drives this mode).
+crash-recovery smoke job drives this mode); ``--executor processes``
+additionally fans each refresh out to one OS worker per shard over
+shared-memory snapshots — the crash drill then exercises SIGKILL of a
+whole process tree mid-stream.
 """
 
 import argparse
@@ -79,6 +82,7 @@ def durable_stream(args) -> None:
             KiffConfig(k=8),
             auto_refresh=False,
             n_shards=args.shards,
+            executor=args.executor,
             wal=PartitionedWriteAheadLog(state, args.shards, fsync_every=8),
         )
     else:
@@ -106,6 +110,7 @@ def durable_stream(args) -> None:
         f"Streamed {args.events} events into {state} "
         f"(last sequence {index.last_seq}); parity with cold rebuild: {parity}"
     )
+    index.close()
 
 
 def narrative() -> None:
@@ -194,6 +199,16 @@ def main(argv=None) -> None:
         help=(
             "durable-stream mode: shard the index across N workers "
             "(partitioned wal-<shard>.jsonl segments + sharded checkpoints)"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        default="threads",
+        choices=("serial", "threads", "processes"),
+        help=(
+            "durable-stream mode with --shards > 1: the shard refresh "
+            "executor (processes = multiprocessing workers over "
+            "shared-memory snapshots)"
         ),
     )
     parser.add_argument(

@@ -174,7 +174,6 @@ def _local_join_pairs(
     ``new x old``.  Returns canonical deduplicated pair arrays plus the
     mask of out-edge slots that were sampled (to clear their flags).
     """
-    k = neighbors.shape[1]
     sampled_mask = is_new.copy()
     if rho < 1.0:
         # Keep each new flag with probability rho (Dong et al.'s sampling).

@@ -117,6 +117,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--executor",
+        default="threads",
+        choices=("serial", "threads", "processes"),
+        help=(
+            "with 'stream' + --shards > 1: how the shard refresh fans "
+            "out (threads: one thread per shard; processes: one OS "
+            "process per shard over shared-memory snapshots — the "
+            "multi-core mode; serial: deterministic in-process order)"
+        ),
+    )
+    parser.add_argument(
         "--wal",
         default=None,
         help=(
@@ -250,6 +261,7 @@ def _run_stream(args) -> int:
             metric=args.metric,
             auto_refresh=False,
             n_shards=args.shards,
+            executor=args.executor,
         )
     else:
         index = DynamicKnnIndex(
@@ -309,6 +321,7 @@ def _run_stream(args) -> int:
     ]
     if args.shards > 1:
         rows.insert(1, ["shards", args.shards])
+        rows.insert(2, ["executor", args.executor])
     if state_dir is not None:
         rows.append(["wal", str(index.wal.path)])
         rows.append(["last sequence", index.last_seq])
@@ -327,6 +340,7 @@ def _run_stream(args) -> int:
             ),
         )
     )
+    index.close()
     return 0
 
 

@@ -48,6 +48,7 @@ from .bipartite import BipartiteDataset, DatasetError
 
 __all__ = [
     "MutableBipartiteBuilder",
+    "dataset_from_canonical_arrays",
     "snapshot_from_arrays",
     "snapshot_to_arrays",
     "splice_compressed",
@@ -89,6 +90,39 @@ def snapshot_from_arrays(arrays, name: str = "restored") -> BipartiteDataset:
         shape=shape,
     )
     return BipartiteDataset(matrix=matrix, name=name)
+
+
+def dataset_from_canonical_arrays(
+    arrays, name: str = "shared"
+) -> BipartiteDataset:
+    """A :class:`BipartiteDataset` over *arrays* without copying them.
+
+    :func:`snapshot_from_arrays` re-canonicalizes (and therefore copies)
+    its input — right for untrusted checkpoint archives, wrong for the
+    shared-memory transport, where the whole point is that workers view
+    the parent's buffers in place.  This constructor trusts the caller's
+    contract instead: the CSR triplet under the ``dataset_*`` keys is
+    already canonical (float64 data, sorted indices, no duplicates or
+    explicit zeros) **and must never be mutated** — exactly what a
+    published snapshot guarantees, since canonical snapshots are the
+    only thing the streaming side ever publishes.
+    """
+    shape = tuple(int(extent) for extent in np.asarray(arrays["dataset_shape"]))
+    matrix = sp.csr_matrix(
+        (
+            arrays["dataset_data"],
+            arrays["dataset_indices"],
+            arrays["dataset_indptr"],
+        ),
+        shape=shape,
+        copy=False,
+    )
+    dataset = object.__new__(BipartiteDataset)
+    object.__setattr__(dataset, "matrix", matrix)
+    object.__setattr__(dataset, "name", name)
+    object.__setattr__(dataset, "symmetric", False)
+    object.__setattr__(dataset, "_csc_cache", [])
+    return dataset
 
 
 def splice_compressed(

@@ -51,7 +51,7 @@ def pivot_ablation(context: ExperimentContext, dataset_name: str) -> dict:
     """Pivoted vs symmetric RCS: memory and run equivalence."""
     dataset = context.dataset(dataset_name)
     k = context.k_for(dataset_name)
-    exact = context.exact(dataset_name, k)
+    context.exact(dataset_name, k)  # warm the shared ground-truth cache
     pivoted = build_rcs(dataset, pivot=True)
     symmetric = build_rcs(dataset, pivot=False)
     run_pivot = context.run(dataset_name, "kiff", k=k, pivot=True)
@@ -74,7 +74,7 @@ def min_rating_ablation(
     """The future-work heuristic: threshold RCS insertion on ratings."""
     dataset = context.dataset(dataset_name)
     k = context.k_for(dataset_name)
-    exact = context.exact(dataset_name, k)
+    context.exact(dataset_name, k)  # warm the shared ground-truth cache
     base_rcs = build_rcs(dataset)
     pruned_rcs = build_rcs(dataset, min_rating=min_rating)
     base = context.run(dataset_name, "kiff", k=k)

@@ -25,7 +25,7 @@ def gamma_sweep(
     wall-time), but the exact graph for recall is shared via the context.
     """
     k = context.k_for(dataset_name)
-    exact = context.exact(dataset_name, k)
+    context.exact(dataset_name, k)  # warm the shared ground-truth cache
     results = []
     for gamma in gammas:
         outcome = context.run(dataset_name, "kiff", k=k, gamma=gamma)

@@ -103,6 +103,67 @@ class ProfileIndex:
         return self.matrix.data[start:end]
 
     # ------------------------------------------------------------------
+    # Shared-buffer transport (the process-executor wire format)
+    # ------------------------------------------------------------------
+    def to_shared_arrays(self) -> dict[str, np.ndarray]:
+        """The arrays a worker needs to rebuild this index, zero-copy.
+
+        The snapshot CSR triplet (under the same ``dataset_*`` keys as
+        :func:`~repro.datasets.mutable.snapshot_to_arrays`) plus the
+        per-user norms and profile sizes.  The lazily derived metric
+        caches (Adamic-Adar weights, the centred matrix) are *not*
+        shipped: workers re-derive them on demand from the shared
+        matrix, which is bit-identical to the cold build (and therefore
+        to this index's incrementally patched caches — the incremental
+        parity suite pins that equality).
+        """
+        matrix = self.matrix
+        return {
+            "dataset_indptr": matrix.indptr,
+            "dataset_indices": matrix.indices,
+            "dataset_data": matrix.data,
+            "dataset_shape": np.asarray(matrix.shape, dtype=np.int64),
+            "norms": self.norms,
+            "sizes": self.sizes,
+        }
+
+    @classmethod
+    def from_shared_arrays(
+        cls,
+        arrays,
+        name: str = "shared",
+        maintenance: MaintenanceCounter | None = None,
+    ) -> "ProfileIndex":
+        """Rebuild an index as views over :meth:`to_shared_arrays` output.
+
+        No per-user state is recomputed (norms and sizes arrive
+        precomputed; nothing is tallied into ``maintenance``): the heavy
+        arrays stay where they are — typically a shared-memory block —
+        and only the cheap wrappers (the dataset facade, the binarised
+        matrix sharing the CSR index arrays) are constructed.
+        """
+        from ..datasets.mutable import dataset_from_canonical_arrays
+
+        dataset = dataset_from_canonical_arrays(arrays, name=name)
+        index = cls.__new__(cls)
+        index.maintenance = (
+            maintenance if maintenance is not None else MaintenanceCounter()
+        )
+        index.dataset = dataset
+        matrix = dataset.matrix
+        index.matrix = matrix
+        index.binary = sp.csr_matrix(
+            (np.ones_like(matrix.data), matrix.indices, matrix.indptr),
+            shape=matrix.shape,
+        )
+        index.norms = np.asarray(arrays["norms"])
+        index.sizes = np.asarray(arrays["sizes"])
+        index._adamic_adar_matrix = None
+        index._item_degrees = None
+        index._centered_cache = None
+        return index
+
+    # ------------------------------------------------------------------
     # Lazily derived metric state
     # ------------------------------------------------------------------
     @property

@@ -111,6 +111,8 @@ class SimilarityEngine:
         self.batch_size = batch_size
         self.index = index if index is not None else ProfileIndex(dataset)
         self.n_jobs = n_jobs
+        #: Lazily created, reused across batch() calls; see close().
+        self._pool = None
 
     @property
     def n_users(self) -> int:
@@ -201,7 +203,7 @@ class SimilarityEngine:
         return out
 
     def _batch_parallel(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
-        """Evaluate a large batch across a thread pool.
+        """Evaluate a large batch across the engine's thread pool.
 
         The paper stresses KIFF "allows for a parallel implementation and
         execution, leading to full utilisation of computing resources"
@@ -211,23 +213,37 @@ class SimilarityEngine:
         and the achievable speed-up depends on how much of that work your
         BLAS/scipy build runs outside the GIL.  Results are bit-identical
         to the serial path (chunk boundaries included).
-        """
-        from concurrent.futures import ThreadPoolExecutor
 
+        The pool is created lazily on the first multi-chunk batch and
+        reused for the engine's lifetime — spinning up ``n_jobs``
+        threads per call would tax exactly the hot path this exists to
+        speed up.  :meth:`close` shuts it down deterministically.
+        """
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_jobs, thread_name_prefix="repro-engine"
+            )
         spans = [
             (start, min(start + self.batch_size, us.size))
             for start in range(0, us.size, self.batch_size)
         ]
-        with ThreadPoolExecutor(max_workers=self.n_jobs) as pool:
-            chunks = list(
-                pool.map(
-                    lambda span: self.metric.score_batch(
-                        self.index, us[span[0] : span[1]], vs[span[0] : span[1]]
-                    ),
-                    spans,
-                )
+        chunks = list(
+            self._pool.map(
+                lambda span: self.metric.score_batch(
+                    self.index, us[span[0] : span[1]], vs[span[0] : span[1]]
+                ),
+                spans,
             )
+        )
         return np.concatenate(chunks)
+
+    def close(self) -> None:
+        """Shut the evaluation pool down (idempotent; re-created on use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     def block(self, us: np.ndarray, count: bool = True) -> np.ndarray:
         """Dense ``(len(us), n_users)`` similarity block.

@@ -327,6 +327,16 @@ class DynamicKnnIndex:
         """The attached :class:`~repro.persistence.WriteAheadLog` (or None)."""
         return self._wal
 
+    def close(self) -> None:
+        """Release pooled resources (the engine's evaluation pool).
+
+        Idempotent, and everything is re-created on demand — closing an
+        index you keep using only costs the next pool spin-up.
+        :class:`~repro.streaming.sharding.ShardedKnnIndex` extends this
+        to its shard workers and shared-memory blocks.
+        """
+        self.engine.close()
+
     # ------------------------------------------------------------------
     # Ingestion: typed events through one choke point
     # ------------------------------------------------------------------

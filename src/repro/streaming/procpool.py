@@ -1,0 +1,509 @@
+"""The process-backed shard executor: persistent workers over shared memory.
+
+:class:`~repro.streaming.sharding.ShardedKnnIndex` with
+``executor="processes"`` fans its refresh stages out to one OS process
+per shard, so the Python-level plan/merge work — GIL-serialized under
+the thread executor — runs truly in parallel.  The division of state:
+
+* **Parent (authoritative)** — the mutable rating builder, the WAL, the
+  dirty set, the graph rows, the engine's :class:`ProfileIndex`.
+* **Worker (owned slice)** — the shard's candidate-multiset cache, its
+  row-restricted reverse index, and a mirror of the graph rows it owns
+  (full-size arrays; only owned rows are ever read or written).
+* **Shared memory** — the read-only per-refresh state (snapshot CSR
+  triplet + profile arrays), published by the parent into an
+  :class:`~repro.streaming.shm.ShmArena` and rebuilt as zero-copy numpy
+  views in every worker.
+
+Protocol (one duplex pipe per worker):
+
+* ``("delta", ops)`` — fire-and-forget per-event deltas shipped after
+  each ``apply()``: candidacy flips (with the item's qualifying raters
+  captured at event time), cache evictions (with the evicted profile's
+  items), and row growth (absolute, hence replay-idempotent).
+* ``(req_id, kind, payload)`` — one request per refresh stage
+  (``stage_a`` / ``plan`` / ``merge``); the worker replies
+  ``(req_id, "ok", result)`` or ``(req_id, "error", exception)``.
+  Replies are matched by ``req_id`` so an aborted pass's stale replies
+  are drained, not misread.
+* ``("stop",)`` — orderly shutdown.
+
+Crash safety: the parent applies nothing until every worker has
+answered the final stage, so a worker death at any point leaves the
+authoritative state untouched.  The pool is then reset and respawned —
+each worker reseeded from the authoritative rows plus a replay of the
+delta tail accumulated since the last completed refresh — and the pass
+reruns.  A respawned worker starts with an empty candidate cache, which
+is always exact (caches are an exact-or-absent optimization; misses are
+re-derived in bulk), so bit-identical parity survives any kill point.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import weakref
+
+import numpy as np
+
+from ..graph.knn_graph import MISSING
+from ..graph.updates import ReverseNeighborIndex
+from ..similarity.base import ProfileIndex
+from .index import _bump, cache_store_insert, derive_candidate_sets
+from .sharding import merge_shard_pairs, plan_shard_pairs, score_pairs_chunked
+from .shm import attach_block, unpack_arrays
+
+__all__ = ["ProcessShardPool", "WorkerCrash"]
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died mid-conversation (pipe closed / send failed)."""
+
+
+def default_start_method() -> str:
+    """``fork`` on Linux (cheap, inherits imports), ``spawn`` elsewhere."""
+    if sys.platform.startswith("linux"):
+        if "fork" in multiprocessing.get_all_start_methods():
+            return "fork"
+    return "spawn"
+
+
+class _SnapshotStore:
+    """Read-only stand-in for the rating builder inside a worker.
+
+    The cache-store primitives (:func:`cache_store_insert`,
+    :func:`derive_candidate_sets`) consult the builder for profiles and
+    snapshots; at refresh time the builder's live state equals the
+    published snapshot, so a thin view over the shared-memory dataset
+    answers identically.
+    """
+
+    __slots__ = ("_dataset",)
+
+    def __init__(self, dataset):
+        self._dataset = dataset
+
+    def snapshot(self):
+        return self._dataset
+
+    def profile(self, user: int) -> dict[int, float]:
+        matrix = self._dataset.matrix
+        lo, hi = matrix.indptr[user], matrix.indptr[user + 1]
+        return dict(
+            zip(
+                matrix.indices[lo:hi].tolist(),
+                matrix.data[lo:hi].tolist(),
+            )
+        )
+
+    @property
+    def n_users(self) -> int:
+        return self._dataset.n_users
+
+
+class _WorkerState:
+    """One worker's owned shard state plus its per-refresh context."""
+
+    def __init__(self, init: dict):
+        self.shard_id = int(init["shard_id"])
+        self.n_shards = int(init["n_shards"])
+        self.config = init["config"]
+        self.metric = init["metric"]
+        self.batch_size = int(init["batch_size"])
+        self.cache_limit = init["cache_limit"]
+        # Full-size mirrors of the graph rows; only owned rows are live.
+        self.neighbors = np.array(init["neighbors"], dtype=np.int64)
+        self.sims = np.array(init["sims"], dtype=np.float64)
+        self.n_rows = int(self.neighbors.shape[0])
+        self.reverse = ReverseNeighborIndex()
+        self._rebuild_reverse()
+        self.counts_map: dict[int, dict[int, int]] = {}
+        self.raters_map: dict[int, set[int]] = {}
+        # Shared-memory attachment + per-refresh context.
+        self.block = None
+        self.block_name = None
+        self.index = None
+        self.store = None
+        self.affected = None
+        self.truly_dirty: frozenset = frozenset()
+        self.seq = 0
+        self.plan_rows = np.empty(0, dtype=np.int64)
+        self.plan_cands = np.empty(0, dtype=np.int64)
+        for op in init["deltas"]:
+            self.apply_delta(op)
+
+    # ------------------------------------------------------------------
+    # Owned-state maintenance
+    # ------------------------------------------------------------------
+    def _rebuild_reverse(self) -> None:
+        """Reverse index over owned rows only, from the row mirror."""
+        self.reverse = ReverseNeighborIndex()
+        rows = np.arange(self.shard_id, self.n_rows, self.n_shards)
+        sub = self.neighbors[rows]
+        local, slots = np.nonzero(sub != MISSING)
+        cited = sub[local, slots]
+        owned = rows[local]
+        for row, neighbor in zip(owned.tolist(), cited.tolist()):
+            self.reverse.add_referrer(neighbor, row)
+
+    def _qualifies(self, rating: float) -> bool:
+        if rating == 0.0:
+            return False
+        min_rating = self.config.min_rating
+        return min_rating is None or rating >= min_rating
+
+    def _grow(self, n_users: int) -> None:
+        """Mirror of the parent's geometric row growth (absolute target)."""
+        if n_users <= self.n_rows:
+            return
+        capacity = self.neighbors.shape[0]
+        if n_users > capacity:
+            k = self.neighbors.shape[1]
+            new_capacity = max(n_users, 2 * capacity)
+            neighbors = np.full((new_capacity, k), MISSING, dtype=np.int64)
+            sims = np.full((new_capacity, k), -np.inf, dtype=np.float64)
+            neighbors[: self.n_rows] = self.neighbors[: self.n_rows]
+            sims[: self.n_rows] = self.sims[: self.n_rows]
+            self.neighbors, self.sims = neighbors, sims
+        else:
+            self.neighbors[self.n_rows : n_users] = MISSING
+            self.sims[self.n_rows : n_users] = -np.inf
+        self.n_rows = n_users
+
+    def apply_delta(self, op: tuple) -> None:
+        """One per-event delta: candidacy flip, cache evict, or growth."""
+        kind = op[0]
+        if kind == "cand":
+            _, user, item, added, others = op
+            delta = 1 if added else -1
+            raters = self.raters_map.get(item)
+            if raters:
+                for other in raters:
+                    if other != user:
+                        _bump(self.counts_map[other], user, delta)
+            counts = self.counts_map.get(user)
+            if counts is not None:
+                for other in others:
+                    if other != user:
+                        _bump(counts, other, delta)
+                if added:
+                    self.raters_map.setdefault(item, set()).add(user)
+                else:
+                    raters = self.raters_map.get(item)
+                    if raters is not None:
+                        raters.discard(user)
+                        if not raters:
+                            del self.raters_map[item]
+        elif kind == "evict":
+            _, user, items = op
+            if self.counts_map.pop(user, None) is not None:
+                for item in items:
+                    raters = self.raters_map.get(item)
+                    if raters is not None:
+                        raters.discard(user)
+                        if not raters:
+                            del self.raters_map[item]
+        elif kind == "grow":
+            self._grow(int(op[1]))
+        else:  # pragma: no cover - protocol bug guard
+            raise ValueError(f"unknown delta op {op!r}")
+
+    def _cache_insert(self, user: int, counts: dict[int, int]) -> None:
+        cache_store_insert(
+            self.counts_map,
+            self.raters_map,
+            user,
+            counts,
+            self.store,
+            self._qualifies,
+            self.cache_limit,
+        )
+
+    def _score(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        return score_pairs_chunked(
+            self.metric, self.index, us, vs, self.batch_size
+        )
+
+    # ------------------------------------------------------------------
+    # Refresh stages
+    # ------------------------------------------------------------------
+    def stage_a(self, payload: dict) -> np.ndarray:
+        """Attach the published arrays; discover this shard's affected set."""
+        name = payload["block"]
+        if self.block is None or self.block_name != name:
+            if self.block is not None:
+                self.block.close()
+            self.block = attach_block(name)
+            self.block_name = name
+        arrays = unpack_arrays(self.block, payload["manifest"])
+        self.index = ProfileIndex.from_shared_arrays(arrays)
+        self.store = _SnapshotStore(self.index.dataset)
+        all_dirty = payload["all_dirty"]
+        self.truly_dirty = frozenset(all_dirty.tolist())
+        self.seq = int(payload["seq"])
+        self._grow(int(payload["n_users"]))  # defensive; normally a no-op
+        self.affected = np.union1d(
+            payload["my_dirty"], self.reverse.referrers_of(all_dirty)
+        )
+        return self.affected
+
+    def plan(self, payload: dict) -> dict:
+        """Clear owned affected rows; derive pairs and outboxes."""
+        affected_global = payload["affected"]
+        n_users = self.index.n_users
+        mask = np.zeros(n_users, dtype=bool)
+        mask[affected_global] = True
+        neighbors = self.neighbors[: self.n_rows]
+        sims = self.sims[: self.n_rows]
+        affected = self.affected
+        old_rows = neighbors[affected].copy()
+        neighbors[affected] = MISSING
+        sims[affected] = -np.inf
+        for pos, row in enumerate(affected.tolist()):
+            self.reverse.apply_row(row, old_rows[pos], ())
+        cand_sets, hits, misses = derive_candidate_sets(
+            self.counts_map,
+            affected,
+            self._cache_insert,
+            self.store,
+            self.config.min_rating,
+        )
+        self.plan_rows, self.plan_cands, outboxes = plan_shard_pairs(
+            self.shard_id,
+            self.n_shards,
+            affected,
+            mask,
+            self.truly_dirty,
+            cand_sets,
+            self.seq,
+        )
+        return {"outboxes": outboxes, "hits": hits, "misses": misses}
+
+    def merge(self, payload: dict) -> dict:
+        """Evaluate + merge into owned rows; return the row updates."""
+        evaluations, changes, active, new_neighbors, new_sims = (
+            merge_shard_pairs(
+                self.shard_id,
+                self.n_shards,
+                self.config.pivot,
+                self.plan_rows,
+                self.plan_cands,
+                payload["inbox"],
+                self.neighbors[: self.n_rows],
+                self.sims[: self.n_rows],
+                self.index.n_users,
+                self._score,
+                self.reverse,
+            )
+        )
+        return {
+            "evaluations": evaluations,
+            "changes": changes,
+            "active": active,
+            "neighbors": new_neighbors,
+            "sims": new_sims,
+        }
+
+    def close(self) -> None:
+        if self.block is not None:
+            self.block.close()
+            self.block = None
+
+
+def _worker_main(conn, init: dict) -> None:
+    """Entry point of one shard worker process.
+
+    The idle loop polls with a timeout and watches ``getppid()``: a
+    worker forked after its siblings inherits their parent-side pipe
+    ends, so a crashed (SIGKILLed) parent never produces EOF on this
+    worker's pipe — the reparenting check is what guarantees orphaned
+    workers exit (and release their shared-memory attachments, letting
+    the resource tracker reap the segments) within a second.
+    """
+    parent_pid = os.getppid()
+    state = _WorkerState(init)
+    handlers = {
+        "stage_a": state.stage_a,
+        "plan": state.plan,
+        "merge": state.merge,
+    }
+    try:
+        while True:
+            try:
+                if not conn.poll(1.0):
+                    if os.getppid() != parent_pid:
+                        break  # orphaned: the parent is gone
+                    continue
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            tag = message[0]
+            if tag == "delta":
+                for op in message[1]:
+                    state.apply_delta(op)
+                continue
+            if tag == "stop":
+                break
+            req_id, kind, payload = message
+            try:
+                result = handlers[kind](payload)
+            except BaseException as exc:  # ship the failure to the parent
+                try:
+                    conn.send((req_id, "error", exc))
+                except Exception:
+                    conn.send((req_id, "error", RuntimeError(repr(exc))))
+                continue
+            conn.send((req_id, "ok", result))
+    finally:
+        state.close()
+        conn.close()
+
+
+class _Worker:
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+
+
+def _shutdown_workers(workers: list[_Worker]) -> None:
+    """Stop worker processes: polite ``stop``, then escalate."""
+    for worker in workers:
+        try:
+            worker.conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+    for worker in workers:
+        worker.process.join(timeout=1.0)
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+        if worker.process.is_alive():  # pragma: no cover - last resort
+            worker.process.kill()
+            worker.process.join(timeout=1.0)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class ProcessShardPool:
+    """A persistent pool of one worker process per shard.
+
+    Purely the transport: spawning (from caller-built init payloads),
+    delta broadcast, request/reply stage rounds with stale-reply
+    draining, death detection (:class:`WorkerCrash`), reset and
+    shutdown.  The :class:`~repro.streaming.sharding.ShardedKnnIndex`
+    owns the orchestration and all authoritative state.  A ``weakref``
+    finalizer stops the workers if the pool is garbage collected
+    without :meth:`close`.
+    """
+
+    def __init__(self, n_shards: int, start_method: str | None = None):
+        self.n_shards = int(n_shards)
+        self.start_method = start_method or default_start_method()
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._workers: list[_Worker] | None = None
+        self._req_id = 0
+        self._finalizer = None
+
+    @property
+    def alive(self) -> bool:
+        """True while every worker process is running."""
+        return self._workers is not None and all(
+            worker.process.is_alive() for worker in self._workers
+        )
+
+    @property
+    def pids(self) -> list[int]:
+        """Worker process ids, in shard order (for kill tests/monitoring)."""
+        if self._workers is None:
+            return []
+        return [worker.process.pid for worker in self._workers]
+
+    def spawn(self, make_init) -> None:
+        """(Re)start every worker; ``make_init(shard_id)`` seeds each."""
+        self.reset()
+        workers: list[_Worker] = []
+        for shard in range(self.n_shards):
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, make_init(shard)),
+                name=f"repro-shard-{shard}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            workers.append(_Worker(process, parent_conn))
+        self._workers = workers
+        self._finalizer = weakref.finalize(self, _shutdown_workers, workers)
+
+    def broadcast_deltas(self, ops: list[tuple]) -> None:
+        """Ship per-event deltas to every worker (fire-and-forget).
+
+        A failed send means a worker died between refreshes; the pool
+        resets itself — the caller's delta tail replay at the next
+        spawn covers everything the dead pool never applied.
+        """
+        if self._workers is None:
+            return
+        try:
+            for worker in self._workers:
+                worker.conn.send(("delta", ops))
+        except (OSError, ValueError):
+            self.reset()
+
+    def request_all(self, kind: str, payloads: list[dict]) -> list:
+        """One stage round: send to every worker, collect every reply.
+
+        Raises :class:`WorkerCrash` when a pipe dies, or re-raises the
+        worker's own exception when a stage handler failed.  Replies
+        from an aborted earlier round are drained by request id.
+        """
+        if self._workers is None:
+            raise WorkerCrash("worker pool is not running")
+        self._req_id += 1
+        req_id = self._req_id
+        try:
+            for worker, payload in zip(self._workers, payloads):
+                worker.conn.send((req_id, kind, payload))
+            results = []
+            for worker in self._workers:
+                while True:
+                    reply = worker.conn.recv()
+                    if reply[0] == req_id:
+                        break
+                status, value = reply[1], reply[2]
+                if status == "error":
+                    if isinstance(value, BaseException):
+                        raise value
+                    raise RuntimeError(str(value))
+                results.append(value)
+            return results
+        except (EOFError, OSError, ValueError) as exc:
+            raise WorkerCrash(
+                f"a shard worker died during {kind!r}: {exc!r}"
+            ) from exc
+
+    def reset(self) -> None:
+        """Stop every worker (a later :meth:`spawn` starts fresh ones)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._workers is not None:
+            _shutdown_workers(self._workers)
+            self._workers = None
+
+    def close(self) -> None:
+        """Deterministic shutdown (idempotent; also runs on GC)."""
+        self.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "alive" if self.alive else "stopped"
+        return (
+            f"ProcessShardPool(n_shards={self.n_shards}, "
+            f"start_method={self.start_method!r}, {state})"
+        )

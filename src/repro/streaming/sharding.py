@@ -40,12 +40,27 @@ parity suite (``tests/streaming/test_sharding.py``) pins this across
 the randomized stream corpus at 1/2/4 shards, both metrics, thread and
 serial executors.
 
-The executor is ``concurrent.futures``-backed (``executor="threads"``);
-``executor="serial"`` runs the same per-shard closures in-process, in
-shard order — the deterministic mode tests and debuggers want.  With
-threads, the attainable speedup tracks how much of the work runs in
-NumPy/SciPy kernels; ``benchmarks/bench_sharded_refresh.py`` measures
-it on multi-event batches.
+Three executors run the same per-shard stage kernels:
+
+* ``executor="threads"`` (default) — a ``concurrent.futures`` thread
+  pool; speedup tracks how much of the work runs in NumPy/SciPy kernels
+  (the Python-level plan/merge stays GIL-serialized).
+* ``executor="serial"`` — the identical closures in-process, in shard
+  order; fully deterministic scheduling for tests and debuggers.
+* ``executor="processes"`` — a persistent ``multiprocessing`` worker
+  pool (:mod:`repro.streaming.procpool`): the read-only snapshot and
+  :class:`~repro.similarity.base.ProfileIndex` arrays are published
+  into ``multiprocessing.shared_memory`` blocks and rebuilt as
+  zero-copy views in every worker, per-event deltas ship as compact
+  messages after each ``apply()``, each refresh stage is one
+  request/reply round, and the workers' row updates are merged into
+  the parent's authoritative rows after the final barrier.  This is
+  the true multi-core mode: the Python-level refresh work escapes the
+  GIL entirely.  Workers are respawned (and the delta tail replayed)
+  on death, and the shared blocks are unlinked on ``close()``/GC.
+
+``benchmarks/bench_sharded_refresh.py`` measures all of them on
+multi-event batches and enforces the process executor's speedup bar.
 
 Durability is partitioned the same way (:mod:`repro.persistence.partition`):
 events journal into per-shard ``wal-<shard>.jsonl`` segments sharing one
@@ -69,7 +84,7 @@ from ..graph.updates import (
     dedupe_pairs,
     merge_topk_rows,
 )
-from ..similarity.base import SimilarityMetric
+from ..similarity.base import ProfileIndex, SimilarityMetric
 from .events import AddUser
 from .index import (
     DynamicKnnIndex,
@@ -265,6 +280,162 @@ class _ShardPlan:
     cache_misses: int
 
 
+# ----------------------------------------------------------------------
+# Pure per-shard stage kernels
+#
+# The thread/serial executors and the process workers must produce
+# bit-identical results, so the stage bodies live here as plain
+# functions of explicit inputs: the in-process path binds them to the
+# live index, the worker (repro.streaming.procpool) to state rebuilt
+# from shared memory.  One implementation, two transports.
+# ----------------------------------------------------------------------
+def score_pairs_chunked(
+    metric, index, us: np.ndarray, vs: np.ndarray, batch_size: int
+) -> np.ndarray:
+    """Chunked metric evaluation with engine-identical chunk boundaries.
+
+    Bypasses ``SimilarityEngine.batch`` so concurrent workers never race
+    on the shared counter/timer; the caller adds the evaluation totals
+    after the fan-in.  Chunk boundaries cannot change values — every
+    metric scores pairs independently — so results stay bit-identical to
+    the sequential engine path.
+    """
+    if us.size == 0:
+        return np.empty(0, dtype=np.float64)
+    if us.size <= batch_size:
+        return metric.score_batch(index, us, vs)
+    chunks = []
+    for start in range(0, us.size, batch_size):
+        stop = start + batch_size
+        chunks.append(metric.score_batch(index, us[start:stop], vs[start:stop]))
+    return np.concatenate(chunks)
+
+
+def plan_shard_pairs(
+    shard_id: int,
+    n_shards: int,
+    affected: np.ndarray,
+    affected_mask: np.ndarray,
+    truly_dirty: frozenset,
+    cand_sets: dict[int, dict[int, int]],
+    seq: int,
+) -> tuple[np.ndarray, np.ndarray, list[ShardOutbox]]:
+    """Stage B's pair derivation: local pairs plus cross-shard outboxes.
+
+    Every affected row owned by *shard_id* is paired with its full
+    candidate set; a truly dirty user is additionally *offered* to the
+    rows of her clean candidates (the mirror direction), routed through
+    an outbox when the row belongs to another shard.  Returns
+    ``(rows, candidates, outboxes)``.
+    """
+    row_parts: list[np.ndarray] = []
+    cand_parts: list[np.ndarray] = []
+    out_rows: list[list[np.ndarray]] = [[] for _ in range(n_shards)]
+    out_cands: list[list[np.ndarray]] = [[] for _ in range(n_shards)]
+    for user in affected.tolist():
+        counts = cand_sets[user]
+        candidates = np.fromiter(counts.keys(), np.int64, len(counts))
+        if candidates.size == 0:
+            continue
+        row_parts.append(np.full(candidates.size, user, dtype=np.int64))
+        cand_parts.append(candidates)
+        if user in truly_dirty:
+            # Mirror: the dirty user must be offered to the rows of
+            # her clean candidates (she can *enter* those top-ks).
+            mirror = candidates[~affected_mask[candidates]]
+            if mirror.size == 0:
+                continue
+            owners = mirror % n_shards
+            for target in np.unique(owners).tolist():
+                rows_t = mirror[owners == target]
+                users_t = np.full(rows_t.size, user, dtype=np.int64)
+                if target == shard_id:
+                    row_parts.append(rows_t)
+                    cand_parts.append(users_t)
+                else:
+                    out_rows[target].append(rows_t)
+                    out_cands[target].append(users_t)
+    empty = np.empty(0, dtype=np.int64)
+    outboxes = [
+        ShardOutbox(
+            source=shard_id,
+            target=target,
+            seq=seq,
+            rows=np.concatenate(out_rows[target]),
+            candidates=np.concatenate(out_cands[target]),
+        )
+        for target in range(n_shards)
+        if out_rows[target]
+    ]
+    rows = np.concatenate(row_parts) if row_parts else empty
+    candidates = np.concatenate(cand_parts) if cand_parts else empty
+    return rows, candidates, outboxes
+
+
+def merge_shard_pairs(
+    shard_id: int,
+    n_shards: int,
+    pivot: bool,
+    plan_rows: np.ndarray,
+    plan_candidates: np.ndarray,
+    inbox: list[ShardOutbox],
+    neighbors: np.ndarray,
+    sims: np.ndarray,
+    n_users: int,
+    score_pairs,
+    reverse,
+) -> tuple[int, int, np.ndarray, np.ndarray, np.ndarray]:
+    """Stage C: dedupe, evaluate, and merge into this shard's own rows.
+
+    Writes the re-ranked rows into *neighbors*/*sims* in place (every
+    active row is owned by *shard_id*, so concurrent callers never
+    collide), mirrors the row diffs into *reverse*, and returns
+    ``(evaluations, changes, active, new_neighbors, new_sims)`` so a
+    process worker can ship the row updates back to the parent.
+    """
+    us = np.concatenate([plan_rows] + [box.rows for box in inbox])
+    vs = np.concatenate([plan_candidates] + [box.candidates for box in inbox])
+    us, vs = dedupe_pairs(us, vs, n_users, ordered=not pivot)
+    pair_sims = score_pairs(us, vs)
+    evaluations = int(us.size)
+    if pivot:
+        # One evaluation serves both directions (Section II-D) — but
+        # only this shard's rows are merged here; the partner shard
+        # evaluates its own side of a cross-shard pair.
+        cand_users = np.concatenate([us, vs])
+        cand_ids = np.concatenate([vs, us])
+        cand_sims = np.concatenate([pair_sims, pair_sims])
+        owned = (cand_users % n_shards) == shard_id
+        cand_users = cand_users[owned]
+        cand_ids = cand_ids[owned]
+        cand_sims = cand_sims[owned]
+    else:
+        cand_users, cand_ids, cand_sims = us, vs, pair_sims
+    k = neighbors.shape[1]
+    if cand_users.size == 0:
+        return (
+            evaluations,
+            0,
+            np.empty(0, dtype=np.int64),
+            np.empty((0, k), dtype=np.int64),
+            np.empty((0, k), dtype=np.float64),
+        )
+    touched = np.unique(cand_users)
+    pre_merge = neighbors[touched].copy()
+    active, new_neighbors, new_sims, changes = merge_topk_rows(
+        neighbors, sims, cand_users, cand_ids, cand_sims
+    )
+    # Disjoint-row writes through the shared views: every active row
+    # is owned by this shard, so workers never collide.
+    neighbors[active] = new_neighbors
+    sims[active] = new_sims
+    post_merge = neighbors[touched]
+    moved = np.flatnonzero((post_merge != pre_merge).any(axis=1))
+    for pos in moved.tolist():
+        reverse.apply_row(int(touched[pos]), pre_merge[pos], post_merge[pos])
+    return evaluations, int(changes), active, new_neighbors, new_sims
+
+
 class ShardedKnnIndex(DynamicKnnIndex):
     """A :class:`DynamicKnnIndex` whose refinement runs shard-parallel.
 
@@ -281,8 +452,19 @@ class ShardedKnnIndex(DynamicKnnIndex):
         ``"threads"`` (default) fans each refresh stage out on a
         ``concurrent.futures.ThreadPoolExecutor``; ``"serial"`` runs the
         identical per-shard closures in-process in shard order — fully
-        deterministic scheduling for tests/debugging.  Results are
-        bit-identical either way.
+        deterministic scheduling for tests/debugging; ``"processes"``
+        fans out to a persistent ``multiprocessing`` worker pool over
+        shared-memory snapshots (see the module docstring) — the mode
+        whose refresh work actually escapes the GIL.  Results are
+        bit-identical in every mode.  With ``"processes"`` the
+        candidate caches live in the workers, so checkpoints serialize
+        an empty cache section (always safe: caches are exact-or-absent),
+        and custom :class:`~repro.similarity.base.ProfileIndex`
+        subclasses are rejected (refresh raises ``TypeError``) because
+        workers rebuild the base index from the shared buffers.
+    start_method:
+        Optional ``multiprocessing`` start method for the process
+        executor (default: ``"fork"`` on Linux, else ``"spawn"``).
     wal:
         Optional :class:`~repro.persistence.PartitionedWriteAheadLog`;
         each event journals into its owner shard's ``wal-<shard>.jsonl``
@@ -308,16 +490,26 @@ class ShardedKnnIndex(DynamicKnnIndex):
         wal=None,
         n_shards: int = 2,
         executor: str = "threads",
+        start_method: str | None = None,
     ):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-        if executor not in ("threads", "serial"):
+        if executor not in ("threads", "serial", "processes"):
             raise ValueError(
-                f"executor must be 'threads' or 'serial', got {executor!r}"
+                f"executor must be 'threads', 'serial' or 'processes', "
+                f"got {executor!r}"
             )
         self.n_shards = int(n_shards)
         self.executor = executor
         self._pool = None
+        #: Process-executor state: the persistent worker pool, the owned
+        #: shared-memory arena, the not-yet-shipped per-event deltas and
+        #: the replayable delta tail since the last completed refresh.
+        self._start_method = start_method
+        self._procpool = None
+        self._arena = None
+        self._delta_buffer: list[tuple] = []
+        self._delta_tail: list[tuple] = []
         self._shards = [_Shard(shard) for shard in range(self.n_shards)]
         #: The cross-shard exchanges of the most recent refresh.
         self.last_outboxes: tuple[ShardOutbox, ...] = ()
@@ -364,10 +556,24 @@ class ShardedKnnIndex(DynamicKnnIndex):
         return list(self._pool.map(fn, items))
 
     def close(self) -> None:
-        """Shut the worker pool down (it is re-created on demand)."""
+        """Release every worker resource (all re-created on demand).
+
+        Shuts the thread pool down, stops the process workers, unlinks
+        the shared-memory arena, and closes the engine's evaluation
+        pool.  Idempotent; ``weakref`` finalizers on the pool and arena
+        also run this cleanup on garbage collection, so an abandoned
+        index cannot leak processes or ``/dev/shm`` segments.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._procpool is not None:
+            self._procpool.close()
+            self._procpool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+        self.engine.close()
 
     # ------------------------------------------------------------------
     # Sharded candidate-cache routing (ingestion path, serial)
@@ -375,6 +581,21 @@ class ShardedKnnIndex(DynamicKnnIndex):
     def _note_candidacy_change(
         self, user: int, item: int, added: bool
     ) -> None:
+        if self.executor == "processes":
+            # The caches live in the workers; ship the flip as a compact
+            # delta.  The owner-store update needs the item's qualifying
+            # raters *at event time* (the workers' snapshot views are
+            # only as fresh as the last refresh), so they travel along.
+            others = [
+                int(other)
+                for other in self.builder.users_of(item)
+                if other != user
+                and self._qualifies(self.builder.rating(other, item))
+            ]
+            self._delta_buffer.append(
+                ("cand", int(user), int(item), bool(added), others)
+            )
+            return
         # Every shard's cached raters of the item gain/lose one shared
         # item with *user* — same propagation as the flat index, with
         # the per-user state living in each rater's owner shard.
@@ -393,15 +614,36 @@ class ShardedKnnIndex(DynamicKnnIndex):
         )
 
     def _cache_insert(self, user: int, counts: dict[int, int]) -> None:
+        if self.executor == "processes":
+            # Worker-owned caches: the parent-side stores stay empty, so
+            # a checkpoint can never serialize a stale multiset (caches
+            # are exact-or-absent; absent is always safe).
+            return
         self._shards[shard_of(user, self.n_shards)].cache_insert(
             user, counts, self
         )
 
     def _cache_evict(self, user: int) -> None:
+        if self.executor == "processes":
+            items = [int(item) for item in self.builder.profile(user)]
+            self._delta_buffer.append(("evict", int(user), items))
+            return
         self._shards[shard_of(user, self.n_shards)].cache_evict(user, self)
 
     def _candidate_sets(self, users: np.ndarray) -> dict[int, dict[int, int]]:
         """Serial (main-thread) candidate-set lookup across shards."""
+        if self.executor == "processes":
+            # Parent-side derivations (debug/introspection paths) go
+            # straight to delta_rcs without touching any cache.
+            result, _, misses = derive_candidate_sets(
+                {},
+                np.asarray(users, dtype=np.int64),
+                lambda user, counts: None,
+                self.builder,
+                self.config.min_rating,
+            )
+            self.maintenance.candidate_cache_misses += misses
+            return result
         owners = np.asarray(users, dtype=np.int64) % self.n_shards
         result: dict[int, dict[int, int]] = {}
         for shard in self._shards:
@@ -415,6 +657,76 @@ class ShardedKnnIndex(DynamicKnnIndex):
             self.maintenance.candidate_cache_hits += hits
             self.maintenance.candidate_cache_misses += misses
         return result
+
+    # ------------------------------------------------------------------
+    # Process-executor delta shipping and pool management
+    # ------------------------------------------------------------------
+    def _grow_rows(self, n_users: int) -> None:
+        grew = n_users > self._n_rows
+        super()._grow_rows(n_users)
+        if grew and self.executor == "processes":
+            # Absolute target, so replaying the tail is idempotent.
+            self._delta_buffer.append(("grow", int(n_users)))
+
+    def apply(self, events):
+        result = super().apply(events)
+        if self.executor == "processes":
+            # Ship per-event deltas after every apply(), so worker-side
+            # caches track the live profiles between refreshes.
+            self._flush_deltas()
+        return result
+
+    def rebuild(self):
+        result = super().rebuild()
+        if self._procpool is not None:
+            # Worker row mirrors and reverse indexes predate the rebuilt
+            # graph; restart them from the fresh authoritative rows.
+            self._procpool.reset()
+            self._delta_buffer.clear()
+            self._delta_tail.clear()
+        return result
+
+    def _flush_deltas(self) -> None:
+        """Move buffered deltas to the tail and ship them to live workers.
+
+        The tail survives until the next completed refresh: a respawned
+        worker replays it on top of the authoritative rows it is seeded
+        with (candidacy/evict replays are no-ops against its empty
+        cache, ``grow`` is absolute), which is what makes worker death
+        recoverable at any point.
+        """
+        if not self._delta_buffer:
+            return
+        ops, self._delta_buffer = self._delta_buffer, []
+        self._delta_tail.extend(ops)
+        if self._procpool is not None and self._procpool.alive:
+            self._procpool.broadcast_deltas(ops)
+
+    def _worker_init(self, shard_id: int) -> dict:
+        """The spawn payload seeding one worker's owned state."""
+        neighbors, sims = self._rows()
+        return dict(
+            shard_id=shard_id,
+            n_shards=self.n_shards,
+            config=self.config,
+            metric=self.engine.metric,
+            batch_size=self.engine.batch_size,
+            cache_limit=self._shard_cache_limit,
+            neighbors=neighbors.copy(),
+            sims=sims.copy(),
+            deltas=list(self._delta_tail),
+        )
+
+    def _ensure_pool(self):
+        from .procpool import ProcessShardPool
+
+        if self._procpool is None:
+            self._procpool = ProcessShardPool(
+                self.n_shards, start_method=self._start_method
+            )
+        if not self._procpool.alive:
+            self._procpool.spawn(self._worker_init)
+        return self._procpool
 
     # ------------------------------------------------------------------
     # Partitioned journaling
@@ -507,6 +819,8 @@ class ShardedKnnIndex(DynamicKnnIndex):
         the module docstring for the three-stage fan-out and why the
         result is bit-identical at any shard count.
         """
+        if self.executor == "processes":
+            return self._refresh_processes()
         start = time.perf_counter()
         maintenance = self.maintenance
         rows_before = maintenance.rows_materialized
@@ -601,6 +915,172 @@ class ShardedKnnIndex(DynamicKnnIndex):
         self.refresh_log.append(stats)
         return stats
 
+    def _refresh_processes(self) -> RefreshStats:
+        """The three-stage refresh, fanned out to the worker processes.
+
+        Same stages and same bit-identical result as the in-process
+        executors, with the transport swapped: the snapshot and profile
+        arrays are published once into the shared-memory arena, each
+        stage is a request/reply round over the worker pipes, and the
+        workers' row updates are merged into the parent's authoritative
+        arrays after the final barrier.  Because the parent applies
+        nothing until every worker has answered, a worker death at any
+        point leaves the authoritative state untouched: the pool is
+        reset, the cleared rows are re-marked dirty, and the whole pass
+        retries against respawned workers (seeded from the authoritative
+        rows plus the replayed delta tail).
+        """
+        from .procpool import WorkerCrash
+
+        start = time.perf_counter()
+        maintenance = self.maintenance
+        rows_before = maintenance.rows_materialized
+        index_before = maintenance.index_users_recomputed
+        hits_before = maintenance.candidate_cache_hits
+        misses_before = maintenance.candidate_cache_misses
+        n_events, n_dirty = self._pending_events, len(self._dirty)
+        if n_dirty == 0:
+            stats = RefreshStats(
+                n_events, 0, 0, 0, 0, time.perf_counter() - start
+            )
+            self._pending_events = 0
+            self.refresh_log.append(stats)
+            return stats
+        engine = self.engine
+        if type(engine.index) is not ProfileIndex:
+            # Workers rebuild the base ProfileIndex from the shared
+            # buffers; a subclass's extra state would be silently
+            # dropped, breaking the bit-identity contract.  Fail loudly
+            # instead.
+            raise TypeError(
+                f"executor='processes' rebuilds a plain ProfileIndex in "
+                f"each worker and cannot carry a custom index subclass "
+                f"({type(engine.index).__name__}); use the 'threads' or "
+                f"'serial' executor for custom profile indexes"
+            )
+        with engine.timer.phase("preprocessing"):
+            engine.rebind(self.builder.snapshot(), dirty_users=self._dirty)
+        neighbors, sims = self._rows()
+        n_users = self.builder.n_users
+        seq = self._seq
+        if self._arena is None:
+            from .shm import ShmArena
+
+            self._arena = ShmArena(tag="repro-shard")
+        block, manifest = self._arena.publish(engine.index.to_shared_arrays())
+        attempts = 0
+        while True:
+            pool = self._ensure_pool()
+            self._flush_deltas()
+            all_dirty = np.sort(
+                np.fromiter(
+                    self._dirty, count=len(self._dirty), dtype=np.int64
+                )
+            )
+            affected = None
+            try:
+                with engine.timer.phase("candidate_selection"):
+                    # Stage A: each worker unions its dirty slice with
+                    # its rows citing any dirty user.
+                    affected_by_shard = pool.request_all(
+                        "stage_a",
+                        [
+                            dict(
+                                block=block,
+                                manifest=manifest,
+                                all_dirty=all_dirty,
+                                my_dirty=np.sort(
+                                    np.fromiter(
+                                        shard.dirty,
+                                        count=len(shard.dirty),
+                                        dtype=np.int64,
+                                    )
+                                ),
+                                seq=seq,
+                                n_users=n_users,
+                            )
+                            for shard in self._shards
+                        ],
+                    )
+                    affected = np.unique(np.concatenate(affected_by_shard))
+                    # Stage B: clear + plan with per-shard outboxes.
+                    plans = pool.request_all(
+                        "plan",
+                        [dict(affected=affected)] * self.n_shards,
+                    )
+                    inboxes: list[list[ShardOutbox]] = [
+                        [] for _ in range(self.n_shards)
+                    ]
+                    for plan in plans:
+                        for outbox in plan["outboxes"]:
+                            inboxes[outbox.target].append(outbox)
+                # Stage C: dedupe + evaluate + merge into owned rows;
+                # the workers return their row updates.
+                with engine.timer.phase("similarity"):
+                    merges = pool.request_all(
+                        "merge",
+                        [dict(inbox=inbox) for inbox in inboxes],
+                    )
+                break
+            except WorkerCrash:
+                # Respawn + replay: re-mark whatever may have been
+                # cleared worker-side as dirty, reseed the whole pool
+                # from the (untouched) authoritative rows plus the delta
+                # tail, and rerun the pass.
+                attempts += 1
+                if affected is not None:
+                    self._dirty.update(affected.tolist())
+                pool.reset()
+                if attempts >= 3:
+                    raise
+            except BaseException:
+                # A worker-raised error (e.g. a failing metric): mark
+                # cleared rows dirty so the next refresh rebuilds them,
+                # and reset the pool so no worker keeps half-merged rows.
+                if affected is not None:
+                    self._dirty.update(affected.tolist())
+                pool.reset()
+                raise
+        for plan in plans:
+            maintenance.candidate_cache_hits += plan["hits"]
+            maintenance.candidate_cache_misses += plan["misses"]
+        self.last_outboxes = tuple(
+            outbox for plan in plans for outbox in plan["outboxes"]
+        )
+        # Apply: clear every affected row, then land the merged rows —
+        # cleared-but-candidateless rows stay MISSING, exactly as the
+        # in-process executors leave them.
+        neighbors[affected] = MISSING
+        sims[affected] = -np.inf
+        evaluations = 0
+        changes = 0
+        for merge in merges:
+            evaluations += merge["evaluations"]
+            changes += merge["changes"]
+            active = merge["active"]
+            if active.size:
+                neighbors[active] = merge["neighbors"]
+                sims[active] = merge["sims"]
+        engine.counter.add(int(evaluations))
+        self._dirty.clear()
+        self._pending_events = 0
+        self._delta_tail.clear()
+        stats = RefreshStats(
+            events=n_events,
+            dirty_users=n_dirty,
+            affected_users=int(affected.size),
+            evaluations=int(evaluations),
+            changes=int(changes),
+            wall_time=time.perf_counter() - start,
+            rows_materialized=maintenance.rows_materialized - rows_before,
+            index_users_recomputed=maintenance.index_users_recomputed
+            - index_before,
+            cache_hits=maintenance.candidate_cache_hits - hits_before,
+            cache_misses=maintenance.candidate_cache_misses - misses_before,
+        )
+        self.refresh_log.append(stats)
+        return stats
+
     def _shard_plan(
         self,
         shard: _Shard,
@@ -622,49 +1102,19 @@ class ShardedKnnIndex(DynamicKnnIndex):
         for pos, row in enumerate(affected.tolist()):
             shard.reverse.apply_row(row, old_rows[pos], ())
         cand_sets, hits, misses = shard.candidate_sets(affected, self)
-        row_parts: list[np.ndarray] = []
-        cand_parts: list[np.ndarray] = []
-        out_rows: list[list[np.ndarray]] = [[] for _ in range(self.n_shards)]
-        out_cands: list[list[np.ndarray]] = [[] for _ in range(self.n_shards)]
-        for user in affected.tolist():
-            counts = cand_sets[user]
-            candidates = np.fromiter(counts.keys(), np.int64, len(counts))
-            if candidates.size == 0:
-                continue
-            row_parts.append(np.full(candidates.size, user, dtype=np.int64))
-            cand_parts.append(candidates)
-            if user in truly_dirty:
-                # Mirror: the dirty user must be offered to the rows of
-                # her clean candidates (she can *enter* those top-ks).
-                mirror = candidates[~affected_mask[candidates]]
-                if mirror.size == 0:
-                    continue
-                owners = mirror % self.n_shards
-                for target in np.unique(owners).tolist():
-                    rows_t = mirror[owners == target]
-                    users_t = np.full(rows_t.size, user, dtype=np.int64)
-                    if target == shard.shard_id:
-                        row_parts.append(rows_t)
-                        cand_parts.append(users_t)
-                    else:
-                        out_rows[target].append(rows_t)
-                        out_cands[target].append(users_t)
-        empty = np.empty(0, dtype=np.int64)
-        outboxes = [
-            ShardOutbox(
-                source=shard.shard_id,
-                target=target,
-                seq=seq,
-                rows=np.concatenate(out_rows[target]),
-                candidates=np.concatenate(out_cands[target]),
-            )
-            for target in range(self.n_shards)
-            if out_rows[target]
-        ]
+        rows, candidates, outboxes = plan_shard_pairs(
+            shard.shard_id,
+            self.n_shards,
+            affected,
+            affected_mask,
+            truly_dirty,
+            cand_sets,
+            seq,
+        )
         return _ShardPlan(
             affected=affected,
-            rows=np.concatenate(row_parts) if row_parts else empty,
-            candidates=np.concatenate(cand_parts) if cand_parts else empty,
+            rows=rows,
+            candidates=candidates,
             outboxes=outboxes,
             cache_hits=hits,
             cache_misses=misses,
@@ -680,68 +1130,31 @@ class ShardedKnnIndex(DynamicKnnIndex):
         n_users: int,
     ) -> tuple[int, int]:
         """Stage C for one shard: dedupe, evaluate, merge its own rows."""
-        us = np.concatenate([plan.rows] + [box.rows for box in inbox])
-        vs = np.concatenate(
-            [plan.candidates] + [box.candidates for box in inbox]
+        evaluations, changes, _, _, _ = merge_shard_pairs(
+            shard.shard_id,
+            self.n_shards,
+            self.config.pivot,
+            plan.rows,
+            plan.candidates,
+            inbox,
+            neighbors,
+            sims,
+            n_users,
+            self._score_pairs,
+            shard.reverse,
         )
-        us, vs = dedupe_pairs(us, vs, n_users, ordered=not self.config.pivot)
-        pair_sims = self._score_pairs(us, vs)
-        evaluations = int(us.size)
-        if self.config.pivot:
-            # One evaluation serves both directions (Section II-D) —
-            # but only this shard's rows are merged here; the partner
-            # shard evaluates its own side of a cross-shard pair.
-            cand_users = np.concatenate([us, vs])
-            cand_ids = np.concatenate([vs, us])
-            cand_sims = np.concatenate([pair_sims, pair_sims])
-            owned = (cand_users % self.n_shards) == shard.shard_id
-            cand_users = cand_users[owned]
-            cand_ids = cand_ids[owned]
-            cand_sims = cand_sims[owned]
-        else:
-            cand_users, cand_ids, cand_sims = us, vs, pair_sims
-        if cand_users.size == 0:
-            return evaluations, 0
-        touched = np.unique(cand_users)
-        pre_merge = neighbors[touched].copy()
-        active, new_neighbors, new_sims, changes = merge_topk_rows(
-            neighbors, sims, cand_users, cand_ids, cand_sims
-        )
-        # Disjoint-row writes through the shared views: every active row
-        # is owned by this shard, so workers never collide.
-        neighbors[active] = new_neighbors
-        sims[active] = new_sims
-        post_merge = neighbors[touched]
-        moved = np.flatnonzero((post_merge != pre_merge).any(axis=1))
-        for pos in moved.tolist():
-            shard.reverse.apply_row(
-                int(touched[pos]), pre_merge[pos], post_merge[pos]
-            )
-        return evaluations, int(changes)
+        return evaluations, changes
 
     def _score_pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
         """Chunked metric evaluation against the shared profile index.
 
-        Bypasses ``engine.batch`` so concurrent workers never race on
-        the shared counter/timer; the caller adds the evaluation totals
-        after the fan-in.  Chunk boundaries cannot change values — every
-        metric scores pairs independently — so results stay bit-identical
-        to the sequential engine path.
+        See :func:`score_pairs_chunked` (the shared kernel) for why this
+        bypasses ``engine.batch`` and stays bit-identical to it.
         """
-        if us.size == 0:
-            return np.empty(0, dtype=np.float64)
         engine = self.engine
-        if us.size <= engine.batch_size:
-            return engine.metric.score_batch(engine.index, us, vs)
-        chunks = []
-        for start in range(0, us.size, engine.batch_size):
-            stop = start + engine.batch_size
-            chunks.append(
-                engine.metric.score_batch(
-                    engine.index, us[start:stop], vs[start:stop]
-                )
-            )
-        return np.concatenate(chunks)
+        return score_pairs_chunked(
+            engine.metric, engine.index, us, vs, engine.batch_size
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

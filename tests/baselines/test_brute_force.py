@@ -1,13 +1,10 @@
 """Unit tests for the brute-force exact KNN baseline."""
 
-import itertools
-
 import numpy as np
 import pytest
 
 from repro.baselines import brute_force_knn
 from repro.similarity import SimilarityEngine
-from tests.conftest import random_dataset
 
 
 class TestExactness:

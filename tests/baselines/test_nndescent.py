@@ -1,10 +1,9 @@
 """Unit tests for the NN-Descent baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import NNDescentConfig, nn_descent, brute_force_knn
-from repro.graph.metrics import per_user_recall, recall
+from repro.graph.metrics import recall
 from repro.similarity import SimilarityEngine
 
 

@@ -11,7 +11,6 @@ from repro import (
     brute_force_knn,
     kiff,
     per_user_recall,
-    recall,
 )
 from repro.core.rcs import build_rcs
 from tests.conftest import random_dataset

@@ -150,7 +150,6 @@ class TestStructure:
     def test_candidates_have_at_least_one_shared_item(self, tiny_wikipedia):
         """The defining RCS property: every candidate shares >= 1 item."""
         rcs = build_rcs(tiny_wikipedia)
-        matrix = tiny_wikipedia.matrix
         for user in range(0, rcs.n_users, 29):
             items_u = set(tiny_wikipedia.user_items(user).tolist())
             for v in rcs.candidates_of(user):
@@ -200,8 +199,6 @@ class TestCountCandidates:
 
 class TestDeltaRcs:
     """delta_rcs rows must be bit-identical to the full counting phase."""
-
-    from repro.core.rcs import delta_rcs as _delta_rcs
 
     @pytest.mark.parametrize("pivot", [True, False])
     @pytest.mark.parametrize("min_rating", [None, 3.0])

@@ -1,8 +1,6 @@
 """Integration tests: every experiment module runs at tiny scale and its
 report carries the paper's qualitative shape."""
 
-import math
-
 import numpy as np
 import pytest
 

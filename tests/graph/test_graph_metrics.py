@@ -1,6 +1,5 @@
 """Unit tests for recall (paper Eq. 2-4) and related metrics."""
 
-import numpy as np
 import pytest
 
 from repro.graph.knn_graph import KnnGraph

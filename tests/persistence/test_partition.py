@@ -20,7 +20,7 @@ from repro.persistence import (
     sharded_checkpoint_path,
     wal_segment_path,
 )
-from repro.streaming import AddRating, AddUser, ratings_batch
+from repro.streaming import AddRating, ratings_batch
 from tests.conftest import random_dataset
 
 

@@ -150,8 +150,6 @@ class TestRebind:
         assert engine.timer.get("similarity") > 0
 
     def test_rebind_scores_against_new_data(self, toy_dataset):
-        import scipy.sparse as sp
-
         from repro.datasets import BipartiteDataset
 
         engine = SimilarityEngine(toy_dataset, metric="overlap")
@@ -225,6 +223,30 @@ class TestParallelBatch:
         engine = SimilarityEngine(tiny_wikipedia, n_jobs=4)
         out = engine.batch([0, 1], [1, 2])
         assert out.size == 2
+
+    def test_pool_is_reused_across_batches(self, tiny_wikipedia):
+        """One lazily created pool serves every multi-chunk batch."""
+        engine = SimilarityEngine(tiny_wikipedia, batch_size=16, n_jobs=2)
+        assert engine._pool is None  # lazy: nothing until a parallel batch
+        engine.batch(np.arange(17), np.arange(17) + 1)
+        first = engine._pool
+        assert first is not None
+        engine.batch(np.arange(17), np.arange(17) + 1)
+        assert engine._pool is first
+
+    def test_close_shuts_pool_down_deterministically(self, tiny_wikipedia):
+        engine = SimilarityEngine(tiny_wikipedia, batch_size=16, n_jobs=2)
+        engine.close()  # idempotent before any pool exists
+        expected = engine.batch(np.arange(17), np.arange(17) + 1)
+        pool = engine._pool
+        engine.close()
+        assert engine._pool is None
+        assert pool._shutdown  # the executor is really down
+        # The engine stays usable: the pool is re-created on demand.
+        np.testing.assert_array_equal(
+            engine.batch(np.arange(17), np.arange(17) + 1), expected
+        )
+        engine.close()
 
     def test_invalid_n_jobs_raises(self, tiny_wikipedia):
         import pytest as _pytest

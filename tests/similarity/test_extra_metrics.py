@@ -1,7 +1,5 @@
 """Unit tests for the Dice and Pearson metrics."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -170,7 +170,7 @@ class TestShardState:
             ShardedKnnIndex(rated_dataset, KiffConfig(k=2), n_shards=0)
         with pytest.raises(ValueError, match="executor"):
             ShardedKnnIndex(
-                rated_dataset, KiffConfig(k=2), executor="processes"
+                rated_dataset, KiffConfig(k=2), executor="fibers"
             )
 
     def test_dirty_set_is_owned_by_shard(self, rated_dataset):
