@@ -1,0 +1,256 @@
+"""Serving bench: query latency and QPS under mixed read/write load.
+
+A synthetic sparse workload is split 90%/10%; the index is prebuilt on
+the 90% and a writer thread streams the 10% back in multi-event batches
+(one ``refresh()`` per batch).  Concurrently, reader threads hammer the
+serving path — ``pin()`` a snapshot, answer an alternating
+``neighbors``/``recommend`` query on it — and every query's latency and
+reported graph version are recorded.
+
+What is asserted (the lock-free serving contract):
+
+* **Queries complete during in-flight refreshes** — at least one query
+  interval falls entirely inside a writer refresh window, i.e. readers
+  never block on the writer.
+* **No torn reads** — a sample of responses is recomputed cold against
+  the published snapshot of the version each response reports, and
+  must match bit-identically.
+* **Monotonic versions** — per reader thread, reported versions never
+  go backwards.
+
+p50/p99 latency and QPS land in ``BENCH_bench_serving.json`` for the
+bench trajectory; being wall-clock they are excluded from the
+regression gate by name (``_s``/``per_second``/``wall`` suffixes — see
+``check_regression.py``), while the deterministic serving metrics
+(events, refreshes, torn reads, version regressions) are baselined in
+``benchmarks/baselines/quick.json``.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro import BipartiteDataset, DynamicKnnIndex, KiffConfig
+from repro.serving import neighbors_on, recommend_on
+from repro.streaming import holdout_stream, ratings_batch
+
+from _bench_utils import run_once
+
+#: 90%-prebuilt / 10%-streamed mixed workloads.  ``laptop`` is the
+#: ISSUE's 20k-user serving scale; ``tiny`` is the CI smoke run.
+_SCALES = {
+    "tiny": dict(
+        n_users=600,
+        n_items=400,
+        density=0.01,
+        batch_size=48,
+        k=8,
+        readers=4,
+    ),
+    "laptop": dict(
+        n_users=20_000,
+        n_items=6_000,
+        density=0.0012,
+        batch_size=1_024,
+        k=10,
+        readers=4,
+    ),
+}
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop")
+#: Every Nth query keeps its full response for the bit-identity check.
+_SAMPLE_EVERY = 8
+
+
+def _workload(n_users, n_items, density, seed=7):
+    """A seeded sparse rating matrix, 90/10-split via holdout_stream."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n_users, n_items)) < density
+    users, items = np.nonzero(mask)
+    ratings = rng.integers(1, 6, size=users.size).astype(np.float64)
+    dataset = BipartiteDataset.from_edges(
+        users,
+        items,
+        ratings,
+        n_users=n_users,
+        n_items=n_items,
+        name="serving-bench",
+    )
+    return holdout_stream(dataset, fraction=0.1, seed=seed)
+
+
+def test_serving_mixed_load(benchmark):
+    """Readers on pinned snapshots while a writer streams and refreshes."""
+    params = _SCALES.get(_SCALE, _SCALES["laptop"])
+    benchmark.group = "serving:mixed"
+    base, users, items, ratings = _workload(
+        params["n_users"], params["n_items"], params["density"]
+    )
+    batch_size = params["batch_size"]
+    n_readers = params["readers"]
+    index = DynamicKnnIndex(
+        base, KiffConfig(k=params["k"]), auto_refresh=False
+    )
+    try:
+        first = index.pin()
+        #: version -> the snapshot published under it (the writer
+        #: records every publication so responses can be re-derived
+        #: cold at exactly the version they report).
+        published = {first.version: first}
+        refresh_windows: list[tuple[float, float]] = []
+        errors: list[BaseException] = []
+        writer_done = threading.Event()
+
+        def write_stream() -> None:
+            try:
+                for lo in range(0, len(users), batch_size):
+                    hi = lo + batch_size
+                    index.apply(
+                        ratings_batch(
+                            users[lo:hi], items[lo:hi], ratings[lo:hi]
+                        )
+                    )
+                    start = time.perf_counter()
+                    index.refresh()
+                    refresh_windows.append((start, time.perf_counter()))
+                    snapshot = index.pin()
+                    published[snapshot.version] = snapshot
+            except BaseException as error:  # surfaced after the join
+                errors.append(error)
+            finally:
+                writer_done.set()
+
+        def read_queries(seed: int, out: dict) -> None:
+            rng = np.random.default_rng(seed)
+            spans: list[tuple[float, float, int]] = []
+            sampled: list[tuple] = []
+            try:
+                n = 0
+                while not writer_done.is_set():
+                    user = int(rng.integers(0, base.n_users))
+                    start = time.perf_counter()
+                    snapshot = index.pin()
+                    if n % 2:
+                        reply = neighbors_on(snapshot, user)
+                    else:
+                        reply = recommend_on(snapshot, user, top_n=10)
+                    end = time.perf_counter()
+                    spans.append((start, end, reply.version))
+                    if n % _SAMPLE_EVERY == 0:
+                        sampled.append(reply)
+                    n += 1
+                out["spans"] = spans
+                out["sampled"] = sampled
+            except BaseException as error:
+                errors.append(error)
+
+        reader_outs = [{} for _ in range(n_readers)]
+
+        def run_mixed_load() -> float:
+            threads = [
+                threading.Thread(
+                    target=read_queries,
+                    args=(1000 + pos, reader_outs[pos]),
+                    name=f"repro-serve-reader-{pos}",
+                )
+                for pos in range(n_readers)
+            ]
+            writer = threading.Thread(
+                target=write_stream, name="repro-serve-writer"
+            )
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            writer.start()
+            writer.join()
+            for thread in threads:
+                thread.join()
+            return time.perf_counter() - start
+
+        wall = run_once(benchmark, run_mixed_load)
+        if errors:
+            raise errors[0]
+
+        # --- verification: versions monotonic, responses bit-identical
+        version_regressions = 0
+        torn_reads = 0
+        verified = 0
+        for out in reader_outs:
+            versions = [span[2] for span in out["spans"]]
+            version_regressions += sum(
+                1
+                for prev, cur in zip(versions, versions[1:])
+                if cur < prev
+            )
+            for reply in out["sampled"]:
+                snapshot = published.get(reply.version)
+                if snapshot is None:
+                    torn_reads += 1  # a version that was never published
+                    continue
+                if type(reply) is type(neighbors_on(snapshot, 0)):
+                    cold = neighbors_on(snapshot, reply.user)
+                else:
+                    cold = recommend_on(snapshot, reply.user, top_n=10)
+                verified += 1
+                if cold != reply:
+                    torn_reads += 1
+        assert torn_reads == 0, (
+            f"{torn_reads} of {verified} sampled responses diverge from "
+            f"a cold query against the snapshot version they report"
+        )
+        assert version_regressions == 0, (
+            f"{version_regressions} queries observed a version older "
+            f"than a previous query on the same thread"
+        )
+
+        # --- the lock-free claim: queries complete *during* refreshes
+        starts = np.asarray(
+            [span[0] for out in reader_outs for span in out["spans"]]
+        )
+        ends = np.asarray(
+            [span[1] for out in reader_outs for span in out["spans"]]
+        )
+        overlap_queries = 0
+        for window_start, window_end in refresh_windows:
+            overlap_queries += int(
+                ((starts >= window_start) & (ends <= window_end)).sum()
+            )
+        assert overlap_queries >= 1, (
+            f"no query interval fell inside any of the "
+            f"{len(refresh_windows)} refresh windows — readers appear "
+            f"to block on the writer"
+        )
+
+        latencies = np.sort(ends - starts)
+        n_queries = int(latencies.size)
+        refresh_wall = sum(end - start for start, end in refresh_windows)
+        benchmark.extra_info["events_streamed"] = int(len(users))
+        benchmark.extra_info["batch_size"] = int(batch_size)
+        benchmark.extra_info["reader_threads"] = int(n_readers)
+        benchmark.extra_info["refreshes"] = int(len(refresh_windows))
+        benchmark.extra_info["torn_reads"] = int(torn_reads)
+        benchmark.extra_info["version_regressions"] = int(
+            version_regressions
+        )
+        # Wall-bound counts carry a "wall" marker so the regression
+        # gate's unstable-key filter never baselines them.
+        benchmark.extra_info["queries_total_wall"] = n_queries
+        benchmark.extra_info["verified_responses_wall"] = int(verified)
+        benchmark.extra_info["refresh_overlap_queries_wall"] = int(
+            overlap_queries
+        )
+        benchmark.extra_info["p50_latency_s"] = float(
+            np.percentile(latencies, 50)
+        )
+        benchmark.extra_info["p99_latency_s"] = float(
+            np.percentile(latencies, 99)
+        )
+        benchmark.extra_info["max_latency_s"] = float(latencies[-1])
+        benchmark.extra_info["queries_per_second"] = round(
+            n_queries / wall, 1
+        )
+        benchmark.extra_info["refresh_wall_s"] = round(refresh_wall, 4)
+        benchmark.extra_info["mixed_phase_wall_s"] = round(wall, 4)
+    finally:
+        index.close()

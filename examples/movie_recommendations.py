@@ -1,13 +1,21 @@
-"""User-based collaborative filtering on a MovieLens-like dataset.
+"""User-based collaborative filtering served from graph snapshots.
 
 The KIFF paper motivates KNN graphs with recommendation (Section I).
-This example builds the full pipeline the paper's introduction sketches:
+This example builds the full pipeline the paper's introduction sketches,
+on the library's serving stack (:mod:`repro.serving`):
 
-1. construct the user KNN graph with KIFF over a 5-star rating matrix;
-2. recommend, for each user, the items her nearest neighbours rated
-   highly but she has not seen — classic user-based CF;
+1. maintain the user KNN graph with :class:`DynamicKnnIndex` over a
+   5-star rating matrix;
+2. answer top-N queries with :class:`Recommender` against *pinned*
+   immutable snapshots — the items a user's nearest neighbours rated
+   highly but she has not seen, classic user-based CF;
 3. evaluate with a leave-out split: hide 20% of each user's ratings,
-   recommend, and measure hit-rate on the hidden items.
+   recommend, and measure hit-rate on the hidden items;
+4. stream a rating event and show the seen-items exclusion moving with
+   the snapshot's own dataset view.  (An earlier version of this
+   example froze its exclusion set at the initial training split, so an
+   item rated via a later streamed event could be recommended straight
+   back to the user.)
 
 Run with::
 
@@ -16,25 +24,20 @@ Run with::
 
 import numpy as np
 
-from repro import KiffConfig, SimilarityEngine, kiff
+from repro import AddRating, DynamicKnnIndex, KiffConfig, Recommender
 from repro.datasets import movielens_like, train_test_split
+from repro.serving import recommend_on
 
 
-def recommend(train, graph, user, top_n=10):
-    """Score unseen items by similarity-weighted neighbour ratings."""
-    seen = set(train.user_items(user).tolist())
-    scores: dict[int, float] = {}
-    for neighbor, sim in zip(graph.neighbors_of(user), graph.sims_of(user)):
-        if sim <= 0:
-            continue
-        items = train.user_items(int(neighbor))
-        ratings = train.user_ratings(int(neighbor))
-        for item, rating in zip(items, ratings):
-            if int(item) in seen or rating < 3.5:
-                continue
-            scores[int(item)] = scores.get(int(item), 0.0) + sim * rating
-    ranked = sorted(scores.items(), key=lambda t: -t[1])
-    return [item for item, _ in ranked[:top_n]]
+def recommend(snapshot, user, top_n=10):
+    """Top-N unseen items for *user*, scored on *snapshot*.
+
+    The exclusion set is the snapshot's own dataset view (not some
+    earlier training split), so a rating streamed into the index is
+    never recommended back once a fresh snapshot is pinned.  Thin
+    wrapper over :func:`repro.serving.recommend_on`.
+    """
+    return list(recommend_on(snapshot, user, top_n=top_n).items)
 
 
 def main() -> None:
@@ -46,40 +49,76 @@ def main() -> None:
     )
     print(f"Training matrix: {train.n_ratings:,} ratings (20% held out)")
 
-    engine = SimilarityEngine(train, metric="cosine")
-    result = kiff(engine, KiffConfig(k=15))
-    print(
-        f"KIFF built the user KNN graph in {result.iterations} iterations "
-        f"({result.evaluations:,} similarity evaluations)."
+    index = DynamicKnnIndex(
+        train, KiffConfig(k=15), metric="cosine", auto_refresh=False
     )
+    try:
+        recommender = Recommender(index, top_n=10)
+        snapshot = recommender.pin()
+        print(
+            f"KIFF built the user KNN graph "
+            f"({index.initial_evaluations:,} similarity evaluations); "
+            f"serving snapshot version {snapshot.version}."
+        )
 
-    hits = total = 0
-    example_shown = False
-    for user in range(train.n_users):
-        hidden = held_out[user]
-        if not hidden:
-            continue
-        recs = recommend(train, result.graph, user, top_n=10)
-        hits += len(set(recs) & hidden)
-        total += min(len(hidden), 10)
-        if not example_shown and recs:
-            print(f"\nTop recommendations for user {user}: {recs[:5]}")
-            print(f"(user's hidden test items: {sorted(hidden)[:5]} ...)")
-            example_shown = True
+        # One pin serves the whole evaluation: every query is consistent
+        # with the same graph version.
+        hits = total = 0
+        example_shown = False
+        for user in range(train.n_users):
+            hidden = held_out[user]
+            if not hidden:
+                continue
+            recs = recommend(snapshot, user, top_n=10)
+            hits += len(set(recs) & hidden)
+            total += min(len(hidden), 10)
+            if not example_shown and recs:
+                print(f"\nTop recommendations for user {user}: {recs[:5]}")
+                print(f"(user's hidden test items: {sorted(hidden)[:5]} ...)")
+                example_shown = True
 
-    print(f"\nHit rate on held-out ratings: {hits / total:.1%}")
+        print(f"\nHit rate on held-out ratings: {hits / total:.1%}")
 
-    # Compare against recommending from random "neighbours".
-    rng = np.random.default_rng(0)
-    random_hits = random_total = 0
-    for user in range(train.n_users):
-        hidden = held_out[user]
-        if not hidden:
-            continue
-        fake_items = rng.choice(train.n_items, size=10, replace=False)
-        random_hits += len(set(fake_items.tolist()) & hidden)
-        random_total += min(len(hidden), 10)
-    print(f"Random-recommendation hit rate:  {random_hits / random_total:.1%}")
+        # Compare against recommending from random "neighbours".
+        rng = np.random.default_rng(0)
+        random_hits = random_total = 0
+        for user in range(train.n_users):
+            hidden = held_out[user]
+            if not hidden:
+                continue
+            fake_items = rng.choice(train.n_items, size=10, replace=False)
+            random_hits += len(set(fake_items.tolist()) & hidden)
+            random_total += min(len(hidden), 10)
+        print(
+            f"Random-recommendation hit rate:  "
+            f"{random_hits / random_total:.1%}"
+        )
+
+        # Streamed events move the exclusion set with the snapshot: the
+        # moment the user rates her top recommendation, a fresh pin
+        # stops recommending it — while the old pin (and any query
+        # mid-flight on it) keeps its consistent pre-event view.
+        user = next(
+            u for u in range(train.n_users) if recommend(snapshot, u, top_n=1)
+        )
+        top_item = recommend(snapshot, user, top_n=1)[0]
+        index.apply(AddRating(user, top_item, 5.0))
+        index.refresh()
+        fresh = recommender.pin()
+        stale_recs = recommend(snapshot, user, top_n=10)
+        fresh_recs = recommend(fresh, user, top_n=10)
+        print(
+            f"\nUser {user} rated item {top_item} via a streamed event "
+            f"(snapshot version {snapshot.version} -> {fresh.version})."
+        )
+        print(
+            f"Pinned pre-event snapshot still offers it: "
+            f"{top_item in stale_recs}; fresh snapshot excludes it: "
+            f"{top_item not in fresh_recs}"
+        )
+        assert top_item not in fresh_recs
+    finally:
+        index.close()
 
 
 if __name__ == "__main__":

@@ -92,25 +92,35 @@ def durable_stream(args) -> None:
             auto_refresh=False,
             wal=WriteAheadLog(state / "wal.jsonl", fsync_every=8),
         )
-    index.checkpoint(state)  # seed checkpoint: the base recovery replays onto
-    rng = np.random.default_rng(args.seed)
-    for done in range(1, args.events + 1):
-        index.apply(random_event(rng, index.n_users))
-        if done % args.checkpoint_every == 0:
-            index.refresh()
-            index.checkpoint(state)
-        if args.kill_after is not None and done == args.kill_after:
-            print(f"Simulating crash: SIGKILL after event {done}", flush=True)
-            os.kill(os.getpid(), signal.SIGKILL)
-    index.refresh()
-    # The uninterrupted final graph, for bit-identical recovery checks.
-    save_graph(index.graph, state / "final-graph.npz")
-    parity = index.graph == cold_rebuild_graph(index.dataset, index.config)
-    print(
-        f"Streamed {args.events} events into {state} "
-        f"(last sequence {index.last_seq}); parity with cold rebuild: {parity}"
-    )
-    index.close()
+    # However the stream ends (completion, a bad event, SIGINT), the
+    # index must release its worker pool and /dev/shm arena; only the
+    # simulated SIGKILL below escapes this (that leak is exactly what
+    # the crash-recovery drill then observes and cleans up).
+    try:
+        index.checkpoint(state)  # seed checkpoint: recovery's replay base
+        rng = np.random.default_rng(args.seed)
+        for done in range(1, args.events + 1):
+            index.apply(random_event(rng, index.n_users))
+            if done % args.checkpoint_every == 0:
+                index.refresh()
+                index.checkpoint(state)
+            if args.kill_after is not None and done == args.kill_after:
+                print(
+                    f"Simulating crash: SIGKILL after event {done}",
+                    flush=True,
+                )
+                os.kill(os.getpid(), signal.SIGKILL)
+        index.refresh()
+        # The uninterrupted final graph, for bit-identical recovery checks.
+        save_graph(index.graph, state / "final-graph.npz")
+        parity = index.graph == cold_rebuild_graph(index.dataset, index.config)
+        print(
+            f"Streamed {args.events} events into {state} "
+            f"(last sequence {index.last_seq}); parity with cold rebuild: "
+            f"{parity}"
+        )
+    finally:
+        index.close()
 
 
 def narrative() -> None:
@@ -127,7 +137,9 @@ def narrative() -> None:
     #    single ingestion path and the graph stays exact after each
     #    event (auto_refresh=True, the default).
     result = index.apply(
-        ratings_batch(users=[0, 3, 7], items=[5, 5, 9], ratings=[4.0, 5.0, 3.0])
+        ratings_batch(
+            users=[0, 3, 7], items=[5, 5, 9], ratings=[4.0, 5.0, 3.0]
+        )
     )
     stats = result.refreshes[-1]
     print(
@@ -156,14 +168,17 @@ def narrative() -> None:
     index.apply(ratings_batch([1, 2], [3, 3], [5.0, 5.0]))
     print(f"\nDeferred mode: {index.pending_events} events pending")
     stats = index.refresh()
-    print(f"Refresh evaluated {stats.evaluations} pairs, {stats.changes} slots changed")
+    print(
+        f"Refresh evaluated {stats.evaluations} pairs, "
+        f"{stats.changes} slots changed"
+    )
 
     # 6. The maintained graph is *exactly* the converged KIFF graph.
     cold = cold_rebuild_graph(index.dataset, index.config, metric="cosine")
     print(f"\nParity with cold rebuild: {index.graph == cold}")
     print(
-        f"Total maintenance cost: {index.maintenance_evaluations:,} evaluations "
-        f"across {len(index.refresh_log)} refreshes"
+        f"Total maintenance cost: {index.maintenance_evaluations:,} "
+        f"evaluations across {len(index.refresh_log)} refreshes"
     )
 
     # 7. Durability: journal events into a write-ahead log, checkpoint,
@@ -181,6 +196,8 @@ def narrative() -> None:
             f"replayed WAL event(s); bit-identical: "
             f"{restored.graph == index.graph}"
         )
+        restored.close()
+    index.close()
 
 
 def main(argv=None) -> None:

@@ -1,0 +1,49 @@
+"""Mixed-batch smoke client for a running ``repro serve`` instance.
+
+Usage::
+
+    python scripts/serving_smoke_client.py PORT [HOST]
+
+Sends a pipelined batch of ``neighbors``/``recommend``/``stats``
+requests (plus one deliberately bad op) over one TCP connection,
+asserts every data reply is ok and version-stamped and that the bad op
+gets an error envelope, and prints a one-line summary.  Exits non-zero
+on any protocol violation — CI's serving smoke job runs this while the
+server is mid-ingestion.
+"""
+
+import json
+import socket
+import sys
+
+
+def main() -> int:
+    port = int(sys.argv[1])
+    host = sys.argv[2] if len(sys.argv) > 2 else "127.0.0.1"
+    requests = (
+        [{"op": "neighbors", "user": user} for user in range(8)]
+        + [{"op": "recommend", "user": user, "top_n": 5} for user in range(8)]
+        + [{"op": "stats"}, {"op": "bogus"}]
+    )
+    payload = "".join(
+        json.dumps(request) + "\n" for request in requests
+    ).encode()
+    with socket.create_connection((host, port), timeout=10) as conn:
+        conn.sendall(payload)
+        with conn.makefile("r") as stream:
+            replies = [json.loads(stream.readline()) for _ in requests]
+    data, bad = replies[:-1], replies[-1]
+    assert all(reply["ok"] for reply in data), data
+    assert not bad["ok"] and "unknown op" in bad["error"], bad
+    versions = sorted({reply["version"] for reply in data[:-1]})
+    stats = data[-1]
+    print(
+        f"answered {len(replies)} requests at version(s) {versions}; "
+        f"server totals: {stats['requests']} requests in "
+        f"{stats['batches']} batches (max batch {stats['max_batch']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

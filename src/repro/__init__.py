@@ -83,6 +83,15 @@ from .instrumentation import (
     scan_rate,
 )
 from .persistence import PartitionedWriteAheadLog, WriteAheadLog
+from .serving import (
+    GraphSnapshot,
+    KnnServer,
+    NeighborReply,
+    Recommendation,
+    Recommender,
+    neighbors_on,
+    recommend_on,
+)
 from .similarity import (
     ProfileIndex,
     SimilarityEngine,
@@ -116,19 +125,24 @@ __all__ = [
     "ConvergenceTrace",
     "DatasetError",
     "DynamicKnnIndex",
+    "GraphSnapshot",
     "HyRecConfig",
     "KiffConfig",
     "KnnGraph",
     "KnnHeap",
+    "KnnServer",
     "LshConfig",
     "MaintenanceCounter",
     "MutableBipartiteBuilder",
     "NNDescentConfig",
+    "NeighborReply",
     "PartitionedWriteAheadLog",
     "PhaseTimer",
     "ProfileIndex",
     "RankedCandidateSets",
     "RcsDelta",
+    "Recommendation",
+    "Recommender",
     "RefreshStats",
     "RemoveRating",
     "RemoveUser",
@@ -152,11 +166,13 @@ __all__ = [
     "load_movielens_family",
     "lsh_knn",
     "metric_names",
+    "neighbors_on",
     "nn_descent",
     "per_user_recall",
     "random_knn_graph",
     "ratings_batch",
     "recall",
+    "recommend_on",
     "register_metric",
     "scan_rate",
     "strict_recall",

@@ -42,7 +42,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "datasets", "graph-stats", "stream", "recover"],
+        + ["all", "datasets", "graph-stats", "stream", "serve", "recover"],
         help=(
             "which paper artefact to regenerate ('all' runs everything; "
             "'datasets' prints Table-I statistics for every registry "
@@ -50,8 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
             "KNN graph with KIFF and prints its analytics; 'stream' "
             "replays a hold-out rating stream through the dynamic KNN "
             "index and reports maintenance cost vs full rebuilds; "
-            "'recover' restores a crashed streaming index from a state "
-            "directory's checkpoint + write-ahead log tail)"
+            "'serve' answers neighbors/recommend queries over TCP from "
+            "lock-free graph snapshots, optionally while a writer "
+            "thread streams events; 'recover' restores a crashed "
+            "streaming index from a state directory's checkpoint + "
+            "write-ahead log tail)"
         ),
     )
     parser.add_argument(
@@ -146,6 +149,39 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="with 'serve': interface to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help=(
+            "with 'serve': TCP port (default: 0 = ephemeral; the bound "
+            "port is printed on startup)"
+        ),
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help=(
+            "with 'serve': shut down cleanly after this many seconds "
+            "(default: run until SIGINT/SIGTERM)"
+        ),
+    )
+    parser.add_argument(
+        "--serve-events",
+        type=int,
+        default=0,
+        help=(
+            "with 'serve': stream up to N held-out rating events "
+            "through a writer thread while serving (--batch-size events "
+            "per refresh), demonstrating reads during live ingestion"
+        ),
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help=(
@@ -170,7 +206,15 @@ def _run_datasets(args) -> int:
             save_dataset(dataset, args.save_dir)
     print(
         render_table(
-            ["Dataset", "|U|", "|I|", "|E|", "Density", "Avg |UPu|", "Avg |IPi|"],
+            [
+                "Dataset",
+                "|U|",
+                "|I|",
+                "|E|",
+                "Density",
+                "Avg |UPu|",
+                "Avg |IPi|",
+            ],
             rows,
             title=f"Registry presets at scale={args.scale!r}",
         )
@@ -267,80 +311,200 @@ def _run_stream(args) -> int:
         index = DynamicKnnIndex(
             base, KiffConfig(k=k), metric=args.metric, auto_refresh=False
         )
-    state_dir = None
-    if args.wal:
-        wal_path = Path(args.wal)
-        if args.shards > 1:
-            from .persistence import PartitionedWriteAheadLog
+    # Whatever happens mid-stream (validation error, SIGINT), the index
+    # must release its worker pool and /dev/shm arena on the way out.
+    try:
+        state_dir = None
+        if args.wal:
+            wal_path = Path(args.wal)
+            if args.shards > 1:
+                from .persistence import PartitionedWriteAheadLog
 
-            # Per-shard segments live in the log's directory; a bare
-            # directory path is accepted directly.
-            state_dir = (
-                wal_path.parent if wal_path.suffix == ".jsonl" else wal_path
-            )
-            wal = PartitionedWriteAheadLog(state_dir, args.shards)
-            log_name = f"{state_dir}/wal-<shard>.jsonl"
-        else:
-            from .persistence import WriteAheadLog
+                # Per-shard segments live in the log's directory; a bare
+                # directory path is accepted directly.
+                state_dir = (
+                    wal_path.parent
+                    if wal_path.suffix == ".jsonl"
+                    else wal_path
+                )
+                wal = PartitionedWriteAheadLog(state_dir, args.shards)
+                log_name = f"{state_dir}/wal-<shard>.jsonl"
+            else:
+                from .persistence import WriteAheadLog
 
-            state_dir = wal_path.parent
-            wal = WriteAheadLog(wal_path)
-            log_name = str(wal_path)
-        if wal.last_seq > 0:
-            wal.close()
-            print(
-                f"error: {log_name} already holds events up to sequence "
-                f"{wal.last_seq}; recover that state with "
-                f"'repro-kiff recover {state_dir}' or pass a fresh "
-                f"--wal path",
-                file=sys.stderr,
-            )
-            return 2
-        index.attach_wal(wal)
-        # Seed checkpoint: recovery needs a base to replay the log onto.
-        index.checkpoint(state_dir)
-    outcome = replay_stream(
-        index,
-        users,
-        items,
-        ratings,
-        batch_size=args.batch_size,
-        checkpoint_every=args.checkpoint_every if state_dir else None,
-        checkpoint_dir=state_dir,
-    )
-    cold = cold_rebuild_graph(index.dataset, index.config, metric=args.metric)
-    rows = [
-        ["events streamed", outcome.events],
-        ["batch size", args.batch_size],
-        ["refreshes", outcome.batches],
-        ["events/s", round(outcome.events_per_second, 1)],
-        ["evals (incremental)", outcome.incremental_evaluations],
-        ["evals (rebuild per batch)", outcome.rebuild_evaluations],
-        ["savings", f"{outcome.savings:.1f}x"],
-        ["parity with cold rebuild", index.graph == cold],
-    ]
-    if args.shards > 1:
-        rows.insert(1, ["shards", args.shards])
-        rows.insert(2, ["executor", args.executor])
-    if state_dir is not None:
-        rows.append(["wal", str(index.wal.path)])
-        rows.append(["last sequence", index.last_seq])
-        if args.checkpoint_every is not None:
-            rows.append(
-                ["checkpoint cadence", f"every {args.checkpoint_every} batches"]
-            )
-    print(
-        render_table(
-            ["Statistic", "Value"],
-            rows,
-            title=(
-                f"Streaming {int(args.stream_fraction * 100)}% of "
-                f"{args.dataset} ({args.scale}) through "
-                f"{type(index).__name__}, metric={args.metric}, k={k}"
-            ),
+                state_dir = wal_path.parent
+                wal = WriteAheadLog(wal_path)
+                log_name = str(wal_path)
+            if wal.last_seq > 0:
+                wal.close()
+                print(
+                    f"error: {log_name} already holds events up to "
+                    f"sequence {wal.last_seq}; recover that state with "
+                    f"'repro-kiff recover {state_dir}' or pass a fresh "
+                    f"--wal path",
+                    file=sys.stderr,
+                )
+                return 2
+            index.attach_wal(wal)
+            # Seed checkpoint: recovery needs a base to replay onto.
+            index.checkpoint(state_dir)
+        outcome = replay_stream(
+            index,
+            users,
+            items,
+            ratings,
+            batch_size=args.batch_size,
+            checkpoint_every=args.checkpoint_every if state_dir else None,
+            checkpoint_dir=state_dir,
         )
+        cold = cold_rebuild_graph(
+            index.dataset, index.config, metric=args.metric
+        )
+        rows = [
+            ["events streamed", outcome.events],
+            ["batch size", args.batch_size],
+            ["refreshes", outcome.batches],
+            ["events/s", round(outcome.events_per_second, 1)],
+            ["evals (incremental)", outcome.incremental_evaluations],
+            ["evals (rebuild per batch)", outcome.rebuild_evaluations],
+            ["savings", f"{outcome.savings:.1f}x"],
+            ["parity with cold rebuild", index.graph == cold],
+        ]
+        if args.shards > 1:
+            rows.insert(1, ["shards", args.shards])
+            rows.insert(2, ["executor", args.executor])
+        if state_dir is not None:
+            rows.append(["wal", str(index.wal.path)])
+            rows.append(["last sequence", index.last_seq])
+            if args.checkpoint_every is not None:
+                rows.append(
+                    [
+                        "checkpoint cadence",
+                        f"every {args.checkpoint_every} batches",
+                    ]
+                )
+        print(
+            render_table(
+                ["Statistic", "Value"],
+                rows,
+                title=(
+                    f"Streaming {int(args.stream_fraction * 100)}% of "
+                    f"{args.dataset} ({args.scale}) through "
+                    f"{type(index).__name__}, metric={args.metric}, k={k}"
+                ),
+            )
+        )
+    finally:
+        index.close()
+    return 0
+
+
+def _run_serve(args) -> int:
+    """The 'serve' utility: lock-free query serving over TCP.
+
+    Builds the index on the retained split of a hold-out stream, then
+    answers newline-delimited JSON ``neighbors``/``recommend``/``stats``
+    requests from pinned graph snapshots (see :mod:`repro.serving`).
+    With ``--serve-events N`` a writer thread concurrently applies up
+    to N held-out rating events (one refresh per ``--batch-size``
+    batch), so queries are served against live, versioned publications
+    while ingestion runs.  Shuts down on SIGINT/SIGTERM or after
+    ``--duration`` seconds; the index is always closed on the way out.
+    """
+    import asyncio
+    import signal
+    import threading
+
+    from .core import KiffConfig
+    from .datasets import load_dataset
+    from .serving import KnnServer
+    from .streaming import (
+        DynamicKnnIndex,
+        ShardedKnnIndex,
+        holdout_stream,
+        ratings_batch,
     )
-    index.close()
+
+    if args.shards < 1:
+        print(
+            f"error: --shards must be >= 1, got {args.shards}",
+            file=sys.stderr,
+        )
+        return 2
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    k = _cli_k(args)
+    base, users, items, ratings = holdout_stream(
+        dataset, fraction=args.stream_fraction, seed=args.seed
+    )
+    if args.shards > 1:
+        index = ShardedKnnIndex(
+            base,
+            KiffConfig(k=k),
+            metric=args.metric,
+            auto_refresh=False,
+            n_shards=args.shards,
+            executor=args.executor,
+        )
+    else:
+        index = DynamicKnnIndex(
+            base, KiffConfig(k=k), metric=args.metric, auto_refresh=False
+        )
+    stop_writer = threading.Event()
+    writer = None
+    try:
+        n_events = min(args.serve_events, len(users))
+        if n_events > 0:
+
+            def _ingest() -> None:
+                for lo in range(0, n_events, args.batch_size):
+                    if stop_writer.is_set():
+                        return
+                    hi = min(lo + args.batch_size, n_events)
+                    index.apply(
+                        ratings_batch(
+                            users[lo:hi], items[lo:hi], ratings[lo:hi]
+                        )
+                    )
+                    index.refresh()
+
+            writer = threading.Thread(
+                target=_ingest, name="repro-serve-writer", daemon=True
+            )
+
+        async def _serve() -> None:
+            server = KnnServer(index, host=args.host, port=args.port)
+            await server.start()
+            host, port = server.address
+            print(
+                f"serving {args.dataset} ({args.scale}, "
+                f"{type(index).__name__}, k={k}) on {host}:{port} "
+                f"at snapshot version {index.pin().version}",
+                flush=True,
+            )
+            if writer is not None:
+                writer.start()
+            loop = asyncio.get_running_loop()
+            done = asyncio.Event()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, done.set)
+            if args.duration is not None:
+                loop.call_later(args.duration, done.set)
+            await done.wait()
+            await server.stop()
+            print(
+                f"served {server.requests} requests in {server.batches} "
+                f"batches (max batch {server.max_batch_seen}), final "
+                f"snapshot version {index.snapshot_version}",
+                flush=True,
+            )
+
+        asyncio.run(_serve())
+    finally:
+        stop_writer.set()
+        if writer is not None and writer.is_alive():
+            writer.join(timeout=30)
+        index.close()
+        print("index closed", flush=True)
     return 0
 
 
@@ -384,33 +548,41 @@ def _run_recover(args) -> int:
         index = ShardedKnnIndex.restore(directory)
     else:
         index = DynamicKnnIndex.restore(directory)
-    info = index.restore_info
-    dataset = index.dataset
-    rows = [
-        ["layout", layout],
-        ["checkpoint", info.checkpoint.name],
-        ["checkpoint sequence", info.checkpoint_seq],
-        ["wal events replayed", info.replayed_events],
-        ["last sequence", info.last_seq],
-        ["users", dataset.n_users],
-        ["items", dataset.n_items],
-        ["ratings", dataset.n_ratings],
-        ["recovery evaluations", info.evaluations],
-    ]
-    if layout == "sharded":
-        rows.insert(1, ["shards", index.n_shards])
-    parity = None
-    if args.verify:
-        cold = cold_rebuild_graph(dataset, index.config, metric=index.engine.metric)
-        parity = index.graph == cold
-        rows.append(["parity with cold rebuild", parity])
-    print(
-        render_table(
-            ["Statistic", "Value"],
-            rows,
-            title=f"Recovered {type(index).__name__} from {args.directory}",
+    try:
+        info = index.restore_info
+        dataset = index.dataset
+        rows = [
+            ["layout", layout],
+            ["checkpoint", info.checkpoint.name],
+            ["checkpoint sequence", info.checkpoint_seq],
+            ["wal events replayed", info.replayed_events],
+            ["last sequence", info.last_seq],
+            ["users", dataset.n_users],
+            ["items", dataset.n_items],
+            ["ratings", dataset.n_ratings],
+            ["recovery evaluations", info.evaluations],
+        ]
+        if layout == "sharded":
+            rows.insert(1, ["shards", index.n_shards])
+        parity = None
+        if args.verify:
+            cold = cold_rebuild_graph(
+                dataset, index.config, metric=index.engine.metric
+            )
+            parity = index.graph == cold
+            rows.append(["parity with cold rebuild", parity])
+        print(
+            render_table(
+                ["Statistic", "Value"],
+                rows,
+                title=(
+                    f"Recovered {type(index).__name__} from "
+                    f"{args.directory}"
+                ),
+            )
         )
-    )
+    finally:
+        index.close()
     return 0 if parity in (None, True) else 1
 
 
@@ -423,12 +595,18 @@ def main(argv: list[str] | None = None) -> int:
         return _run_graph_stats(args)
     if args.experiment == "stream":
         return _run_stream(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
     if args.experiment == "recover":
         return _run_recover(args)
     context = ExperimentContext(
         scale=args.scale, metric=args.metric, seed=args.seed
     )
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    names = (
+        sorted(EXPERIMENTS)
+        if args.experiment == "all"
+        else [args.experiment]
+    )
     for name in names:
         module = EXPERIMENTS[name]
         start = time.perf_counter()

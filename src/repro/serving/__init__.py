@@ -1,0 +1,39 @@
+"""Lock-free query serving over the maintained KNN graph.
+
+The write path (PRs 1-5) keeps the converged KIFF graph exact under
+typed events; this package is its read-side counterpart.  ``refresh()``
+publishes an immutable, versioned :class:`GraphSnapshot` via an atomic
+pointer swap, so readers pin one reference and answer queries without
+locks and without ever observing a half-applied refinement pass:
+
+* :class:`GraphSnapshot` — one published version: frozen graph rows
+  plus the dataset / profile-index views they were computed from,
+  stamped with the covering WAL sequence number.
+* :class:`Recommender` / :func:`neighbors_on` / :func:`recommend_on` —
+  version-consistent neighbour lookups and user-based CF top-N
+  recommendations against a pinned snapshot.
+* :class:`KnnServer` — the ``repro serve`` asyncio batch server:
+  newline-delimited JSON over TCP, coalescing concurrent requests into
+  one snapshot pin per batch while ``apply()``/``refresh()`` run on a
+  writer thread.
+"""
+
+from .recommend import (
+    NeighborReply,
+    Recommendation,
+    Recommender,
+    neighbors_on,
+    recommend_on,
+)
+from .server import KnnServer
+from .snapshot import GraphSnapshot
+
+__all__ = [
+    "GraphSnapshot",
+    "KnnServer",
+    "NeighborReply",
+    "Recommendation",
+    "Recommender",
+    "neighbors_on",
+    "recommend_on",
+]

@@ -1,0 +1,171 @@
+"""Version-consistent queries against pinned graph snapshots.
+
+Two query shapes, both pure functions of one :class:`GraphSnapshot`:
+
+* :func:`neighbors_on` — a user's KNN row (ids + similarities);
+* :func:`recommend_on` — user-based collaborative filtering: score the
+  items a user's neighbours rated highly, weighted by neighbour
+  similarity, excluding items the user has already rated.
+
+The exclusion set is built from **the snapshot's own dataset view**,
+not from whatever split the index was trained on.  The historical
+``examples/movie_recommendations.py`` version froze its seen-items set
+at the initial training matrix, so an item rated via a later streamed
+event could be recommended straight back to the user; here the
+exclusion travels with the snapshot, so a recommendation is consistent
+with exactly the graph version stamped on it.
+
+:class:`Recommender` wraps an index (flat or sharded) and pins one
+snapshot per query — or serves many queries against one explicit pin,
+which is what the batch server does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.knn_graph import MISSING
+from .snapshot import GraphSnapshot
+
+__all__ = [
+    "NeighborReply",
+    "Recommendation",
+    "Recommender",
+    "neighbors_on",
+    "recommend_on",
+]
+
+
+@dataclass(frozen=True)
+class NeighborReply:
+    """One answered neighbour lookup, stamped with its graph version."""
+
+    user: int
+    version: int
+    neighbors: tuple[int, ...]
+    sims: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One answered top-N query, stamped with its graph version."""
+
+    user: int
+    version: int
+    items: tuple[int, ...]
+    scores: tuple[float, ...]
+
+
+def _check_user(snapshot: GraphSnapshot, user: int) -> None:
+    if not 0 <= user < snapshot.n_users:
+        raise IndexError(
+            f"user id {user} out of range [0, {snapshot.n_users}) at "
+            f"snapshot version {snapshot.version}"
+        )
+
+
+def neighbors_on(snapshot: GraphSnapshot, user: int) -> NeighborReply:
+    """*user*'s KNN row on *snapshot* (``MISSING`` slots dropped)."""
+    user = int(user)
+    _check_user(snapshot, user)
+    row = snapshot.neighbors[user]
+    present = row != MISSING
+    return NeighborReply(
+        user=user,
+        version=snapshot.version,
+        neighbors=tuple(int(n) for n in row[present]),
+        sims=tuple(float(s) for s in snapshot.sims[user][present]),
+    )
+
+
+def recommend_on(
+    snapshot: GraphSnapshot,
+    user: int,
+    top_n: int = 10,
+    min_neighbor_rating: float = 3.5,
+) -> Recommendation:
+    """Top-N unseen items for *user*, scored on *snapshot*.
+
+    Classic user-based CF (the KIFF paper's motivating application):
+    each positive-similarity neighbour contributes ``sim * rating`` for
+    every item she rated at ``min_neighbor_rating`` or above that the
+    querying user has not rated *in this snapshot's dataset*.  Ties
+    break by item id ascending, so responses are bit-reproducible for
+    the concurrent-reader parity suite.
+    """
+    user = int(user)
+    _check_user(snapshot, user)
+    dataset = snapshot.dataset
+    seen = set(dataset.user_items(user).tolist())
+    scores: dict[int, float] = {}
+    row = snapshot.neighbors[user]
+    row_sims = snapshot.sims[user]
+    for neighbor, sim in zip(row.tolist(), row_sims.tolist()):
+        if neighbor == MISSING or sim <= 0.0:
+            continue
+        items = dataset.user_items(neighbor)
+        ratings = dataset.user_ratings(neighbor)
+        for item, rating in zip(items.tolist(), ratings.tolist()):
+            if item in seen or rating < min_neighbor_rating:
+                continue
+            scores[item] = scores.get(item, 0.0) + sim * rating
+    ranked = sorted(scores.items(), key=lambda entry: (-entry[1], entry[0]))
+    del ranked[top_n:]
+    return Recommendation(
+        user=user,
+        version=snapshot.version,
+        items=tuple(item for item, _ in ranked),
+        scores=tuple(score for _, score in ranked),
+    )
+
+
+class Recommender:
+    """Serve neighbour / top-N queries over an index's snapshots.
+
+    Wraps a :class:`~repro.streaming.DynamicKnnIndex` (or sharded
+    subclass).  Each query pins the latest published snapshot unless
+    the caller passes an explicit one — batch callers pin once and
+    reuse it, so every answer in the batch reports the same version.
+
+    Reads never block the writer: ``apply()``/``refresh()`` may run
+    concurrently on another thread, and a pinned snapshot stays
+    bit-stable regardless.
+    """
+
+    def __init__(
+        self,
+        index,
+        top_n: int = 10,
+        min_neighbor_rating: float = 3.5,
+    ):
+        self.index = index
+        self.top_n = int(top_n)
+        self.min_neighbor_rating = float(min_neighbor_rating)
+
+    def pin(self) -> GraphSnapshot:
+        """Pin the index's latest published snapshot."""
+        return self.index.pin()
+
+    def neighbors(
+        self, user: int, snapshot: GraphSnapshot | None = None
+    ) -> NeighborReply:
+        """*user*'s KNN row (on *snapshot*, or a fresh pin)."""
+        if snapshot is None:
+            snapshot = self.pin()
+        return neighbors_on(snapshot, user)
+
+    def recommend(
+        self,
+        user: int,
+        top_n: int | None = None,
+        snapshot: GraphSnapshot | None = None,
+    ) -> Recommendation:
+        """Top-N items for *user* (on *snapshot*, or a fresh pin)."""
+        if snapshot is None:
+            snapshot = self.pin()
+        return recommend_on(
+            snapshot,
+            user,
+            top_n=self.top_n if top_n is None else int(top_n),
+            min_neighbor_rating=self.min_neighbor_rating,
+        )

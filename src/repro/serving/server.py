@@ -1,0 +1,243 @@
+"""The ``repro serve`` asyncio batch server.
+
+Protocol: newline-delimited JSON over TCP, one request object per line,
+one reply object per line, answered in request order per connection::
+
+    {"op": "neighbors", "user": 12}
+    {"op": "recommend", "user": 12, "top_n": 5}
+    {"op": "stats"}
+
+Replies carry ``"ok"`` plus either the payload or an ``"error"``
+string; every data reply is stamped with the graph ``version`` it was
+computed from::
+
+    {"ok": true, "op": "neighbors", "user": 12, "version": 87,
+     "neighbors": [3, 9], "sims": [0.81, 0.77]}
+
+Batching: every connection feeds a shared queue; a single dispatcher
+drains whatever requests are waiting into one micro-batch, pins **one**
+snapshot, and answers the whole batch against it.  Pipelined bursts
+(many lines in one TCP write) therefore coalesce into a handful of
+pins, every reply in a batch reports the same version, and readers
+never block on the writer thread running ``apply()``/``refresh()``
+concurrently — the snapshot swap is the only synchronisation point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+from .recommend import Recommender
+from .snapshot import GraphSnapshot
+
+__all__ = ["KnnServer"]
+
+
+class KnnServer:
+    """Serve an index's snapshots over newline-delimited JSON TCP.
+
+    Usage (the CLI's ``repro serve`` wraps exactly this)::
+
+        server = KnnServer(index, host="127.0.0.1", port=0)
+        await server.start()
+        host, port = server.address
+        ...
+        await server.stop()
+
+    ``stop()`` shuts the listener and dispatcher down but does **not**
+    close the index — the caller owns its lifecycle (and is expected to
+    ``index.close()`` in a ``finally``).
+    """
+
+    def __init__(
+        self,
+        index,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        top_n: int = 10,
+        min_neighbor_rating: float = 3.5,
+        max_batch: int = 256,
+    ):
+        self.index = index
+        self.recommender = Recommender(
+            index, top_n=top_n, min_neighbor_rating=min_neighbor_rating
+        )
+        self.host = host
+        self.port = int(port)
+        self.max_batch = int(max_batch)
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        #: Served-traffic accounting (exposed by the ``stats`` op).
+        self.requests = 0
+        self.batches = 0
+        self.max_batch_seen = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` ephemera)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> "KnnServer":
+        """Bind the listener and start the dispatcher task."""
+        self._queue = asyncio.Queue()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting and answering; idempotent."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher
+            self._dispatcher = None
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Run until *stop* is set, then shut down."""
+        await stop.wait()
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling: reader enqueues, per-connection writer
+    # preserves reply order, the shared dispatcher batches.
+    # ------------------------------------------------------------------
+    async def _serve_connection(self, reader, writer) -> None:
+        loop = asyncio.get_running_loop()
+        replies: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.create_task(self._write_replies(replies, writer))
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                future = loop.create_future()
+                await self._queue.put((stripped, future))
+                await replies.put(future)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            await replies.put(None)
+            with contextlib.suppress(Exception):
+                await writer_task
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _write_replies(self, replies: asyncio.Queue, writer) -> None:
+        while True:
+            future = await replies.get()
+            if future is None:
+                return
+            payload = await future
+            try:
+                writer.write(payload + b"\n")
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return  # client went away; drop the remaining replies
+
+    # ------------------------------------------------------------------
+    # Batched dispatch: one snapshot pin per micro-batch.
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            batch = [await self._queue.get()]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self._serve_batch(batch)
+            # Yield so connection readers refill the queue before the
+            # next drain — that's what turns bursts into batches.
+            await asyncio.sleep(0)
+
+    def _serve_batch(self, batch) -> None:
+        self.batches += 1
+        self.requests += len(batch)
+        self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        try:
+            snapshot = self.recommender.pin()
+        except RuntimeError as error:
+            payload = _encode({"ok": False, "error": str(error)})
+            for _, future in batch:
+                if not future.done():
+                    future.set_result(payload)
+            return
+        for raw, future in batch:
+            if not future.done():
+                future.set_result(self._answer(raw, snapshot))
+
+    def _answer(self, raw: bytes, snapshot: GraphSnapshot) -> bytes:
+        try:
+            request = json.loads(raw)
+            if not isinstance(request, dict):
+                raise ValueError(
+                    f"request must be a JSON object, got "
+                    f"{type(request).__name__}"
+                )
+            op = request.get("op")
+            if op == "neighbors":
+                reply = self.recommender.neighbors(
+                    request["user"], snapshot=snapshot
+                )
+                body = {
+                    "ok": True,
+                    "op": op,
+                    "user": reply.user,
+                    "version": reply.version,
+                    "neighbors": list(reply.neighbors),
+                    "sims": list(reply.sims),
+                }
+            elif op == "recommend":
+                reply = self.recommender.recommend(
+                    request["user"],
+                    top_n=request.get("top_n"),
+                    snapshot=snapshot,
+                )
+                body = {
+                    "ok": True,
+                    "op": op,
+                    "user": reply.user,
+                    "version": reply.version,
+                    "items": list(reply.items),
+                    "scores": list(reply.scores),
+                }
+            elif op == "stats":
+                body = {
+                    "ok": True,
+                    "op": op,
+                    "version": snapshot.version,
+                    "n_users": snapshot.n_users,
+                    "k": snapshot.k,
+                    "requests": self.requests,
+                    "batches": self.batches,
+                    "max_batch": self.max_batch_seen,
+                }
+            else:
+                raise ValueError(
+                    f"unknown op {op!r}; expected 'neighbors', "
+                    f"'recommend' or 'stats'"
+                )
+        except Exception as error:
+            return _encode(
+                {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            )
+        return _encode(body)
+
+
+def _encode(body: dict) -> bytes:
+    return json.dumps(body, separators=(",", ":")).encode("utf-8")

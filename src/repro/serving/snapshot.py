@@ -1,0 +1,137 @@
+"""Immutable, versioned read views of a maintained KNN graph.
+
+MVCC in one attribute store
+---------------------------
+``DynamicKnnIndex.refresh()`` mutates its graph rows in place, so a
+reader walking those arrays concurrently could observe a half-applied
+pass (rows cleared to ``MISSING`` but not yet re-merged).  Instead of
+locking, the index *publishes*: at the end of every completed
+``refresh()``/``rebuild()`` it freezes the live rows into a
+:class:`GraphSnapshot` and stores it with a single attribute
+assignment — atomic under the GIL, the pointer-swap of a classic MVCC
+design.  Readers call ``index.pin()`` and hold the returned snapshot
+for the duration of a query; the reference *is* the pin, and dropping
+it is the unpin.
+
+What is copied, what is shared
+------------------------------
+Only the graph rows are copied at publish time, because refresh mutates
+them in place.  Everything else is shared by reference, which is safe
+because the write path replaces those structures wholesale instead of
+mutating them: ``MutableBipartiteBuilder.snapshot()`` materialises a
+fresh :class:`~repro.datasets.bipartite.BipartiteDataset` (patching
+only dirty CSR rows), and ``ProfileIndex.update()`` builds new
+norm/size arrays before swapping them in.  An old snapshot therefore
+stays bit-stable forever at the cost of one ``(n_users, k)`` row pair
+(~``16 * n_users * k`` bytes) plus whatever dataset arrays are no
+longer shared with the live index.
+
+The ``version`` is the covering WAL sequence number: the snapshot
+reflects exactly the events ``1..version`` (``index.last_seq`` at
+publish time), which is what lets the concurrent-reader suite replay
+any served response bit-identically from a cold rebuild at that
+sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..datasets.bipartite import BipartiteDataset
+from ..graph.knn_graph import MISSING, KnnGraph
+
+__all__ = ["GraphSnapshot"]
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """A read-only view of *array* (the base buffer is untouched)."""
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+@dataclass(frozen=True, eq=False)
+class GraphSnapshot:
+    """One published version of the serving state.
+
+    All arrays are read-only; ``neighbors``/``sims`` are private copies
+    of the live rows, ``dataset``/``norms``/``sizes`` are shared with
+    the index state that produced them (see the module docstring for
+    why sharing is safe).
+    """
+
+    #: Covering WAL sequence: events ``1..version`` are reflected.
+    version: int
+    #: ``(n_users, k)`` neighbour ids, ``MISSING`` marking empty slots.
+    neighbors: np.ndarray
+    #: ``(n_users, k)`` similarities aligned with ``neighbors``.
+    sims: np.ndarray
+    #: The dataset view the rows were computed from (CSR + CSC).
+    dataset: BipartiteDataset
+    #: Per-user profile norms from the covering ProfileIndex.
+    norms: np.ndarray
+    #: Per-user profile sizes from the covering ProfileIndex.
+    sizes: np.ndarray
+
+    @classmethod
+    def capture(
+        cls,
+        version: int,
+        neighbors: np.ndarray,
+        sims: np.ndarray,
+        dataset: BipartiteDataset,
+        norms: np.ndarray,
+        sizes: np.ndarray,
+    ) -> "GraphSnapshot":
+        """Freeze the live index state into a new snapshot.
+
+        The graph rows are copied (the writer keeps mutating them in
+        place); the dataset and profile-index arrays are shared (the
+        writer replaces, never mutates, those).
+        """
+        return cls(
+            version=int(version),
+            neighbors=_frozen(neighbors.copy()),
+            sims=_frozen(sims.copy()),
+            dataset=dataset,
+            norms=_frozen(norms),
+            sizes=_frozen(sizes),
+        )
+
+    def at_version(self, version: int) -> "GraphSnapshot":
+        """This state re-published under a newer covering sequence.
+
+        Used when a refresh absorbed only no-op events: the arrays are
+        shared with ``self``, so republishing costs nothing.
+        """
+        return replace(self, version=int(version))
+
+    @property
+    def n_users(self) -> int:
+        return int(self.neighbors.shape[0])
+
+    @property
+    def k(self) -> int:
+        return int(self.neighbors.shape[1])
+
+    def neighbors_of(self, user: int) -> np.ndarray:
+        """Present neighbour ids of *user* (``MISSING`` slots dropped)."""
+        row = self.neighbors[user]
+        return row[row != MISSING]
+
+    def sims_of(self, user: int) -> np.ndarray:
+        """Similarities aligned with :meth:`neighbors_of`."""
+        return self.sims[user][self.neighbors[user] != MISSING]
+
+    def graph(self) -> KnnGraph:
+        """Materialise a :class:`KnnGraph` copy (parity checks, not
+        the serving path — serving reads the frozen rows directly)."""
+        return KnnGraph(self.neighbors.copy(), self.sims.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphSnapshot(version={self.version}, "
+            f"n_users={self.n_users}, k={self.k})"
+        )

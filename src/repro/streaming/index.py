@@ -101,6 +101,7 @@ from ..datasets.mutable import MutableBipartiteBuilder
 from ..graph.knn_graph import MISSING, KnnGraph
 from ..graph.updates import ReverseNeighborIndex, dedupe_pairs, merge_topk_rows
 from ..instrumentation.counters import MaintenanceCounter
+from ..serving.snapshot import GraphSnapshot
 from ..similarity.base import ProfileIndex, SimilarityMetric
 from ..similarity.engine import SimilarityEngine
 from .events import (
@@ -227,6 +228,12 @@ class DynamicKnnIndex:
         candidate_cache_size: int | None = 65_536,
         wal=None,
     ):
+        #: Set first so close() is safe however far construction got.
+        self._closed = False
+        #: The latest published read snapshot (atomic pointer swap; see
+        #: :mod:`repro.serving.snapshot`).  None until the first
+        #: completed ``rebuild()``/``refresh()`` publishes.
+        self._snapshot: GraphSnapshot | None = None
         self.config = config or KiffConfig()
         self.auto_refresh = auto_refresh
         #: Shared per-user maintenance work accounting (snapshot rows,
@@ -327,15 +334,89 @@ class DynamicKnnIndex:
         """The attached :class:`~repro.persistence.WriteAheadLog` (or None)."""
         return self._wal
 
-    def close(self) -> None:
-        """Release pooled resources (the engine's evaluation pool).
+    @property
+    def closed(self) -> bool:
+        """Has :meth:`close` been called?"""
+        return getattr(self, "_closed", False)
 
-        Idempotent, and everything is re-created on demand — closing an
-        index you keep using only costs the next pool spin-up.
-        :class:`~repro.streaming.sharding.ShardedKnnIndex` extends this
-        to its shard workers and shared-memory blocks.
+    def close(self) -> None:
+        """Release pooled resources and retire the index.
+
+        Idempotent, and safe whatever state construction reached — a
+        double close or a close after a failed ``__init__`` is a no-op,
+        never an exception.  After a close, mutation and query entry
+        points (:meth:`apply`, :meth:`refresh`, :meth:`rebuild`,
+        :meth:`pin`) raise a clear :class:`RuntimeError` instead of
+        failing deep in pool internals.
+        :class:`~repro.streaming.sharding.ShardedKnnIndex` extends the
+        cleanup to its shard workers and shared-memory blocks.
         """
-        self.engine.close()
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        engine = getattr(self, "engine", None)
+        if engine is not None:
+            engine.close()
+
+    def _ensure_open(self) -> None:
+        if getattr(self, "_closed", False):
+            raise RuntimeError(
+                f"{type(self).__name__} is closed; construct a new index "
+                f"(or restore() one from its checkpoint state)"
+            )
+
+    # ------------------------------------------------------------------
+    # Read-side snapshots (MVCC publication; see repro.serving)
+    # ------------------------------------------------------------------
+    def pin(self) -> GraphSnapshot:
+        """Pin the latest published :class:`GraphSnapshot`.
+
+        Holding the returned reference *is* the pin: the snapshot is
+        immutable and survives any number of concurrent
+        ``apply()``/``refresh()`` calls bit-unchanged; dropping the
+        reference releases it.  Never blocks — publication is a single
+        attribute swap, atomic under the GIL.
+        """
+        self._ensure_open()
+        snapshot = self._snapshot
+        if snapshot is None:
+            raise RuntimeError(
+                "no snapshot published yet: an index constructed with "
+                "build=False publishes its first snapshot when "
+                "refresh() or rebuild() completes"
+            )
+        return snapshot
+
+    @property
+    def snapshot_version(self) -> int | None:
+        """Version of the latest published snapshot (None before one)."""
+        snapshot = self._snapshot
+        return None if snapshot is None else snapshot.version
+
+    def _publish_snapshot(self, unchanged: bool = False) -> None:
+        """Publish the current state as the pinned-readable snapshot.
+
+        With ``unchanged=True`` (a refresh that absorbed only no-op
+        events) the previous snapshot's arrays are republished under
+        the new covering sequence — no copy.  Otherwise the live rows
+        are frozen; the dataset and profile-index arrays are shared by
+        reference (the write path replaces rather than mutates them).
+        """
+        previous = self._snapshot
+        if unchanged and previous is not None:
+            if previous.version != self._seq:
+                self._snapshot = previous.at_version(self._seq)
+            return
+        neighbors, sims = self._rows()
+        index = self.engine.index
+        self._snapshot = GraphSnapshot.capture(
+            self._seq,
+            neighbors,
+            sims,
+            self.builder.snapshot(),
+            index.norms,
+            index.sizes,
+        )
 
     # ------------------------------------------------------------------
     # Ingestion: typed events through one choke point
@@ -362,6 +443,7 @@ class DynamicKnnIndex:
         :class:`RefreshStats` of every pass this call triggered, the
         primitive-event count and the last sequence number.
         """
+        self._ensure_open()
         if isinstance(events, EVENT_TYPES):
             events = (events,)
         new_users: list[int] = []
@@ -507,7 +589,9 @@ class DynamicKnnIndex:
     def _absorb_removal(self, user: int) -> None:
         profile_items = list(self.builder.profile(user).items())
         touched_items = (
-            None if self._profile_local else [item for item, _ in profile_items]
+            None
+            if self._profile_local
+            else [item for item, _ in profile_items]
         )
         self._cache_evict(user)  # before the profile vanishes
         self.builder.clear_user(user)
@@ -646,7 +730,11 @@ class DynamicKnnIndex:
         from ..persistence import restore_index
 
         return restore_index(
-            cls, directory, metric=metric, refresh=refresh, fsync_every=fsync_every
+            cls,
+            directory,
+            metric=metric,
+            refresh=refresh,
+            fsync_every=fsync_every,
         )
 
     # ------------------------------------------------------------------
@@ -660,7 +748,12 @@ class DynamicKnnIndex:
         their cached candidate sets and mirror-merges the freshly
         evaluated pairs into every other row, restoring the
         converged-graph invariant.  Returns the pass's cost accounting.
+
+        Completion publishes a new read snapshot (:meth:`pin`);
+        concurrent readers keep answering on the previous one and never
+        observe the in-place row mutations this pass performs.
         """
+        self._ensure_open()
         start = time.perf_counter()
         maintenance = self.maintenance
         rows_before = maintenance.rows_materialized
@@ -675,6 +768,7 @@ class DynamicKnnIndex:
                 n_events, 0, 0, 0, 0, time.perf_counter() - start
             )
             self._pending_events = 0
+            self._publish_snapshot(unchanged=True)
             self.refresh_log.append(stats)
             return stats
         engine = self.engine
@@ -744,6 +838,7 @@ class DynamicKnnIndex:
             cache_hits=maintenance.candidate_cache_hits - hits_before,
             cache_misses=maintenance.candidate_cache_misses - misses_before,
         )
+        self._publish_snapshot()
         self.refresh_log.append(stats)
         return stats
 
@@ -752,8 +847,10 @@ class DynamicKnnIndex:
 
         Also the recovery path: whatever the graph state, a rebuild
         restores the invariant from the ratings alone (including the
-        reverse-neighbor index, re-derived from the fresh rows).
+        reverse-neighbor index, re-derived from the fresh rows).  Like
+        :meth:`refresh`, completion publishes a new read snapshot.
         """
+        self._ensure_open()
         self.engine.rebind(self.builder.snapshot())
         result = kiff(self.engine, converged_config(self.config))
         self._neighbors = result.graph.neighbors.copy()
@@ -762,6 +859,7 @@ class DynamicKnnIndex:
         self._reverse.rebuild(self._neighbors[: self._n_rows])
         self._dirty.clear()
         self._pending_events = 0
+        self._publish_snapshot()
         return result
 
     # ------------------------------------------------------------------
@@ -866,7 +964,8 @@ class DynamicKnnIndex:
         delta-maintained cache (rank order is irrelevant here because
         refinement always exhausts the set).
         """
-        return set(self._candidate_sets(np.asarray([user], dtype=np.int64))[user])
+        row = np.asarray([user], dtype=np.int64)
+        return set(self._candidate_sets(row)[user])
 
     def _candidate_pairs(
         self, affected: np.ndarray, dirty: frozenset
@@ -895,7 +994,9 @@ class DynamicKnnIndex:
                     cands.append(user)
         us = np.asarray(rows, dtype=np.int64)
         vs = np.asarray(cands, dtype=np.int64)
-        return dedupe_pairs(us, vs, self.builder.n_users, ordered=not self.config.pivot)
+        return dedupe_pairs(
+            us, vs, self.builder.n_users, ordered=not self.config.pivot
+        )
 
 
 def _bump(counts: dict[int, int], key: int, delta: int) -> None:

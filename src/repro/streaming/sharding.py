@@ -307,7 +307,9 @@ def score_pairs_chunked(
     chunks = []
     for start in range(0, us.size, batch_size):
         stop = start + batch_size
-        chunks.append(metric.score_batch(index, us[start:stop], vs[start:stop]))
+        chunks.append(
+            metric.score_batch(index, us[start:stop], vs[start:stop])
+        )
     return np.concatenate(chunks)
 
 
@@ -556,24 +558,36 @@ class ShardedKnnIndex(DynamicKnnIndex):
         return list(self._pool.map(fn, items))
 
     def close(self) -> None:
-        """Release every worker resource (all re-created on demand).
+        """Release every worker resource and retire the index.
 
         Shuts the thread pool down, stops the process workers, unlinks
         the shared-memory arena, and closes the engine's evaluation
-        pool.  Idempotent; ``weakref`` finalizers on the pool and arena
-        also run this cleanup on garbage collection, so an abandoned
-        index cannot leak processes or ``/dev/shm`` segments.
+        pool.  Idempotent and safe on a partially constructed index (a
+        constructor that raised before some attribute existed), so a
+        ``finally: index.close()`` can never raise or leak ``/dev/shm``
+        blocks; ``weakref`` finalizers on the pool and arena also run
+        this cleanup on garbage collection, so an abandoned index
+        cannot leak processes or segments either.  Post-close
+        ``apply()``/``refresh()``/``pin()`` raise :class:`RuntimeError`.
         """
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=True)
             self._pool = None
-        if self._procpool is not None:
-            self._procpool.close()
+        procpool = getattr(self, "_procpool", None)
+        if procpool is not None:
+            procpool.close()
             self._procpool = None
-        if self._arena is not None:
-            self._arena.close()
+        arena = getattr(self, "_arena", None)
+        if arena is not None:
+            arena.close()
             self._arena = None
-        self.engine.close()
+        engine = getattr(self, "engine", None)
+        if engine is not None:
+            engine.close()
 
     # ------------------------------------------------------------------
     # Sharded candidate-cache routing (ingestion path, serial)
@@ -776,7 +790,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
     # Partitioned durability
     # ------------------------------------------------------------------
     def checkpoint(self, directory: str | Path) -> Path:
-        """Serialize into the partitioned ``checkpoint-<seq>.shards/`` layout."""
+        """Serialize the partitioned ``checkpoint-<seq>.shards/`` layout."""
         from ..persistence import save_sharded_checkpoint
 
         return save_sharded_checkpoint(self, directory)
@@ -817,8 +831,10 @@ class ShardedKnnIndex(DynamicKnnIndex):
 
         Semantically identical to :meth:`DynamicKnnIndex.refresh`; see
         the module docstring for the three-stage fan-out and why the
-        result is bit-identical at any shard count.
+        result is bit-identical at any shard count.  Like the flat
+        refresh, completion publishes a new read snapshot.
         """
+        self._ensure_open()
         if self.executor == "processes":
             return self._refresh_processes()
         start = time.perf_counter()
@@ -833,6 +849,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
                 n_events, 0, 0, 0, 0, time.perf_counter() - start
             )
             self._pending_events = 0
+            self._publish_snapshot(unchanged=True)
             self.refresh_log.append(stats)
             return stats
         engine = self.engine
@@ -912,6 +929,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
             cache_hits=maintenance.candidate_cache_hits - hits_before,
             cache_misses=maintenance.candidate_cache_misses - misses_before,
         )
+        self._publish_snapshot()
         self.refresh_log.append(stats)
         return stats
 
@@ -944,6 +962,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
                 n_events, 0, 0, 0, 0, time.perf_counter() - start
             )
             self._pending_events = 0
+            self._publish_snapshot(unchanged=True)
             self.refresh_log.append(stats)
             return stats
         engine = self.engine
@@ -1078,6 +1097,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
             cache_hits=maintenance.candidate_cache_hits - hits_before,
             cache_misses=maintenance.candidate_cache_misses - misses_before,
         )
+        self._publish_snapshot()
         self.refresh_log.append(stats)
         return stats
 

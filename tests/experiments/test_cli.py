@@ -1,7 +1,17 @@
 """Unit tests for the CLI."""
 
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 
 
@@ -81,7 +91,8 @@ class TestStreamCommand:
         assert list(tmp_path.glob("checkpoint-*.npz"))
 
     def test_checkpoint_every_requires_wal(self, capsys):
-        assert main(["stream", "--scale", "tiny", "--checkpoint-every", "5"]) == 2
+        argv = ["stream", "--scale", "tiny", "--checkpoint-every", "5"]
+        assert main(argv) == 2
         assert "--wal" in capsys.readouterr().err
 
     def test_checkpoint_every_zero_is_a_usage_error(self, capsys, tmp_path):
@@ -149,7 +160,9 @@ class TestRecoverCommand:
         out = capsys.readouterr().out
         assert "checkpoint" in out
         assert "wal events replayed" in out
-        parity_line = next(line for line in out.splitlines() if "parity" in line)
+        parity_line = next(
+            line for line in out.splitlines() if "parity" in line
+        )
         assert "True" in parity_line
 
     def test_recover_requires_directory(self, capsys):
@@ -164,11 +177,15 @@ class TestRecoverCommand:
         assert "no recoverable streaming state" in err
         assert "repro-kiff stream" in err
 
-    def test_recover_missing_directory_is_a_usage_error(self, capsys, tmp_path):
+    def test_recover_missing_directory_is_a_usage_error(
+        self, capsys, tmp_path
+    ):
         assert main(["recover", str(tmp_path / "nowhere")]) == 2
         assert "missing" in capsys.readouterr().err
 
-    def test_recover_unrecognized_files_not_called_empty(self, capsys, tmp_path):
+    def test_recover_unrecognized_files_not_called_empty(
+        self, capsys, tmp_path
+    ):
         """A dir holding only unusable leftovers (rotated logs, typos)
         must not be reported as empty — the files exist, the naming is
         the problem."""
@@ -198,9 +215,13 @@ class TestShardedStream:
         )
         out = capsys.readouterr().out
         assert "ShardedKnnIndex" in out
-        shards_line = next(line for line in out.splitlines() if "shards" in line)
+        shards_line = next(
+            line for line in out.splitlines() if "shards" in line
+        )
         assert shards_line.strip().endswith("2")
-        parity_line = next(line for line in out.splitlines() if "parity" in line)
+        parity_line = next(
+            line for line in out.splitlines() if "parity" in line
+        )
         assert "True" in parity_line
 
     def test_sharded_stream_recover_round_trip(self, capsys, tmp_path):
@@ -232,7 +253,9 @@ class TestShardedStream:
         out = capsys.readouterr().out
         assert "ShardedKnnIndex" in out
         assert "sharded" in out
-        parity_line = next(line for line in out.splitlines() if "parity" in line)
+        parity_line = next(
+            line for line in out.splitlines() if "parity" in line
+        )
         assert "True" in parity_line
 
     def test_reused_sharded_state_is_a_usage_error(self, capsys, tmp_path):
@@ -251,6 +274,152 @@ class TestShardedStream:
         capsys.readouterr()
         assert main(argv) == 2
         assert "already holds events" in capsys.readouterr().err
+
+
+def _orphan_shard_segments() -> list[str]:
+    """Shard shared-memory segments still linked in /dev/shm."""
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # non-Linux: nothing to observe
+        return []
+    return [entry.name for entry in shm.glob("*repro-shard*")]
+
+
+class TestStreamCleanup:
+    """A mid-stream failure must not leak the worker pool or /dev/shm.
+
+    The historical bug: ``repro stream --executor processes`` built the
+    sharded index, and an exception raised while streaming escaped
+    without ``close()`` — orphaning one OS worker per shard and their
+    shared-memory arena until interpreter exit (or forever, for the
+    segments, on an unclean exit)."""
+
+    @pytest.mark.parametrize(
+        "error_type", [RuntimeError, KeyboardInterrupt]
+    )
+    def test_mid_stream_failure_releases_pool_and_shm(
+        self, monkeypatch, error_type
+    ):
+        from repro.streaming import ratings_batch
+        from tests.streaming.test_process_executor import wait_dead
+
+        seen = {}
+
+        def exploding_replay(index, users, items, ratings, **kwargs):
+            # Stream one real batch so the process pool and shared
+            # memory arena actually spawn, then die mid-stream.
+            index.apply(ratings_batch(users[:20], items[:20], ratings[:20]))
+            index.refresh()
+            seen["pids"] = list(index._procpool.pids)
+            seen["arena"] = index._arena.name
+            raise error_type("mid-stream failure")
+
+        monkeypatch.setattr(
+            "repro.streaming.replay_stream", exploding_replay
+        )
+        with pytest.raises(error_type, match="mid-stream failure"):
+            main(
+                [
+                    "stream",
+                    "--scale",
+                    "tiny",
+                    "--shards",
+                    "2",
+                    "--executor",
+                    "processes",
+                ]
+            )
+        assert seen["pids"], "the worker pool never spawned"
+        for pid in seen["pids"]:
+            wait_dead(pid)
+        assert not _orphan_shard_segments()
+
+    def test_clean_stream_leaves_no_segments(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--scale",
+                    "tiny",
+                    "--batch-size",
+                    "50",
+                    "--shards",
+                    "2",
+                    "--executor",
+                    "processes",
+                ]
+            )
+            == 0
+        )
+        assert not _orphan_shard_segments()
+
+
+class TestServeCommand:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.duration is None
+        assert args.serve_events == 0
+
+    def test_serve_shards_validated(self, capsys):
+        assert main(["serve", "--scale", "tiny", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_serve_smoke_over_tcp(self):
+        """End to end in a subprocess: bind an ephemeral port, answer a
+        mixed query batch while the writer streams events, exit 0 and
+        close the index on SIGTERM."""
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--scale",
+                "tiny",
+                "--port",
+                "0",
+                "--duration",
+                "60",
+                "--serve-events",
+                "24",
+                "--batch-size",
+                "8",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"on ([\d.]+):(\d+)", banner)
+            assert match, f"no address banner in {banner!r}"
+            host, port = match.group(1), int(match.group(2))
+            with socket.create_connection((host, port), timeout=10) as conn:
+                conn.sendall(
+                    b'{"op": "neighbors", "user": 0}\n'
+                    b'{"op": "recommend", "user": 1}\n'
+                    b'{"op": "stats"}\n'
+                    b'{"op": "bogus"}\n'
+                )
+                with conn.makefile("r") as stream:
+                    replies = [json.loads(stream.readline()) for _ in range(4)]
+            assert [r["ok"] for r in replies] == [True, True, True, False]
+            assert replies[0]["version"] == replies[1]["version"]
+            assert "unknown op" in replies[3]["error"]
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        tail = proc.stdout.read()
+        assert "served" in tail
+        assert "index closed" in tail
 
 
 class TestUtilityCommands:
@@ -274,7 +443,8 @@ class TestUtilityCommands:
         assert reloaded == load_dataset("wikipedia", scale="tiny")
 
     def test_graph_stats_command(self, capsys):
-        assert main(["graph-stats", "--scale", "tiny", "--dataset", "arxiv"]) == 0
+        argv = ["graph-stats", "--scale", "tiny", "--dataset", "arxiv"]
+        assert main(argv) == 0
         out = capsys.readouterr().out
         assert "reciprocity" in out
         assert "scan rate" in out

@@ -1,0 +1,164 @@
+"""Top-N recommendation queries against pinned snapshots.
+
+Includes the regression suite for the seen-items exclusion bug: the
+exclusion set must come from the snapshot's own dataset view, so a
+rating streamed into the index is never recommended back once a fresh
+snapshot is pinned — while the stale pin keeps its consistent view.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AddRating,
+    DynamicKnnIndex,
+    KiffConfig,
+    Recommender,
+    neighbors_on,
+    recommend_on,
+)
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def index():
+    dataset = random_dataset(
+        n_users=25, n_items=18, density=0.25, seed=8, ratings=True
+    )
+    ix = DynamicKnnIndex(dataset, KiffConfig(k=5), auto_refresh=False)
+    yield ix
+    ix.close()
+
+
+def _user_with_recommendations(snapshot) -> int:
+    for user in range(snapshot.n_users):
+        if recommend_on(snapshot, user, top_n=1).items:
+            return user
+    raise AssertionError("no user has any recommendation")
+
+
+class TestNeighborsOn:
+    def test_matches_graph_row(self, index):
+        snapshot = index.pin()
+        graph = index.graph
+        for user in range(snapshot.n_users):
+            reply = neighbors_on(snapshot, user)
+            assert reply.user == user
+            assert reply.version == snapshot.version
+            assert list(reply.neighbors) == graph.neighbors_of(user).tolist()
+            np.testing.assert_allclose(
+                reply.sims, graph.sims_of(user).tolist()
+            )
+
+    def test_out_of_range_user_names_version(self, index):
+        with pytest.raises(IndexError, match="snapshot version 0"):
+            neighbors_on(index.pin(), index.n_users)
+        with pytest.raises(IndexError):
+            neighbors_on(index.pin(), -1)
+
+
+class TestRecommendOn:
+    def test_never_recommends_seen_items(self, index):
+        snapshot = index.pin()
+        for user in range(snapshot.n_users):
+            rec = recommend_on(snapshot, user)
+            seen = set(snapshot.dataset.user_items(user).tolist())
+            assert not seen & set(rec.items)
+
+    def test_scores_are_similarity_weighted_ratings(self, index):
+        snapshot = index.pin()
+        user = _user_with_recommendations(snapshot)
+        rec = recommend_on(snapshot, user, min_neighbor_rating=3.5)
+        dataset = snapshot.dataset
+        seen = set(dataset.user_items(user).tolist())
+        expected: dict[int, float] = {}
+        for neighbor, sim in zip(
+            snapshot.neighbors_of(user).tolist(),
+            snapshot.sims_of(user).tolist(),
+        ):
+            if sim <= 0.0:
+                continue
+            for item, rating in zip(
+                dataset.user_items(neighbor).tolist(),
+                dataset.user_ratings(neighbor).tolist(),
+            ):
+                if item not in seen and rating >= 3.5:
+                    expected[item] = expected.get(item, 0.0) + sim * rating
+        assert set(rec.items) <= set(expected)
+        for item, score in zip(rec.items, rec.scores):
+            assert score == pytest.approx(expected[item])
+        # Ranked by score descending, ties by item id ascending.
+        keys = [(-score, item) for item, score in zip(rec.items, rec.scores)]
+        assert keys == sorted(keys)
+
+    def test_top_n_truncates(self, index):
+        snapshot = index.pin()
+        user = _user_with_recommendations(snapshot)
+        full = recommend_on(snapshot, user, top_n=1000)
+        top1 = recommend_on(snapshot, user, top_n=1)
+        assert len(top1.items) == 1
+        assert top1.items[0] == full.items[0]
+
+    def test_min_neighbor_rating_filters(self, index):
+        snapshot = index.pin()
+        lax = recommend_on(snapshot, 0, top_n=1000, min_neighbor_rating=1.0)
+        strict = recommend_on(
+            snapshot, 0, top_n=1000, min_neighbor_rating=6.0
+        )
+        assert strict.items == ()
+        assert len(lax.items) >= len(
+            recommend_on(snapshot, 0, top_n=1000).items
+        )
+
+    def test_deterministic(self, index):
+        snapshot = index.pin()
+        for user in range(5):
+            assert recommend_on(snapshot, user) == recommend_on(
+                snapshot, user
+            )
+
+
+class TestStreamedExclusionRegression:
+    def test_fresh_pin_excludes_streamed_rating(self, index):
+        """The historical bug: the exclusion set was frozen at the
+        training split, so a rating streamed later could be recommended
+        straight back.  The snapshot's own dataset view must move."""
+        stale = index.pin()
+        user = _user_with_recommendations(stale)
+        top_item = recommend_on(stale, user, top_n=1).items[0]
+        index.apply(AddRating(user, top_item, 5.0))
+        index.refresh()
+        fresh = index.pin()
+        assert top_item in recommend_on(stale, user, top_n=1000).items
+        assert top_item not in recommend_on(fresh, user, top_n=1000).items
+
+
+class TestRecommender:
+    def test_pins_fresh_snapshot_per_query(self, index):
+        recommender = Recommender(index, top_n=3)
+        before = recommender.recommend(0)
+        assert before.version == 0
+        index.apply(AddRating(0, 1, 5.0))
+        index.refresh()
+        assert recommender.recommend(0).version == index.last_seq
+        assert recommender.neighbors(0).version == index.last_seq
+
+    def test_explicit_snapshot_wins(self, index):
+        recommender = Recommender(index)
+        pinned = recommender.pin()
+        index.apply(AddRating(0, 1, 5.0))
+        index.refresh()
+        assert recommender.recommend(0, snapshot=pinned).version == 0
+        assert recommender.neighbors(0, snapshot=pinned).version == 0
+
+    def test_configured_defaults_apply(self, index):
+        user = _user_with_recommendations(index.pin())
+        recommender = Recommender(index, top_n=1, min_neighbor_rating=1.0)
+        assert len(recommender.recommend(user).items) == 1
+        assert len(recommender.recommend(user, top_n=1000).items) >= 1
+
+    def test_closed_index_raises(self, index):
+        recommender = Recommender(index)
+        index.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            recommender.recommend(0)

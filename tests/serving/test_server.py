@@ -1,0 +1,226 @@
+"""KnnServer: NDJSON protocol, batching, and error envelopes."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import AddRating, DynamicKnnIndex, KiffConfig, KnnServer
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def index():
+    dataset = random_dataset(
+        n_users=20, n_items=15, density=0.2, seed=12, ratings=True
+    )
+    ix = DynamicKnnIndex(dataset, KiffConfig(k=4), auto_refresh=False)
+    yield ix
+    ix.close()
+
+
+async def _ask(reader, writer, *requests):
+    """Send *requests* as one pipelined write; return decoded replies."""
+    lines = b"".join(
+        json.dumps(request).encode() + b"\n" for request in requests
+    )
+    writer.write(lines)
+    await writer.drain()
+    replies = []
+    for _ in requests:
+        line = await asyncio.wait_for(reader.readline(), timeout=10)
+        replies.append(json.loads(line))
+    return replies
+
+
+async def _with_server(index, scenario, **kwargs):
+    server = KnnServer(index, port=0, **kwargs)
+    await server.start()
+    try:
+        host, port = server.address
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            return await scenario(server, reader, writer)
+        finally:
+            writer.close()
+    finally:
+        await server.stop()
+
+
+class TestProtocol:
+    def test_neighbors_reply_matches_snapshot(self, index):
+        async def scenario(server, reader, writer):
+            (reply,) = await _ask(
+                reader, writer, {"op": "neighbors", "user": 3}
+            )
+            snapshot = index.pin()
+            assert reply["ok"] is True
+            assert reply["user"] == 3
+            assert reply["version"] == snapshot.version
+            assert reply["neighbors"] == snapshot.neighbors_of(3).tolist()
+            assert reply["sims"] == pytest.approx(
+                snapshot.sims_of(3).tolist()
+            )
+
+        asyncio.run(_with_server(index, scenario))
+
+    def test_recommend_honors_top_n(self, index):
+        async def scenario(server, reader, writer):
+            full, top1 = await _ask(
+                reader,
+                writer,
+                {"op": "recommend", "user": 0, "top_n": 1000},
+                {"op": "recommend", "user": 0, "top_n": 1},
+            )
+            assert full["ok"] and top1["ok"]
+            assert len(top1["items"]) <= 1
+            if full["items"]:
+                assert top1["items"] == full["items"][:1]
+
+        asyncio.run(_with_server(index, scenario))
+
+    def test_stats_op(self, index):
+        async def scenario(server, reader, writer):
+            (stats,) = await _ask(reader, writer, {"op": "stats"})
+            assert stats["ok"] is True
+            assert stats["version"] == index.snapshot_version
+            assert stats["n_users"] == index.n_users
+            assert stats["k"] == index.config.k
+            assert stats["requests"] >= 1
+
+        asyncio.run(_with_server(index, scenario))
+
+    def test_blank_lines_are_skipped(self, index):
+        async def scenario(server, reader, writer):
+            stats_line = json.dumps({"op": "stats"}).encode()
+            writer.write(b"\n\n" + stats_line + b"\n")
+            await writer.drain()
+            reply = json.loads(
+                await asyncio.wait_for(reader.readline(), timeout=10)
+            )
+            assert reply["ok"] is True
+
+        asyncio.run(_with_server(index, scenario))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "request_body, expect",
+        [
+            ({"op": "teleport"}, "unknown op"),
+            ({"op": "neighbors", "user": 10_000}, "out of range"),
+            ({"op": "neighbors"}, "KeyError"),
+            ([1, 2, 3], "JSON object"),
+        ],
+    )
+    def test_bad_requests_get_error_envelopes(
+        self, index, request_body, expect
+    ):
+        async def scenario(server, reader, writer):
+            bad, good = await _ask(
+                reader, writer, request_body, {"op": "stats"}
+            )
+            assert bad["ok"] is False
+            assert expect in bad["error"]
+            # The connection survives a bad request.
+            assert good["ok"] is True
+
+        asyncio.run(_with_server(index, scenario))
+
+    def test_malformed_json_gets_error_envelope(self, index):
+        async def scenario(server, reader, writer):
+            writer.write(b"{not json\n")
+            await writer.drain()
+            reply = json.loads(
+                await asyncio.wait_for(reader.readline(), timeout=10)
+            )
+            assert reply["ok"] is False
+            assert "JSONDecodeError" in reply["error"]
+
+        asyncio.run(_with_server(index, scenario))
+
+    def test_closed_index_reported_per_request(self, index):
+        async def scenario(server, reader, writer):
+            index.close()
+            (reply,) = await _ask(reader, writer, {"op": "stats"})
+            assert reply["ok"] is False
+            assert "closed" in reply["error"]
+
+        asyncio.run(_with_server(index, scenario))
+
+
+class TestBatching:
+    def test_pipelined_burst_coalesces_to_one_version(self, index):
+        async def scenario(server, reader, writer):
+            replies = await _ask(
+                reader,
+                writer,
+                *({"op": "neighbors", "user": user} for user in range(12)),
+            )
+            versions = {reply["version"] for reply in replies}
+            assert versions == {index.snapshot_version}
+            assert [reply["user"] for reply in replies] == list(range(12))
+            # The burst arrived in one TCP write, so the dispatcher
+            # answered it in far fewer batches than requests.
+            assert server.batches < server.requests
+            assert server.max_batch_seen > 1
+
+        asyncio.run(_with_server(index, scenario))
+
+    def test_replies_track_published_versions(self, index):
+        async def scenario(server, reader, writer):
+            (before,) = await _ask(
+                reader, writer, {"op": "neighbors", "user": 1}
+            )
+            index.apply(AddRating(1, 2, 5.0))
+            index.refresh()
+            (after,) = await _ask(
+                reader, writer, {"op": "neighbors", "user": 1}
+            )
+            assert before["version"] == 0
+            assert after["version"] == index.last_seq
+
+        asyncio.run(_with_server(index, scenario))
+
+    def test_two_connections_share_the_dispatcher(self, index):
+        async def scenario(server, reader, writer):
+            host, port = server.address
+            reader2, writer2 = await asyncio.open_connection(host, port)
+            try:
+                (a,), (b,) = await asyncio.gather(
+                    _ask(reader, writer, {"op": "stats"}),
+                    _ask(reader2, writer2, {"op": "stats"}),
+                )
+                assert a["ok"] and b["ok"]
+            finally:
+                writer2.close()
+
+        asyncio.run(_with_server(index, scenario))
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent(self, index):
+        async def scenario():
+            server = KnnServer(index, port=0)
+            await server.start()
+            await server.stop()
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_address_requires_start(self, index):
+        with pytest.raises(RuntimeError, match="not started"):
+            KnnServer(index).address
+
+    def test_serve_until_event(self, index):
+        async def scenario():
+            server = KnnServer(index, port=0)
+            await server.start()
+            stop = asyncio.Event()
+            task = asyncio.create_task(server.serve_until(stop))
+            await asyncio.sleep(0)
+            stop.set()
+            await asyncio.wait_for(task, timeout=10)
+            assert server._server is None
+
+        asyncio.run(scenario())

@@ -1,0 +1,189 @@
+"""GraphSnapshot publication semantics: MVCC without locks."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AddRating,
+    DynamicKnnIndex,
+    GraphSnapshot,
+    KiffConfig,
+    RemoveRating,
+    ShardedKnnIndex,
+)
+from repro.streaming import cold_rebuild_graph
+from tests.conftest import random_dataset
+from tests.streaming.test_parity import drive_random_stream
+
+
+def _absent_rating(index) -> RemoveRating:
+    """A RemoveRating event for an edge the dataset does not hold."""
+    dataset = index.dataset
+    for user in range(dataset.n_users):
+        rated = set(dataset.user_items(user).tolist())
+        for item in range(dataset.n_items):
+            if item not in rated:
+                return RemoveRating(user, item)
+    raise AssertionError("dataset is dense; no absent edge to retract")
+
+
+@pytest.fixture
+def index():
+    dataset = random_dataset(
+        n_users=18, n_items=14, density=0.15, seed=3, ratings=True
+    )
+    ix = DynamicKnnIndex(dataset, KiffConfig(k=4), auto_refresh=False)
+    yield ix
+    ix.close()
+
+
+class TestPublication:
+    def test_initial_build_publishes_version_zero(self, index):
+        snapshot = index.pin()
+        assert isinstance(snapshot, GraphSnapshot)
+        assert snapshot.version == 0
+        assert index.snapshot_version == 0
+
+    def test_pin_returns_latest_published(self, index):
+        index.apply(AddRating(0, 1, 5.0))
+        # Not yet refreshed: pin still answers at the old version.
+        assert index.pin().version == 0
+        index.refresh()
+        assert index.pin().version == index.last_seq == 1
+
+    def test_version_is_covering_wal_sequence(self, index):
+        drive_random_stream(index, seed=5, n_events=12)
+        assert index.pin().version == index.last_seq
+
+    def test_rebuild_publishes(self, index):
+        index.apply(AddRating(2, 3, 4.0))
+        index.rebuild()
+        assert index.pin().version == index.last_seq
+
+    def test_deferred_build_has_no_snapshot_until_refresh(self):
+        dataset = random_dataset(n_users=10, n_items=8, seed=1)
+        ix = DynamicKnnIndex(
+            dataset, KiffConfig(k=3), auto_refresh=False, build=False
+        )
+        try:
+            assert ix.snapshot_version is None
+            with pytest.raises(RuntimeError, match="no snapshot published"):
+                ix.pin()
+            ix.refresh()
+            assert ix.pin().version == 0
+        finally:
+            ix.close()
+
+    def test_noop_refresh_republishes_shared_arrays(self, index):
+        before = index.pin()
+        # A retraction of a rating that does not exist absorbs the
+        # event (sequence advances) but dirties nobody.
+        index.apply(_absent_rating(index))
+        index.refresh()
+        after = index.pin()
+        assert after.version == index.last_seq == before.version + 1
+        # The no-op republish shares the previous snapshot's arrays.
+        assert after.neighbors is before.neighbors
+        assert after.sims is before.sims
+        assert after.dataset is before.dataset
+
+    def test_snapshot_matches_live_graph(self, index):
+        drive_random_stream(index, seed=2, n_events=15)
+        assert index.pin().graph() == index.graph
+
+
+class TestImmutability:
+    def test_arrays_are_read_only(self, index):
+        snapshot = index.pin()
+        for array in (
+            snapshot.neighbors,
+            snapshot.sims,
+            snapshot.norms,
+            snapshot.sizes,
+        ):
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[0] = 0
+
+    def test_pinned_snapshot_survives_refreshes_bit_unchanged(self, index):
+        pinned = index.pin()
+        neighbors = pinned.neighbors.copy()
+        sims = pinned.sims.copy()
+        seen = {
+            user: pinned.dataset.user_items(user).copy()
+            for user in range(pinned.n_users)
+        }
+        drive_random_stream(index, seed=9, n_events=25)
+        assert index.pin().version > pinned.version
+        np.testing.assert_array_equal(pinned.neighbors, neighbors)
+        np.testing.assert_array_equal(pinned.sims, sims)
+        for user, items in seen.items():
+            np.testing.assert_array_equal(
+                pinned.dataset.user_items(user), items
+            )
+
+    def test_at_version_shares_state(self, index):
+        snapshot = index.pin()
+        bumped = snapshot.at_version(41)
+        assert bumped.version == 41
+        assert bumped.neighbors is snapshot.neighbors
+        assert snapshot.version == 0  # the original is untouched
+
+
+class TestRowAccessors:
+    def test_neighbors_of_drops_missing(self, index):
+        snapshot = index.pin()
+        graph = index.graph
+        for user in range(snapshot.n_users):
+            np.testing.assert_array_equal(
+                snapshot.neighbors_of(user), graph.neighbors_of(user)
+            )
+            assert len(snapshot.sims_of(user)) == len(
+                snapshot.neighbors_of(user)
+            )
+
+    def test_shape_properties(self, index):
+        snapshot = index.pin()
+        assert snapshot.n_users == index.n_users
+        assert snapshot.k == index.config.k
+
+
+class TestShardedPublication:
+    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    def test_sharded_refresh_publishes(self, executor):
+        dataset = random_dataset(
+            n_users=18, n_items=14, density=0.15, seed=4, ratings=True
+        )
+        ix = ShardedKnnIndex(
+            dataset,
+            KiffConfig(k=4),
+            auto_refresh=False,
+            n_shards=2,
+            executor=executor,
+        )
+        try:
+            assert ix.pin().version == 0
+            drive_random_stream(ix, seed=4, n_events=15)
+            snapshot = ix.pin()
+            assert snapshot.version == ix.last_seq
+            assert snapshot.graph() == ix.graph
+            assert snapshot.graph() == cold_rebuild_graph(
+                ix.dataset, ix.config
+            )
+        finally:
+            ix.close()
+
+    def test_sharded_noop_refresh_bumps_version(self):
+        dataset = random_dataset(n_users=12, n_items=10, seed=6)
+        ix = ShardedKnnIndex(
+            dataset, KiffConfig(k=3), auto_refresh=False, n_shards=2
+        )
+        try:
+            before = ix.pin()
+            ix.apply(_absent_rating(ix))
+            ix.refresh()
+            after = ix.pin()
+            assert after.version == before.version + 1
+            assert after.neighbors is before.neighbors
+        finally:
+            ix.close()

@@ -1,0 +1,117 @@
+"""Index lifecycle: close() is idempotent, defensive, and terminal.
+
+The historical bugs this suite pins down: ``close()`` exploding on a
+partially-constructed index (an ``__init__`` that raised before every
+attribute existed), double-close raising, and post-close calls failing
+deep inside pool internals instead of with a clear error.
+"""
+
+import pytest
+
+from repro import AddRating, DynamicKnnIndex, KiffConfig, ShardedKnnIndex
+from tests.conftest import random_dataset
+
+
+def _dataset(seed=0):
+    return random_dataset(
+        n_users=14, n_items=10, density=0.2, seed=seed, ratings=True
+    )
+
+
+def _indexes():
+    dataset = _dataset()
+    config = KiffConfig(k=3)
+    return [
+        DynamicKnnIndex(dataset, config, auto_refresh=False),
+        ShardedKnnIndex(
+            dataset, config, auto_refresh=False, n_shards=2
+        ),
+        ShardedKnnIndex(
+            dataset,
+            config,
+            auto_refresh=False,
+            n_shards=2,
+            executor="serial",
+        ),
+    ]
+
+
+class TestIdempotent:
+    def test_double_close_is_a_noop(self):
+        for index in _indexes():
+            index.close()
+            index.close()
+            assert index.closed
+
+    def test_closed_property_tracks(self):
+        for index in _indexes():
+            assert not index.closed
+            index.close()
+            assert index.closed
+
+
+class TestDefensive:
+    @pytest.mark.parametrize("cls", [DynamicKnnIndex, ShardedKnnIndex])
+    def test_close_safe_on_unconstructed_object(self, cls):
+        """close() must not assume __init__ ran at all — an exception
+        raised mid-construction still leaves a closeable object."""
+        bare = cls.__new__(cls)
+        bare.close()
+        bare.close()
+        assert bare.closed
+
+    def test_close_safe_after_failed_init(self):
+        """A constructor that raises on validation leaves no resources
+        behind and close() stays callable."""
+        with pytest.raises(ValueError):
+            ShardedKnnIndex(
+                _dataset(), KiffConfig(k=3), n_shards=2, executor="quantum"
+            )
+
+    def test_del_after_failed_construction_is_quiet(self):
+        bare = ShardedKnnIndex.__new__(ShardedKnnIndex)
+        del bare  # __del__ paths must tolerate missing attributes
+
+
+class TestTerminal:
+    @pytest.mark.parametrize("which", ["dynamic", "sharded"])
+    def test_post_close_entry_points_raise(self, which):
+        dataset = _dataset()
+        if which == "dynamic":
+            index = DynamicKnnIndex(
+                dataset, KiffConfig(k=3), auto_refresh=False
+            )
+        else:
+            index = ShardedKnnIndex(
+                dataset, KiffConfig(k=3), auto_refresh=False, n_shards=2
+            )
+        index.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            index.apply(AddRating(0, 1, 5.0))
+        with pytest.raises(RuntimeError, match="closed"):
+            index.refresh()
+        with pytest.raises(RuntimeError, match="closed"):
+            index.rebuild()
+        with pytest.raises(RuntimeError, match="closed"):
+            index.pin()
+
+    def test_error_message_points_at_recovery(self):
+        index = DynamicKnnIndex(
+            _dataset(), KiffConfig(k=3), auto_refresh=False
+        )
+        index.close()
+        with pytest.raises(RuntimeError, match="construct a new index"):
+            index.refresh()
+
+    def test_snapshot_is_released_on_close(self):
+        """pin() refuses after close, but a snapshot pinned *before*
+        the close stays readable — the pin outlives the index."""
+        index = DynamicKnnIndex(
+            _dataset(), KiffConfig(k=3), auto_refresh=False
+        )
+        snapshot = index.pin()
+        graph = snapshot.graph()
+        index.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            index.pin()
+        assert snapshot.graph() == graph

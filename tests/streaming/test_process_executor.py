@@ -314,17 +314,19 @@ class TestSharedMemoryHygiene:
             wait_dead(pid)
         index.close()  # idempotent
 
-    def test_close_then_reuse_respawns(self):
-        """close() releases resources but the index stays usable."""
+    def test_close_retires_the_index(self):
+        """close() is terminal: mutation and query entry points raise a
+        clear RuntimeError instead of silently respawning a pool (the
+        historical behaviour, which made leaks easy to reintroduce)."""
         index = self._streamed_index()
-        reference_graph = index.graph
-        index.close()
-        index.apply(ratings_batch([3], [5], [2.0]))
-        index.refresh()
-        assert index.graph != reference_graph  # the event landed
         name = index._arena.name
         index.close()
         assert not block_exists(name)
+        with pytest.raises(RuntimeError, match="closed"):
+            index.apply(ratings_batch([3], [5], [2.0]))
+        with pytest.raises(RuntimeError, match="closed"):
+            index.refresh()
+        assert not block_exists(name)  # no pool was respawned
 
     def test_gc_unlinks_blocks(self):
         index = self._streamed_index()

@@ -249,15 +249,16 @@ class TestShardState:
                 for user in outbox.candidates.tolist()
             )
 
-    def test_close_is_idempotent(self, rated_dataset):
+    def test_close_is_idempotent_and_terminal(self, rated_dataset):
         index = ShardedKnnIndex(
             rated_dataset, KiffConfig(k=2), n_shards=2, executor="threads"
         )
         index.apply(ratings_batch([0], [3], [4.0]))
         index.close()
         index.close()
-        # The pool is re-created on demand after close().
-        index.apply(ratings_batch([1], [3], [4.0]))
+        # close() retires the index: no silent pool re-creation.
+        with pytest.raises(RuntimeError, match="closed"):
+            index.apply(ratings_batch([1], [3], [4.0]))
         index.close()
 
 
