@@ -131,6 +131,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--kernel-backend",
+        default=None,
+        choices=("numpy", "numba", "torch"),
+        help=(
+            "with 'graph-stats'/'stream'/'serve': batch similarity "
+            "kernel backend (default: the REPRO_KERNEL_BACKEND "
+            "environment variable, then numpy).  numpy is always "
+            "available and bit-identical; numba/torch are compiled "
+            "backends that fall back to numpy with a warning when the "
+            "optional dependency is missing"
+        ),
+    )
+    parser.add_argument(
         "--wal",
         default=None,
         help=(
@@ -241,8 +254,10 @@ def _run_graph_stats(args) -> int:
 
     dataset = load_dataset(args.dataset, scale=args.scale)
     k = _cli_k(args)
-    engine = SimilarityEngine(dataset, metric=args.metric)
-    result = kiff(engine, KiffConfig(k=k))
+    engine = SimilarityEngine(
+        dataset, metric=args.metric, kernel_backend=args.kernel_backend
+    )
+    result = kiff(engine, KiffConfig(k=k, kernel_backend=args.kernel_backend))
     stats = analyze(result.graph)
     print(
         render_table(
@@ -298,10 +313,11 @@ def _run_stream(args) -> int:
     base, users, items, ratings = holdout_stream(
         dataset, fraction=args.stream_fraction, seed=args.seed
     )
+    config = KiffConfig(k=k, kernel_backend=args.kernel_backend)
     if args.shards > 1:
         index = ShardedKnnIndex(
             base,
-            KiffConfig(k=k),
+            config,
             metric=args.metric,
             auto_refresh=False,
             n_shards=args.shards,
@@ -309,7 +325,7 @@ def _run_stream(args) -> int:
         )
     else:
         index = DynamicKnnIndex(
-            base, KiffConfig(k=k), metric=args.metric, auto_refresh=False
+            base, config, metric=args.metric, auto_refresh=False
         )
     # Whatever happens mid-stream (validation error, SIGINT), the index
     # must release its worker pool and /dev/shm arena on the way out.
@@ -436,10 +452,11 @@ def _run_serve(args) -> int:
     base, users, items, ratings = holdout_stream(
         dataset, fraction=args.stream_fraction, seed=args.seed
     )
+    config = KiffConfig(k=k, kernel_backend=args.kernel_backend)
     if args.shards > 1:
         index = ShardedKnnIndex(
             base,
-            KiffConfig(k=k),
+            config,
             metric=args.metric,
             auto_refresh=False,
             n_shards=args.shards,
@@ -447,7 +464,7 @@ def _run_serve(args) -> int:
         )
     else:
         index = DynamicKnnIndex(
-            base, KiffConfig(k=k), metric=args.metric, auto_refresh=False
+            base, config, metric=args.metric, auto_refresh=False
         )
     stop_writer = threading.Event()
     writer = None

@@ -45,6 +45,14 @@ class KiffConfig:
     track_snapshots:
         Keep a copy of the graph after each iteration (needed by the
         Figure 8 convergence study; costs memory).
+    kernel_backend:
+        Batch-scoring backend for metric evaluation: ``"numpy"``
+        (default, bit-identical to the historical scipy path),
+        ``"numba"`` or ``"torch"`` (compiled, tolerance-based parity),
+        or any :func:`repro.similarity.kernels.register_backend` name.
+        ``None`` defers to the ``REPRO_KERNEL_BACKEND`` environment
+        variable, then ``"numpy"``.  Unavailable compiled backends
+        degrade to ``"numpy"`` with a one-time warning.
     """
 
     k: int = 20
@@ -55,6 +63,7 @@ class KiffConfig:
     pivot: bool = True
     mode: str = "fast"
     track_snapshots: bool = False
+    kernel_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -76,6 +85,14 @@ class KiffConfig:
             raise ValueError(
                 f"mode must be 'fast' or 'reference', got {self.mode!r}"
             )
+        if self.kernel_backend is not None:
+            from ..similarity.kernels import backend_names
+
+            if self.kernel_backend not in backend_names():
+                raise ValueError(
+                    f"unknown kernel_backend {self.kernel_backend!r}; "
+                    f"registered backends: {backend_names()}"
+                )
 
     @property
     def effective_gamma(self) -> float:

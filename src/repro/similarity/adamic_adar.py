@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ProfileIndex, SimilarityMetric, _pairwise_dot, intersect_profiles
+from .base import ProfileIndex, SimilarityMetric, intersect_profiles
 
 __all__ = ["AdamicAdarSimilarity"]
 
@@ -44,7 +44,23 @@ class AdamicAdarSimilarity(SimilarityMetric):
     def score_batch(
         self, index: ProfileIndex, us: np.ndarray, vs: np.ndarray
     ) -> np.ndarray:
-        return _pairwise_dot(index.adamic_adar_matrix, index.binary, us, vs)
+        # The kernel sums weights[item] over the profile intersection
+        # with zero-weight items dropped first, mirroring the
+        # eliminate_zeros() of the historical aa_matrix — the value
+        # sequence scipy summed, hence the same float64 result bit for
+        # bit on the numpy backend.
+        matrix = index.matrix
+        return index.kernel.score_pairs(
+            self.name,
+            matrix.indptr,
+            matrix.indices,
+            None,
+            None,
+            index.sizes,
+            us,
+            vs,
+            item_weights=index.adamic_adar_weights,
+        )
 
     def score_block(self, index: ProfileIndex, us: np.ndarray) -> np.ndarray:
         return (index.adamic_adar_matrix[us] @ index.binary.T).toarray()

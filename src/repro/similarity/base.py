@@ -27,6 +27,7 @@ import scipy.sparse as sp
 from ..datasets.bipartite import BipartiteDataset
 from ..datasets.mutable import splice_compressed
 from ..instrumentation.counters import MaintenanceCounter
+from .kernels import KernelBackend, resolve_backend
 
 __all__ = ["ProfileIndex", "SimilarityMetric", "intersect_profiles"]
 
@@ -57,6 +58,13 @@ class ProfileIndex:
     own arrays.
     """
 
+    #: Kernel backend used by every metric's ``score_batch`` on this
+    #: index: a name, a :class:`~repro.similarity.kernels.KernelBackend`
+    #: instance, or None (resolve lazily: env var, then ``numpy``).
+    #: Class-level default so rebuilt/subclassed indexes inherit it;
+    #: assign on the instance to select a backend.
+    _kernel_backend: str | KernelBackend | None = None
+
     def __init__(
         self,
         dataset: BipartiteDataset,
@@ -66,6 +74,13 @@ class ProfileIndex:
             maintenance if maintenance is not None else MaintenanceCounter()
         )
         self._build(dataset)
+
+    @property
+    def kernel(self) -> KernelBackend:
+        """The resolved batch-scoring backend (cached after first use)."""
+        backend = resolve_backend(self._kernel_backend)
+        self._kernel_backend = backend
+        return backend
 
     def _build(self, dataset: BipartiteDataset) -> None:
         """Cold build: every user's state is (re)computed."""
@@ -79,6 +94,7 @@ class ProfileIndex:
         )
         self.sizes: np.ndarray = np.diff(self.matrix.indptr).astype(np.int64)
         self._adamic_adar_matrix: sp.csr_matrix | None = None
+        self._adamic_adar_weight_cache: np.ndarray | None = None
         self._item_degrees: np.ndarray | None = None
         self._centered_cache: tuple[sp.csr_matrix, np.ndarray] | None = None
         self.maintenance.index_users_recomputed += dataset.n_users
@@ -118,14 +134,21 @@ class ProfileIndex:
         parity suite pins that equality).
         """
         matrix = self.matrix
-        return {
+        arrays = {
             "dataset_indptr": matrix.indptr,
             "dataset_indices": matrix.indices,
-            "dataset_data": matrix.data,
             "dataset_shape": np.asarray(matrix.shape, dtype=np.int64),
             "norms": self.norms,
             "sizes": self.sizes,
         }
+        if matrix.data.size and not np.all(matrix.data == 1.0):
+            arrays["dataset_data"] = matrix.data
+        else:
+            # Binary datasets (the common case for set metrics): the
+            # data array is all ones, so ship a one-byte flag instead of
+            # nnz redundant float64s and re-derive it worker-side.
+            arrays["dataset_data_all_ones"] = np.ones(1, dtype=np.uint8)
+        return arrays
 
     @classmethod
     def from_shared_arrays(
@@ -144,6 +167,16 @@ class ProfileIndex:
         """
         from ..datasets.mutable import dataset_from_canonical_arrays
 
+        derived_ones: np.ndarray | None = None
+        if "dataset_data" not in arrays:
+            # The parent shipped the all-ones flag instead of the data
+            # array (see :meth:`to_shared_arrays`): re-derive it here.
+            derived_ones = np.ones(
+                int(np.asarray(arrays["dataset_indices"]).size),
+                dtype=np.float64,
+            )
+            arrays = dict(arrays)
+            arrays["dataset_data"] = derived_ones
         dataset = dataset_from_canonical_arrays(arrays, name=name)
         index = cls.__new__(cls)
         index.maintenance = (
@@ -153,12 +186,18 @@ class ProfileIndex:
         matrix = dataset.matrix
         index.matrix = matrix
         index.binary = sp.csr_matrix(
-            (np.ones_like(matrix.data), matrix.indices, matrix.indptr),
+            (
+                matrix.data if derived_ones is not None
+                else np.ones_like(matrix.data),
+                matrix.indices,
+                matrix.indptr,
+            ),
             shape=matrix.shape,
         )
         index.norms = np.asarray(arrays["norms"])
         index.sizes = np.asarray(arrays["sizes"])
         index._adamic_adar_matrix = None
+        index._adamic_adar_weight_cache = None
         index._item_degrees = None
         index._centered_cache = None
         return index
@@ -183,6 +222,25 @@ class ProfileIndex:
             self._adamic_adar_matrix = weighted
             self._item_degrees = item_degrees.astype(np.int64)
         return self._adamic_adar_matrix
+
+    @property
+    def adamic_adar_weights(self) -> np.ndarray:
+        """Dense ``1 / ln |IP_i|`` per item (zero below degree two).
+
+        The kernel backends' substrate for Adamic-Adar: summing
+        ``weights[item]`` over the profile intersection — zero-weight
+        items dropped first, mirroring the matrix's
+        ``eliminate_zeros()`` — reproduces the historical
+        ``adamic_adar_matrix . binary`` row product bit for bit.  Kept
+        consistent with :attr:`adamic_adar_matrix` (same degree
+        bookkeeping, same incremental invalidation).
+        """
+        if self._adamic_adar_weight_cache is None:
+            self.adamic_adar_matrix  # noqa: B018 - primes _item_degrees
+            self._adamic_adar_weight_cache = _adamic_adar_weights(
+                self._item_degrees
+            )
+        return self._adamic_adar_weight_cache
 
     @property
     def centered(self) -> tuple[sp.csr_matrix, np.ndarray]:
@@ -303,6 +361,7 @@ class ProfileIndex:
     ) -> None:
         """Patch the lazily built Adamic-Adar cache, if it exists."""
         if self._adamic_adar_matrix is None:
+            self._adamic_adar_weight_cache = None
             return
         matrix = self.matrix
         n_old = int(old_matrix.shape[0])
@@ -341,6 +400,7 @@ class ProfileIndex:
             # was in force): the clean rows cannot be patched — drop the
             # cache and let the next Adamic-Adar query rebuild it.
             self._adamic_adar_matrix = None
+            self._adamic_adar_weight_cache = None
             self._item_degrees = None
             return
         old_aa = self._adamic_adar_matrix
@@ -362,6 +422,7 @@ class ProfileIndex:
             (aa_data, aa_indices, aa_indptr),
             shape=(self.n_users, n_items_new),
         )
+        self._adamic_adar_weight_cache = weights
         self._item_degrees = degrees
 
     def _patch_centered(self, dirty: np.ndarray) -> None:
@@ -463,12 +524,3 @@ class SimilarityMetric(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
-
-
-def _pairwise_dot(
-    matrix: sp.csr_matrix, other: sp.csr_matrix, us: np.ndarray, vs: np.ndarray
-) -> np.ndarray:
-    """Row-wise dot products ``matrix[us[j]] . other[vs[j]]`` for each j."""
-    rows_u = matrix[us]
-    rows_v = other[vs]
-    return np.asarray(rows_u.multiply(rows_v).sum(axis=1)).ravel()

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ProfileIndex, SimilarityMetric, _pairwise_dot, intersect_profiles
+from .base import ProfileIndex, SimilarityMetric, intersect_profiles
 
 __all__ = ["CosineSimilarity"]
 
@@ -33,12 +33,17 @@ class CosineSimilarity(SimilarityMetric):
     def score_batch(
         self, index: ProfileIndex, us: np.ndarray, vs: np.ndarray
     ) -> np.ndarray:
-        dots = _pairwise_dot(index.matrix, index.matrix, us, vs)
-        denominators = index.norms[us] * index.norms[vs]
-        out = np.zeros(len(us), dtype=np.float64)
-        mask = denominators > 0
-        out[mask] = dots[mask] / denominators[mask]
-        return out
+        matrix = index.matrix
+        return index.kernel.score_pairs(
+            self.name,
+            matrix.indptr,
+            matrix.indices,
+            matrix.data,
+            index.norms,
+            index.sizes,
+            us,
+            vs,
+        )
 
     def score_block(self, index: ProfileIndex, us: np.ndarray) -> np.ndarray:
         dots = (index.matrix[us] @ index.matrix.T).toarray()

@@ -88,6 +88,11 @@ class SimilarityEngine:
         created when omitted.
     batch_size:
         Maximum number of pairs evaluated per sparse-slicing chunk.
+    kernel_backend:
+        Batch-scoring backend name (``"numpy"``/``"numba"``/``"torch"``)
+        or instance bound to the engine's :class:`ProfileIndex`; None
+        keeps the index's own selection (env var, then ``"numpy"``).
+        See :mod:`repro.similarity.kernels`.
     """
 
     def __init__(
@@ -99,6 +104,7 @@ class SimilarityEngine:
         batch_size: int = 131_072,
         index: ProfileIndex | None = None,
         n_jobs: int = 1,
+        kernel_backend=None,
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -110,6 +116,8 @@ class SimilarityEngine:
         self.timer = timer if timer is not None else PhaseTimer()
         self.batch_size = batch_size
         self.index = index if index is not None else ProfileIndex(dataset)
+        if kernel_backend is not None:
+            self.index._kernel_backend = kernel_backend
         self.n_jobs = n_jobs
         #: Lazily created, reused across batch() calls; see close().
         self._pool = None
@@ -151,6 +159,7 @@ class SimilarityEngine:
             self.index.update(dataset, dirty_users)
             return
         index_class = type(self.index)
+        kernel_backend = self.index._kernel_backend
         try:
             self.index = index_class(
                 dataset, maintenance=self.index.maintenance
@@ -158,6 +167,9 @@ class SimilarityEngine:
         except TypeError:
             # Subclasses with a bare (dataset) constructor.
             self.index = index_class(dataset)
+        # Full rebuilds construct a fresh index: carry the engine's
+        # kernel selection over so refreshes keep the chosen backend.
+        self.index._kernel_backend = kernel_backend
 
     def pair(self, u: int, v: int) -> float:
         """Similarity of one pair (counted as one evaluation)."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ProfileIndex, SimilarityMetric, _pairwise_dot, intersect_profiles
+from .base import ProfileIndex, SimilarityMetric, intersect_profiles
 
 __all__ = ["JaccardSimilarity"]
 
@@ -31,12 +31,17 @@ class JaccardSimilarity(SimilarityMetric):
     def score_batch(
         self, index: ProfileIndex, us: np.ndarray, vs: np.ndarray
     ) -> np.ndarray:
-        intersections = _pairwise_dot(index.binary, index.binary, us, vs)
-        unions = index.sizes[us] + index.sizes[vs] - intersections
-        out = np.zeros(len(us), dtype=np.float64)
-        mask = unions > 0
-        out[mask] = intersections[mask] / unions[mask]
-        return out
+        matrix = index.matrix
+        return index.kernel.score_pairs(
+            self.name,
+            matrix.indptr,
+            matrix.indices,
+            None,
+            index.norms,
+            index.sizes,
+            us,
+            vs,
+        )
 
     def score_block(self, index: ProfileIndex, us: np.ndarray) -> np.ndarray:
         intersections = (index.binary[us] @ index.binary.T).toarray()

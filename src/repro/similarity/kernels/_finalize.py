@@ -1,0 +1,54 @@
+"""Shared final-formula step for every kernel backend.
+
+Backends differ in how they compute the *raw* pair statistic (dot
+product, intersection count, weighted intersection sum); the final
+metric formula — denominators, zero-guards, dtype promotions — is
+applied here so all backends agree with the metric modules' historical
+arithmetic exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import METRIC_FAMILIES
+
+__all__ = ["finalize"]
+
+
+def finalize(
+    metric_name: str,
+    raw: np.ndarray,
+    norms: np.ndarray | None,
+    sizes: np.ndarray | None,
+    us: np.ndarray,
+    vs: np.ndarray,
+) -> np.ndarray:
+    """Turn *raw* pair statistics into final float64 similarities.
+
+    ``raw`` is the dot product for the dot family, the float64
+    intersection count for the set family, and already the final score
+    for the weighted-set family (and for ``overlap``).
+    """
+    family = METRIC_FAMILIES[metric_name]
+    if family == "dot":
+        denominators = norms[us] * norms[vs]
+        out = np.zeros(raw.shape[0], dtype=np.float64)
+        mask = denominators > 0
+        out[mask] = raw[mask] / denominators[mask]
+        return out
+    if family == "weighted_set" or metric_name == "overlap":
+        return raw
+    if metric_name == "jaccard":
+        unions = sizes[us] + sizes[vs] - raw
+        out = np.zeros(raw.shape[0], dtype=np.float64)
+        mask = unions > 0
+        out[mask] = raw[mask] / unions[mask]
+        return out
+    if metric_name == "dice":
+        denominators = sizes[us] + sizes[vs]
+        out = np.zeros(raw.shape[0], dtype=np.float64)
+        mask = denominators > 0
+        out[mask] = 2.0 * raw[mask] / denominators[mask]
+        return out
+    raise KeyError(f"no final formula for metric {metric_name!r}")

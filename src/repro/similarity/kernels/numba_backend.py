@@ -1,0 +1,140 @@
+"""JIT-compiled ``prange`` merge-intersection kernels (optional numba).
+
+One compiled kernel per metric family, each a classic sorted-merge
+intersection over two CSR rows.  The merge walks both index slices
+once (O(|u| + |v|) per pair, no gathers, no temporaries) and the outer
+loop is a ``prange`` over pairs, so chunks parallelise across cores
+inside one worker process.  Dispatch is numba-lazy: the first call per
+CSR index dtype (int32 vs int64) pays compilation, later calls reuse
+the specialisation cached on this process-wide singleton.
+
+Accumulation order differs from the numpy backend's ``reduceat`` only
+in start value (``0.0 + x1`` vs ``x1``), which is exact for the first
+term — but compiled math may still fuse or reassociate, so this
+backend advertises ``exact = False`` and is gated by the
+tolerance-based parity suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import METRIC_FAMILIES, KernelBackend, KernelUnavailable
+from ._finalize import finalize
+
+__all__ = ["NumbaKernelBackend"]
+
+
+def _compile_kernels():
+    """Import numba and define the three family kernels.
+
+    Raises :class:`KernelUnavailable` when numba cannot be imported;
+    compilation itself is deferred until the first call (lazy
+    dispatch), so constructing the backend stays cheap.
+    """
+    try:
+        from numba import njit, prange
+    except ImportError as exc:  # pragma: no cover - numba installed in CI
+        raise KernelUnavailable(f"numba is not importable: {exc}") from exc
+
+    @njit(parallel=True, nogil=True, cache=False)
+    def dot_pairs(indptr, indices, data, us, vs, out):
+        for p in prange(us.shape[0]):
+            i = indptr[us[p]]
+            i_end = indptr[us[p] + 1]
+            j = indptr[vs[p]]
+            j_end = indptr[vs[p] + 1]
+            acc = 0.0
+            while i < i_end and j < j_end:
+                a = indices[i]
+                b = indices[j]
+                if a == b:
+                    acc += data[i] * data[j]
+                    i += 1
+                    j += 1
+                elif a < b:
+                    i += 1
+                else:
+                    j += 1
+            out[p] = acc
+
+    @njit(parallel=True, nogil=True, cache=False)
+    def count_pairs(indptr, indices, us, vs, out):
+        for p in prange(us.shape[0]):
+            i = indptr[us[p]]
+            i_end = indptr[us[p] + 1]
+            j = indptr[vs[p]]
+            j_end = indptr[vs[p] + 1]
+            acc = 0.0
+            while i < i_end and j < j_end:
+                a = indices[i]
+                b = indices[j]
+                if a == b:
+                    acc += 1.0
+                    i += 1
+                    j += 1
+                elif a < b:
+                    i += 1
+                else:
+                    j += 1
+            out[p] = acc
+
+    @njit(parallel=True, nogil=True, cache=False)
+    def weighted_pairs(indptr, indices, weights, us, vs, out):
+        for p in prange(us.shape[0]):
+            i = indptr[us[p]]
+            i_end = indptr[us[p] + 1]
+            j = indptr[vs[p]]
+            j_end = indptr[vs[p] + 1]
+            acc = 0.0
+            while i < i_end and j < j_end:
+                a = indices[i]
+                b = indices[j]
+                if a == b:
+                    acc += weights[a]
+                    i += 1
+                    j += 1
+                elif a < b:
+                    i += 1
+                else:
+                    j += 1
+            out[p] = acc
+
+    return dot_pairs, count_pairs, weighted_pairs
+
+
+class NumbaKernelBackend(KernelBackend):
+    """Parallel compiled CSR merge kernels (requires numba)."""
+
+    name = "numba"
+    exact = False
+
+    def __init__(self) -> None:
+        self._dot, self._count, self._weighted = _compile_kernels()
+
+    def score_pairs(
+        self,
+        metric_name: str,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray | None,
+        norms: np.ndarray | None,
+        sizes: np.ndarray | None,
+        us: np.ndarray,
+        vs: np.ndarray,
+        item_weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        family = METRIC_FAMILIES[metric_name]
+        n_pairs = int(us.size)
+        raw = np.empty(n_pairs, dtype=np.float64)
+        if n_pairs == 0:
+            return raw
+        us64 = np.ascontiguousarray(us, dtype=np.int64)
+        vs64 = np.ascontiguousarray(vs, dtype=np.int64)
+        if family == "dot":
+            self._dot(indptr, indices, data, us64, vs64, raw)
+        elif family == "weighted_set":
+            self._weighted(indptr, indices, item_weights, us64, vs64, raw)
+        else:
+            self._count(indptr, indices, us64, vs64, raw)
+        return finalize(metric_name, raw, norms, sizes, us64, vs64)

@@ -1,0 +1,116 @@
+"""Tensor batch-scoring backend (optional torch, CPU or CUDA).
+
+Mirrors the numpy backend's shape — flat pair-tagged gathers of both
+sides' CSR entries, a sorted composite-key ``searchsorted`` match, and
+a per-pair segment reduction — but as dense float64 tensor ops, so the
+whole chunk evaluates as a handful of kernel launches on whatever
+device torch exposes (CUDA when available, CPU otherwise).  The
+reduction uses ``index_add_``, whose accumulation order is
+unspecified (atomics on GPU), so this backend advertises
+``exact = False`` and is covered by the tolerance-based parity suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import METRIC_FAMILIES, KernelBackend, KernelUnavailable
+from ._finalize import finalize
+
+__all__ = ["TorchKernelBackend"]
+
+
+class TorchKernelBackend(KernelBackend):
+    """Dense tensor gather/scatter kernels (requires torch)."""
+
+    name = "torch"
+    exact = False
+
+    def __init__(self) -> None:
+        try:
+            import torch
+        except ImportError as exc:  # pragma: no cover - torch optional
+            raise KernelUnavailable(f"torch is not importable: {exc}") from exc
+        self._torch = torch
+        self._device = torch.device(
+            "cuda" if torch.cuda.is_available() else "cpu"
+        )
+
+    def _tensor(self, array: np.ndarray, dtype=None):
+        tensor = self._torch.as_tensor(np.ascontiguousarray(array))
+        if dtype is not None:
+            tensor = tensor.to(dtype)
+        return tensor.to(self._device)
+
+    def _gather(self, indptr, indices, users):
+        """Flat ``(pair_ids, items, positions)`` tensors (pair-major)."""
+        t = self._torch
+        starts = indptr[users]
+        counts = indptr[users + 1] - starts
+        pair_ids = t.repeat_interleave(
+            t.arange(users.shape[0], device=self._device), counts
+        )
+        total = int(counts.sum().item())
+        if total == 0:
+            empty = t.empty(0, dtype=t.int64, device=self._device)
+            return empty, empty, empty
+        cum = t.cumsum(counts, 0)
+        positions = t.arange(
+            total, dtype=t.int64, device=self._device
+        ) + t.repeat_interleave(starts - (cum - counts), counts)
+        return pair_ids, indices[positions], positions
+
+    def score_pairs(
+        self,
+        metric_name: str,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray | None,
+        norms: np.ndarray | None,
+        sizes: np.ndarray | None,
+        us: np.ndarray,
+        vs: np.ndarray,
+        item_weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        t = self._torch
+        family = METRIC_FAMILIES[metric_name]
+        n_pairs = int(us.size)
+        if n_pairs == 0:
+            return np.empty(0, dtype=np.float64)
+        indptr_t = self._tensor(indptr, t.int64)
+        indices_t = self._tensor(indices, t.int64)
+        us_t = self._tensor(np.asarray(us), t.int64)
+        vs_t = self._tensor(np.asarray(vs), t.int64)
+        pair_u, items_u, pos_u = self._gather(indptr_t, indices_t, us_t)
+        pair_v, items_v, pos_v = self._gather(indptr_t, indices_t, vs_t)
+        raw = t.zeros(n_pairs, dtype=t.float64, device=self._device)
+        if items_u.numel() and items_v.numel():
+            span = int(indices_t.max().item()) + 1
+            keys_u = pair_u * span + items_u
+            keys_v = pair_v * span + items_v
+            positions = t.searchsorted(keys_u, keys_v)
+            clipped = t.clamp(positions, max=keys_u.shape[0] - 1)
+            hit = keys_u[clipped] == keys_v
+            matched_v = t.nonzero(hit).ravel()
+            matched_u = positions[matched_v]
+            if family == "dot":
+                data_t = self._tensor(data, t.float64)
+                products = (
+                    data_t[pos_u[matched_u]] * data_t[pos_v[matched_v]]
+                )
+            elif family == "weighted_set":
+                weights_t = self._tensor(item_weights, t.float64)
+                products = weights_t[items_v[matched_v]]
+            else:
+                products = t.ones(
+                    matched_v.shape[0], dtype=t.float64, device=self._device
+                )
+            raw.index_add_(0, pair_v[matched_v], products)
+        return finalize(
+            metric_name,
+            raw.cpu().numpy(),
+            norms,
+            sizes,
+            np.asarray(us),
+            np.asarray(vs),
+        )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ProfileIndex, SimilarityMetric, _pairwise_dot, intersect_profiles
+from .base import ProfileIndex, SimilarityMetric, intersect_profiles
 
 __all__ = ["OverlapSimilarity"]
 
@@ -28,7 +28,17 @@ class OverlapSimilarity(SimilarityMetric):
     def score_batch(
         self, index: ProfileIndex, us: np.ndarray, vs: np.ndarray
     ) -> np.ndarray:
-        return _pairwise_dot(index.binary, index.binary, us, vs)
+        matrix = index.matrix
+        return index.kernel.score_pairs(
+            self.name,
+            matrix.indptr,
+            matrix.indices,
+            None,
+            index.norms,
+            index.sizes,
+            us,
+            vs,
+        )
 
     def score_block(self, index: ProfileIndex, us: np.ndarray) -> np.ndarray:
         return (index.binary[us] @ index.binary.T).toarray()

@@ -61,14 +61,16 @@ class PearsonSimilarity(SimilarityMetric):
         self, index: ProfileIndex, us: np.ndarray, vs: np.ndarray
     ) -> np.ndarray:
         matrix, norms = self._centered(index)
-        dots = np.asarray(
-            matrix[us].multiply(matrix[vs]).sum(axis=1)
-        ).ravel()
-        denominators = norms[us] * norms[vs]
-        out = np.zeros(len(us), dtype=np.float64)
-        mask = denominators > 0
-        out[mask] = dots[mask] / denominators[mask]
-        return out
+        return index.kernel.score_pairs(
+            self.name,
+            matrix.indptr,
+            matrix.indices,
+            matrix.data,
+            norms,
+            index.sizes,
+            us,
+            vs,
+        )
 
     def score_block(self, index: ProfileIndex, us: np.ndarray) -> np.ndarray:
         matrix, norms = self._centered(index)

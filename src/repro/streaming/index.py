@@ -144,7 +144,9 @@ def cold_rebuild_graph(
     all compare against it.  A fresh engine is used so the caller's
     instrumentation is not polluted.
     """
-    engine = SimilarityEngine(dataset, metric=metric)
+    engine = SimilarityEngine(
+        dataset, metric=metric, kernel_backend=config.kernel_backend
+    )
     return kiff(engine, converged_config(config)).graph
 
 
@@ -246,6 +248,7 @@ class DynamicKnnIndex:
             dataset,
             metric=metric,
             index=ProfileIndex(dataset, maintenance=self.maintenance),
+            kernel_backend=self.config.kernel_backend,
         )
         # Backing arrays may hold slack capacity (geometric growth, so a
         # burst of user joins doesn't copy the graph per join); the first

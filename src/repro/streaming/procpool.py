@@ -111,6 +111,10 @@ class _WorkerState:
         self.config = init["config"]
         self.metric = init["metric"]
         self.batch_size = int(init["batch_size"])
+        # Resolved parent-side; missing-dependency fallback (with its
+        # one-time warning) already happened there, so this resolve can
+        # only downgrade further if the worker's environment differs.
+        self.kernel_backend = init.get("kernel_backend")
         self.cache_limit = init["cache_limit"]
         # Full-size mirrors of the graph rows; only owned rows are live.
         self.neighbors = np.array(init["neighbors"], dtype=np.int64)
@@ -238,6 +242,11 @@ class _WorkerState:
             self.block_name = name
         arrays = unpack_arrays(self.block, payload["manifest"])
         self.index = ProfileIndex.from_shared_arrays(arrays)
+        if self.kernel_backend is not None:
+            # Bind the batch-scoring backend straight to the zero-copy
+            # CSR views — the evaluate stage never builds scipy
+            # temporaries over shared memory.
+            self.index._kernel_backend = self.kernel_backend
         self.store = _SnapshotStore(self.index.dataset)
         all_dirty = payload["all_dirty"]
         self.truly_dirty = frozenset(all_dirty.tolist())

@@ -290,7 +290,12 @@ class _ShardPlan:
 # from shared memory.  One implementation, two transports.
 # ----------------------------------------------------------------------
 def score_pairs_chunked(
-    metric, index, us: np.ndarray, vs: np.ndarray, batch_size: int
+    metric,
+    index,
+    us: np.ndarray,
+    vs: np.ndarray,
+    batch_size: int,
+    kernel=None,
 ) -> np.ndarray:
     """Chunked metric evaluation with engine-identical chunk boundaries.
 
@@ -298,19 +303,27 @@ def score_pairs_chunked(
     on the shared counter/timer; the caller adds the evaluation totals
     after the fan-in.  Chunk boundaries cannot change values — every
     metric scores pairs independently — so results stay bit-identical to
-    the sequential engine path.
+    the sequential engine path.  ``kernel`` (a backend name or
+    :class:`~repro.similarity.kernels.KernelBackend`) is bound to
+    *index* before scoring; None keeps the index's own selection.
+
+    The output is written into one preallocated array — the historical
+    list-append + ``np.concatenate`` paid an extra full copy of every
+    chunk on exactly the evaluate stage this function dominates.
     """
+    if kernel is not None:
+        index._kernel_backend = kernel
     if us.size == 0:
         return np.empty(0, dtype=np.float64)
     if us.size <= batch_size:
         return metric.score_batch(index, us, vs)
-    chunks = []
+    out = np.empty(us.size, dtype=np.float64)
     for start in range(0, us.size, batch_size):
-        stop = start + batch_size
-        chunks.append(
-            metric.score_batch(index, us[start:stop], vs[start:stop])
+        stop = min(start + batch_size, us.size)
+        out[start:stop] = metric.score_batch(
+            index, us[start:stop], vs[start:stop]
         )
-    return np.concatenate(chunks)
+    return out
 
 
 def plan_shard_pairs(
@@ -725,6 +738,10 @@ class ShardedKnnIndex(DynamicKnnIndex):
             config=self.config,
             metric=self.engine.metric,
             batch_size=self.engine.batch_size,
+            # The *resolved* backend name: an unavailable compiled
+            # backend already degraded (and warned) parent-side, so
+            # workers never re-attempt a missing import per spawn.
+            kernel_backend=self.engine.index.kernel.name,
             cache_limit=self._shard_cache_limit,
             neighbors=neighbors.copy(),
             sims=sims.copy(),
@@ -1173,7 +1190,12 @@ class ShardedKnnIndex(DynamicKnnIndex):
         """
         engine = self.engine
         return score_pairs_chunked(
-            engine.metric, engine.index, us, vs, engine.batch_size
+            engine.metric,
+            engine.index,
+            us,
+            vs,
+            engine.batch_size,
+            kernel=engine.index.kernel,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,429 @@
+"""The kernel-backend contract: parity, selection, transport.
+
+* The ``numpy`` backend must be **bit-identical** to the historical
+  scipy evaluation (fancy-index + ``.multiply().sum(axis=1)``) — the
+  oracle is re-implemented inline here, and the streaming parity corpus
+  keeps gating the end-to-end graphs.
+* Compiled backends (``numba``, ``torch``) carry a tolerance-based
+  parity contract against the numpy backend; their suites skip when the
+  optional dependency is missing.
+* Selection order: config > CLI (which writes the config field) > the
+  ``REPRO_KERNEL_BACKEND`` environment variable > ``numpy``; a known
+  but unavailable backend falls back to numpy with exactly one warning.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import DynamicKnnIndex, KiffConfig
+from repro.cli import build_parser
+from repro.similarity import kernels
+from repro.similarity.base import ProfileIndex
+from repro.similarity.engine import SimilarityEngine, get_metric
+from repro.similarity.kernels import (
+    KernelBackend,
+    KernelUnavailable,
+    resolve_backend,
+)
+from repro.streaming import cold_rebuild_graph
+from repro.streaming.sharding import score_pairs_chunked
+from tests.conftest import random_dataset
+from tests.streaming.test_parity import drive_random_stream
+
+METRICS = ["cosine", "jaccard", "dice", "overlap", "adamic_adar", "pearson"]
+
+needs_numba = pytest.mark.skipif(
+    "numba" not in kernels.available_backends(),
+    reason="numba is not installed",
+)
+needs_torch = pytest.mark.skipif(
+    "torch" not in kernels.available_backends(),
+    reason="torch is not installed",
+)
+COMPILED = [
+    pytest.param("numba", marks=needs_numba),
+    pytest.param("torch", marks=needs_torch),
+]
+
+
+def scipy_oracle(metric_name, index, us, vs):
+    """The historical scipy evaluation, metric by metric, verbatim."""
+
+    def pairwise_dot(matrix, other):
+        return np.asarray(
+            matrix[us].multiply(other[vs]).sum(axis=1)
+        ).ravel()
+
+    if metric_name == "cosine":
+        dots = pairwise_dot(index.matrix, index.matrix)
+        denominators = index.norms[us] * index.norms[vs]
+    elif metric_name == "pearson":
+        matrix, norms = index.centered
+        dots = pairwise_dot(matrix, matrix)
+        denominators = norms[us] * norms[vs]
+    elif metric_name == "adamic_adar":
+        return pairwise_dot(index.adamic_adar_matrix, index.binary)
+    else:
+        intersections = pairwise_dot(index.binary, index.binary)
+        if metric_name == "overlap":
+            return intersections
+        if metric_name == "jaccard":
+            denominators = index.sizes[us] + index.sizes[vs] - intersections
+        else:  # dice
+            intersections = 2.0 * intersections
+            denominators = (index.sizes[us] + index.sizes[vs]).astype(
+                np.float64
+            )
+        dots = intersections
+    out = np.zeros(len(us), dtype=np.float64)
+    mask = denominators > 0
+    out[mask] = dots[mask] / denominators[mask]
+    return out
+
+
+def random_pairs(n_users, n_pairs=400, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, n_users, n_pairs),
+        rng.integers(0, n_users, n_pairs),
+    )
+
+
+@pytest.fixture(params=[False, True], ids=["binary", "rated"])
+def fixture_index(request):
+    dataset = random_dataset(
+        n_users=50, n_items=30, density=0.15, seed=7, ratings=request.param
+    )
+    return ProfileIndex(dataset)
+
+
+class TestNumpyBitIdentity:
+    """The numpy backend reproduces the scipy path bit for bit."""
+
+    @pytest.mark.parametrize("metric_name", METRICS)
+    def test_score_batch_equals_scipy_oracle(self, fixture_index, metric_name):
+        metric = get_metric(metric_name)
+        us, vs = random_pairs(fixture_index.n_users)
+        got = metric.score_batch(fixture_index, us, vs)
+        expected = scipy_oracle(metric_name, fixture_index, us, vs)
+        assert fixture_index.kernel.name == "numpy"
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("metric_name", METRICS)
+    def test_long_intersections_stay_bit_identical(self, metric_name):
+        # >128 common items per pair would expose any pairwise-summation
+        # reordering (numpy's reduce optimisation) — reduceat must stay
+        # sequential like scipy's row sum.
+        dataset = random_dataset(
+            n_users=8, n_items=600, density=0.6, seed=3, ratings=True
+        )
+        index = ProfileIndex(dataset)
+        us = np.repeat(np.arange(8), 8)
+        vs = np.tile(np.arange(8), 8)
+        metric = get_metric(metric_name)
+        got = metric.score_batch(index, us, vs)
+        assert np.array_equal(got, scipy_oracle(metric_name, index, us, vs))
+
+    @pytest.mark.parametrize("metric_name", METRICS)
+    def test_batch_agrees_with_pair_and_block(
+        self, fixture_index, metric_name
+    ):
+        metric = get_metric(metric_name)
+        us, vs = random_pairs(fixture_index.n_users, n_pairs=120, seed=1)
+        batch = metric.score_batch(fixture_index, us, vs)
+        pairs = np.array(
+            [
+                metric.score_pair(fixture_index, int(u), int(v))
+                for u, v in zip(us, vs)
+            ]
+        )
+        block = metric.score_block(fixture_index, us)
+        block_vals = block[np.arange(us.size), vs]
+        assert batch == pytest.approx(pairs, abs=1e-12)
+        assert batch == pytest.approx(block_vals, abs=1e-12)
+
+    def test_empty_and_self_pairs(self, fixture_index):
+        metric = get_metric("cosine")
+        empty = np.empty(0, dtype=np.int64)
+        assert metric.score_batch(fixture_index, empty, empty).size == 0
+        us = np.arange(fixture_index.n_users)
+        got = metric.score_batch(fixture_index, us, us)
+        expected = scipy_oracle("cosine", fixture_index, us, us)
+        assert np.array_equal(got, expected)
+
+    def test_empty_profile_pairs_score_zero(self):
+        dataset = random_dataset(
+            n_users=30, n_items=10, density=0.05, seed=11
+        )
+        index = ProfileIndex(dataset)
+        empty_users = np.flatnonzero(index.sizes == 0)
+        assert empty_users.size, "fixture needs at least one empty profile"
+        us = np.repeat(empty_users, 3)
+        vs = np.tile(empty_users[:1], us.size)
+        for metric_name in METRICS:
+            got = get_metric(metric_name).score_batch(index, us, vs)
+            assert np.array_equal(got, np.zeros(us.size))
+
+
+class TestCompiledBackendParity:
+    """numba/torch match numpy within tolerance (skipped when absent)."""
+
+    @pytest.mark.parametrize("metric_name", METRICS)
+    @pytest.mark.parametrize("backend_name", COMPILED)
+    def test_score_batch_close_to_numpy(
+        self, fixture_index, backend_name, metric_name
+    ):
+        metric = get_metric(metric_name)
+        us, vs = random_pairs(fixture_index.n_users)
+        fixture_index._kernel_backend = "numpy"
+        expected = metric.score_batch(fixture_index, us, vs)
+        fixture_index._kernel_backend = backend_name
+        got = metric.score_batch(fixture_index, us, vs)
+        assert fixture_index.kernel.name == backend_name
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("metric_name", METRICS)
+    @pytest.mark.parametrize("backend_name", COMPILED)
+    def test_pair_and_block_paths_stay_close(
+        self, fixture_index, backend_name, metric_name
+    ):
+        metric = get_metric(metric_name)
+        us, vs = random_pairs(fixture_index.n_users, n_pairs=80, seed=2)
+        fixture_index._kernel_backend = backend_name
+        batch = metric.score_batch(fixture_index, us, vs)
+        pairs = np.array(
+            [
+                metric.score_pair(fixture_index, int(u), int(v))
+                for u, v in zip(us, vs)
+            ]
+        )
+        block = metric.score_block(fixture_index, us)
+        np.testing.assert_allclose(batch, pairs, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(
+            batch, block[np.arange(us.size), vs], rtol=1e-9, atol=1e-12
+        )
+
+    @pytest.mark.parametrize("backend_name", COMPILED)
+    def test_parity_corpus_stream(self, backend_name):
+        # A maintained stream scored by the compiled backend stays
+        # tolerance-close to the numpy-scored cold rebuild.
+        dataset = random_dataset(
+            n_users=18, n_items=14, density=0.15, seed=5, ratings=True
+        )
+        index = DynamicKnnIndex(
+            dataset,
+            KiffConfig(k=4, kernel_backend=backend_name),
+            auto_refresh=False,
+        )
+        drive_random_stream(index, seed=5)
+        reference = cold_rebuild_graph(
+            index.dataset, KiffConfig(k=4, kernel_backend="numpy")
+        )
+        finite = np.isfinite(reference.sims)
+        np.testing.assert_allclose(
+            index.graph.sims[finite],
+            reference.sims[finite],
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+
+class TestNumpyStreamParity:
+    """End-to-end: explicit numpy backend keeps exact stream parity."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stream_equals_cold_rebuild(self, seed):
+        dataset = random_dataset(
+            n_users=18, n_items=14, density=0.15, seed=seed, ratings=True
+        )
+        config = KiffConfig(k=4, kernel_backend="numpy")
+        index = DynamicKnnIndex(dataset, config, auto_refresh=False)
+        drive_random_stream(index, seed)
+        assert index.graph == cold_rebuild_graph(index.dataset, config)
+
+
+class TestBackendSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV_VAR, raising=False)
+        assert resolve_backend(None).name == "numpy"
+        assert ProfileIndex(random_dataset(n_users=5)).kernel.name == "numpy"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        class DummyBackend(KernelBackend):
+            name = "dummy-env"
+
+            def score_pairs(self, *args, **kwargs):  # pragma: no cover
+                raise NotImplementedError
+
+        kernels.register_backend("dummy-env", DummyBackend)
+        try:
+            monkeypatch.setenv(kernels.KERNEL_ENV_VAR, "dummy-env")
+            assert resolve_backend(None).name == "dummy-env"
+        finally:
+            kernels._FACTORIES.pop("dummy-env", None)
+            kernels._INSTANCES.pop("dummy-env", None)
+
+    def test_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV_VAR, "torch")
+        dataset = random_dataset(n_users=8, n_items=6, seed=1)
+        engine = SimilarityEngine(dataset, kernel_backend="numpy")
+        assert engine.index.kernel.name == "numpy"
+
+    def test_cli_flag_writes_config(self):
+        args = build_parser().parse_args(
+            ["stream", "--kernel-backend", "numpy"]
+        )
+        assert args.kernel_backend == "numpy"
+        config = KiffConfig(k=3, kernel_backend=args.kernel_backend)
+        index = DynamicKnnIndex(
+            random_dataset(n_users=8, n_items=6, seed=2),
+            config,
+            auto_refresh=False,
+        )
+        assert index.engine.index.kernel.name == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="unknown kernel backend"):
+            resolve_backend("no-such-backend")
+        with pytest.raises(ValueError, match="unknown kernel_backend"):
+            KiffConfig(kernel_backend="no-such-backend")
+
+    def test_instance_passthrough(self):
+        backend = resolve_backend("numpy")
+        assert resolve_backend(backend) is backend
+
+    def test_missing_dependency_warns_exactly_once(self):
+        def unavailable():
+            raise KernelUnavailable("install it")
+
+        kernels.register_backend("missing-dep", unavailable)
+        try:
+            with pytest.warns(RuntimeWarning, match="missing-dep"):
+                first = resolve_backend("missing-dep")
+            assert first.name == "numpy"
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                second = resolve_backend("missing-dep")
+            assert second.name == "numpy"
+        finally:
+            kernels._FACTORIES.pop("missing-dep", None)
+            kernels._WARNED.discard("missing-dep")
+
+    def test_engine_rebind_preserves_backend(self):
+        dataset = random_dataset(n_users=10, n_items=8, seed=3)
+        engine = SimilarityEngine(dataset, kernel_backend="numpy")
+        resolved = engine.index.kernel
+        engine.rebind(random_dataset(n_users=10, n_items=8, seed=4))
+        assert engine.index.kernel is resolved
+
+
+class TestScorePairsChunked:
+    def test_chunked_matches_single_batch(self, fixture_index):
+        metric = get_metric("cosine")
+        us, vs = random_pairs(fixture_index.n_users, n_pairs=257, seed=9)
+        whole = metric.score_batch(fixture_index, us, vs)
+        chunked = score_pairs_chunked(
+            metric, fixture_index, us, vs, batch_size=64
+        )
+        assert np.array_equal(whole, chunked)
+
+    def test_kernel_argument_binds_backend(self, fixture_index):
+        metric = get_metric("jaccard")
+        us, vs = random_pairs(fixture_index.n_users, n_pairs=50, seed=4)
+        out = score_pairs_chunked(
+            metric, fixture_index, us, vs, batch_size=16, kernel="numpy"
+        )
+        assert fixture_index.kernel.name == "numpy"
+        assert np.array_equal(
+            out, scipy_oracle("jaccard", fixture_index, us, vs)
+        )
+
+
+class TestSharedArraysFlag:
+    def test_binary_dataset_ships_flag_not_data(self):
+        index = ProfileIndex(random_dataset(n_users=20, n_items=10, seed=6))
+        arrays = index.to_shared_arrays()
+        assert "dataset_data" not in arrays
+        assert "dataset_data_all_ones" in arrays
+        assert arrays["dataset_data_all_ones"].nbytes == 1
+
+    def test_rated_dataset_ships_data(self):
+        index = ProfileIndex(
+            random_dataset(n_users=20, n_items=10, seed=6, ratings=True)
+        )
+        arrays = index.to_shared_arrays()
+        assert "dataset_data_all_ones" not in arrays
+        assert arrays["dataset_data"] is index.matrix.data
+
+    @pytest.mark.parametrize("ratings", [False, True])
+    def test_round_trip_rebuilds_identical_scores(self, ratings):
+        index = ProfileIndex(
+            random_dataset(n_users=20, n_items=10, seed=8, ratings=ratings)
+        )
+        rebuilt = ProfileIndex.from_shared_arrays(index.to_shared_arrays())
+        assert np.array_equal(
+            rebuilt.matrix.toarray(), index.matrix.toarray()
+        )
+        if not ratings:
+            # Re-derived ones are shared with the binarised twin rather
+            # than allocated twice (scipy may rewrap the buffer in a
+            # fresh ndarray view, so compare memory, not identity).
+            assert np.shares_memory(rebuilt.binary.data, rebuilt.matrix.data)
+        us, vs = random_pairs(index.n_users, n_pairs=60, seed=8)
+        for metric_name in METRICS:
+            metric = get_metric(metric_name)
+            assert np.array_equal(
+                metric.score_batch(rebuilt, us, vs),
+                metric.score_batch(index, us, vs),
+            )
+
+
+class TestAdamicAdarWeights:
+    def test_weights_match_matrix_cache(self):
+        index = ProfileIndex(
+            random_dataset(n_users=25, n_items=12, density=0.3, seed=10)
+        )
+        weights = index.adamic_adar_weights
+        aa = index.adamic_adar_matrix
+        degrees = np.asarray(index.binary.sum(axis=0)).ravel()
+        expected = np.zeros(index.n_items)
+        mask = degrees >= 2
+        expected[mask] = 1.0 / np.log(degrees[mask])
+        assert np.array_equal(weights, expected)
+        # The eliminated (weight-zero) entries are exactly the ones
+        # missing from the weighted matrix.
+        assert aa.nnz == int(np.count_nonzero(weights[index.matrix.indices]))
+
+    def test_incremental_update_keeps_weights_exact(self):
+        dataset = random_dataset(
+            n_users=25, n_items=12, density=0.3, seed=12
+        )
+        index = ProfileIndex(dataset)
+        index.adamic_adar_weights  # prime the caches
+        # Rewrite one user's profile; per the documented non-profile-
+        # local semantics every rater of the touched items is dirtied.
+        from repro.streaming import AddRating
+
+        streaming = DynamicKnnIndex(
+            dataset,
+            KiffConfig(k=3),
+            metric="adamic_adar",
+            auto_refresh=False,
+            build=False,
+        )
+        streaming.apply(AddRating(0, 3, 1.0))
+        new_dataset = streaming.builder.snapshot()
+        dirty = set(streaming._dirty)
+        index.update(new_dataset, dirty)
+        fresh = ProfileIndex(new_dataset)
+        assert np.array_equal(
+            index.adamic_adar_weights, fresh.adamic_adar_weights
+        )
+        assert np.array_equal(
+            index.adamic_adar_matrix.toarray(),
+            fresh.adamic_adar_matrix.toarray(),
+        )
