@@ -83,6 +83,12 @@ from .instrumentation import (
     scan_rate,
 )
 from .persistence import PartitionedWriteAheadLog, WriteAheadLog
+from .scheduling import (
+    Backpressure,
+    RefreshScheduler,
+    SchedulerPolicy,
+    SubmitResult,
+)
 from .serving import (
     GraphSnapshot,
     KnnServer,
@@ -119,6 +125,7 @@ __all__ = [
     "AddRating",
     "AddUser",
     "ApplyResult",
+    "Backpressure",
     "Batch",
     "BipartiteDataset",
     "ConstructionResult",
@@ -143,14 +150,17 @@ __all__ = [
     "RcsDelta",
     "Recommendation",
     "Recommender",
+    "RefreshScheduler",
     "RefreshStats",
     "RemoveRating",
     "RemoveUser",
     "ReverseNeighborIndex",
+    "SchedulerPolicy",
     "SimilarityCounter",
     "SimilarityEngine",
     "ShardedKnnIndex",
     "SimilarityMetric",
+    "SubmitResult",
     "WriteAheadLog",
     "__version__",
     "average_similarity",

@@ -162,6 +162,56 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--max-event-lag",
+        type=int,
+        default=None,
+        help=(
+            "with 'stream'/'serve': bounded-staleness scheduling — "
+            "force a refresh once any dirty user trails the applied "
+            "event sequence by this many events (see README "
+            "'Scheduling'; any scheduler flag switches 'stream' to the "
+            "scheduled burst replay)"
+        ),
+    )
+    parser.add_argument(
+        "--staleness-budget",
+        type=float,
+        default=None,
+        help=(
+            "with 'stream'/'serve': force a refresh once any dirty "
+            "user has been deferred this many wall-clock seconds"
+        ),
+    )
+    parser.add_argument(
+        "--max-dirty-per-refresh",
+        type=int,
+        default=None,
+        help=(
+            "with 'stream'/'serve': cap each scheduled pass at this "
+            "many dirty users, highest blast radius first; the tail "
+            "defers to later passes"
+        ),
+    )
+    parser.add_argument(
+        "--queue-bound",
+        type=int,
+        default=None,
+        help=(
+            "with 'stream'/'serve': admission control — once this many "
+            "dirty users queue up, submissions hit backpressure"
+        ),
+    )
+    parser.add_argument(
+        "--on-backpressure",
+        default="refresh",
+        choices=("refresh", "reject"),
+        help=(
+            "with --queue-bound: shed load with an immediate scheduled "
+            "pass (refresh, default) or reject the submission and "
+            "leave the retry to the caller"
+        ),
+    )
+    parser.add_argument(
         "--host",
         default="127.0.0.1",
         help="with 'serve': interface to bind (default: 127.0.0.1)",
@@ -244,6 +294,44 @@ def _cli_k(args) -> int:
     return 8 if args.scale == "tiny" else 20
 
 
+def _wants_scheduler(args) -> bool:
+    """Did any scheduling flag opt this run into the scheduled path?"""
+    return any(
+        value is not None
+        for value in (
+            args.max_event_lag,
+            args.staleness_budget,
+            args.max_dirty_per_refresh,
+            args.queue_bound,
+        )
+    )
+
+
+def _stream_config(args, k: int):
+    """Build the KiffConfig for stream/serve, folding scheduler knobs in.
+
+    Returns ``(config, None)`` or ``(None, exit_code)`` when a knob
+    fails :class:`~repro.core.config.KiffConfig` validation.
+    """
+    from .core import KiffConfig
+
+    try:
+        return (
+            KiffConfig(
+                k=k,
+                kernel_backend=args.kernel_backend,
+                max_event_lag=args.max_event_lag,
+                staleness_budget=args.staleness_budget,
+                max_dirty_per_refresh=args.max_dirty_per_refresh,
+                queue_bound=args.queue_bound,
+            ),
+            None,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None, 2
+
+
 def _run_graph_stats(args) -> int:
     """The 'graph-stats' utility: build with KIFF, print analytics."""
     from .core import KiffConfig, kiff
@@ -281,7 +369,6 @@ def _run_stream(args) -> int:
     """The 'stream' utility: hold-out replay through the dynamic index."""
     from pathlib import Path
 
-    from .core import KiffConfig
     from .datasets import load_dataset
     from .experiments.report import render_table
     from .streaming import (
@@ -292,6 +379,7 @@ def _run_stream(args) -> int:
         replay_stream,
     )
 
+    scheduled = _wants_scheduler(args)
     if args.checkpoint_every is not None and not args.wal:
         print("error: --checkpoint-every requires --wal", file=sys.stderr)
         return 2
@@ -299,6 +387,14 @@ def _run_stream(args) -> int:
         print(
             f"error: --checkpoint-every must be a positive number of "
             f"batches, got {args.checkpoint_every}",
+            file=sys.stderr,
+        )
+        return 2
+    if scheduled and args.checkpoint_every is not None:
+        print(
+            "error: --checkpoint-every is not supported with scheduler "
+            "flags (the scheduled replay owns the refresh cadence); "
+            "checkpoint from the API or drop the scheduling flags",
             file=sys.stderr,
         )
         return 2
@@ -313,7 +409,9 @@ def _run_stream(args) -> int:
     base, users, items, ratings = holdout_stream(
         dataset, fraction=args.stream_fraction, seed=args.seed
     )
-    config = KiffConfig(k=k, kernel_backend=args.kernel_backend)
+    config, code = _stream_config(args, k)
+    if config is None:
+        return code
     if args.shards > 1:
         index = ShardedKnnIndex(
             base,
@@ -364,31 +462,81 @@ def _run_stream(args) -> int:
             index.attach_wal(wal)
             # Seed checkpoint: recovery needs a base to replay onto.
             index.checkpoint(state_dir)
-        outcome = replay_stream(
-            index,
-            users,
-            items,
-            ratings,
-            batch_size=args.batch_size,
-            checkpoint_every=args.checkpoint_every if state_dir else None,
-            checkpoint_dir=state_dir,
-        )
-        cold = cold_rebuild_graph(
-            index.dataset, index.config, metric=args.metric
-        )
-        rows = [
-            ["events streamed", outcome.events],
-            ["batch size", args.batch_size],
-            ["refreshes", outcome.batches],
-            ["events/s", round(outcome.events_per_second, 1)],
-            ["evals (incremental)", outcome.incremental_evaluations],
-            ["evals (rebuild per batch)", outcome.rebuild_evaluations],
-            ["savings", f"{outcome.savings:.1f}x"],
-            ["parity with cold rebuild", index.graph == cold],
-        ]
-        if args.shards > 1:
-            rows.insert(1, ["shards", args.shards])
-            rows.insert(2, ["executor", args.executor])
+        if scheduled:
+            from .scheduling import (
+                RefreshScheduler,
+                SchedulerPolicy,
+                scheduled_replay,
+            )
+            from .streaming import poisson_burst_sizes
+
+            scheduler = RefreshScheduler(
+                index,
+                SchedulerPolicy.from_config(
+                    config, on_backpressure=args.on_backpressure
+                ),
+            )
+            # Bursty arrivals centred on --batch-size: lulls let wall
+            # budgets fire, bursts exercise the queue bound.
+            sizes = poisson_burst_sizes(
+                len(users),
+                seed=args.seed,
+                base_rate=max(1.0, args.batch_size / 2),
+                burst_rate=max(4.0, args.batch_size * 2),
+            )
+            outcome = scheduled_replay(
+                scheduler, users, items, ratings, sizes
+            )
+            cold = cold_rebuild_graph(
+                index.dataset, index.config, metric=args.metric
+            )
+            parity = index.graph == cold
+            rows = [
+                ["events streamed", outcome.events],
+                ["bursts (submissions)", outcome.submissions],
+                ["rejected submissions", outcome.rejected_submissions],
+                ["scheduled passes", outcome.passes],
+                ["drain passes", outcome.drain_passes],
+                ["max queue depth", outcome.max_queue_depth],
+                ["queue bound", scheduler.policy.queue_bound],
+                ["backpressure signals", outcome.backpressure_signals],
+                ["deferrals", outcome.deferrals],
+                ["events/s", round(outcome.events_per_second, 1)],
+                ["evals (incremental)", outcome.evaluations],
+                ["parity with cold rebuild", parity],
+            ]
+            if args.shards > 1:
+                rows.insert(1, ["shards", args.shards])
+                rows.insert(2, ["executor", args.executor])
+        else:
+            outcome = replay_stream(
+                index,
+                users,
+                items,
+                ratings,
+                batch_size=args.batch_size,
+                checkpoint_every=(
+                    args.checkpoint_every if state_dir else None
+                ),
+                checkpoint_dir=state_dir,
+            )
+            cold = cold_rebuild_graph(
+                index.dataset, index.config, metric=args.metric
+            )
+            parity = index.graph == cold
+            rows = [
+                ["events streamed", outcome.events],
+                ["batch size", args.batch_size],
+                ["refreshes", outcome.batches],
+                ["events/s", round(outcome.events_per_second, 1)],
+                ["evals (incremental)", outcome.incremental_evaluations],
+                ["evals (rebuild per batch)", outcome.rebuild_evaluations],
+                ["savings", f"{outcome.savings:.1f}x"],
+                ["parity with cold rebuild", parity],
+            ]
+            if args.shards > 1:
+                rows.insert(1, ["shards", args.shards])
+                rows.insert(2, ["executor", args.executor])
         if state_dir is not None:
             rows.append(["wal", str(index.wal.path)])
             rows.append(["last sequence", index.last_seq])
@@ -410,6 +558,19 @@ def _run_stream(args) -> int:
                 ),
             )
         )
+        if scheduled:
+            # One greppable line for smoke checks (CI asserts on it).
+            print(
+                f"scheduler: backpressure_signals="
+                f"{outcome.backpressure_signals} "
+                f"max_queue_depth={outcome.max_queue_depth} "
+                f"scheduled_passes={outcome.passes} "
+                f"drain_passes={outcome.drain_passes} "
+                f"parity={parity}",
+                flush=True,
+            )
+            if not parity:
+                return 1
     finally:
         index.close()
     return 0
@@ -431,7 +592,6 @@ def _run_serve(args) -> int:
     import signal
     import threading
 
-    from .core import KiffConfig
     from .datasets import load_dataset
     from .serving import KnnServer
     from .streaming import (
@@ -452,7 +612,9 @@ def _run_serve(args) -> int:
     base, users, items, ratings = holdout_stream(
         dataset, fraction=args.stream_fraction, seed=args.seed
     )
-    config = KiffConfig(k=k, kernel_backend=args.kernel_backend)
+    config, code = _stream_config(args, k)
+    if config is None:
+        return code
     if args.shards > 1:
         index = ShardedKnnIndex(
             base,
@@ -466,6 +628,16 @@ def _run_serve(args) -> int:
         index = DynamicKnnIndex(
             base, config, metric=args.metric, auto_refresh=False
         )
+    scheduler = None
+    if _wants_scheduler(args):
+        from .scheduling import RefreshScheduler, SchedulerPolicy
+
+        scheduler = RefreshScheduler(
+            index,
+            SchedulerPolicy.from_config(
+                config, on_backpressure=args.on_backpressure
+            ),
+        )
     stop_writer = threading.Event()
     writer = None
     try:
@@ -477,19 +649,31 @@ def _run_serve(args) -> int:
                     if stop_writer.is_set():
                         return
                     hi = min(lo + args.batch_size, n_events)
-                    index.apply(
-                        ratings_batch(
-                            users[lo:hi], items[lo:hi], ratings[lo:hi]
-                        )
+                    batch = ratings_batch(
+                        users[lo:hi], items[lo:hi], ratings[lo:hi]
                     )
-                    index.refresh()
+                    if scheduler is not None:
+                        # Deferred-tail ingestion: the scheduler defers
+                        # low-impact users and (if backpressure rejects)
+                        # we retry after an explicit shedding pass.
+                        while not scheduler.submit(batch).admitted:
+                            if stop_writer.is_set():
+                                return
+                            scheduler.refresh()
+                    else:
+                        index.apply(batch)
+                        index.refresh()
+                if scheduler is not None and not stop_writer.is_set():
+                    scheduler.drain()
 
             writer = threading.Thread(
                 target=_ingest, name="repro-serve-writer", daemon=True
             )
 
         async def _serve() -> None:
-            server = KnnServer(index, host=args.host, port=args.port)
+            server = KnnServer(
+                index, host=args.host, port=args.port, scheduler=scheduler
+            )
             await server.start()
             host, port = server.address
             print(

@@ -53,6 +53,20 @@ class KiffConfig:
         ``None`` defers to the ``REPRO_KERNEL_BACKEND`` environment
         variable, then ``"numpy"``.  Unavailable compiled backends
         degrade to ``"numpy"`` with a one-time warning.
+    max_event_lag:
+        Bounded-staleness scheduling knob (``None`` = unscheduled):
+        maximum events absorbed since a user went dirty before a
+        refresh is forced.  Consumed by
+        :class:`repro.scheduling.SchedulerPolicy.from_config`.
+    staleness_budget:
+        Scheduling knob: maximum wall-clock seconds a dirty user may
+        stay deferred before a refresh is forced.
+    max_dirty_per_refresh:
+        Scheduling knob: cap on dirty users processed per scheduled
+        refresh; the low-blast-radius tail beyond it is deferred.
+    queue_bound:
+        Scheduling knob: admission-control bound on the dirty-user
+        queue; submissions beyond it trigger backpressure.
     """
 
     k: int = 20
@@ -64,6 +78,10 @@ class KiffConfig:
     mode: str = "fast"
     track_snapshots: bool = False
     kernel_backend: str | None = None
+    max_event_lag: int | None = None
+    staleness_budget: float | None = None
+    max_dirty_per_refresh: int | None = None
+    queue_bound: int | None = None
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -93,6 +111,26 @@ class KiffConfig:
                     f"unknown kernel_backend {self.kernel_backend!r}; "
                     f"registered backends: {backend_names()}"
                 )
+        if self.max_event_lag is not None and self.max_event_lag < 1:
+            raise ValueError(
+                f"max_event_lag must be >= 1, got {self.max_event_lag}"
+            )
+        if self.staleness_budget is not None and self.staleness_budget < 0:
+            raise ValueError(
+                f"staleness_budget must be >= 0, got {self.staleness_budget}"
+            )
+        if (
+            self.max_dirty_per_refresh is not None
+            and self.max_dirty_per_refresh < 1
+        ):
+            raise ValueError(
+                f"max_dirty_per_refresh must be >= 1, got "
+                f"{self.max_dirty_per_refresh}"
+            )
+        if self.queue_bound is not None and self.queue_bound < 1:
+            raise ValueError(
+                f"queue_bound must be >= 1, got {self.queue_bound}"
+            )
 
     @property
     def effective_gamma(self) -> float:

@@ -94,6 +94,20 @@ class ReverseNeighborIndex:
         """Total stored (user, citing-row) entries (for tests/benchmarks)."""
         return sum(len(rows) for rows in self._referrers.values())
 
+    def referrer_counts(self, users) -> np.ndarray:
+        """In-degree of each of *users*: how many rows cite them.
+
+        This is the "blast radius" of a dirty user — the number of KNN
+        rows a refresh of that user can invalidate — which the
+        bounded-staleness scheduler uses to order deferred work.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        return np.fromiter(
+            (len(self._referrers.get(int(u), ())) for u in users),
+            dtype=np.int64,
+            count=users.size,
+        )
+
 
 def dedupe_pairs(
     us: np.ndarray, vs: np.ndarray, n_users: int, ordered: bool = False

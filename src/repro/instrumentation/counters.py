@@ -38,6 +38,12 @@ class MaintenanceCounter:
     path ran, so benchmarks can assert the fast paths actually engaged.
     ``candidate_cache_hits`` / ``candidate_cache_misses`` account the
     streaming layer's per-user candidate-set cache.
+
+    The ``scheduler_*`` tallies account the bounded-staleness scheduler
+    (:mod:`repro.scheduling`): scheduled refresh passes run, dirty
+    users deferred past a pass (one user deferred across three passes
+    counts three), backpressure signals raised by admission control,
+    and events rejected under the ``"reject"`` backpressure mode.
     """
 
     rows_materialized: int = 0
@@ -48,6 +54,10 @@ class MaintenanceCounter:
     index_updates_incremental: int = 0
     candidate_cache_hits: int = 0
     candidate_cache_misses: int = 0
+    scheduler_passes: int = 0
+    scheduler_deferrals: int = 0
+    scheduler_backpressure: int = 0
+    scheduler_events_rejected: int = 0
 
     def reset(self) -> None:
         """Zero every tally."""

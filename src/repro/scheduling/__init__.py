@@ -1,0 +1,25 @@
+"""Bounded-staleness refresh scheduling (the SLO layer).
+
+The exact bit-identical refresh of :mod:`repro.streaming` is the wrong
+default under burst traffic: the event queue outruns refresh capacity
+and ingest latency collapses.  This package turns exactness into a
+*convergence guarantee* — a :class:`RefreshScheduler` accepts a
+:class:`SchedulerPolicy` (staleness/latency budget), prioritizes dirty
+users by blast radius, defers the low-impact tail across refreshes,
+and applies admission control (:class:`Backpressure`) when arrivals
+outrun capacity; :meth:`RefreshScheduler.drain` restores bit-identity
+to the unscheduled index.  See README "Scheduling".
+"""
+
+from .policy import Backpressure, SchedulerPolicy
+from .replay import ScheduledReplayResult, scheduled_replay
+from .scheduler import RefreshScheduler, SubmitResult
+
+__all__ = [
+    "Backpressure",
+    "RefreshScheduler",
+    "ScheduledReplayResult",
+    "SchedulerPolicy",
+    "SubmitResult",
+    "scheduled_replay",
+]

@@ -59,8 +59,13 @@ class KnnServer:
         top_n: int = 10,
         min_neighbor_rating: float = 3.5,
         max_batch: int = 256,
+        scheduler=None,
     ):
         self.index = index
+        #: Optional :class:`~repro.scheduling.RefreshScheduler` driving
+        #: the index's refreshes; when given, the ``stats`` op folds its
+        #: state in (queue depth, deferred users, backpressure tallies).
+        self.scheduler = scheduler
         self.recommender = Recommender(
             index, top_n=top_n, min_neighbor_rating=min_neighbor_rating
         )
@@ -217,16 +222,26 @@ class KnnServer:
                     "scores": list(reply.scores),
                 }
             elif op == "stats":
+                # Staleness is observable end-to-end: the reply carries
+                # the batch's pinned snapshot version, the index's
+                # latest applied (WAL-aligned) sequence, and their gap —
+                # how many journaled events this snapshot has not seen.
+                last_seq = self.index.last_seq
                 body = {
                     "ok": True,
                     "op": op,
                     "version": snapshot.version,
+                    "last_seq": last_seq,
+                    "snapshot_lag": last_seq - snapshot.version,
+                    "dirty_users": len(self.index.dirty_users),
                     "n_users": snapshot.n_users,
                     "k": snapshot.k,
                     "requests": self.requests,
                     "batches": self.batches,
                     "max_batch": self.max_batch_seen,
                 }
+                if self.scheduler is not None:
+                    body["scheduler"] = self.scheduler.stats()
             else:
                 raise ValueError(
                     f"unknown op {op!r}; expected 'neighbors', "

@@ -30,7 +30,13 @@ from .index import (
     converged_config,
 )
 from .sharding import ShardedKnnIndex, ShardOutbox, shard_of
-from .workload import StreamReplayResult, holdout_stream, replay_stream
+from .workload import (
+    StreamReplayResult,
+    flash_crowd_events,
+    holdout_stream,
+    poisson_burst_sizes,
+    replay_stream,
+)
 
 __all__ = [
     "AddRating",
@@ -48,7 +54,9 @@ __all__ = [
     "apply_events",
     "cold_rebuild_graph",
     "converged_config",
+    "flash_crowd_events",
     "holdout_stream",
+    "poisson_burst_sizes",
     "ratings_batch",
     "replay_stream",
     "shard_of",

@@ -174,6 +174,9 @@ class RefreshStats:
     #: Candidate-set cache hits / misses among the affected users.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Dirty users this pass left for a later refresh (``dirty_subset``
+    #: refreshes only; always 0 for a full pass).
+    deferred_users: int = 0
 
 
 class DynamicKnnIndex:
@@ -321,6 +324,16 @@ class DynamicKnnIndex:
     def dirty_users(self) -> frozenset:
         """Users whose profile changed since the last refresh."""
         return frozenset(self._dirty)
+
+    def referrer_counts(self, users) -> np.ndarray:
+        """Blast radius of *users*: how many rows currently cite each.
+
+        A dirty user's in-degree bounds the rows her refresh can
+        invalidate; the bounded-staleness scheduler orders deferred work
+        by it.  Served by lookup from the reverse-neighbor index.
+        """
+        self._ensure_open()
+        return self._reverse.referrer_counts(users)
 
     @property
     def maintenance_evaluations(self) -> int:
@@ -743,7 +756,7 @@ class DynamicKnnIndex:
     # ------------------------------------------------------------------
     # Refinement
     # ------------------------------------------------------------------
-    def refresh(self) -> RefreshStats:
+    def refresh(self, dirty_subset=None) -> RefreshStats:
         """Run the localized KIFF refinement over the dirty set.
 
         Rebuilds the rows of the affected set (dirty users plus rows
@@ -751,6 +764,15 @@ class DynamicKnnIndex:
         their cached candidate sets and mirror-merges the freshly
         evaluated pairs into every other row, restoring the
         converged-graph invariant.  Returns the pass's cost accounting.
+
+        With *dirty_subset* (an iterable of user ids) only the dirty
+        users in the subset are processed; the rest stay dirty —
+        **deferred** — and are picked up by a later refresh.  The graph
+        is then inexact until a refresh covers every deferred user, but
+        convergence is guaranteed: rows may only be stale in entries
+        citing a still-dirty user, so draining the dirty set restores
+        the bit-exact converged graph (the contract
+        :class:`repro.scheduling.RefreshScheduler` builds on).
 
         Completion publishes a new read snapshot (:meth:`pin`);
         concurrent readers keep answering on the previous one and never
@@ -763,12 +785,26 @@ class DynamicKnnIndex:
         index_before = maintenance.index_users_recomputed
         hits_before = maintenance.candidate_cache_hits
         misses_before = maintenance.candidate_cache_misses
-        n_events, n_dirty = self._pending_events, len(self._dirty)
+        n_events = self._pending_events
+        if dirty_subset is None:
+            selected = set(self._dirty)
+            deferred: set[int] = set()
+        else:
+            selected = self._dirty & {int(u) for u in dirty_subset}
+            deferred = self._dirty - selected
+        n_dirty = len(selected)
         if n_dirty == 0:
-            # All pending events were no-ops; log the pass anyway so
-            # refresh_log stays one entry per refresh performed.
+            # All pending events were no-ops (or everything was
+            # deferred); log the pass anyway so refresh_log stays one
+            # entry per refresh performed.
             stats = RefreshStats(
-                n_events, 0, 0, 0, 0, time.perf_counter() - start
+                n_events,
+                0,
+                0,
+                0,
+                0,
+                time.perf_counter() - start,
+                deferred_users=len(deferred),
             )
             self._pending_events = 0
             self._publish_snapshot(unchanged=True)
@@ -778,16 +814,20 @@ class DynamicKnnIndex:
         with engine.timer.phase("preprocessing"):
             # Incremental end to end: the snapshot patches only dirty
             # rows, and the ProfileIndex recomputes only dirty users.
+            # The rebind covers the FULL dirty set — deferred users
+            # included — because this pass's pair evaluations read
+            # deferred users' profiles too, so their norms/weights must
+            # be current even though their rows wait for a later pass.
             engine.rebind(self.builder.snapshot(), dirty_users=self._dirty)
         with engine.timer.phase("candidate_selection"):
             neighbors, sims = self._rows()
-            dirty = np.fromiter(self._dirty, count=n_dirty, dtype=np.int64)
+            dirty = np.fromiter(selected, count=n_dirty, dtype=np.int64)
             affected = np.union1d(dirty, self._reverse.referrers_of(dirty))
             # Retry safety: once their rows are cleared, affected users
             # must count as dirty until the merge lands — if evaluation
             # fails mid-pass (metric error, interrupt), the next refresh
             # rebuilds them instead of leaving their rows silently empty.
-            truly_dirty = frozenset(self._dirty)
+            truly_dirty = frozenset(selected)
             self._dirty.update(affected.tolist())
             old_affected = neighbors[affected].copy()
             neighbors[affected] = MISSING
@@ -827,6 +867,7 @@ class DynamicKnnIndex:
                     int(touched[pos]), pre_merge[pos], post_merge[pos]
                 )
         self._dirty.clear()
+        self._dirty.update(deferred)
         self._pending_events = 0
         stats = RefreshStats(
             events=n_events,
@@ -840,6 +881,7 @@ class DynamicKnnIndex:
             - index_before,
             cache_hits=maintenance.candidate_cache_hits - hits_before,
             cache_misses=maintenance.candidate_cache_misses - misses_before,
+            deferred_users=len(deferred),
         )
         self._publish_snapshot()
         self.refresh_log.append(stats)

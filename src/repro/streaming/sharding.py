@@ -267,6 +267,14 @@ class _ShardedReverseIndex:
     def referrer_count(self) -> int:
         return sum(shard.reverse.referrer_count() for shard in self._shards)
 
+    def referrer_counts(self, users) -> np.ndarray:
+        """Global in-degrees: each shard counts its owned citing rows."""
+        users = np.asarray(users, dtype=np.int64)
+        total = np.zeros(users.size, dtype=np.int64)
+        for shard in self._shards:
+            total += shard.reverse.referrer_counts(users)
+        return total
+
 
 @dataclass
 class _ShardPlan:
@@ -843,27 +851,42 @@ class ShardedKnnIndex(DynamicKnnIndex):
     # ------------------------------------------------------------------
     # Shard-parallel refinement
     # ------------------------------------------------------------------
-    def refresh(self) -> RefreshStats:
+    def refresh(self, dirty_subset=None) -> RefreshStats:
         """Run the localized refinement, partitioned across the shards.
 
-        Semantically identical to :meth:`DynamicKnnIndex.refresh`; see
-        the module docstring for the three-stage fan-out and why the
-        result is bit-identical at any shard count.  Like the flat
-        refresh, completion publishes a new read snapshot.
+        Semantically identical to :meth:`DynamicKnnIndex.refresh`
+        (including the ``dirty_subset`` deferral contract); see the
+        module docstring for the three-stage fan-out and why the result
+        is bit-identical at any shard count.  Like the flat refresh,
+        completion publishes a new read snapshot.
         """
         self._ensure_open()
         if self.executor == "processes":
-            return self._refresh_processes()
+            return self._refresh_processes(dirty_subset)
         start = time.perf_counter()
         maintenance = self.maintenance
         rows_before = maintenance.rows_materialized
         index_before = maintenance.index_users_recomputed
         hits_before = maintenance.candidate_cache_hits
         misses_before = maintenance.candidate_cache_misses
-        n_events, n_dirty = self._pending_events, len(self._dirty)
+        n_events = self._pending_events
+        if dirty_subset is None:
+            selected = set(self._dirty)
+            deferred: set[int] = set()
+        else:
+            subset = {int(u) for u in dirty_subset}
+            selected = {u for u in self._dirty if u in subset}
+            deferred = {u for u in self._dirty if u not in subset}
+        n_dirty = len(selected)
         if n_dirty == 0:
             stats = RefreshStats(
-                n_events, 0, 0, 0, 0, time.perf_counter() - start
+                n_events,
+                0,
+                0,
+                0,
+                0,
+                time.perf_counter() - start,
+                deferred_users=len(deferred),
             )
             self._pending_events = 0
             self._publish_snapshot(unchanged=True)
@@ -871,23 +894,28 @@ class ShardedKnnIndex(DynamicKnnIndex):
             return stats
         engine = self.engine
         with engine.timer.phase("preprocessing"):
-            # Shared read-only state, rebound once before the fan-out.
+            # Shared read-only state, rebound once before the fan-out;
+            # covers deferred users too (their profiles feed this pass's
+            # evaluations even though their rows wait).
             engine.rebind(self.builder.snapshot(), dirty_users=self._dirty)
         neighbors, sims = self._rows()
         n_users = self.builder.n_users
-        all_dirty = np.fromiter(self._dirty, count=n_dirty, dtype=np.int64)
-        truly_dirty = frozenset(all_dirty.tolist())
+        all_dirty = np.fromiter(selected, count=n_dirty, dtype=np.int64)
+        truly_dirty = frozenset(selected)
+        owned_selected = [
+            np.fromiter(owned, count=len(owned), dtype=np.int64)
+            for owned in (shard.dirty & selected for shard in self._shards)
+        ]
         with engine.timer.phase("candidate_selection"):
             # Stage A: every shard discovers its slice of the affected
-            # set (its dirty users + its rows citing any dirty user).
+            # set (its selected dirty users + its rows citing any
+            # selected dirty user).
             affected_by_shard = self._map(
-                lambda shard: np.union1d(
-                    np.fromiter(
-                        shard.dirty, count=len(shard.dirty), dtype=np.int64
-                    ),
-                    shard.reverse.referrers_of(all_dirty),
+                lambda work: np.union1d(
+                    work[1],
+                    work[0].reverse.referrers_of(all_dirty),
                 ),
-                self._shards,
+                list(zip(self._shards, owned_selected)),
             )
             affected = np.unique(np.concatenate(affected_by_shard))
             affected_mask = np.zeros(n_users, dtype=bool)
@@ -932,6 +960,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
         changes = sum(merge[1] for merge in merges)
         engine.counter.add(int(evaluations))
         self._dirty.clear()
+        self._dirty.update(deferred)
         self._pending_events = 0
         stats = RefreshStats(
             events=n_events,
@@ -945,12 +974,13 @@ class ShardedKnnIndex(DynamicKnnIndex):
             - index_before,
             cache_hits=maintenance.candidate_cache_hits - hits_before,
             cache_misses=maintenance.candidate_cache_misses - misses_before,
+            deferred_users=len(deferred),
         )
         self._publish_snapshot()
         self.refresh_log.append(stats)
         return stats
 
-    def _refresh_processes(self) -> RefreshStats:
+    def _refresh_processes(self, dirty_subset=None) -> RefreshStats:
         """The three-stage refresh, fanned out to the worker processes.
 
         Same stages and same bit-identical result as the in-process
@@ -973,10 +1003,24 @@ class ShardedKnnIndex(DynamicKnnIndex):
         index_before = maintenance.index_users_recomputed
         hits_before = maintenance.candidate_cache_hits
         misses_before = maintenance.candidate_cache_misses
-        n_events, n_dirty = self._pending_events, len(self._dirty)
+        n_events = self._pending_events
+        if dirty_subset is None:
+            selected = set(self._dirty)
+            deferred: set[int] = set()
+        else:
+            subset = {int(u) for u in dirty_subset}
+            selected = {u for u in self._dirty if u in subset}
+            deferred = {u for u in self._dirty if u not in subset}
+        n_dirty = len(selected)
         if n_dirty == 0:
             stats = RefreshStats(
-                n_events, 0, 0, 0, 0, time.perf_counter() - start
+                n_events,
+                0,
+                0,
+                0,
+                0,
+                time.perf_counter() - start,
+                deferred_users=len(deferred),
             )
             self._pending_events = 0
             self._publish_snapshot(unchanged=True)
@@ -1008,10 +1052,13 @@ class ShardedKnnIndex(DynamicKnnIndex):
         while True:
             pool = self._ensure_pool()
             self._flush_deltas()
+            # Restricting the shipped dirty sets to the selection is all
+            # a subset refresh needs worker-side: stage A then discovers
+            # affected(selected) and mirror offers come only from the
+            # selected users.  Deferred users stay parent-side, in
+            # ``self._dirty``, until a later pass selects them.
             all_dirty = np.sort(
-                np.fromiter(
-                    self._dirty, count=len(self._dirty), dtype=np.int64
-                )
+                np.fromiter(selected, count=len(selected), dtype=np.int64)
             )
             affected = None
             try:
@@ -1027,15 +1074,18 @@ class ShardedKnnIndex(DynamicKnnIndex):
                                 all_dirty=all_dirty,
                                 my_dirty=np.sort(
                                     np.fromiter(
-                                        shard.dirty,
-                                        count=len(shard.dirty),
+                                        owned,
+                                        count=len(owned),
                                         dtype=np.int64,
                                     )
                                 ),
                                 seq=seq,
                                 n_users=n_users,
                             )
-                            for shard in self._shards
+                            for owned in (
+                                shard.dirty & selected
+                                for shard in self._shards
+                            )
                         ],
                     )
                     affected = np.unique(np.concatenate(affected_by_shard))
@@ -1062,10 +1112,13 @@ class ShardedKnnIndex(DynamicKnnIndex):
                 # Respawn + replay: re-mark whatever may have been
                 # cleared worker-side as dirty, reseed the whole pool
                 # from the (untouched) authoritative rows plus the delta
-                # tail, and rerun the pass.
+                # tail, and rerun the pass.  The selection grows the
+                # same way so the retry covers those rows even on a
+                # subset refresh.
                 attempts += 1
                 if affected is not None:
                     self._dirty.update(affected.tolist())
+                    selected.update(affected.tolist())
                 pool.reset()
                 if attempts >= 3:
                     raise
@@ -1099,6 +1152,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
                 sims[active] = merge["sims"]
         engine.counter.add(int(evaluations))
         self._dirty.clear()
+        self._dirty.update(deferred)
         self._pending_events = 0
         self._delta_tail.clear()
         stats = RefreshStats(
@@ -1113,10 +1167,31 @@ class ShardedKnnIndex(DynamicKnnIndex):
             - index_before,
             cache_hits=maintenance.candidate_cache_hits - hits_before,
             cache_misses=maintenance.candidate_cache_misses - misses_before,
+            deferred_users=len(deferred),
         )
         self._publish_snapshot()
         self.refresh_log.append(stats)
         return stats
+
+    def referrer_counts(self, users) -> np.ndarray:
+        """Blast radius of *users* across all shards.
+
+        On the in-process executors each shard's reverse index is
+        authoritative, so the per-shard counts sum exactly.  Under
+        ``executor='processes'`` the parent-side reverse indexes are
+        stale (the workers own them and the parent lands merges without
+        ``apply_row``), so the counts are derived from the
+        authoritative neighbor rows directly — one vectorised bincount,
+        paid once per scheduler pass.
+        """
+        self._ensure_open()
+        users = np.asarray(users, dtype=np.int64)
+        if self.executor != "processes":
+            return self._reverse.referrer_counts(users)
+        neighbors, _ = self._rows()
+        cited = neighbors[neighbors != MISSING]
+        counts = np.bincount(cited, minlength=self.builder.n_users)
+        return counts[users].astype(np.int64)
 
     def _shard_plan(
         self,

@@ -26,7 +26,13 @@ from ..datasets.bipartite import BipartiteDataset
 from .events import ratings_batch
 from .index import DynamicKnnIndex
 
-__all__ = ["StreamReplayResult", "holdout_stream", "replay_stream"]
+__all__ = [
+    "StreamReplayResult",
+    "flash_crowd_events",
+    "holdout_stream",
+    "poisson_burst_sizes",
+    "replay_stream",
+]
 
 
 @dataclass(frozen=True)
@@ -86,6 +92,99 @@ def holdout_stream(
         coo.col[stream].astype(np.int64),
         coo.data[stream].astype(np.float64),
     )
+
+
+def poisson_burst_sizes(
+    n_events: int,
+    seed: int = 0,
+    base_rate: float = 2.0,
+    burst_rate: float = 20.0,
+    p_enter: float = 0.05,
+    p_exit: float = 0.25,
+) -> np.ndarray:
+    """Bursty arrival-batch sizes summing exactly to *n_events*.
+
+    A two-state Markov-modulated Poisson process, the standard bursty
+    traffic model: each tick the arrival process sits in a *base* or
+    *burst* state (entered with probability ``p_enter``, left with
+    ``p_exit``) and emits ``Poisson(rate)`` events at that state's
+    rate.  Zero-sized ticks are kept — they are the idle lulls a
+    wall-staleness budget needs to observe (the scheduled replay runs
+    ``tick()`` on them).  The tail is clipped (and the final tick
+    padded) so the sizes partition an *n_events*-long stream exactly.
+    """
+    if n_events < 0:
+        raise ValueError(f"n_events must be >= 0, got {n_events}")
+    if base_rate <= 0 or burst_rate <= 0:
+        raise ValueError(
+            f"rates must be positive, got base={base_rate} "
+            f"burst={burst_rate}"
+        )
+    if not (0 <= p_enter <= 1 and 0 <= p_exit <= 1):
+        raise ValueError(
+            f"transition probabilities must be in [0, 1], got "
+            f"enter={p_enter} exit={p_exit}"
+        )
+    rng = np.random.default_rng(seed)
+    sizes: list[int] = []
+    total = 0
+    bursting = False
+    while total < n_events:
+        if bursting:
+            if rng.random() < p_exit:
+                bursting = False
+        elif rng.random() < p_enter:
+            bursting = True
+        size = int(rng.poisson(burst_rate if bursting else base_rate))
+        size = min(size, n_events - total)
+        sizes.append(size)
+        total += size
+    if total < n_events:  # n_events == 0 never enters the loop
+        sizes.append(n_events - total)
+    return np.asarray(sizes, dtype=np.int64)
+
+
+def flash_crowd_events(
+    dataset: BipartiteDataset,
+    n_events: int,
+    seed: int = 0,
+    hot_item: int | None = None,
+    hot_fraction: float = 0.8,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A flash-crowd rating stream: one item suddenly gains raters.
+
+    Returns ``(users, items, ratings)`` where ``hot_fraction`` of the
+    events rate *hot_item* (default: a brand-new item id, the
+    cold-start-goes-viral case) and the rest land uniformly on the
+    existing catalogue.  Every event dirties its user *and* — through
+    the shared hot item — couples the raters' candidate sets, so
+    refreshing any one of them has a growing blast radius: the
+    worst-case concentration the scheduler's prioritization is built
+    for.  Ratings are uniform integers in [1, 5]; users are drawn
+    uniformly, so a long stream revisits users (overwrites, the
+    realistic case).
+    """
+    if n_events < 0:
+        raise ValueError(f"n_events must be >= 0, got {n_events}")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(
+            f"hot_fraction must be in [0, 1], got {hot_fraction}"
+        )
+    if dataset.n_users == 0:
+        raise ValueError("dataset has no users to rate with")
+    rng = np.random.default_rng(seed)
+    if hot_item is None:
+        hot_item = dataset.n_items
+    users = rng.integers(0, dataset.n_users, size=n_events, dtype=np.int64)
+    items = np.full(n_events, int(hot_item), dtype=np.int64)
+    cold = rng.random(n_events) >= hot_fraction
+    n_cold = int(cold.sum())
+    if n_cold and dataset.n_items:
+        items[cold] = rng.integers(
+            0, dataset.n_items, size=n_cold, dtype=np.int64
+        )
+    ratings = rng.integers(1, 6, size=n_events).astype(np.float64)
+    return users, items, ratings
 
 
 def replay_stream(

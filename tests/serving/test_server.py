@@ -87,8 +87,50 @@ class TestProtocol:
             assert stats["n_users"] == index.n_users
             assert stats["k"] == index.config.k
             assert stats["requests"] >= 1
+            assert stats["last_seq"] == index.last_seq
+            assert stats["snapshot_lag"] == 0
+            assert stats["dirty_users"] == 0
+            assert "scheduler" not in stats  # none attached
 
         asyncio.run(_with_server(index, scenario))
+
+    def test_stats_op_reports_snapshot_lag(self, index):
+        """Unrefreshed applied events show up as snapshot lag."""
+        index.refresh()  # publish version = last_seq = 0
+        index.apply(AddRating(0, 3, 4.0))
+        index.apply(AddRating(1, 3, 2.0))
+
+        async def scenario(server, reader, writer):
+            (stats,) = await _ask(reader, writer, {"op": "stats"})
+            assert stats["last_seq"] == 2
+            assert stats["snapshot_lag"] == 2
+            assert stats["dirty_users"] == 2
+
+        asyncio.run(_with_server(index, scenario))
+
+    def test_stats_op_folds_in_scheduler(self, index):
+        from repro import RefreshScheduler, SchedulerPolicy
+        from repro.streaming import ratings_batch
+
+        scheduler = RefreshScheduler(
+            index,
+            SchedulerPolicy(max_event_lag=100, max_dirty_per_refresh=1),
+        )
+        scheduler.submit(ratings_batch([0, 1, 2], [3, 3, 3], [4.0] * 3))
+
+        async def scenario(server, reader, writer):
+            (stats,) = await _ask(reader, writer, {"op": "stats"})
+            block = stats["scheduler"]
+            assert block["queue_depth"] == 3
+            assert block["pending_events"] == 3
+            assert block["last_seq"] == 3
+            assert block["snapshot_lag"] == stats["snapshot_lag"]
+            assert block["queue_bound"] is None
+            json.dumps(block)  # every value stays JSON-serialisable
+
+        asyncio.run(
+            _with_server(index, scenario, scheduler=scheduler)
+        )
 
     def test_blank_lines_are_skipped(self, index):
         async def scenario(server, reader, writer):

@@ -1,0 +1,96 @@
+"""Burst workload generators: MMPP batch sizes and flash-crowd streams."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import flash_crowd_events, poisson_burst_sizes
+from tests.conftest import random_dataset
+
+
+class TestPoissonBurstSizes:
+    def test_partitions_the_stream_exactly(self):
+        sizes = poisson_burst_sizes(500, seed=3)
+        assert sizes.sum() == 500
+        assert sizes.dtype == np.int64
+        assert (sizes >= 0).all()
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(
+            poisson_burst_sizes(200, seed=9), poisson_burst_sizes(200, seed=9)
+        )
+        assert not np.array_equal(
+            poisson_burst_sizes(200, seed=9), poisson_burst_sizes(200, seed=10)
+        )
+
+    def test_bursty_not_uniform(self):
+        """The whole point: heavy ticks AND idle lulls in one stream."""
+        sizes = poisson_burst_sizes(
+            2000, seed=0, base_rate=2.0, burst_rate=25.0
+        )
+        assert sizes.max() >= 15  # burst state reached
+        assert (sizes == 0).any()  # idle ticks kept for wall budgets
+
+    def test_zero_events(self):
+        assert poisson_burst_sizes(0).sum() == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_events": -1},
+            {"n_events": 10, "base_rate": 0.0},
+            {"n_events": 10, "burst_rate": -1.0},
+            {"n_events": 10, "p_enter": 1.5},
+            {"n_events": 10, "p_exit": -0.1},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            poisson_burst_sizes(**kwargs)
+
+
+class TestFlashCrowdEvents:
+    @pytest.fixture
+    def dataset(self):
+        return random_dataset(
+            n_users=30, n_items=20, density=0.2, seed=4, ratings=True
+        )
+
+    def test_hot_item_dominates(self, dataset):
+        users, items, ratings = flash_crowd_events(
+            dataset, 400, seed=1, hot_fraction=0.8
+        )
+        assert users.shape == items.shape == ratings.shape == (400,)
+        hot_share = (items == dataset.n_items).mean()
+        assert 0.7 < hot_share < 0.9  # ~hot_fraction lands on the hot item
+        assert (users >= 0).all() and (users < dataset.n_users).all()
+        assert set(np.unique(ratings)) <= {1.0, 2.0, 3.0, 4.0, 5.0}
+
+    def test_default_hot_item_is_brand_new(self, dataset):
+        _, items, _ = flash_crowd_events(dataset, 50, seed=2)
+        assert items.max() == dataset.n_items  # cold-start goes viral
+
+    def test_explicit_hot_item(self, dataset):
+        _, items, _ = flash_crowd_events(
+            dataset, 100, seed=2, hot_item=5, hot_fraction=1.0
+        )
+        assert (items == 5).all()
+
+    def test_cold_tail_spreads_over_catalogue(self, dataset):
+        _, items, _ = flash_crowd_events(
+            dataset, 500, seed=3, hot_fraction=0.0
+        )
+        assert (items < dataset.n_items).all()
+        assert np.unique(items).size > 10
+
+    def test_deterministic_per_seed(self, dataset):
+        first = flash_crowd_events(dataset, 100, seed=6)
+        second = flash_crowd_events(dataset, 100, seed=6)
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"n_events": -5}, {"n_events": 10, "hot_fraction": 1.2}]
+    )
+    def test_rejects_bad_parameters(self, dataset, kwargs):
+        with pytest.raises(ValueError):
+            flash_crowd_events(dataset, **kwargs)
