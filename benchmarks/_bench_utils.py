@@ -3,7 +3,19 @@
 from __future__ import annotations
 
 import json
+import resource
+import sys
 from pathlib import Path
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; normalised
+    here so every bench records the same unit.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak if sys.platform == "darwin" else peak * 1024)
 
 
 def run_once(benchmark, fn):
@@ -11,8 +23,13 @@ def run_once(benchmark, fn):
 
     The experiments are macro-benchmarks (seconds to minutes); repeating
     them for statistics would multiply the suite's runtime for no insight.
+    Every measured test also records the process's peak RSS so the bench
+    artifacts carry a memory trajectory next to the wall times (the
+    regression gate never baselines it — RSS is machine-dependent).
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    benchmark.extra_info["peak_rss_bytes"] = peak_rss_bytes()
+    return result
 
 
 def write_bench_json(name: str, payload: dict, report_dir) -> Path:

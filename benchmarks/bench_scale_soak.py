@@ -1,0 +1,200 @@
+"""Scale soak: streaming at large user counts under a memory budget.
+
+The ROADMAP's million-user ceiling is memory, not compute: per-user
+state (graph rows, published snapshot rows, CSR indices) at the
+historical int64/float64 widths is what runs out first.  This bench
+builds a :func:`repro.datasets.generators.large_scale_dataset` at the
+selected scale, streams seeded rating events through a
+:class:`DynamicKnnIndex` with periodic refreshes, and reports:
+
+* **bytes per user**, compact vs the legacy layout — the legacy column
+  is the analytic re-pricing from ``memory_stats()``'s ``legacy_*``
+  twins plus the dense ``(n, k)`` snapshot the legacy layout published,
+  so it is deterministic and gateable.  The acceptance bar is the
+  headline assertion: the live per-user graph rows must cost **<= half**
+  their legacy price (int32 ids + float32 sims vs int64 + float64).
+  The packed snapshot's per-user saving is slightly under 2x at full
+  fill (ids+sims halve, plus a 4-byte indptr entry), so the combined
+  rows+snapshot ratio is reported but not gated.
+* **peak RSS** against a per-scale ceiling (env-overridable with
+  ``REPRO_SOAK_RSS_MB``) — the fixed memory budget the soak runs under.
+* **events/s and refresh-latency percentiles** — wall-derived, reported
+  in the BENCH json but never baselined.
+
+Scales (``REPRO_BENCH_SCALE``): ``tiny`` is the CI smoke (seconds),
+``laptop`` the default, ``soak`` the opt-in million-user run.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro import AddRating, DynamicKnnIndex, KiffConfig
+from repro.datasets import large_scale_dataset
+from repro.streaming import cold_rebuild_graph
+
+from _bench_utils import peak_rss_bytes, run_once
+
+_SCALES = {
+    "tiny": dict(
+        n_users=2_000,
+        ratings_per_user=4.0,
+        n_items=400,
+        k=8,
+        n_events=300,
+        refresh_every=50,
+        rss_budget_mb=1_536,
+        verify_parity=True,
+    ),
+    "laptop": dict(
+        n_users=50_000,
+        ratings_per_user=5.0,
+        n_items=2_000,
+        k=10,
+        n_events=2_000,
+        refresh_every=250,
+        rss_budget_mb=6_144,
+        verify_parity=False,
+    ),
+    "soak": dict(
+        n_users=1_000_000,
+        ratings_per_user=5.0,
+        n_items=20_000,
+        k=10,
+        n_events=10_000,
+        refresh_every=1_000,
+        rss_budget_mb=16_384,
+        verify_parity=False,
+    ),
+}
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop")
+
+
+def _stream(index, params, seed=13):
+    """Seeded rating events with periodic refreshes; returns timings."""
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, params["n_users"], size=params["n_events"])
+    items = rng.integers(0, params["n_items"], size=params["n_events"])
+    ratings = rng.integers(1, 6, size=params["n_events"]).astype(float)
+    refresh_walls = []
+    start = time.perf_counter()
+    for pos in range(params["n_events"]):
+        index.apply(
+            AddRating(int(users[pos]), int(items[pos]), float(ratings[pos]))
+        )
+        if (pos + 1) % params["refresh_every"] == 0:
+            tick = time.perf_counter()
+            index.refresh()
+            refresh_walls.append(time.perf_counter() - tick)
+    tick = time.perf_counter()
+    index.refresh()
+    refresh_walls.append(time.perf_counter() - tick)
+    return time.perf_counter() - start, refresh_walls
+
+
+def test_scale_soak(benchmark):
+    params = _SCALES.get(_SCALE, _SCALES["laptop"])
+    benchmark.group = "scale:soak"
+    dataset = large_scale_dataset(
+        params["n_users"],
+        ratings_per_user=params["ratings_per_user"],
+        n_items=params["n_items"],
+        rating_model="stars",
+        seed=7,
+    )
+    index = DynamicKnnIndex(
+        dataset, KiffConfig(k=params["k"]), auto_refresh=False
+    )
+    try:
+        wall, refresh_walls = run_once(
+            benchmark, lambda: _stream(index, params)
+        )
+        stats = index.memory_stats()
+        n_users = index.n_users
+
+        # --- bytes per user: the maintained per-user graph state. ---
+        # Legacy published snapshots were dense (n, k) int64/float64
+        # copies; the compact layout packs the present entries.
+        legacy_snapshot = 16 * n_users * params["k"]
+        compact_rows = stats["graph_rows_bytes"] + stats["snapshot_rows_bytes"]
+        legacy_rows = stats["legacy_graph_rows_bytes"] + legacy_snapshot
+        row_ratio = (
+            stats["legacy_graph_rows_bytes"] / stats["graph_rows_bytes"]
+        )
+        combined_ratio = legacy_rows / compact_rows
+        # Whole-index view (ratings data stays float64 by contract, so
+        # this ratio is real but smaller; reported, not asserted).
+        compact_total = stats["total_bytes"]
+        legacy_total = (
+            stats["legacy_dataset_csr_bytes"]
+            + stats["legacy_graph_rows_bytes"]
+            + stats["profile_index_bytes"]
+            + legacy_snapshot
+        )
+
+        budget = int(
+            os.environ.get("REPRO_SOAK_RSS_MB", params["rss_budget_mb"])
+        )
+        rss = peak_rss_bytes()
+
+        benchmark.extra_info["n_users"] = n_users
+        benchmark.extra_info["events"] = params["n_events"]
+        benchmark.extra_info["ratings"] = int(index.dataset.n_ratings)
+        benchmark.extra_info["graph_rows_bytes"] = stats["graph_rows_bytes"]
+        benchmark.extra_info["snapshot_rows_bytes"] = stats[
+            "snapshot_rows_bytes"
+        ]
+        benchmark.extra_info["dataset_csr_bytes"] = stats["dataset_csr_bytes"]
+        benchmark.extra_info["legacy_graph_rows_bytes"] = stats[
+            "legacy_graph_rows_bytes"
+        ]
+        benchmark.extra_info["legacy_dataset_csr_bytes"] = stats[
+            "legacy_dataset_csr_bytes"
+        ]
+        benchmark.extra_info["row_bytes_per_user"] = round(
+            compact_rows / n_users, 2
+        )
+        benchmark.extra_info["legacy_row_bytes_per_user"] = round(
+            legacy_rows / n_users, 2
+        )
+        benchmark.extra_info["graph_rows_ratio"] = round(row_ratio, 3)
+        benchmark.extra_info["row_bytes_ratio"] = round(combined_ratio, 3)
+        benchmark.extra_info["total_bytes_per_user"] = round(
+            compact_total / n_users, 2
+        )
+        benchmark.extra_info["legacy_total_bytes_per_user"] = round(
+            legacy_total / n_users, 2
+        )
+        # Wall-derived and machine-dependent (reported, never gated):
+        benchmark.extra_info["events_per_second"] = round(
+            params["n_events"] / wall, 1
+        )
+        benchmark.extra_info["refresh_p50_wall_ms"] = round(
+            1e3 * float(np.percentile(refresh_walls, 50)), 2
+        )
+        benchmark.extra_info["refresh_p95_wall_ms"] = round(
+            1e3 * float(np.percentile(refresh_walls, 95)), 2
+        )
+        benchmark.extra_info["refresh_p99_wall_ms"] = round(
+            1e3 * float(np.percentile(refresh_walls, 99)), 2
+        )
+        benchmark.extra_info["rss_budget_bytes"] = budget * 1024 * 1024
+
+        # Acceptance bars.
+        assert row_ratio >= 2.0, (
+            f"compact per-user graph rows must halve the legacy cost "
+            f"(got {row_ratio:.2f}x)"
+        )
+        assert legacy_rows > compact_rows
+        assert legacy_total > compact_total
+        assert rss <= budget * 1024 * 1024, (
+            f"peak RSS {rss / 2**20:.0f} MiB exceeds the "
+            f"{budget} MiB soak budget"
+        )
+        if params["verify_parity"]:
+            assert index.graph == cold_rebuild_graph(
+                index.dataset, index.config
+            )
+    finally:
+        index.close()

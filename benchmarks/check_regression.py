@@ -42,9 +42,10 @@ from pathlib import Path
 
 HERE = Path(__file__).parent
 
-#: Metrics never worth baselining: timing and everything derived from it.
+#: Metrics never worth baselining: timing and everything derived from
+#: it, plus resident-set sizes (allocator- and machine-dependent).
 _UNSTABLE_KEY = re.compile(
-    r"(_s$|_seconds|per_second|speedup|wall|time|cores)", re.IGNORECASE
+    r"(_s$|_seconds|per_second|speedup|wall|time|cores|rss)", re.IGNORECASE
 )
 
 DEFAULT_TOLERANCE = 0.35

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..graph.knn_graph import KnnGraph
 from ..graph.updates import merge_topk
+from ..layout import ID_DTYPE, SCORE_DTYPE
 from ..instrumentation.trace import ConvergenceTrace
 from ..similarity.engine import SimilarityEngine
 from .config import KiffConfig
@@ -108,8 +109,8 @@ def _refine_fast(
     gamma = config.effective_gamma
     cursors = rcs.offsets[:-1].astype(np.int64).copy()
     ends = rcs.offsets[1:]
-    neighbors = np.full((n_users, k), -1, dtype=np.int64)
-    sims = np.full((n_users, k), -np.inf, dtype=np.float64)
+    neighbors = np.full((n_users, k), -1, dtype=ID_DTYPE)
+    sims = np.full((n_users, k), -np.inf, dtype=SCORE_DTYPE)
 
     iteration = 0
     while iteration < config.max_iterations:
@@ -228,8 +229,8 @@ def _heaps_to_graph(heaps: list[KnnHeap], k: int) -> KnnGraph:
     # k is passed in (not read off heaps[0]) so a 0-user dataset yields
     # an empty (0, k) graph instead of an IndexError.
     n_users = len(heaps)
-    neighbors = np.full((n_users, k), -1, dtype=np.int64)
-    sims = np.full((n_users, k), -np.inf, dtype=np.float64)
+    neighbors = np.full((n_users, k), -1, dtype=ID_DTYPE)
+    sims = np.full((n_users, k), -np.inf, dtype=SCORE_DTYPE)
     for user, heap in enumerate(heaps):
         row_neighbors, row_sims = heap.to_arrays()
         neighbors[user] = row_neighbors

@@ -3,7 +3,11 @@
 from .bipartite import BipartiteDataset, DatasetError
 from .checkins import gowalla_like
 from .coauthorship import arxiv_like, dblp_like
-from .generators import GeneratorConfig, power_law_bipartite
+from .generators import (
+    GeneratorConfig,
+    large_scale_dataset,
+    power_law_bipartite,
+)
 from .loaders import load_dataset_dir, load_edge_list, save_dataset, save_edge_list
 from .movielens import movielens_family, movielens_like
 from .mutable import MutableBipartiteBuilder
@@ -47,6 +51,7 @@ __all__ = [
     "load_movielens_family",
     "movielens_family",
     "movielens_like",
+    "large_scale_dataset",
     "power_law_bipartite",
     "profile_size_ccdf",
     "save_dataset",

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from ..layout import compact_csr
+
 __all__ = [
     "BipartiteDataset",
     "DatasetError",
@@ -35,15 +37,18 @@ def _canonicalize(matrix: sp.spmatrix) -> sp.csr_matrix:
     """Return *matrix* as a canonical CSR matrix.
 
     Canonical means: CSR format, float64 data, duplicate entries summed,
-    explicit zeros removed, and column indices sorted within each row.
-    All downstream code (profile views, merge-based similarity) relies on
-    these invariants.
+    explicit zeros removed, column indices sorted within each row — and
+    the compact index layout (:mod:`repro.layout`): int32 indices, an
+    indptr sized by the nnz.  All downstream code (profile views,
+    merge-based similarity, the shared-memory transport) relies on
+    these invariants.  The rating data itself stays float64: it is the
+    kernels' accumulation input.
     """
     csr = sp.csr_matrix(matrix, dtype=np.float64, copy=True)
     csr.sum_duplicates()
     csr.eliminate_zeros()
     csr.sort_indices()
-    return csr
+    return compact_csr(csr)
 
 
 @dataclass(frozen=True)

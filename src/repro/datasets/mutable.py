@@ -44,6 +44,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..instrumentation.counters import MaintenanceCounter
+from ..layout import indptr_dtype
 from .bipartite import BipartiteDataset, DatasetError
 
 __all__ = [
@@ -84,8 +85,10 @@ def snapshot_from_arrays(arrays, name: str = "restored") -> BipartiteDataset:
     matrix = sp.csr_matrix(
         (
             np.asarray(arrays["dataset_data"], dtype=np.float64),
-            np.asarray(arrays["dataset_indices"], dtype=np.int64),
-            np.asarray(arrays["dataset_indptr"], dtype=np.int64),
+            # Index dtypes are normalized by canonicalization below, so
+            # legacy int64 archives and compact int32 ones both restore.
+            np.asarray(arrays["dataset_indices"]),
+            np.asarray(arrays["dataset_indptr"]),
         ),
         shape=shape,
     )
@@ -170,7 +173,13 @@ def splice_compressed(
         new_data[lo : lo + seg_data.size] = seg_data
         prev = seg + 1
     copy_clean(prev, n_old)
-    return new_indptr, new_indices, new_data
+    # indptr computed in int64 (cumsum can momentarily need the width),
+    # stored at the compact layout when the nnz permits.
+    return (
+        new_indptr.astype(indptr_dtype(total), copy=False),
+        new_indices,
+        new_data,
+    )
 
 
 class MutableBipartiteBuilder:

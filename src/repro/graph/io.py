@@ -5,6 +5,14 @@ need to keep them: ``save_graph``/``load_graph`` round-trip through a
 single compressed ``.npz``; ``write_edge_list`` emits the
 ``user neighbor similarity`` text format common in graph tooling; and
 ``to_networkx`` hands the graph to `networkx` for downstream analysis.
+
+Format version 2 stores the rows CSR-packed (``indptr``/``ids``/
+``sims`` holding only the present entries, int32/float32) instead of
+the version-1 dense ``(n, k)`` int64/float64 padding — partially filled
+rows cost nothing at rest.  :func:`load_graph` reads both versions;
+version-1 similarities narrow to float32 exactly, because the historical
+writer stored the same pre-cast float64 values the score boundary now
+rounds (see :mod:`repro.layout`).
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..layout import pack_rows, unpack_rows
 from .knn_graph import KnnGraph
 
 __all__ = [
@@ -20,20 +29,22 @@ __all__ = [
     "load_graph",
     "graph_to_arrays",
     "graph_from_arrays",
+    "pack_graph_arrays",
+    "unpack_graph_arrays",
     "write_edge_list",
     "to_networkx",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = frozenset({1, 2})
 
 
 def graph_to_arrays(graph: KnnGraph) -> dict[str, np.ndarray]:
-    """*graph* as plain arrays, embeddable in larger archives.
+    """*graph* as plain dense arrays, embeddable in larger archives.
 
-    The payload :func:`save_graph` writes, factored out so composite
-    formats (e.g. :mod:`repro.persistence` checkpoints) can bundle a
-    graph without a second file.  Tombstone rows (a removed user's
-    all-``MISSING`` row) and 0-user graphs round-trip exactly.
+    Tombstone rows (a removed user's all-``MISSING`` row) and 0-user
+    graphs round-trip exactly.  Composite formats that want the packed
+    at-rest form instead use :func:`pack_graph_arrays`.
     """
     return {"neighbors": graph.neighbors, "sims": graph.sims}
 
@@ -45,29 +56,54 @@ def graph_from_arrays(arrays) -> KnnGraph:
     )
 
 
+def pack_graph_arrays(graph: KnnGraph) -> dict[str, np.ndarray]:
+    """*graph* as CSR-packed arrays (the at-rest archive payload)."""
+    indptr, ids, sims = pack_rows(graph.neighbors, graph.sims)
+    return {
+        "graph_indptr": indptr,
+        "graph_ids": ids,
+        "graph_sims": sims,
+        "graph_k": np.int64(graph.k),
+    }
+
+
+def unpack_graph_arrays(arrays) -> KnnGraph:
+    """Inverse of :func:`pack_graph_arrays` (accepts any array mapping)."""
+    neighbors, sims = unpack_rows(
+        np.asarray(arrays["graph_indptr"]),
+        np.asarray(arrays["graph_ids"]),
+        np.asarray(arrays["graph_sims"]),
+        int(arrays["graph_k"]),
+    )
+    return KnnGraph(neighbors, sims)
+
+
 def save_graph(graph: KnnGraph, path: str | Path) -> Path:
-    """Write *graph* to a compressed ``.npz`` file."""
+    """Write *graph* to a compressed ``.npz`` file (format version 2)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(
         path,
         version=np.int64(_FORMAT_VERSION),
-        **graph_to_arrays(graph),
+        **pack_graph_arrays(graph),
     )
     # np.savez appends .npz when missing; report the real location.
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def load_graph(path: str | Path) -> KnnGraph:
-    """Load a graph written by :func:`save_graph`."""
+    """Load a graph written by :func:`save_graph` (either version)."""
     with np.load(Path(path)) as archive:
         version = int(archive["version"])
-        if version != _FORMAT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ValueError(
                 f"unsupported graph file version {version} "
-                f"(this library writes version {_FORMAT_VERSION})"
+                f"(this library writes version {_FORMAT_VERSION} and "
+                f"reads {sorted(_READABLE_VERSIONS)})"
             )
-        return graph_from_arrays(archive)
+        if version == 1:
+            return graph_from_arrays(archive)
+        return unpack_graph_arrays(archive)
 
 
 def write_edge_list(graph: KnnGraph, path: str | Path) -> Path:

@@ -8,11 +8,17 @@ ascending-id tie-breaks — so graphs can be compared entry-wise.
 
 Missing entries (a user with fewer than ``k`` discovered neighbours) are
 id ``-1`` with similarity ``-inf``.
+
+Rows are stored at the compact layout (:mod:`repro.layout`): int32
+neighbour ids, float32 similarities.  Scores arrive already cast at the
+similarity boundary, so narrowing here never changes a value.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..layout import ID_DTYPE, SCORE_DTYPE
 
 __all__ = ["KnnGraph", "MISSING"]
 
@@ -33,8 +39,8 @@ class KnnGraph:
     """
 
     def __init__(self, neighbors: np.ndarray, sims: np.ndarray):
-        neighbors = np.asarray(neighbors, dtype=np.int64)
-        sims = np.asarray(sims, dtype=np.float64)
+        neighbors = np.asarray(neighbors).astype(ID_DTYPE, copy=False)
+        sims = np.asarray(sims).astype(SCORE_DTYPE, copy=False)
         if neighbors.ndim != 2 or neighbors.shape != sims.shape:
             raise ValueError(
                 f"neighbors and sims must be equal-shape 2-D arrays, got "
@@ -52,8 +58,8 @@ class KnnGraph:
             raise ValueError(
                 f"n_users and k must be positive, got {n_users}, {k}"
             )
-        neighbors = np.full((n_users, k), MISSING, dtype=np.int64)
-        sims = np.full((n_users, k), -np.inf, dtype=np.float64)
+        neighbors = np.full((n_users, k), MISSING, dtype=ID_DTYPE)
+        sims = np.full((n_users, k), -np.inf, dtype=SCORE_DTYPE)
         return cls(neighbors, sims)
 
     @classmethod
@@ -139,8 +145,13 @@ class KnnGraph:
             and bool(np.array_equal(self.neighbors, other.neighbors))
             and bool(
                 np.array_equal(
-                    np.nan_to_num(self.sims, neginf=-1e300),
-                    np.nan_to_num(other.sims, neginf=-1e300),
+                    # Widen before nan_to_num: -1e300 overflows float32.
+                    np.nan_to_num(
+                        self.sims.astype(np.float64), neginf=-1e300
+                    ),
+                    np.nan_to_num(
+                        other.sims.astype(np.float64), neginf=-1e300
+                    ),
                 )
             )
         )
@@ -161,7 +172,9 @@ def _canonical_rows(
     sims[neighbors == MISSING] = -np.inf
     n_users, k = neighbors.shape
     # Sort key: missing last, then sim descending, then id ascending.
-    sort_ids = np.where(neighbors == MISSING, np.iinfo(np.int64).max, neighbors)
+    sort_ids = np.where(
+        neighbors == MISSING, np.iinfo(neighbors.dtype).max, neighbors
+    )
     order = np.lexsort((sort_ids, -sims), axis=1)
     rows = np.arange(n_users)[:, None]
     return neighbors[rows, order], sims[rows, order]

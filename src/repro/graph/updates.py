@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..layout import ID_DTYPE, SCORE_DTYPE
 from .knn_graph import MISSING
 
 __all__ = [
@@ -55,13 +56,13 @@ class ReverseNeighborIndex:
         self._referrers = referrers
 
     def referrers_of(self, users) -> np.ndarray:
-        """Sorted unique rows citing any of *users* (int64 array)."""
+        """Sorted unique rows citing any of *users* (compact id array)."""
         rows: set[int] = set()
         for user in np.asarray(users, dtype=np.int64).tolist():
             cited_by = self._referrers.get(user)
             if cited_by:
                 rows.update(cited_by)
-        return np.fromiter(sorted(rows), dtype=np.int64, count=len(rows))
+        return np.fromiter(sorted(rows), dtype=ID_DTYPE, count=len(rows))
 
     def add_referrer(self, neighbor: int, row: int) -> None:
         """Record that *row* cites *neighbor* (bulk-load primitive).
@@ -205,8 +206,8 @@ def merge_topk_rows(
         empty = np.empty(0, dtype=np.int64)
         return (
             empty,
-            np.empty((0, k), dtype=np.int64),
-            np.empty((0, k), dtype=np.float64),
+            np.empty((0, k), dtype=ID_DTYPE),
+            np.empty((0, k), dtype=SCORE_DTYPE),
             0,
         )
 
@@ -264,8 +265,12 @@ def merge_topk_rows(
         ranks[keep],
     )
 
-    new_sub_neighbors = np.full((active.size, k), MISSING, dtype=np.int64)
-    new_sub_sims = np.full((active.size, k), -np.inf, dtype=np.float64)
+    # Back to the at-rest layout.  The merge ran in int64/float64 —
+    # stride keys need the width, and float32 values widen exactly — so
+    # narrowing the kept entries loses nothing: every similarity here
+    # was already cast to float32 at the score boundary.
+    new_sub_neighbors = np.full((active.size, k), MISSING, dtype=ID_DTYPE)
+    new_sub_sims = np.full((active.size, k), -np.inf, dtype=SCORE_DTYPE)
     new_sub_neighbors[kept_rows, kept_ranks] = kept_ids
     new_sub_sims[kept_rows, kept_ranks] = kept_sims
 

@@ -4,7 +4,8 @@ A checkpoint serializes everything a
 :class:`~repro.streaming.index.DynamicKnnIndex` needs to resume exactly
 where it was: the dataset snapshot (via
 :func:`repro.datasets.mutable.snapshot_to_arrays`), the KNN graph rows
-(via :func:`repro.graph.io.graph_to_arrays`), the dirty set, the
+(CSR-packed via :func:`repro.graph.io.pack_graph_arrays`), the dirty
+set, the
 delta-maintained candidate-multiset cache (in insertion order, so
 eviction order survives), and the cost counters.  The reverse-neighbor
 index is *not* stored: it is a pure function of the graph rows and is
@@ -35,8 +36,9 @@ import numpy as np
 from ..core.config import KiffConfig
 from ..datasets.bipartite import BipartiteDataset
 from ..datasets.mutable import snapshot_from_arrays, snapshot_to_arrays
-from ..graph.io import graph_from_arrays, graph_to_arrays
+from ..graph.io import graph_from_arrays, pack_graph_arrays, unpack_graph_arrays
 from ..graph.knn_graph import KnnGraph
+from ..layout import ID_DTYPE, SCORE_DTYPE, dtype_tags, indptr_dtype
 from . import wal as _wal
 from .wal import WAL_FILENAME, PersistenceError, WriteAheadLog, read_wal
 
@@ -61,7 +63,15 @@ class CheckpointError(PersistenceError):
     """Raised when a checkpoint is missing, corrupt or incompatible."""
 
 
-CHECKPOINT_VERSION = 1
+#: Version written by this library.  Version 2 stores the graph rows
+#: CSR-packed at the compact layout (int32 ids, float32 sims; see
+#: :mod:`repro.layout`) and tags the metadata with the dtype contract.
+CHECKPOINT_VERSION = 2
+#: Versions :func:`load_checkpoint` can restore.  Version-1 archives
+#: (dense int64/float64 graph rows) restore bit-correctly: the legacy
+#: writer stored the same pre-cast float64 values the score boundary
+#: now rounds, so narrowing them to float32 reproduces today's scores.
+SUPPORTED_CHECKPOINT_VERSIONS = frozenset({1, 2})
 _PREFIX = "checkpoint-"
 
 
@@ -141,11 +151,16 @@ def cache_to_arrays(candidate_counts: dict) -> dict[str, np.ndarray]:
         ]
         or [np.empty(0, dtype=np.int64)]
     )
+    # User/candidate ids and shared-item counts all fit the compact id
+    # width; cache_from_arrays round-trips via tolist(), so the dtype is
+    # purely an at-rest size choice.
     return {
-        "cache_users": np.asarray(cache_users, dtype=np.int64),
-        "cache_indptr": cache_indptr,
-        "cache_candidates": cache_candidates,
-        "cache_counts": cache_counts,
+        "cache_users": np.asarray(cache_users, dtype=ID_DTYPE),
+        "cache_indptr": cache_indptr.astype(
+            indptr_dtype(int(cache_indptr[-1])), copy=False
+        ),
+        "cache_candidates": cache_candidates.astype(ID_DTYPE, copy=False),
+        "cache_counts": cache_counts.astype(ID_DTYPE, copy=False),
     }
 
 
@@ -177,6 +192,7 @@ def checkpoint_meta(index, dataset) -> dict:
     """The JSON metadata block shared by the flat and sharded layouts."""
     return {
         "version": CHECKPOINT_VERSION,
+        "dtypes": dtype_tags(),
         "seq": index.last_seq,
         "name": dataset.name,
         "metric": index.engine.metric.name,
@@ -204,7 +220,7 @@ def save_checkpoint(index, directory: str | Path) -> Path:
     directory.mkdir(parents=True, exist_ok=True)
     dataset = index.builder.snapshot()
     neighbors, sims = index._rows()
-    graph_arrays = graph_to_arrays(KnnGraph(neighbors, sims))
+    graph_arrays = pack_graph_arrays(KnnGraph(neighbors, sims))
     cache_arrays = cache_to_arrays(index._candidate_counts)
     meta = checkpoint_meta(index, dataset)
     path = checkpoint_path(directory, index.last_seq)
@@ -213,8 +229,7 @@ def save_checkpoint(index, directory: str | Path) -> Path:
         np.savez_compressed(
             tmp,
             meta=np.asarray(json.dumps(meta)),
-            graph_neighbors=graph_arrays["neighbors"],
-            graph_sims=graph_arrays["sims"],
+            **graph_arrays,
             dirty=np.asarray(sorted(index._dirty), dtype=np.int64),
             **cache_arrays,
             **snapshot_to_arrays(dataset),
@@ -244,17 +259,23 @@ def load_checkpoint(path: str | Path) -> CheckpointState:
         except (KeyError, ValueError) as exc:
             raise CheckpointError(f"corrupt checkpoint metadata in {path}") from exc
         version = meta.get("version")
-        if version != CHECKPOINT_VERSION:
+        if version not in SUPPORTED_CHECKPOINT_VERSIONS:
             raise CheckpointError(
                 f"unsupported checkpoint version {version!r} in {path} "
-                f"(this library writes version {CHECKPOINT_VERSION})"
+                f"(this library writes version {CHECKPOINT_VERSION} and "
+                f"reads {sorted(SUPPORTED_CHECKPOINT_VERSIONS)})"
             )
-        graph = graph_from_arrays(
-            {
-                "neighbors": archive["graph_neighbors"],
-                "sims": archive["graph_sims"],
-            }
-        )
+        if "graph_neighbors" in archive:
+            # Version-1 dense rows; KnnGraph narrows them to the compact
+            # layout bit-correctly (see SUPPORTED_CHECKPOINT_VERSIONS).
+            graph = graph_from_arrays(
+                {
+                    "neighbors": archive["graph_neighbors"],
+                    "sims": archive["graph_sims"],
+                }
+            )
+        else:
+            graph = unpack_graph_arrays(archive)
         dataset = snapshot_from_arrays(archive, name=meta["name"])
         cache = cache_from_arrays(archive)
         return checkpoint_state_from_meta(
@@ -345,8 +366,10 @@ def install_checkpoint_state(index, state: CheckpointState) -> None:
     :class:`~repro.streaming.sharding.ShardedKnnIndex` — whose surfaces
     route to per-shard slices — restores through the same code path.
     """
-    index._neighbors = state.neighbors.copy()
-    index._sims = state.sims.copy()
+    # Checkpoint states carry compact rows (legacy archives were cast at
+    # load); astype(copy=True) also tolerates a hand-built wide state.
+    index._neighbors = np.asarray(state.neighbors).astype(ID_DTYPE)
+    index._sims = np.asarray(state.sims).astype(SCORE_DTYPE)
     index._n_rows = state.neighbors.shape[0]
     index._reverse.rebuild(state.neighbors)
     index._dirty.clear()

@@ -41,12 +41,17 @@ from typing import Iterator
 import numpy as np
 
 from ..datasets.mutable import snapshot_from_arrays, snapshot_to_arrays
-from ..graph.io import graph_from_arrays, graph_to_arrays
+from ..graph.io import (
+    graph_from_arrays,
+    pack_graph_arrays,
+    unpack_graph_arrays,
+)
 from ..graph.knn_graph import KnnGraph
 from ..streaming.events import Event
 from . import wal as _wal
 from .checkpoint import (
     CHECKPOINT_VERSION,
+    SUPPORTED_CHECKPOINT_VERSIONS,
     CheckpointError,
     CheckpointState,
     RestoreInfo,
@@ -371,7 +376,7 @@ def save_sharded_checkpoint(index, directory: str | Path) -> Path:
     directory.mkdir(parents=True, exist_ok=True)
     dataset = index.builder.snapshot()
     neighbors, sims = index._rows()
-    graph_arrays = graph_to_arrays(KnnGraph(neighbors, sims))
+    graph_arrays = pack_graph_arrays(KnnGraph(neighbors, sims))
     meta = checkpoint_meta(index, dataset)
     meta["layout"] = "sharded"
     meta["n_shards"] = int(index.n_shards)
@@ -386,8 +391,7 @@ def save_sharded_checkpoint(index, directory: str | Path) -> Path:
         _fsync_file(meta_file)
         np.savez_compressed(
             tmp / "base.npz",
-            graph_neighbors=graph_arrays["neighbors"],
-            graph_sims=graph_arrays["sims"],
+            **graph_arrays,
             **snapshot_to_arrays(dataset),
         )
         _fsync_file(tmp / "base.npz")
@@ -422,21 +426,26 @@ def load_sharded_checkpoint(path: str | Path) -> ShardedCheckpointState:
             f"corrupt sharded checkpoint metadata in {path}"
         ) from exc
     version = meta.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in SUPPORTED_CHECKPOINT_VERSIONS:
         raise CheckpointError(
             f"unsupported checkpoint version {version!r} in {path} "
-            f"(this library writes version {CHECKPOINT_VERSION})"
+            f"(this library writes version {CHECKPOINT_VERSION} and "
+            f"reads {sorted(SUPPORTED_CHECKPOINT_VERSIONS)})"
         )
     n_shards = int(meta.get("n_shards", 0))
     if n_shards < 1:
         raise CheckpointError(f"invalid shard count in {path}: {n_shards}")
     with np.load(path / "base.npz", allow_pickle=False) as archive:
-        graph = graph_from_arrays(
-            {
-                "neighbors": archive["graph_neighbors"],
-                "sims": archive["graph_sims"],
-            }
-        )
+        if "graph_neighbors" in archive:
+            # Version-1 dense rows, narrowed bit-correctly on load.
+            graph = graph_from_arrays(
+                {
+                    "neighbors": archive["graph_neighbors"],
+                    "sims": archive["graph_sims"],
+                }
+            )
+        else:
+            graph = unpack_graph_arrays(archive)
         dataset = snapshot_from_arrays(archive, name=meta["name"])
     dirty: list[int] = []
     cache: list[tuple] = []

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..graph.knn_graph import MISSING
 from .snapshot import GraphSnapshot
 
 __all__ = [
@@ -68,13 +67,13 @@ def neighbors_on(snapshot: GraphSnapshot, user: int) -> NeighborReply:
     """*user*'s KNN row on *snapshot* (``MISSING`` slots dropped)."""
     user = int(user)
     _check_user(snapshot, user)
-    row = snapshot.neighbors[user]
-    present = row != MISSING
+    # Slice the packed rows directly: O(row) per query, instead of
+    # materialising the dense (n_users, k) arrays the property rebuilds.
     return NeighborReply(
         user=user,
         version=snapshot.version,
-        neighbors=tuple(int(n) for n in row[present]),
-        sims=tuple(float(s) for s in snapshot.sims[user][present]),
+        neighbors=tuple(int(n) for n in snapshot.neighbors_of(user)),
+        sims=tuple(float(s) for s in snapshot.sims_of(user)),
     )
 
 
@@ -98,10 +97,10 @@ def recommend_on(
     dataset = snapshot.dataset
     seen = set(dataset.user_items(user).tolist())
     scores: dict[int, float] = {}
-    row = snapshot.neighbors[user]
-    row_sims = snapshot.sims[user]
+    row = snapshot.neighbors_of(user)
+    row_sims = snapshot.sims_of(user)
     for neighbor, sim in zip(row.tolist(), row_sims.tolist()):
-        if neighbor == MISSING or sim <= 0.0:
+        if sim <= 0.0:
             continue
         items = dataset.user_items(neighbor)
         ratings = dataset.user_ratings(neighbor)

@@ -240,6 +240,11 @@ class KnnServer:
                     "batches": self.batches,
                     "max_batch": self.max_batch_seen,
                 }
+                if hasattr(self.index, "memory_stats"):
+                    body["memory"] = {
+                        key: int(value)
+                        for key, value in self.index.memory_stats().items()
+                    }
                 if self.scheduler is not None:
                     body["scheduler"] = self.scheduler.stats()
             else:

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..datasets.bipartite import BipartiteDataset
 from ..instrumentation.counters import SimilarityCounter
+from ..layout import SCORE_DTYPE, compact_scores
 from ..instrumentation.timers import PhaseTimer
 from .adamic_adar import AdamicAdarSimilarity
 from .base import ProfileIndex, SimilarityMetric
@@ -172,11 +173,16 @@ class SimilarityEngine:
         self.index._kernel_backend = kernel_backend
 
     def pair(self, u: int, v: int) -> float:
-        """Similarity of one pair (counted as one evaluation)."""
+        """Similarity of one pair (counted as one evaluation).
+
+        The value is rounded through the float32 score boundary
+        (:mod:`repro.layout`) so it equals what :meth:`batch` returns
+        for the same pair and what graph rows store at rest.
+        """
         with self.timer.phase("similarity"):
             value = self.metric.score_pair(self.index, u, v)
         self.counter.add(1)
-        return value
+        return float(np.float32(value))
 
     def batch(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
         """Similarities for parallel pair arrays (counted per pair).
@@ -194,7 +200,7 @@ class SimilarityEngine:
                 f"us and vs must have equal length, got {us.size} vs {vs.size}"
             )
         if us.size == 0:
-            return np.empty(0, dtype=np.float64)
+            return np.empty(0, dtype=SCORE_DTYPE)
         n_chunks = -(-us.size // self.batch_size)  # ceil division
         with self.timer.phase("similarity"):
             if n_chunks == 1:
@@ -212,7 +218,9 @@ class SimilarityEngine:
                     )
                 out = np.concatenate(chunks)
         self.counter.add(int(us.size))
-        return out
+        # Kernel-backed metrics already cast at the finalize boundary;
+        # this keeps custom registered metrics on the same contract.
+        return compact_scores(out)
 
     def _batch_parallel(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
         """Evaluate a large batch across the engine's thread pool.
@@ -269,7 +277,7 @@ class SimilarityEngine:
             out = self.metric.score_block(self.index, us)
         if count:
             self.counter.add(int(us.size) * (self.n_users - 1))
-        return out
+        return compact_scores(out)
 
     def scan_rate(self) -> float:
         """Current scan rate of this engine's counter."""

@@ -115,7 +115,9 @@ class KernelBackend(abc.ABC):
         alone carries the profiles).  ``norms`` are the matching row
         norms (dot family), ``sizes`` the profile sizes (set family),
         ``item_weights`` the dense per-item weight vector (weighted-set
-        family).  Returns float64 scores, one per pair.
+        family).  Accumulation runs in float64; the returned scores are
+        float32, one per pair, cast once at the shared finalize boundary
+        (see :mod:`repro.layout`).
         """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

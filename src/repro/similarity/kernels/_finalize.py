@@ -5,12 +5,22 @@ product, intersection count, weighted intersection sum); the final
 metric formula — denominators, zero-guards, dtype promotions — is
 applied here so all backends agree with the metric modules' historical
 arithmetic exactly.
+
+This is also the **score boundary** of the compact layout
+(:mod:`repro.layout`): the formula runs in float64 — the accumulation
+dtype the raw statistics arrive in — and the result is cast to float32
+exactly once, on the way out.  Every similarity the system stores,
+merges or serves is therefore the *same* float32 value whether it was
+just computed or read back from a graph row, which is what keeps
+incremental maintenance bit-identical to a cold rebuild through
+near-tie comparisons.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ...layout import compact_scores
 from . import METRIC_FAMILIES
 
 __all__ = ["finalize"]
@@ -24,7 +34,7 @@ def finalize(
     us: np.ndarray,
     vs: np.ndarray,
 ) -> np.ndarray:
-    """Turn *raw* pair statistics into final float64 similarities.
+    """Turn *raw* pair statistics into final float32 similarities.
 
     ``raw`` is the dot product for the dot family, the float64
     intersection count for the set family, and already the final score
@@ -36,19 +46,19 @@ def finalize(
         out = np.zeros(raw.shape[0], dtype=np.float64)
         mask = denominators > 0
         out[mask] = raw[mask] / denominators[mask]
-        return out
+        return compact_scores(out)
     if family == "weighted_set" or metric_name == "overlap":
-        return raw
+        return compact_scores(raw)
     if metric_name == "jaccard":
         unions = sizes[us] + sizes[vs] - raw
         out = np.zeros(raw.shape[0], dtype=np.float64)
         mask = unions > 0
         out[mask] = raw[mask] / unions[mask]
-        return out
+        return compact_scores(out)
     if metric_name == "dice":
         denominators = sizes[us] + sizes[vs]
         out = np.zeros(raw.shape[0], dtype=np.float64)
         mask = denominators > 0
         out[mask] = 2.0 * raw[mask] / denominators[mask]
-        return out
+        return compact_scores(out)
     raise KeyError(f"no final formula for metric {metric_name!r}")

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...layout import SCORE_DTYPE
 from . import METRIC_FAMILIES, KernelBackend, KernelUnavailable
 from ._finalize import finalize
 
@@ -128,7 +129,7 @@ class NumbaKernelBackend(KernelBackend):
         n_pairs = int(us.size)
         raw = np.empty(n_pairs, dtype=np.float64)
         if n_pairs == 0:
-            return raw
+            return np.empty(0, dtype=SCORE_DTYPE)
         us64 = np.ascontiguousarray(us, dtype=np.int64)
         vs64 = np.ascontiguousarray(vs, dtype=np.int64)
         if family == "dot":

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...layout import SCORE_DTYPE
 from . import METRIC_FAMILIES, KernelBackend
 from ._finalize import finalize
 
@@ -139,7 +140,7 @@ class NumpyKernelBackend(KernelBackend):
         family = METRIC_FAMILIES[metric_name]
         n_pairs = int(us.size)
         if n_pairs == 0:
-            return np.empty(0, dtype=np.float64)
+            return np.empty(0, dtype=SCORE_DTYPE)
         if family == "dot":
             pair_ids, _, products = _match_pairs(indptr, indices, data, us, vs)
             raw = _segment_sum(products, pair_ids, n_pairs)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...layout import SCORE_DTYPE
 from . import METRIC_FAMILIES, KernelBackend, KernelUnavailable
 from ._finalize import finalize
 
@@ -76,7 +77,7 @@ class TorchKernelBackend(KernelBackend):
         family = METRIC_FAMILIES[metric_name]
         n_pairs = int(us.size)
         if n_pairs == 0:
-            return np.empty(0, dtype=np.float64)
+            return np.empty(0, dtype=SCORE_DTYPE)
         indptr_t = self._tensor(indptr, t.int64)
         indices_t = self._tensor(indices, t.int64)
         us_t = self._tensor(np.asarray(us), t.int64)

@@ -101,6 +101,7 @@ from ..datasets.mutable import MutableBipartiteBuilder
 from ..graph.knn_graph import MISSING, KnnGraph
 from ..graph.updates import ReverseNeighborIndex, dedupe_pairs, merge_topk_rows
 from ..instrumentation.counters import MaintenanceCounter
+from ..layout import ID_DTYPE, SCORE_DTYPE, legacy_nbytes, nbytes
 from ..serving.snapshot import GraphSnapshot
 from ..similarity.base import ProfileIndex, SimilarityMetric
 from ..similarity.engine import SimilarityEngine
@@ -258,10 +259,10 @@ class DynamicKnnIndex:
         # _n_rows rows are the live graph.
         self._n_rows = dataset.n_users
         self._neighbors = np.full(
-            (dataset.n_users, self.config.k), MISSING, dtype=np.int64
+            (dataset.n_users, self.config.k), MISSING, dtype=ID_DTYPE
         )
         self._sims = np.full(
-            (dataset.n_users, self.config.k), -np.inf, dtype=np.float64
+            (dataset.n_users, self.config.k), -np.inf, dtype=SCORE_DTYPE
         )
         #: user -> rows citing her; kept current inside every top-k merge
         #: so refresh() finds referencing rows by lookup, not by scanning.
@@ -334,6 +335,54 @@ class DynamicKnnIndex:
         """
         self._ensure_open()
         return self._reverse.referrer_counts(users)
+
+    def memory_stats(self) -> dict[str, int]:
+        """Per-component resident-byte breakdown of the index state.
+
+        Array-backed components report exact ``nbytes`` (graph rows
+        include slack capacity from geometric growth); dict-backed
+        components (reverse index, candidate caches) report entry
+        counts, since their Python-object overhead is interpreter-
+        dependent.  ``legacy_*`` twins re-price the compact arrays at
+        the historical int64/float64 widths
+        (:func:`repro.layout.legacy_nbytes`) — the analytic "before"
+        column of the memory model, deterministic and hence gateable in
+        benchmark baselines.
+        """
+        self._ensure_open()
+        matrix = self.builder.snapshot().matrix
+        stats = {
+            "dataset_csr_bytes": nbytes(
+                matrix.indptr, matrix.indices, matrix.data
+            ),
+            "graph_rows_bytes": nbytes(self._neighbors, self._sims),
+            "profile_index_bytes": nbytes(
+                self.engine.index.norms, self.engine.index.sizes
+            ),
+            "snapshot_rows_bytes": (
+                0 if self._snapshot is None else self._snapshot.row_bytes()
+            ),
+            "reverse_index_entries": self._reverse.referrer_count(),
+            "candidate_cache_entries": sum(
+                len(counts) for counts in self._candidate_counts.values()
+            ),
+            "cached_rater_entries": sum(
+                len(raters) for raters in self._cached_raters.values()
+            ),
+            "legacy_dataset_csr_bytes": legacy_nbytes(
+                matrix.indptr, matrix.indices, matrix.data
+            ),
+            "legacy_graph_rows_bytes": legacy_nbytes(
+                self._neighbors, self._sims
+            ),
+        }
+        stats["total_bytes"] = (
+            stats["dataset_csr_bytes"]
+            + stats["graph_rows_bytes"]
+            + stats["profile_index_bytes"]
+            + stats["snapshot_rows_bytes"]
+        )
+        return stats
 
     @property
     def maintenance_evaluations(self) -> int:
@@ -927,8 +976,8 @@ class DynamicKnnIndex:
         if n_users > capacity:
             k = self.config.k
             new_capacity = max(n_users, 2 * capacity)
-            neighbors = np.full((new_capacity, k), MISSING, dtype=np.int64)
-            sims = np.full((new_capacity, k), -np.inf, dtype=np.float64)
+            neighbors = np.full((new_capacity, k), MISSING, dtype=ID_DTYPE)
+            sims = np.full((new_capacity, k), -np.inf, dtype=SCORE_DTYPE)
             neighbors[: self._n_rows] = self._neighbors[: self._n_rows]
             sims[: self._n_rows] = self._sims[: self._n_rows]
             self._neighbors, self._sims = neighbors, sims

@@ -49,6 +49,7 @@ import numpy as np
 
 from ..graph.knn_graph import MISSING
 from ..graph.updates import ReverseNeighborIndex
+from ..layout import ID_DTYPE, SCORE_DTYPE
 from ..similarity.base import ProfileIndex
 from .index import _bump, cache_store_insert, derive_candidate_sets
 from .sharding import merge_shard_pairs, plan_shard_pairs, score_pairs_chunked
@@ -117,8 +118,8 @@ class _WorkerState:
         self.kernel_backend = init.get("kernel_backend")
         self.cache_limit = init["cache_limit"]
         # Full-size mirrors of the graph rows; only owned rows are live.
-        self.neighbors = np.array(init["neighbors"], dtype=np.int64)
-        self.sims = np.array(init["sims"], dtype=np.float64)
+        self.neighbors = np.array(init["neighbors"], dtype=ID_DTYPE)
+        self.sims = np.array(init["sims"], dtype=SCORE_DTYPE)
         self.n_rows = int(self.neighbors.shape[0])
         self.reverse = ReverseNeighborIndex()
         self._rebuild_reverse()
@@ -165,8 +166,8 @@ class _WorkerState:
         if n_users > capacity:
             k = self.neighbors.shape[1]
             new_capacity = max(n_users, 2 * capacity)
-            neighbors = np.full((new_capacity, k), MISSING, dtype=np.int64)
-            sims = np.full((new_capacity, k), -np.inf, dtype=np.float64)
+            neighbors = np.full((new_capacity, k), MISSING, dtype=ID_DTYPE)
+            sims = np.full((new_capacity, k), -np.inf, dtype=SCORE_DTYPE)
             neighbors[: self.n_rows] = self.neighbors[: self.n_rows]
             sims[: self.n_rows] = self.sims[: self.n_rows]
             self.neighbors, self.sims = neighbors, sims

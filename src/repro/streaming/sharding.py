@@ -84,6 +84,7 @@ from ..graph.updates import (
     dedupe_pairs,
     merge_topk_rows,
 )
+from ..layout import ID_DTYPE, SCORE_DTYPE
 from ..similarity.base import ProfileIndex, SimilarityMetric
 from .events import AddUser
 from .index import (
@@ -322,10 +323,10 @@ def score_pairs_chunked(
     if kernel is not None:
         index._kernel_backend = kernel
     if us.size == 0:
-        return np.empty(0, dtype=np.float64)
+        return np.empty(0, dtype=SCORE_DTYPE)
     if us.size <= batch_size:
         return metric.score_batch(index, us, vs)
-    out = np.empty(us.size, dtype=np.float64)
+    out = np.empty(us.size, dtype=SCORE_DTYPE)
     for start in range(0, us.size, batch_size):
         stop = min(start + batch_size, us.size)
         out[start:stop] = metric.score_batch(
@@ -440,8 +441,8 @@ def merge_shard_pairs(
             evaluations,
             0,
             np.empty(0, dtype=np.int64),
-            np.empty((0, k), dtype=np.int64),
-            np.empty((0, k), dtype=np.float64),
+            np.empty((0, k), dtype=ID_DTYPE),
+            np.empty((0, k), dtype=SCORE_DTYPE),
         )
     touched = np.unique(cand_users)
     pre_merge = neighbors[touched].copy()
@@ -815,10 +816,50 @@ class ShardedKnnIndex(DynamicKnnIndex):
     # Partitioned durability
     # ------------------------------------------------------------------
     def checkpoint(self, directory: str | Path) -> Path:
-        """Serialize the partitioned ``checkpoint-<seq>.shards/`` layout."""
+        """Serialize the partitioned ``checkpoint-<seq>.shards/`` layout.
+
+        Checkpoints mark quiescent points between refreshes, so this is
+        also where the shared-memory arena sheds slack capacity: growth
+        is geometric and ``publish`` never shrinks, so after a mass
+        deletion the arena would otherwise pin its high-water mark in
+        ``/dev/shm`` forever (the next refresh republishes into the
+        compacted block or regrows it as needed).
+        """
         from ..persistence import save_sharded_checkpoint
 
-        return save_sharded_checkpoint(self, directory)
+        path = save_sharded_checkpoint(self, directory)
+        if self._arena is not None:
+            self._arena.compact()
+        return path
+
+    def memory_stats(self) -> dict[str, int]:
+        """Flat-index breakdown plus the shared-memory arena accounting."""
+        stats = super().memory_stats()
+        # The base counted its own (empty, for a sharded index) cache
+        # dicts; the live caches are the per-shard owned slices.  In
+        # 'processes' mode the worker-side replicas are not visible
+        # here, but the parent-side owner stores mirror their keys.
+        stats["candidate_cache_entries"] = sum(
+            len(counts)
+            for shard in self._shards
+            for counts in shard.candidate_counts.values()
+        )
+        stats["cached_rater_entries"] = sum(
+            len(raters)
+            for shard in self._shards
+            for raters in shard.cached_raters.values()
+        )
+        if self._arena is not None:
+            arena = self._arena.stats()
+            stats["shm_arena_bytes"] = arena["capacity_bytes"]
+            stats["shm_arena_high_water_bytes"] = arena["high_water_bytes"]
+            stats["shm_arena_slack_bytes"] = arena["slack_bytes"]
+            stats["total_bytes"] += arena["capacity_bytes"]
+        else:
+            stats["shm_arena_bytes"] = 0
+            stats["shm_arena_high_water_bytes"] = 0
+            stats["shm_arena_slack_bytes"] = 0
+        return stats
 
     @classmethod
     def restore(

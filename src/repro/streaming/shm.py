@@ -130,11 +130,49 @@ class ShmArena:
         self._block: shared_memory.SharedMemory | None = None
         self._generation = 0
         self._finalizer = None
+        #: Bytes of the most recently published payload (0 before one).
+        self._last_payload = 0
+        #: Largest block capacity ever held — the high-water mark that
+        #: outlives the deletions that caused it (see :meth:`compact`).
+        self._high_water = 0
 
     @property
     def name(self) -> str | None:
         """Name of the current block (None before the first publish)."""
         return self._block.name if self._block is not None else None
+
+    def stats(self) -> dict[str, int]:
+        """Capacity accounting of the arena.
+
+        ``capacity_bytes`` is the current block size, ``payload_bytes``
+        the bytes the last publish actually used, ``high_water_bytes``
+        the largest capacity ever held, and ``slack_bytes`` what
+        :meth:`compact` could return to the OS right now.
+        """
+        capacity = 0 if self._block is None else self._block.size
+        return {
+            "capacity_bytes": capacity,
+            "payload_bytes": self._last_payload,
+            "high_water_bytes": self._high_water,
+            "slack_bytes": max(0, capacity - max(self._last_payload, 1)),
+        }
+
+    def _allocate(self, capacity: int) -> shared_memory.SharedMemory:
+        """A fresh uniquely named block, adopted as the owned one."""
+        self._generation += 1
+        name = (
+            f"{self._tag}-{os.getpid()}-{self._generation}-"
+            f"{secrets.token_hex(4)}"
+        )
+        block = shared_memory.SharedMemory(
+            name=name, create=True, size=capacity
+        )
+        self._block = block
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        self._finalizer = weakref.finalize(self, _release, block)
+        self._high_water = max(self._high_water, block.size)
+        return block
 
     def publish(
         self, arrays: dict[str, np.ndarray]
@@ -146,21 +184,38 @@ class ShmArena:
             capacity = needed
             if self._block is not None:
                 capacity = max(needed, 2 * self._block.size)
-            self._generation += 1
-            name = (
-                f"{self._tag}-{os.getpid()}-{self._generation}-"
-                f"{secrets.token_hex(4)}"
-            )
-            self._block = shared_memory.SharedMemory(
-                name=name, create=True, size=capacity
-            )
-            if self._finalizer is not None:
-                self._finalizer.detach()
-            self._finalizer = weakref.finalize(self, _release, self._block)
+            self._allocate(capacity)
             if old is not None:
                 _release(old)
         manifest = pack_arrays(self._block, arrays)
+        self._last_payload = needed
+        self._high_water = max(self._high_water, self._block.size)
         return self._block.name, manifest
+
+    def compact(self) -> int:
+        """Shrink the block to the last published payload size.
+
+        Growth is geometric and :meth:`publish` alone never shrinks, so
+        after a mass deletion the arena would otherwise hold its
+        high-water capacity forever.  Reallocates into an exactly-sized
+        block (publishing is deterministic from offset 0, so copying the
+        payload prefix preserves every manifest offset) and returns the
+        bytes released; 0 when there is nothing to reclaim.  The block
+        name changes — callers holding an old ``(name, manifest)`` pair
+        must use the one returned by the next :meth:`publish`, which is
+        already the contract between refreshes.
+        """
+        if self._block is None:
+            return 0
+        target = max(self._last_payload, 1)
+        freed = self._block.size - target
+        if freed <= 0:
+            return 0
+        old = self._block
+        new = self._allocate(target)
+        new.buf[:target] = old.buf[:target]
+        _release(old)
+        return freed
 
     def close(self) -> None:
         """Unlink the block now (idempotent; also runs on GC)."""

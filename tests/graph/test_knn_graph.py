@@ -45,7 +45,9 @@ class TestCanonicalForm:
         sims = np.array([[0.1, 0.9, 0.5]])
         graph = KnnGraph(neighbors, sims)
         assert graph.neighbors[0].tolist() == [1, 2, 3]
-        assert graph.sims[0].tolist() == [0.9, 0.5, 0.1]
+        np.testing.assert_array_equal(
+            graph.sims[0], np.array([0.9, 0.5, 0.1], dtype=graph.sims.dtype)
+        )
 
     def test_ties_break_on_ascending_id(self):
         graph = KnnGraph(np.array([[9, 4, 6]]), np.array([[0.5, 0.5, 0.5]]))
@@ -84,7 +86,9 @@ class TestAccessors:
             {0: [(5, 0.2), (3, 0.9)]}, n_users=6, k=3
         )
         assert graph.neighbors_of(0).tolist() == [3, 5]
-        assert graph.sims_of(0).tolist() == [0.9, 0.2]
+        np.testing.assert_array_equal(
+            graph.sims_of(0), np.array([0.9, 0.2], dtype=graph.sims.dtype)
+        )
 
     def test_neighbor_sets(self):
         graph = KnnGraph.from_neighbor_dict(

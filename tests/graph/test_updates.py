@@ -77,7 +77,7 @@ class TestMergeTopk:
             np.array([0.2, 0.7]),
         )
         assert new_n[0, 0] == 1
-        assert new_s[0, 0] == 0.7
+        assert new_s[0, 0] == np.float32(0.7)
 
     def test_self_edges_dropped(self):
         neighbors, sims = _empty(2, 2)

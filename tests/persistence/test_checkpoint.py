@@ -70,7 +70,7 @@ class TestSaveLoad:
         path = save_checkpoint(streamed_index, tmp_path)
         data = dict(np.load(path, allow_pickle=False))
         data["meta"] = np.asarray(
-            str(data["meta"]).replace('"version": 1', '"version": 99')
+            str(data["meta"]).replace('"version": 2', '"version": 99')
         )
         np.savez_compressed(path, **data)
         with pytest.raises(CheckpointError, match="version"):

@@ -1,0 +1,129 @@
+"""Backward compatibility: version-1 (pre-compaction) checkpoints.
+
+Version-1 archives stored dense int64/float64 graph rows and wide
+dataset/cache arrays.  The legacy float64 similarities are the *pre-cast*
+values of the same float64 formulas today's kernels accumulate before
+the single float32 boundary cast — so narrowing them on load must land
+bit-identical to a natively compact checkpoint, and a full
+``restore()`` / ``repro recover --verify`` must pass unchanged.
+"""
+
+import json
+
+import numpy as np
+
+from repro import DynamicKnnIndex, KiffConfig
+from repro.cli import main as cli_main
+from repro.graph.knn_graph import MISSING
+from repro.layout import ID_DTYPE, SCORE_DTYPE, unpack_rows
+from repro.persistence import load_checkpoint, save_checkpoint
+from repro.similarity.base import ProfileIndex
+from repro.similarity.engine import get_metric
+from repro.streaming import AddRating
+from tests.conftest import random_dataset
+
+
+def _converged_index():
+    dataset = random_dataset(
+        n_users=16, n_items=12, density=0.2, seed=8, ratings=True
+    )
+    index = DynamicKnnIndex(dataset, KiffConfig(k=3), auto_refresh=False)
+    index.apply([AddRating(0, 5, 4.0), AddRating(3, 7, 2.0)])
+    index.refresh()
+    return index
+
+
+def _write_legacy_v1(index, directory):
+    """Rewrite a fresh checkpoint into the historical version-1 layout."""
+    path = save_checkpoint(index, directory)
+    data = dict(np.load(path, allow_pickle=False))
+    meta = json.loads(str(np.asarray(data.pop("meta")).item()))
+    meta["version"] = 1
+    meta.pop("dtypes", None)  # v1 predates the dtype tags
+
+    # Packed compact rows -> dense rows at the historical dtypes.  The
+    # legacy writer stored the raw float64 formula values, which the
+    # dense score_block path still computes — genuinely different bits
+    # from widening the stored float32 back up.
+    k = int(data.pop("graph_k"))
+    neighbors, _ = unpack_rows(
+        data.pop("graph_indptr"),
+        data.pop("graph_ids"),
+        data.pop("graph_sims"),
+        k,
+    )
+    profiles = ProfileIndex(index.builder.snapshot())
+    block = get_metric("cosine").score_block(
+        profiles, np.arange(index.n_users, dtype=np.int64)
+    )
+    legacy_sims = np.full(neighbors.shape, -np.inf, dtype=np.float64)
+    rows, cols = np.nonzero(neighbors != MISSING)
+    legacy_sims[rows, cols] = block[rows, neighbors[rows, cols]]
+    data["graph_neighbors"] = neighbors.astype(np.int64)
+    data["graph_sims"] = legacy_sims
+
+    # v1 stored every id/index array wide and had no float32 payloads.
+    for key, array in list(data.items()):
+        if array.dtype == np.int32:
+            data[key] = array.astype(np.int64)
+        elif array.dtype == np.float32:  # pragma: no cover - defensive
+            data[key] = array.astype(np.float64)
+
+    np.savez_compressed(path, meta=np.asarray(json.dumps(meta)), **data)
+    return path
+
+
+class TestLegacyV1Restore:
+    def test_loads_and_narrows_bit_correctly(self, tmp_path):
+        index = _converged_index()
+        try:
+            path = _write_legacy_v1(index, tmp_path)
+            state = load_checkpoint(path)
+            assert state.neighbors.dtype != np.int64  # narrowed on load
+            live_neighbors, live_sims = index._rows()
+            np.testing.assert_array_equal(state.neighbors, live_neighbors)
+            # The float64 -> float32 narrowing reproduces today's
+            # boundary-cast scores bit for bit.
+            assert state.sims.dtype == SCORE_DTYPE
+            np.testing.assert_array_equal(state.sims, live_sims)
+        finally:
+            index.close()
+
+    def test_full_restore_matches_live_index(self, tmp_path):
+        index = _converged_index()
+        try:
+            _write_legacy_v1(index, tmp_path)
+            restored = DynamicKnnIndex.restore(tmp_path)
+            try:
+                assert restored.graph == index.graph
+                assert restored.dataset == index.dataset
+                assert restored.last_seq == index.last_seq
+                assert restored._neighbors.dtype == ID_DTYPE
+                assert restored._sims.dtype == SCORE_DTYPE
+                assert restored._candidate_counts  # cache survived
+            finally:
+                restored.close()
+        finally:
+            index.close()
+
+    def test_recover_verify_passes_on_legacy_state(self, tmp_path):
+        index = _converged_index()
+        try:
+            _write_legacy_v1(index, tmp_path)
+        finally:
+            index.close()
+        assert cli_main(["recover", str(tmp_path), "--verify"]) == 0
+
+    def test_v2_is_the_written_version(self, tmp_path):
+        index = _converged_index()
+        try:
+            path = save_checkpoint(index, tmp_path)
+            with np.load(path, allow_pickle=False) as archive:
+                meta = json.loads(str(np.asarray(archive["meta"]).item()))
+                assert meta["version"] == 2
+                assert np.dtype(meta["dtypes"]["ids"]) == ID_DTYPE
+                assert np.dtype(meta["dtypes"]["scores"]) == SCORE_DTYPE
+                assert "graph_indptr" in archive  # packed, not dense
+                assert "graph_neighbors" not in archive
+        finally:
+            index.close()

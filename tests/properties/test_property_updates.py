@@ -27,7 +27,11 @@ def candidate_streams(draw):
             st.integers(0, n_users - 1), min_size=n_cands, max_size=n_cands
         )
     )
-    # Two-decimal similarities force plenty of ties.
+    # Two-decimal similarities force plenty of ties.  Candidate sims
+    # always arrive through the kernels' float32 score boundary, so the
+    # generator applies the same cast — feeding float64 values that are
+    # not float32-representable would model an impossible input (the
+    # stored incumbent would never compare equal to its own re-feed).
     sims = draw(
         st.lists(
             st.integers(0, 99).map(lambda x: x / 100),
@@ -35,7 +39,8 @@ def candidate_streams(draw):
             max_size=n_cands,
         )
     )
-    return n_users, k, np.array(users), np.array(ids), np.array(sims, dtype=float)
+    sims = np.array(sims, dtype=np.float64).astype(np.float32)
+    return n_users, k, np.array(users), np.array(ids), sims.astype(np.float64)
 
 
 class TestMergeTopkProperties:

@@ -82,9 +82,11 @@ class TestPublication:
         index.refresh()
         after = index.pin()
         assert after.version == index.last_seq == before.version + 1
-        # The no-op republish shares the previous snapshot's arrays.
-        assert after.neighbors is before.neighbors
-        assert after.sims is before.sims
+        # The no-op republish shares the previous snapshot's packed rows
+        # (the dense ``neighbors``/``sims`` views are rebuilt per access).
+        assert after.indptr is before.indptr
+        assert after.packed_ids is before.packed_ids
+        assert after.packed_sims is before.packed_sims
         assert after.dataset is before.dataset
 
     def test_snapshot_matches_live_graph(self, index):
@@ -96,8 +98,9 @@ class TestImmutability:
     def test_arrays_are_read_only(self, index):
         snapshot = index.pin()
         for array in (
-            snapshot.neighbors,
-            snapshot.sims,
+            snapshot.indptr,
+            snapshot.packed_ids,
+            snapshot.packed_sims,
             snapshot.norms,
             snapshot.sizes,
         ):
@@ -126,7 +129,8 @@ class TestImmutability:
         snapshot = index.pin()
         bumped = snapshot.at_version(41)
         assert bumped.version == 41
-        assert bumped.neighbors is snapshot.neighbors
+        assert bumped.packed_ids is snapshot.packed_ids
+        assert bumped.packed_sims is snapshot.packed_sims
         assert snapshot.version == 0  # the original is untouched
 
 
@@ -184,6 +188,6 @@ class TestShardedPublication:
             ix.refresh()
             after = ix.pin()
             assert after.version == before.version + 1
-            assert after.neighbors is before.neighbors
+            assert after.packed_ids is before.packed_ids
         finally:
             ix.close()

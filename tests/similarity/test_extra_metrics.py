@@ -34,7 +34,11 @@ class TestDice:
         us, vs = _all_pairs(40)
         jaccard = JaccardSimilarity().score_batch(index, us, vs)
         dice = DiceSimilarity().score_batch(index, us, vs)
-        np.testing.assert_allclose(dice, 2 * jaccard / (1 + jaccard), atol=1e-12)
+        # jaccard already passed the float32 score boundary, so the
+        # transform is accurate only to float32 resolution.
+        np.testing.assert_allclose(
+            dice, 2 * jaccard / (1 + jaccard), rtol=1e-6, atol=1e-7
+        )
 
     def test_paths_agree(self, rated_dataset):
         index = ProfileIndex(rated_dataset)

@@ -1,0 +1,181 @@
+"""memory_stats(): per-component byte breakdowns on both index classes.
+
+The compact layout's acceptance bar — resident bytes per user — is
+computed from these counters, so the suite pins the component keys, the
+exactness of the array accounting, and the ``legacy_*`` analytic twins
+that price the same arrays at the historical int64/float64 widths.
+"""
+
+import numpy as np
+
+from repro import DynamicKnnIndex, KiffConfig, ShardedKnnIndex
+from repro.layout import ID_DTYPE, SCORE_DTYPE
+from repro.streaming import AddRating
+from tests.conftest import random_dataset
+
+COMPONENT_KEYS = {
+    "dataset_csr_bytes",
+    "graph_rows_bytes",
+    "profile_index_bytes",
+    "snapshot_rows_bytes",
+    "reverse_index_entries",
+    "candidate_cache_entries",
+    "cached_rater_entries",
+    "legacy_dataset_csr_bytes",
+    "legacy_graph_rows_bytes",
+    "total_bytes",
+}
+
+
+def _index(**kwargs):
+    dataset = random_dataset(
+        n_users=30, n_items=20, density=0.2, seed=1, ratings=True
+    )
+    return DynamicKnnIndex(
+        dataset, KiffConfig(k=4), auto_refresh=False, **kwargs
+    )
+
+
+class TestFlatIndex:
+    def test_component_keys(self):
+        index = _index()
+        try:
+            stats = index.memory_stats()
+            assert COMPONENT_KEYS <= set(stats)
+            assert all(
+                isinstance(value, int) and value >= 0
+                for value in stats.values()
+            )
+        finally:
+            index.close()
+
+    def test_graph_rows_bytes_are_exact(self):
+        index = _index()
+        try:
+            stats = index.memory_stats()
+            expected = index._neighbors.nbytes + index._sims.nbytes
+            assert stats["graph_rows_bytes"] == expected
+            assert index._neighbors.dtype == ID_DTYPE
+            assert index._sims.dtype == SCORE_DTYPE
+        finally:
+            index.close()
+
+    def test_legacy_twins_double_the_compact_arrays(self):
+        index = _index()
+        try:
+            stats = index.memory_stats()
+            # Graph rows are pure int32 ids + float32 sims: the legacy
+            # layout costs exactly twice.
+            assert stats["legacy_graph_rows_bytes"] == (
+                2 * stats["graph_rows_bytes"]
+            )
+            # The dataset keeps float64 ratings, so the saving is
+            # real but smaller than 2x.
+            assert (
+                stats["dataset_csr_bytes"]
+                < stats["legacy_dataset_csr_bytes"]
+                < 2 * stats["dataset_csr_bytes"]
+            )
+        finally:
+            index.close()
+
+    def test_total_is_sum_of_byte_components(self):
+        index = _index()
+        try:
+            stats = index.memory_stats()
+            assert stats["total_bytes"] == (
+                stats["dataset_csr_bytes"]
+                + stats["graph_rows_bytes"]
+                + stats["profile_index_bytes"]
+                + stats["snapshot_rows_bytes"]
+            )
+        finally:
+            index.close()
+
+    def test_stats_track_growth(self):
+        index = _index()
+        try:
+            before = index.memory_stats()
+            index.apply(
+                [AddRating(u, 19, 5.0) for u in range(10)]
+            )
+            index.refresh()
+            after = index.memory_stats()
+            assert after["dataset_csr_bytes"] > before["dataset_csr_bytes"]
+        finally:
+            index.close()
+
+
+class TestShardedIndex:
+    def test_includes_arena_accounting(self):
+        dataset = random_dataset(
+            n_users=24, n_items=16, density=0.2, seed=2, ratings=True
+        )
+        index = ShardedKnnIndex(
+            dataset,
+            KiffConfig(k=3),
+            auto_refresh=False,
+            n_shards=2,
+            executor="serial",
+        )
+        try:
+            stats = index.memory_stats()
+            assert COMPONENT_KEYS <= set(stats)
+            # Serial executor: no shared-memory arena, zeros reported.
+            assert stats["shm_arena_bytes"] == 0
+            assert stats["shm_arena_high_water_bytes"] == 0
+            assert stats["shm_arena_slack_bytes"] == 0
+        finally:
+            index.close()
+
+    def test_cache_entries_count_shard_owned_state(self):
+        dataset = random_dataset(
+            n_users=24, n_items=16, density=0.25, seed=3, ratings=True
+        )
+        index = ShardedKnnIndex(
+            dataset,
+            KiffConfig(k=3),
+            auto_refresh=False,
+            n_shards=2,
+            executor="serial",
+        )
+        try:
+            index.refresh()
+            stats = index.memory_stats()
+            expected = sum(
+                len(counts)
+                for shard in index._shards
+                for counts in shard.candidate_counts.values()
+            )
+            assert stats["candidate_cache_entries"] == expected
+        finally:
+            index.close()
+
+
+class TestServingSurface:
+    def test_server_stats_op_reports_memory(self):
+        import asyncio
+        import json
+
+        from repro.serving.server import KnnServer
+
+        async def drive():
+            index = _index()
+            server = KnnServer(index, port=0)
+            await server.start()
+            try:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b'{"op": "stats"}\n')
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return reply, index.memory_stats()
+            finally:
+                await server.stop()
+                index.close()
+
+        reply, expected = asyncio.run(drive())
+        assert reply["ok"] is True
+        assert reply["memory"] == expected

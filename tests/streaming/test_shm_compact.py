@@ -1,0 +1,156 @@
+"""ShmArena capacity accounting and shrink-after-deletion regression.
+
+The arena grows geometrically and, historically, never shrank: after a
+mass deletion the block kept its high-water capacity forever.  These
+tests pin the fix — ``stats()`` exposes the slack and ``compact()``
+returns it to the OS — plus the checkpoint-time invocation on the
+sharded index.
+"""
+
+import numpy as np
+import pytest
+
+from repro import KiffConfig, RemoveUser, ShardedKnnIndex
+from repro.streaming.shm import ShmArena, attach_block, unpack_arrays
+from tests.conftest import random_dataset
+
+
+def _payload(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "ids": rng.integers(0, 100, size=n).astype(np.int32),
+        "scores": rng.random(n).astype(np.float32),
+    }
+
+
+class TestArenaStats:
+    def test_empty_arena(self):
+        arena = ShmArena(tag="repro-test")
+        try:
+            stats = arena.stats()
+            assert stats["capacity_bytes"] == 0
+            assert stats["payload_bytes"] == 0
+            assert stats["high_water_bytes"] == 0
+            assert stats["slack_bytes"] == 0
+        finally:
+            arena.close()
+
+    def test_high_water_outlives_shrinking_payloads(self):
+        arena = ShmArena(tag="repro-test")
+        try:
+            arena.publish(_payload(10_000))
+            high = arena.stats()["high_water_bytes"]
+            assert high >= 10_000 * 8
+            arena.publish(_payload(10))
+            stats = arena.stats()
+            # Capacity (and the mark) stay at the large allocation.
+            assert stats["high_water_bytes"] == high
+            assert stats["capacity_bytes"] >= high
+            assert stats["slack_bytes"] > 0
+        finally:
+            arena.close()
+
+
+class TestArenaCompact:
+    def test_compact_releases_slack_after_mass_deletion(self):
+        arena = ShmArena(tag="repro-test")
+        try:
+            arena.publish(_payload(50_000))
+            name, manifest = arena.publish(_payload(50))
+            slack = arena.stats()["slack_bytes"]
+            assert slack > 0
+            freed = arena.compact()
+            assert freed == slack
+            stats = arena.stats()
+            assert stats["slack_bytes"] == 0
+            assert stats["capacity_bytes"] == stats["payload_bytes"]
+            # The block was reallocated under a new name...
+            assert arena.name != name
+            # ...but packing is deterministic from offset 0, so the old
+            # manifest's offsets stay valid against the new block.
+            block = attach_block(arena.name)
+            try:
+                views = unpack_arrays(block, manifest)
+                expected = _payload(50)
+                np.testing.assert_array_equal(views["ids"], expected["ids"])
+                np.testing.assert_array_equal(
+                    views["scores"], expected["scores"]
+                )
+            finally:
+                block.close()
+        finally:
+            arena.close()
+
+    def test_compact_is_a_noop_when_tight(self):
+        arena = ShmArena(tag="repro-test")
+        try:
+            arena.publish(_payload(100))
+            arena.compact()
+            name = arena.name
+            assert arena.compact() == 0
+            assert arena.name == name  # no pointless reallocation
+        finally:
+            arena.close()
+
+    def test_compact_before_any_publish(self):
+        arena = ShmArena(tag="repro-test")
+        try:
+            assert arena.compact() == 0
+        finally:
+            arena.close()
+
+    def test_publish_after_compact_round_trips(self):
+        arena = ShmArena(tag="repro-test")
+        try:
+            arena.publish(_payload(20_000))
+            arena.publish(_payload(20))
+            arena.compact()
+            name, manifest = arena.publish(_payload(500, seed=3))
+            block = attach_block(name)
+            try:
+                views = unpack_arrays(block, manifest)
+                expected = _payload(500, seed=3)
+                np.testing.assert_array_equal(views["ids"], expected["ids"])
+            finally:
+                block.close()
+        finally:
+            arena.close()
+
+
+class TestCheckpointCompaction:
+    @pytest.mark.parametrize("executor", ["processes"])
+    def test_checkpoint_shrinks_the_arena(self, tmp_path, executor):
+        """Mass deletions then checkpoint(): the quiescent point hands
+        the slack back, and the next refresh still round-trips."""
+        dataset = random_dataset(
+            n_users=40, n_items=20, density=0.3, seed=2, ratings=True
+        )
+        index = ShardedKnnIndex(
+            dataset,
+            KiffConfig(k=4),
+            auto_refresh=False,
+            n_shards=2,
+            executor=executor,
+        )
+        try:
+            # The arena is created lazily on the first process fan-out,
+            # so dirty a user before refreshing.
+            index.apply(RemoveUser(39))
+            index.refresh()
+            before = index.memory_stats()
+            assert before["shm_arena_bytes"] > 0
+            for user in range(30):  # mass deletion
+                index.apply(RemoveUser(user))
+            index.refresh()
+            index.checkpoint(tmp_path)
+            after = index.memory_stats()
+            assert after["shm_arena_high_water_bytes"] >= (
+                after["shm_arena_bytes"]
+            )
+            assert after["shm_arena_slack_bytes"] == 0
+            assert after["shm_arena_bytes"] <= before["shm_arena_bytes"]
+            # The compacted arena still serves refresh fan-outs.
+            index.apply(RemoveUser(35))
+            index.refresh()
+        finally:
+            index.close()

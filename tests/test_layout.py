@@ -1,0 +1,174 @@
+"""Unit tests for the compact storage-layout contract (repro.layout)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.layout import (
+    ACCUM_DTYPE,
+    ID_DTYPE,
+    ID_MAX,
+    SCORE_DTYPE,
+    compact_csr,
+    compact_ids,
+    compact_scores,
+    dtype_tags,
+    indptr_dtype,
+    legacy_nbytes,
+    nbytes,
+    pack_rows,
+    unpack_rows,
+    wide_ids,
+)
+
+
+class TestDtypeContract:
+    def test_canonical_widths(self):
+        assert ID_DTYPE == np.dtype(np.int32)
+        assert SCORE_DTYPE == np.dtype(np.float32)
+        assert ACCUM_DTYPE == np.dtype(np.float64)
+        assert ID_MAX == 2**31 - 1
+
+    def test_indptr_dtype_switches_past_id_max(self):
+        assert indptr_dtype(0) == ID_DTYPE
+        assert indptr_dtype(ID_MAX) == ID_DTYPE
+        assert indptr_dtype(ID_MAX + 1) == np.dtype(np.int64)
+
+    def test_casts_avoid_copies_when_already_compact(self):
+        ids = np.arange(5, dtype=ID_DTYPE)
+        scores = np.ones(5, dtype=SCORE_DTYPE)
+        assert compact_ids(ids) is ids
+        assert compact_scores(scores) is scores
+        wide = np.arange(5, dtype=np.int64)
+        assert wide_ids(wide) is wide
+
+    def test_wide_ids_survive_stride_keys(self):
+        # NEP 50: int32_array * python_int stays int32 and would wrap.
+        ids = np.array([2_000_000], dtype=ID_DTYPE)
+        n = 2_000_000
+        assert wide_ids(ids)[0] * n == 4_000_000_000_000
+
+    def test_dtype_tags_are_serializable_strings(self):
+        tags = dtype_tags()
+        assert np.dtype(tags["ids"]) == ID_DTYPE
+        assert np.dtype(tags["scores"]) == SCORE_DTYPE
+        assert np.dtype(tags["accumulation"]) == ACCUM_DTYPE
+
+
+class TestCompactCsr:
+    def test_downcasts_indices_and_indptr(self):
+        matrix = sp.csr_matrix(
+            (
+                np.array([1.0, 2.0, 3.0]),
+                np.array([0, 2, 1], dtype=np.int64),
+                np.array([0, 2, 3], dtype=np.int64),
+            ),
+            shape=(2, 3),
+        )
+        out = compact_csr(matrix)
+        assert out is matrix
+        assert out.indices.dtype == ID_DTYPE
+        assert out.indptr.dtype == ID_DTYPE
+        assert out.data.dtype == np.float64  # ratings stay wide
+
+    def test_values_unchanged(self):
+        dense = np.array([[0.0, 1.5], [2.5, 0.0]])
+        matrix = compact_csr(sp.csr_matrix(dense))
+        np.testing.assert_array_equal(matrix.toarray(), dense)
+
+
+class TestRowPacking:
+    def _dense(self):
+        neighbors = np.array(
+            [[3, 1, -1], [-1, -1, -1], [2, -1, -1]], dtype=ID_DTYPE
+        )
+        sims = np.array(
+            [[0.9, 0.5, -np.inf], [-np.inf] * 3, [0.25, -np.inf, -np.inf]],
+            dtype=SCORE_DTYPE,
+        )
+        return neighbors, sims
+
+    def test_round_trip_is_bit_identical(self):
+        neighbors, sims = self._dense()
+        indptr, ids, values = pack_rows(neighbors, sims)
+        back_n, back_s = unpack_rows(indptr, ids, values, k=3)
+        np.testing.assert_array_equal(back_n, neighbors)
+        np.testing.assert_array_equal(back_s, sims)
+        assert back_n.dtype == ID_DTYPE and back_s.dtype == SCORE_DTYPE
+
+    def test_packed_sizes_drop_missing_slots(self):
+        neighbors, sims = self._dense()
+        indptr, ids, values = pack_rows(neighbors, sims)
+        assert indptr.tolist() == [0, 2, 2, 3]
+        assert ids.tolist() == [3, 1, 2]
+        assert ids.size == values.size == 3  # 3 of 9 slots present
+
+    def test_empty_input(self):
+        indptr, ids, values = pack_rows(
+            np.empty((0, 4), dtype=ID_DTYPE),
+            np.empty((0, 4), dtype=SCORE_DTYPE),
+        )
+        assert indptr.tolist() == [0]
+        back_n, back_s = unpack_rows(indptr, ids, values, k=4)
+        assert back_n.shape == back_s.shape == (0, 4)
+
+
+class TestByteAccounting:
+    def test_nbytes_sums_and_skips_none(self):
+        a = np.zeros(10, dtype=ID_DTYPE)
+        b = np.zeros(4, dtype=SCORE_DTYPE)
+        assert nbytes(a, None, b) == 40 + 16
+
+    def test_legacy_nbytes_reprices_compact_dtypes_only(self):
+        ids = np.zeros(10, dtype=ID_DTYPE)  # 40 B now, 80 B legacy
+        scores = np.zeros(10, dtype=SCORE_DTYPE)  # 40 B now, 80 B legacy
+        ratings = np.zeros(10, dtype=np.float64)  # unchanged
+        assert legacy_nbytes(ids, scores, ratings) == 80 + 80 + 80
+        assert nbytes(ids, scores, ratings) == 40 + 40 + 80
+
+    def test_compaction_halves_id_and_score_storage(self):
+        arrays = [
+            np.zeros(100, dtype=ID_DTYPE),
+            np.zeros(100, dtype=SCORE_DTYPE),
+        ]
+        assert legacy_nbytes(*arrays) == 2 * nbytes(*arrays)
+
+
+class TestScoreBoundary:
+    def test_float32_widening_round_trips(self):
+        # The parity keystone: a stored float32 score widened to float64
+        # (merge internals) and narrowed again is bit-identical.
+        rng = np.random.default_rng(0)
+        scores = compact_scores(rng.random(1000))
+        assert np.array_equal(
+            scores.astype(np.float64).astype(SCORE_DTYPE), scores
+        )
+
+    def test_single_cast_matches_double_cast(self):
+        # Casting a fresh float64 score once is the same as casting a
+        # stored score that already passed the boundary: no double
+        # rounding on the hot path.
+        raw = np.array([0.1 + 0.2, 1 / 3, 0.7], dtype=np.float64)
+        once = compact_scores(raw)
+        twice = compact_scores(once.astype(np.float64))
+        assert np.array_equal(once, twice)
+
+    def test_neg_inf_padding_survives(self):
+        padded = compact_scores(np.array([-np.inf, 0.5]))
+        assert np.isneginf(padded[0])
+
+
+@pytest.mark.parametrize("k", [1, 3, 7])
+def test_pack_rows_randomized_round_trip(k):
+    rng = np.random.default_rng(k)
+    n = 40
+    neighbors = rng.integers(-1, n, size=(n, k)).astype(ID_DTYPE)
+    sims = rng.random((n, k)).astype(SCORE_DTYPE)
+    sims[neighbors == -1] = -np.inf
+    # Left-align present entries per row, as merge results always are.
+    order = np.argsort(neighbors == -1, axis=1, kind="stable")
+    neighbors = np.take_along_axis(neighbors, order, axis=1)
+    sims = np.take_along_axis(sims, order, axis=1)
+    back_n, back_s = unpack_rows(*pack_rows(neighbors, sims), k=k)
+    np.testing.assert_array_equal(back_n, neighbors)
+    np.testing.assert_array_equal(back_s, sims)
