@@ -20,7 +20,9 @@ stream through a :class:`ShardedKnnIndex` with per-shard
 crash-recovery smoke job drives this mode); ``--executor processes``
 additionally fans each refresh out to one OS worker per shard over
 shared-memory snapshots — the crash drill then exercises SIGKILL of a
-whole process tree mid-stream.
+whole process tree mid-stream.  ``--rebalance-after N`` runs a live
+WAL-fenced shard re-balance (to ``--rebalance-to`` shards) mid-stream,
+so the drill also covers recovery across a migration fence.
 """
 
 import argparse
@@ -101,6 +103,19 @@ def durable_stream(args) -> None:
         rng = np.random.default_rng(args.seed)
         for done in range(1, args.events + 1):
             index.apply(random_event(rng, index.n_users))
+            if done == args.rebalance_after and args.shards > 1:
+                from repro import ShardPlan
+
+                stats = index.rebalance(
+                    ShardPlan(n_shards=args.rebalance_to)
+                )
+                print(
+                    f"Rebalanced after event {done}: "
+                    f"{stats.shards_before} -> {stats.shards_after} "
+                    f"shards, {stats.users_moved} users moved "
+                    f"(fence {stats.seq_begin}..{stats.seq_commit})",
+                    flush=True,
+                )
             if done % args.checkpoint_every == 0:
                 index.refresh()
                 index.checkpoint(state)
@@ -233,6 +248,23 @@ def main(argv=None) -> None:
         type=int,
         default=None,
         help="SIGKILL this process after N events (crash simulation)",
+    )
+    parser.add_argument(
+        "--rebalance-after",
+        type=int,
+        default=None,
+        help=(
+            "durable-stream mode with --shards > 1: run a live "
+            "WAL-fenced rebalance to --rebalance-to shards after N "
+            "events (combine with --kill-after to crash mid-migration "
+            "history)"
+        ),
+    )
+    parser.add_argument(
+        "--rebalance-to",
+        type=int,
+        default=3,
+        help="target shard count for --rebalance-after (default: 3)",
     )
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args(argv)

@@ -1,0 +1,62 @@
+"""Fail when the CLI and docs/OPERATIONS.md drift apart.
+
+Imports the live argparse parser (``repro.cli.build_parser``) and
+asserts that every option string (``--shards``, ``--move``, ...) and
+every ``experiment`` positional choice (``table2``, ``rebalance``, ...)
+appears verbatim in the operator runbook's flag/subcommand reference.
+CI's docs job runs this, so adding a flag without documenting it —
+or renaming one and leaving a stale row behind is half-caught too,
+since the old spelling stops matching ``--help`` readers — fails the
+build.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_cli_docs.py
+
+Exit status: 0 when every surface is documented, 1 otherwise (each
+missing item printed on its own line).
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OPERATIONS = REPO_ROOT / "docs" / "OPERATIONS.md"
+
+
+def undocumented(text: str) -> list[str]:
+    """Every CLI surface string that *text* fails to mention."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    missing = []
+    for action in parser._actions:
+        for option in action.option_strings:
+            # `-h` is a substring of every other flag; require the
+            # canonical long spelling only.
+            if option == "-h":
+                continue
+            if f"`{option}`" not in text and option not in text:
+                missing.append(f"flag {option}")
+        if action.dest == "experiment":
+            for choice in action.choices:
+                if f"`{choice}`" not in text:
+                    missing.append(f"experiment choice {choice}")
+    return missing
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    text = OPERATIONS.read_text(encoding="utf-8")
+    missing = undocumented(text)
+    for item in missing:
+        print(f"docs/OPERATIONS.md: undocumented {item}")
+    if missing:
+        print(f"{len(missing)} CLI surface(s) missing from the runbook")
+        return 1
+    print("docs/OPERATIONS.md covers every CLI flag and subcommand")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

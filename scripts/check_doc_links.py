@@ -1,0 +1,83 @@
+"""Check relative markdown links (and their anchors) across the docs.
+
+Scans README.md, ROADMAP.md and docs/*.md for ``[text](target)``
+links, skips absolute URLs, and verifies that
+
+* every relative target resolves to an existing file or directory
+  (relative to the linking file), and
+* every ``#fragment`` — on a relative target or bare in-page — matches
+  a heading in the target file under GitHub's slugification rules.
+
+Usage::
+
+    python scripts/check_doc_links.py
+
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Inline links; images share the syntax (the leading ``!`` is ignored
+#: by the pattern, so they are checked too).  Reference-style links are
+#: not used in this repo.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, strip the rest."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(markdown: str) -> set[str]:
+    return {_slugify(match) for match in _HEADING.findall(markdown)}
+
+
+def check_file(path: Path) -> list[str]:
+    """Every broken link in *path*, rendered as error strings."""
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    rel = path.relative_to(REPO_ROOT)
+    for target in _LINK.findall(text):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}: broken link target {target!r}")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.is_dir() or resolved.suffix not in (".md", ""):
+                continue  # anchors into non-markdown are not checkable
+            if fragment not in _anchors(resolved.read_text(encoding="utf-8")):
+                errors.append(f"{rel}: broken anchor {target!r}")
+    return errors
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    errors = []
+    for path in files:
+        if path.exists():
+            errors.extend(check_file(path))
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"{len(errors)} broken link(s)")
+        return 1
+    print(f"all relative links resolve across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -112,9 +112,12 @@ from .streaming import (
     ApplyResult,
     Batch,
     DynamicKnnIndex,
+    RebalanceStats,
     RefreshStats,
     RemoveRating,
     RemoveUser,
+    ShardMap,
+    ShardPlan,
     ShardedKnnIndex,
     ratings_batch,
 )
@@ -148,6 +151,7 @@ __all__ = [
     "ProfileIndex",
     "RankedCandidateSets",
     "RcsDelta",
+    "RebalanceStats",
     "Recommendation",
     "Recommender",
     "RefreshScheduler",
@@ -156,6 +160,8 @@ __all__ = [
     "RemoveUser",
     "ReverseNeighborIndex",
     "SchedulerPolicy",
+    "ShardMap",
+    "ShardPlan",
     "SimilarityCounter",
     "SimilarityEngine",
     "ShardedKnnIndex",

@@ -42,7 +42,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "datasets", "graph-stats", "stream", "serve", "recover"],
+        + [
+            "all",
+            "datasets",
+            "graph-stats",
+            "stream",
+            "serve",
+            "recover",
+            "rebalance",
+        ],
         help=(
             "which paper artefact to regenerate ('all' runs everything; "
             "'datasets' prints Table-I statistics for every registry "
@@ -54,7 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
             "lock-free graph snapshots, optionally while a writer "
             "thread streams events; 'recover' restores a crashed "
             "streaming index from a state directory's checkpoint + "
-            "write-ahead log tail)"
+            "write-ahead log tail; 'rebalance' restores a sharded state "
+            "directory and applies a WAL-fenced shard re-balancing plan "
+            "— --shards M and/or --move USER:SHARD)"
         ),
     )
     parser.add_argument(
@@ -62,8 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "with 'recover': the state directory holding wal.jsonl and "
-            "checkpoint-*.npz files"
+            "with 'recover'/'rebalance': the state directory holding "
+            "wal[-<shard>].jsonl and checkpoint archives"
         ),
     )
     parser.add_argument(
@@ -111,12 +121,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--shards",
         type=int,
-        default=1,
+        default=None,
         help=(
-            "with 'stream': partition users across N shard workers "
-            "(ShardedKnnIndex; 1 = the sequential DynamicKnnIndex).  "
-            "With --wal, events journal into per-shard wal-<i>.jsonl "
-            "segments in the log's directory"
+            "with 'stream'/'serve': partition users across N shard "
+            "workers (ShardedKnnIndex; default 1 = the sequential "
+            "DynamicKnnIndex).  With --wal, events journal into "
+            "per-shard wal-<i>.jsonl segments in the log's directory.  "
+            "With 'rebalance': the target shard count to migrate the "
+            "restored state to (default: keep the current count)"
+        ),
+    )
+    parser.add_argument(
+        "--move",
+        action="append",
+        metavar="USER:SHARD",
+        default=None,
+        help=(
+            "with 'rebalance': pin user USER to shard SHARD "
+            "(repeatable; combines with --shards, but a shard-count "
+            "change resets previously journaled pins)"
         ),
     )
     parser.add_argument(
@@ -248,9 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help=(
-            "with 'recover': also cold-rebuild the converged graph on "
-            "the recovered dataset and check exact parity (exit 1 on "
-            "mismatch)"
+            "with 'recover'/'rebalance': also cold-rebuild the "
+            "converged graph on the recovered dataset and check exact "
+            "parity (exit 1 on mismatch)"
         ),
     )
     return parser
@@ -379,6 +402,8 @@ def _run_stream(args) -> int:
         replay_stream,
     )
 
+    if args.shards is None:
+        args.shards = 1
     scheduled = _wants_scheduler(args)
     if args.checkpoint_every is not None and not args.wal:
         print("error: --checkpoint-every requires --wal", file=sys.stderr)
@@ -601,6 +626,8 @@ def _run_serve(args) -> int:
         ratings_batch,
     )
 
+    if args.shards is None:
+        args.shards = 1
     if args.shards < 1:
         print(
             f"error: --shards must be >= 1, got {args.shards}",
@@ -639,6 +666,9 @@ def _run_serve(args) -> int:
             ),
         )
     stop_writer = threading.Event()
+    # Shared with the server's rebalance admin op, so a live migration
+    # serializes against the writer thread's apply()/refresh() calls.
+    mutate_lock = threading.Lock()
     writer = None
     try:
         n_events = min(args.serve_events, len(users))
@@ -656,15 +686,21 @@ def _run_serve(args) -> int:
                         # Deferred-tail ingestion: the scheduler defers
                         # low-impact users and (if backpressure rejects)
                         # we retry after an explicit shedding pass.
-                        while not scheduler.submit(batch).admitted:
+                        while True:
+                            with mutate_lock:
+                                if scheduler.submit(batch).admitted:
+                                    break
                             if stop_writer.is_set():
                                 return
-                            scheduler.refresh()
+                            with mutate_lock:
+                                scheduler.refresh()
                     else:
-                        index.apply(batch)
-                        index.refresh()
+                        with mutate_lock:
+                            index.apply(batch)
+                            index.refresh()
                 if scheduler is not None and not stop_writer.is_set():
-                    scheduler.drain()
+                    with mutate_lock:
+                        scheduler.drain()
 
             writer = threading.Thread(
                 target=_ingest, name="repro-serve-writer", daemon=True
@@ -672,7 +708,11 @@ def _run_serve(args) -> int:
 
         async def _serve() -> None:
             server = KnnServer(
-                index, host=args.host, port=args.port, scheduler=scheduler
+                index,
+                host=args.host,
+                port=args.port,
+                scheduler=scheduler,
+                mutate_lock=mutate_lock,
             )
             await server.start()
             host, port = server.address
@@ -787,6 +827,97 @@ def _run_recover(args) -> int:
     return 0 if parity in (None, True) else 1
 
 
+def _run_rebalance(args) -> int:
+    """The 'rebalance' utility: restore, migrate shard ownership, exit.
+
+    Restores the state directory (either layout — a flat one is adopted
+    as sharded first), applies one WAL-fenced
+    :class:`~repro.streaming.ShardPlan` built from ``--shards`` /
+    ``--move``, and reports what moved.  The fence pair and the
+    post-migration dirty set are journaled, so the next ``recover`` (or
+    a crashed copy of this command) replays the flip exactly; a live
+    server offers the same operation without a restart via the
+    ``rebalance`` op of ``repro-kiff serve``.
+    """
+    from pathlib import Path
+
+    from .experiments.report import render_table
+    from .persistence import detect_state_layout
+    from .streaming import ShardPlan, ShardedKnnIndex, cold_rebuild_graph
+
+    if not args.directory:
+        print(
+            "error: rebalance needs a state directory "
+            "(repro-kiff rebalance <dir> --shards M)",
+            file=sys.stderr,
+        )
+        return 2
+    moves = []
+    for spec in args.move or ():
+        user_text, _, shard_text = spec.partition(":")
+        try:
+            moves.append((int(user_text), int(shard_text)))
+        except ValueError:
+            print(
+                f"error: --move expects USER:SHARD "
+                f"(e.g. --move 12:0), got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.shards is None and not moves:
+        print(
+            "error: nothing to do — pass --shards M and/or "
+            "--move USER:SHARD",
+            file=sys.stderr,
+        )
+        return 2
+    directory = Path(args.directory)
+    if detect_state_layout(directory) is None:
+        print(
+            f"error: {directory} holds no recoverable streaming state; "
+            f"stream with 'repro-kiff stream --wal {directory}' first",
+            file=sys.stderr,
+        )
+        return 2
+    index = ShardedKnnIndex.restore(directory)
+    parity = None
+    try:
+        before = index.n_shards
+        try:
+            stats = index.rebalance(
+                ShardPlan(moves=tuple(moves), n_shards=args.shards)
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        index.refresh()  # pay the migration dirty set before exiting
+        rows = [
+            ["shards before", before],
+            ["shards after", stats.shards_after],
+            ["users moved", stats.users_moved],
+            ["fence sequences", f"{stats.seq_begin}..{stats.seq_commit}"],
+            ["last sequence", index.last_seq],
+            ["overrides in effect", len(index.shard_map.overrides)],
+            ["migration wall time", f"{stats.wall_time * 1e3:.1f}ms"],
+        ]
+        if args.verify:
+            cold = cold_rebuild_graph(
+                index.dataset, index.config, metric=index.engine.metric
+            )
+            parity = index.graph == cold
+            rows.append(["parity with cold rebuild", parity])
+        print(
+            render_table(
+                ["Statistic", "Value"],
+                rows,
+                title=f"Rebalanced {args.directory}",
+            )
+        )
+    finally:
+        index.close()
+    return 0 if parity in (None, True) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -800,6 +931,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.experiment == "recover":
         return _run_recover(args)
+    if args.experiment == "rebalance":
+        return _run_rebalance(args)
     context = ExperimentContext(
         scale=args.scale, metric=args.metric, seed=args.seed
     )

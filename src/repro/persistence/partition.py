@@ -22,8 +22,9 @@ durable state so recovery is a per-partition operation:
 :func:`restore_sharded_index` recovers from **either** layout — the
 latest readable checkpoint (flat ``.npz`` or sharded ``.shards``) plus
 the merged log tail — so a flat state directory can be adopted by a
-sharded index (and re-sharded: the hash partition is a pure function of
-the user id, so per-shard slices are re-derived at any shard count).
+sharded index (and re-sharded: ownership never affects graph content,
+so per-shard slices are re-derived at any shard count; live-move
+overrides survive only a same-count restore).
 The flat :func:`~repro.persistence.checkpoint.restore_index` refuses
 sharded directories instead of silently dropping per-shard events.
 """
@@ -228,6 +229,7 @@ class PartitionedWriteAheadLog:
 
     @property
     def n_shards(self) -> int:
+        """Number of per-shard segments this log writes."""
         return len(self.segments)
 
     @property
@@ -237,6 +239,7 @@ class PartitionedWriteAheadLog:
 
     @property
     def closed(self) -> bool:
+        """Whether any segment has been closed (the log is unusable)."""
         return any(segment.closed for segment in self.segments)
 
     def advance_to(self, seq: int) -> None:
@@ -302,6 +305,7 @@ class PartitionedWriteAheadLog:
         self._fsync_all()
 
     def close(self) -> None:
+        """Flush, fsync and close every segment."""
         for segment in self.segments:
             segment.close()
 
@@ -343,18 +347,27 @@ def _discover_sharded(directory: Path) -> list[tuple[int, Path]]:
 
 
 class ShardedCheckpointState(CheckpointState):
-    """A loaded sharded checkpoint: flat state + the shard count.
+    """A loaded sharded checkpoint: flat state + the ownership rule.
 
     The per-shard slices are *not* kept separate here: shard ownership
-    is the pure function ``user % n_shards``, so the installer re-derives
-    each shard's dirty slice and cache from the merged tuples — which is
-    also what makes restoring at a different shard count (re-sharding)
-    exact.
+    is derivable from ``n_shards`` plus the (usually empty)
+    ``shard_overrides`` table left behind by live
+    :meth:`~repro.streaming.sharding.ShardedKnnIndex.rebalance` moves,
+    so the installer re-derives each shard's dirty slice and cache from
+    the merged tuples — which is also what makes restoring at a
+    different shard count (re-sharding) exact: a count change re-derives
+    ownership from the new modulus (resetting the overrides, exactly as
+    a live count-changing rebalance does).
     """
 
-    def __init__(self, n_shards: int, **fields):
+    def __init__(
+        self, n_shards: int, shard_overrides: dict | None = None, **fields
+    ):
         super().__init__(**fields)
         object.__setattr__(self, "n_shards", int(n_shards))
+        object.__setattr__(
+            self, "shard_overrides", dict(shard_overrides or {})
+        )
 
 
 def _fsync_file(path: Path) -> None:
@@ -380,6 +393,11 @@ def save_sharded_checkpoint(index, directory: str | Path) -> Path:
     meta = checkpoint_meta(index, dataset)
     meta["layout"] = "sharded"
     meta["n_shards"] = int(index.n_shards)
+    overrides = index._shard_map.overrides
+    if overrides:
+        # Live-rebalance ownership overrides; JSON stringifies the keys,
+        # the loader re-ints them.
+        meta["shard_overrides"] = overrides
     path = sharded_checkpoint_path(directory, index.last_seq)
     tmp = path.with_name(path.name + ".tmp")
     if tmp.exists():
@@ -459,6 +477,10 @@ def load_sharded_checkpoint(path: str | Path) -> ShardedCheckpointState:
         meta,
         cls=ShardedCheckpointState,
         n_shards=n_shards,
+        shard_overrides={
+            int(user): int(shard)
+            for user, shard in (meta.get("shard_overrides") or {}).items()
+        },
         path=path,
         dataset=dataset,
         neighbors=graph.neighbors,
@@ -486,12 +508,21 @@ def restore_sharded_index(
     :class:`PartitionedWriteAheadLog` so journaling continues where the
     crashed run stopped.  ``n_shards`` defaults to the checkpoint's
     shard count (2 when restoring a flat layout); any other value
-    re-shards the state exactly, because shard ownership is a pure
-    function of the user id.
+    re-shards the state exactly, re-deriving ownership from the new
+    modulus (live-rebalance overrides recorded in the checkpoint are
+    reset, exactly as a live count-changing rebalance resets them).
+
+    Replayed ``migrate_begin``/``migrate_commit`` fences re-apply live
+    rebalances at their exact sequence positions; a ``migrate_begin``
+    with no matching commit (crash mid-rebalance) replays as a no-op,
+    rolling the ownership flip back to the fence.
 
     *cls* is the index class (passed in to avoid a circular import);
     call this as ``ShardedKnnIndex.restore(directory)``.
     """
+    from ..streaming.events import CONTROL_EVENTS
+    from ..streaming.sharding import ShardMap
+
     directory = Path(directory)
     state = load_latest_checkpoint(
         directory,
@@ -501,6 +532,7 @@ def restore_sharded_index(
         ],
     )
     checkpoint_shards = getattr(state, "n_shards", None)
+    requested = None if n_shards is None else int(n_shards)
     if n_shards is None:
         n_shards = checkpoint_shards if checkpoint_shards else 2
     index_kwargs = {} if executor is None else {"executor": executor}
@@ -514,6 +546,12 @@ def restore_sharded_index(
         n_shards=n_shards,
         **index_kwargs,
     )
+    overrides = getattr(state, "shard_overrides", None)
+    if overrides and index.n_shards == checkpoint_shards:
+        # Same shard count as the checkpoint: adopt its live-rebalance
+        # overrides before the installer routes per-user state, so
+        # dirty/cache/reverse slices land on their overridden owners.
+        index._shard_map = ShardMap(index.n_shards, overrides)
     install_checkpoint_state(index, state)
     replayed = 0
     for seq, event in read_partitioned_wal(directory, after=state.seq):
@@ -525,14 +563,20 @@ def restore_sharded_index(
                 f"not recoverable from this state directory"
             )
         index._absorb(event)
-        index._pending_events += 1
         index._seq = seq
         replayed += 1
+        if not isinstance(event, CONTROL_EVENTS):
+            index._pending_events += 1
+    if requested is not None and index.n_shards != requested:
+        # The caller pinned a shard count but a replayed rebalance (or
+        # the checkpoint itself) left the index elsewhere: one final
+        # non-journaled re-shard honours the explicit request.
+        index._apply_plan_flip((), requested)
     if refresh:
         index.refresh()
     index.auto_refresh = state.auto_refresh
     wal = PartitionedWriteAheadLog(
-        directory, n_shards, fsync_every=fsync_every
+        directory, index.n_shards, fsync_every=fsync_every
     )
     if wal.last_seq < index.last_seq:
         # A crash ate an fsync-batched tail that a durable checkpoint

@@ -32,6 +32,8 @@ from ..streaming.events import (
     AddUser,
     Batch,
     Event,
+    MigrateBegin,
+    MigrateCommit,
     RemoveRating,
     RemoveUser,
     flatten_events,
@@ -133,6 +135,21 @@ def encode_event(event: Event) -> dict:
         }
     if isinstance(event, RemoveUser):
         return {"type": "remove_user", "user": int(event.user)}
+    if isinstance(event, (MigrateBegin, MigrateCommit)):
+        kind = (
+            "migrate_begin"
+            if isinstance(event, MigrateBegin)
+            else "migrate_commit"
+        )
+        return {
+            "type": kind,
+            "moves": [
+                [int(user), int(shard)] for user, shard in event.moves
+            ],
+            "n_shards": (
+                None if event.n_shards is None else int(event.n_shards)
+            ),
+        }
     if isinstance(event, Batch):
         raise WalError(
             "batches are journaled flattened; encode their primitive events"
@@ -160,6 +177,16 @@ def decode_event(record: dict) -> Event:
             )
         if kind == "remove_user":
             return RemoveUser(int(record["user"]))
+        if kind in ("migrate_begin", "migrate_commit"):
+            cls = MigrateBegin if kind == "migrate_begin" else MigrateCommit
+            n_shards = record["n_shards"]
+            return cls(
+                tuple(
+                    (int(user), int(shard))
+                    for user, shard in record["moves"]
+                ),
+                None if n_shards is None else int(n_shards),
+            )
     except (KeyError, TypeError, ValueError) as exc:
         raise WalError(f"malformed WAL record {record!r}") from exc
     raise WalError(f"unknown WAL record type {kind!r}")
@@ -348,6 +375,7 @@ class WriteAheadLog:
 
     @property
     def closed(self) -> bool:
+        """Whether the underlying file handle has been closed."""
         return self._handle.closed
 
     def _write_record(self, record: dict) -> None:
@@ -451,6 +479,7 @@ class WriteAheadLog:
             self._fsync()
 
     def close(self) -> None:
+        """Flush, fsync and close the log file (idempotent)."""
         if not self._handle.closed:
             self.flush()
             self._handle.close()

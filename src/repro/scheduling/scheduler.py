@@ -179,6 +179,37 @@ class RefreshScheduler:
             last_seq=index.last_seq,
         )
 
+    def rebalance(self, plan):
+        """Run a live shard re-balance through the staleness policy.
+
+        Migration work is not free: every moved user goes dirty so the
+        next pass seeds her destination shard's candidate cache, and
+        that work counts against the same ``queue_bound`` as ingestion.
+        At or past the bound the scheduler sheds first (a rebalance is
+        operator-initiated, so it is never rejected), then delegates to
+        ``index.rebalance(plan)``, stamps the moved users' staleness
+        clocks, and runs an immediate pass if the migration itself
+        violated a budget.
+
+        Returns the index's ``RebalanceStats``.  Raises
+        :class:`AttributeError` when the underlying index is not
+        sharded.
+        """
+        index = self.index
+        if (
+            self.policy.queue_bound is not None
+            and self.queue_depth >= self.policy.queue_bound
+        ):
+            index.maintenance.scheduler_backpressure += 1
+            while self.queue_depth >= self.policy.queue_bound:
+                self.refresh()
+        seq_before = index.last_seq
+        stats = index.rebalance(plan)
+        self._stamp_new_dirty(seq_before)
+        if self._violated_budget() is not None:
+            self.refresh()
+        return stats
+
     # ------------------------------------------------------------------
     # Scheduled refinement
     # ------------------------------------------------------------------

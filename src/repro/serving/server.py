@@ -6,6 +6,7 @@ one reply object per line, answered in request order per connection::
     {"op": "neighbors", "user": 12}
     {"op": "recommend", "user": 12, "top_n": 5}
     {"op": "stats"}
+    {"op": "rebalance", "shards": 4, "moves": [[12, 0]]}
 
 Replies carry ``"ok"`` plus either the payload or an ``"error"``
 string; every data reply is stamped with the graph ``version`` it was
@@ -60,12 +61,19 @@ class KnnServer:
         min_neighbor_rating: float = 3.5,
         max_batch: int = 256,
         scheduler=None,
+        mutate_lock=None,
     ):
         self.index = index
         #: Optional :class:`~repro.scheduling.RefreshScheduler` driving
         #: the index's refreshes; when given, the ``stats`` op folds its
-        #: state in (queue depth, deferred users, backpressure tallies).
+        #: state in (queue depth, deferred users, backpressure tallies)
+        #: and the ``rebalance`` op routes through its queue bound.
         self.scheduler = scheduler
+        #: Optional :class:`threading.Lock` shared with whatever thread
+        #: mutates the index (the CLI's ingest writer); the
+        #: ``rebalance`` admin op acquires it so a live migration never
+        #: interleaves with a concurrent ``apply()``/``refresh()``.
+        self.mutate_lock = mutate_lock
         self.recommender = Recommender(
             index, top_n=top_n, min_neighbor_rating=min_neighbor_rating
         )
@@ -247,16 +255,72 @@ class KnnServer:
                     }
                 if self.scheduler is not None:
                     body["scheduler"] = self.scheduler.stats()
+                if hasattr(self.index, "n_shards"):
+                    body["sharding"] = {
+                        "n_shards": int(self.index.n_shards),
+                        "executor": self.index.executor,
+                        "overrides": len(
+                            self.index.shard_map.overrides
+                        ),
+                        "rebalances": len(self.index.rebalance_log),
+                    }
+            elif op == "rebalance":
+                body = self._rebalance(request)
             else:
                 raise ValueError(
                     f"unknown op {op!r}; expected 'neighbors', "
-                    f"'recommend' or 'stats'"
+                    f"'recommend', 'stats' or 'rebalance'"
                 )
         except Exception as error:
             return _encode(
                 {"ok": False, "error": f"{type(error).__name__}: {error}"}
             )
         return _encode(body)
+
+    def _rebalance(self, request: dict) -> dict:
+        """Answer the ``rebalance`` admin op (live shard migration).
+
+        The request carries ``"shards"`` (target shard count) and/or
+        ``"moves"`` (``[[user, shard], ...]`` override pairs).  The
+        migration runs under :attr:`mutate_lock` (when provided) and
+        through the scheduler's queue bound (when one is attached), so
+        a live trigger composes with concurrent ingestion exactly like
+        the in-process :meth:`ShardedKnnIndex.rebalance` API.
+        """
+        from ..streaming.sharding import ShardPlan
+
+        if not hasattr(self.index, "rebalance"):
+            raise ValueError(
+                "index does not support rebalancing (not sharded)"
+            )
+        shards = request.get("shards")
+        plan = ShardPlan(
+            moves=tuple(
+                (int(user), int(shard))
+                for user, shard in (request.get("moves") or ())
+            ),
+            n_shards=None if shards is None else int(shards),
+        )
+        lock = (
+            contextlib.nullcontext()
+            if self.mutate_lock is None
+            else self.mutate_lock
+        )
+        with lock:
+            if self.scheduler is not None:
+                stats = self.scheduler.rebalance(plan)
+            else:
+                stats = self.index.rebalance(plan)
+        return {
+            "ok": True,
+            "op": "rebalance",
+            "users_moved": stats.users_moved,
+            "shards_before": stats.shards_before,
+            "shards_after": stats.shards_after,
+            "seq_begin": stats.seq_begin,
+            "seq_commit": stats.seq_commit,
+            "wall_time": stats.wall_time,
+        }
 
 
 def _encode(body: dict) -> bytes:

@@ -129,10 +129,12 @@ class GraphSnapshot:
 
     @property
     def n_users(self) -> int:
+        """Number of user rows frozen into this snapshot."""
         return int(self.indptr.shape[0]) - 1
 
     @property
     def k(self) -> int:
+        """Neighbourhood size of the published rows."""
         return self.row_k
 
     @property

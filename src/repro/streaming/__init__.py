@@ -9,7 +9,9 @@ at a fraction of the full-rebuild similarity cost, and (with
 checkpoint/restore.  :class:`ShardedKnnIndex` (see
 :mod:`repro.streaming.sharding`) runs the same refinement
 shard-parallel across workers, bit-identically, with partitioned WAL
-segments and checkpoints.
+segments and checkpoints, and re-balances shard ownership live
+(WAL-fenced :meth:`ShardedKnnIndex.rebalance`) without stopping
+ingestion.
 """
 
 from .events import (
@@ -18,6 +20,8 @@ from .events import (
     ApplyResult,
     Batch,
     Event,
+    MigrateBegin,
+    MigrateCommit,
     RemoveRating,
     RemoveUser,
     apply_events,
@@ -29,7 +33,14 @@ from .index import (
     cold_rebuild_graph,
     converged_config,
 )
-from .sharding import ShardedKnnIndex, ShardOutbox, shard_of
+from .sharding import (
+    RebalanceStats,
+    ShardMap,
+    ShardOutbox,
+    ShardPlan,
+    ShardedKnnIndex,
+    shard_of,
+)
 from .workload import (
     StreamReplayResult,
     flash_crowd_events,
@@ -45,10 +56,15 @@ __all__ = [
     "Batch",
     "DynamicKnnIndex",
     "Event",
+    "MigrateBegin",
+    "MigrateCommit",
+    "RebalanceStats",
     "RefreshStats",
     "RemoveRating",
     "RemoveUser",
+    "ShardMap",
     "ShardOutbox",
+    "ShardPlan",
     "ShardedKnnIndex",
     "StreamReplayResult",
     "apply_events",

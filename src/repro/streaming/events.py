@@ -47,6 +47,8 @@ __all__ = [
     "ApplyResult",
     "Batch",
     "Event",
+    "MigrateBegin",
+    "MigrateCommit",
     "RemoveRating",
     "RemoveUser",
     "apply_events",
@@ -101,6 +103,38 @@ class Batch:
     events: tuple = ()
 
 
+@dataclass(frozen=True)
+class MigrateBegin:
+    """Fence opening one live shard re-balancing window.
+
+    Journaled (never fed through ``apply``) by
+    :meth:`~repro.streaming.sharding.ShardedKnnIndex.rebalance` before
+    ownership changes.  A log tail holding a ``MigrateBegin`` without
+    its :class:`MigrateCommit` means the migration never took effect:
+    replay rolls back to this fence by simply not flipping ownership.
+
+    ``moves`` is a tuple of ``(user, target_shard)`` pairs;
+    ``n_shards`` is the post-migration shard count (``None`` when the
+    count is unchanged).
+    """
+
+    moves: tuple = ()
+    n_shards: int | None = None
+
+
+@dataclass(frozen=True)
+class MigrateCommit:
+    """Fence closing a re-balancing window; ownership flips here.
+
+    Carries the same payload as its :class:`MigrateBegin` so replay can
+    apply the flip from the commit record alone, at its exact sequence
+    number relative to the surrounding rating events.
+    """
+
+    moves: tuple = ()
+    n_shards: int | None = None
+
+
 #: Any streaming event.
 Event = Union[AddRating, RemoveRating, AddUser, RemoveUser, Batch]
 
@@ -109,6 +143,11 @@ PRIMITIVE_EVENTS = (AddRating, RemoveRating, AddUser, RemoveUser)
 
 #: Every event kind accepted by ``DynamicKnnIndex.apply``.
 EVENT_TYPES = PRIMITIVE_EVENTS + (Batch,)
+
+#: WAL-only control records (sharding ownership fences).  Not accepted
+#: by ``apply`` — they are journaled directly by ``rebalance()`` and
+#: absorbed during replay via ``_absorb_control``.
+CONTROL_EVENTS = (MigrateBegin, MigrateCommit)
 
 
 def flatten_events(event: Event) -> list:

@@ -106,6 +106,7 @@ from ..serving.snapshot import GraphSnapshot
 from ..similarity.base import ProfileIndex, SimilarityMetric
 from ..similarity.engine import SimilarityEngine
 from .events import (
+    CONTROL_EVENTS,
     EVENT_TYPES,
     AddRating,
     AddUser,
@@ -314,6 +315,7 @@ class DynamicKnnIndex:
 
     @property
     def n_users(self) -> int:
+        """Number of allocated user ids (tombstoned users included)."""
         return self.builder.n_users
 
     @property
@@ -622,7 +624,21 @@ class DynamicKnnIndex:
         if isinstance(event, RemoveUser):
             self._absorb_removal(int(event.user))
             return None
+        if isinstance(event, CONTROL_EVENTS):
+            self._absorb_control(event)
+            return None
         raise TypeError(f"unknown streaming event {event!r}")
+
+    def _absorb_control(self, event) -> None:
+        """Replay hook for WAL control records (sharding fences).
+
+        Ownership is a partitioning concern, so the flat index ignores
+        them; :class:`~repro.streaming.sharding.ShardedKnnIndex`
+        overrides this to flip shard ownership at the record's exact
+        sequence position.  Control records never reach :meth:`apply` —
+        they are journaled directly by ``rebalance()`` and only come
+        back through WAL replay.
+        """
 
     def _absorb_rating(self, user: int, item: int, rating: float) -> None:
         old = self.builder.rating(user, item)

@@ -109,6 +109,9 @@ class _WorkerState:
     def __init__(self, init: dict):
         self.shard_id = int(init["shard_id"])
         self.n_shards = int(init["n_shards"])
+        #: The ownership rule at spawn time.  A rebalance resets the
+        #: pool, so a live worker's map is always current.
+        self.shard_map = init["shard_map"]
         self.config = init["config"]
         self.metric = init["metric"]
         self.batch_size = int(init["batch_size"])
@@ -144,7 +147,7 @@ class _WorkerState:
     def _rebuild_reverse(self) -> None:
         """Reverse index over owned rows only, from the row mirror."""
         self.reverse = ReverseNeighborIndex()
-        rows = np.arange(self.shard_id, self.n_rows, self.n_shards)
+        rows = self.shard_map.owned_rows(self.shard_id, self.n_rows)
         sub = self.neighbors[rows]
         local, slots = np.nonzero(sub != MISSING)
         cited = sub[local, slots]
@@ -281,7 +284,7 @@ class _WorkerState:
         )
         self.plan_rows, self.plan_cands, outboxes = plan_shard_pairs(
             self.shard_id,
-            self.n_shards,
+            self.shard_map,
             affected,
             mask,
             self.truly_dirty,
@@ -295,7 +298,7 @@ class _WorkerState:
         evaluations, changes, active, new_neighbors, new_sims = (
             merge_shard_pairs(
                 self.shard_id,
-                self.n_shards,
+                self.shard_map,
                 self.config.pivot,
                 self.plan_rows,
                 self.plan_cands,

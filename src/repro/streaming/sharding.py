@@ -3,8 +3,10 @@
 The KIFF pipeline is embarrassingly partitionable: candidate selection
 and top-k refinement are *per-user* computations over shared read-only
 profiles.  :class:`ShardedKnnIndex` exploits exactly that — users are
-hash-partitioned across ``n_shards`` workers (``user % n_shards``), and
-each shard **owns** its users' slice of the maintained state:
+partitioned across ``n_shards`` workers by a :class:`ShardMap` (the
+hash rule ``user % n_shards`` plus an override table populated by live
+:meth:`ShardedKnnIndex.rebalance` moves), and each shard **owns** its
+users' slice of the maintained state:
 
 * the dirty set (events dirty a user; her owner shard records it),
 * the candidate-multiset cache + cached-rater index (the streaming RCS),
@@ -86,7 +88,7 @@ from ..graph.updates import (
 )
 from ..layout import ID_DTYPE, SCORE_DTYPE
 from ..similarity.base import ProfileIndex, SimilarityMetric
-from .events import AddUser
+from .events import AddUser, MigrateBegin, MigrateCommit
 from .index import (
     DynamicKnnIndex,
     RefreshStats,
@@ -96,17 +98,173 @@ from .index import (
     propagate_candidacy_change,
 )
 
-__all__ = ["ShardOutbox", "ShardedKnnIndex", "shard_of"]
+__all__ = [
+    "RebalanceStats",
+    "ShardMap",
+    "ShardOutbox",
+    "ShardPlan",
+    "ShardedKnnIndex",
+    "shard_of",
+]
 
 
 def shard_of(user: int, n_shards: int) -> int:
-    """The shard owning *user* — a pure function of the id.
+    """The *base* shard of *user* — hash partitioning by the id.
 
-    Hash partitioning by ``user % n_shards`` keeps ownership derivable
+    ``user % n_shards`` is the default ownership rule: derivable
     everywhere (event routing, outbox targeting, checkpoint slicing,
-    re-sharding on restore) without a directory service.
+    re-sharding on restore) without a directory service.  A live
+    :meth:`ShardedKnnIndex.rebalance` can override individual users
+    away from their base shard; the :class:`ShardMap` is then the
+    authoritative rule (base modulus plus an override table) and every
+    routing site consults it instead of calling this function directly.
     """
     return int(user) % int(n_shards)
+
+
+class ShardMap:
+    """User → shard ownership: hash partitioning plus explicit overrides.
+
+    The default owner of user *u* is ``u % n_shards``; ``overrides``
+    maps individual users to a different shard (the result of live
+    :meth:`ShardedKnnIndex.rebalance` moves).  Overrides equal to the
+    base rule are normalized away, so a map without moves compares and
+    routes exactly like pure hash partitioning.
+
+    Parameters
+    ----------
+    n_shards:
+        Shard count; must be >= 1.
+    overrides:
+        Optional ``{user: shard}`` mapping.  Raises :class:`ValueError`
+        when a target shard is outside ``[0, n_shards)``.
+    """
+
+    __slots__ = ("n_shards", "_overrides", "_ov_users", "_ov_shards")
+
+    def __init__(self, n_shards: int, overrides: dict | None = None):
+        n_shards = int(n_shards)
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        cleaned: dict[int, int] = {}
+        for user, shard in (overrides or {}).items():
+            user, shard = int(user), int(shard)
+            if not 0 <= shard < n_shards:
+                raise ValueError(
+                    f"override shard {shard} for user {user} is outside "
+                    f"[0, {n_shards})"
+                )
+            if user % n_shards != shard:
+                cleaned[user] = shard
+        self._overrides = cleaned
+        users = np.fromiter(
+            sorted(cleaned), dtype=np.int64, count=len(cleaned)
+        )
+        self._ov_users = users
+        self._ov_shards = np.fromiter(
+            (cleaned[user] for user in users.tolist()),
+            dtype=np.int64,
+            count=users.size,
+        )
+
+    @property
+    def overrides(self) -> dict[int, int]:
+        """The non-default assignments, as a ``{user: shard}`` copy."""
+        return dict(self._overrides)
+
+    def owner(self, user: int) -> int:
+        """The shard owning *user* under this map."""
+        user = int(user)
+        shard = self._overrides.get(user)
+        return user % self.n_shards if shard is None else shard
+
+    def owners(self, users) -> np.ndarray:
+        """Vectorized :meth:`owner` over an array of user ids."""
+        users = np.asarray(users, dtype=np.int64)
+        owners = users % self.n_shards
+        if self._ov_users.size and users.size:
+            pos = np.searchsorted(self._ov_users, users)
+            pos = np.minimum(pos, self._ov_users.size - 1)
+            hit = self._ov_users[pos] == users
+            owners[hit] = self._ov_shards[pos[hit]]
+        return owners
+
+    def owned_rows(self, shard_id: int, n_rows: int) -> np.ndarray:
+        """Sorted row ids in ``[0, n_rows)`` owned by *shard_id*."""
+        rows = np.arange(shard_id, n_rows, self.n_shards)
+        if self._ov_users.size:
+            in_range = self._ov_users < n_rows
+            moved = self._ov_users[in_range]
+            if moved.size:
+                targets = self._ov_shards[in_range]
+                rows = np.setdiff1d(rows, moved, assume_unique=True)
+                rows = np.union1d(rows, moved[targets == shard_id])
+        return rows
+
+    def with_moves(self, moves) -> "ShardMap":
+        """A new map with ``(user, shard)`` *moves* layered on top."""
+        overrides = dict(self._overrides)
+        for user, shard in moves:
+            overrides[int(user)] = int(shard)
+        return ShardMap(self.n_shards, overrides)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardMap):
+            return NotImplemented
+        return (
+            self.n_shards == other.n_shards
+            and self._overrides == other._overrides
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_shards, tuple(sorted(self._overrides.items()))))
+
+    def __reduce__(self):
+        # __slots__ without __dict__ needs an explicit pickle recipe;
+        # workers receive the map inside their spawn payload.
+        return (ShardMap, (self.n_shards, self._overrides))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardMap(n_shards={self.n_shards}, "
+            f"overrides={len(self._overrides)})"
+        )
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A live re-balancing request for :meth:`ShardedKnnIndex.rebalance`.
+
+    ``moves`` is a tuple of ``(user, target_shard)`` pairs pinning
+    individual users to explicit shards; ``n_shards`` (when not None)
+    additionally transitions the index to a new shard count.  A count
+    change resets previous overrides — ownership re-derives from the
+    new modulus — while ``moves`` in the same plan survive as overrides
+    against it.
+    """
+
+    moves: tuple = ()
+    n_shards: int | None = None
+
+
+@dataclass(frozen=True)
+class RebalanceStats:
+    """Outcome of one :meth:`ShardedKnnIndex.rebalance` call."""
+
+    #: Users whose owner shard changed (0 for a no-op plan).
+    users_moved: int
+    #: Shard count before / after the migration window.
+    shards_before: int
+    shards_after: int
+    #: WAL sequence of the ``MigrateBegin`` fence (equals ``seq_commit``
+    #: for a journal-less index or a no-op plan).
+    seq_begin: int
+    #: WAL sequence of the ``MigrateCommit`` fence — the covering
+    #: sequence at which ownership flipped atomically.
+    seq_commit: int
+    #: Wall-clock seconds the migration window was open.
+    wall_time: float
 
 
 @dataclass(frozen=True)
@@ -156,6 +314,7 @@ class _Shard:
     # called for users this shard owns, either from the (serial)
     # ingestion path or from this shard's own worker.
     def cache_insert(self, user: int, counts: dict, index) -> None:
+        """Insert *user*'s candidate multiset into this shard's cache."""
         cache_store_insert(
             self.candidate_counts,
             self.cached_raters,
@@ -167,6 +326,7 @@ class _Shard:
         )
 
     def cache_evict(self, user: int, index) -> None:
+        """Drop *user* from this shard's cache (and its rater index)."""
         cache_store_evict(
             self.candidate_counts, self.cached_raters, user, index.builder
         )
@@ -197,24 +357,36 @@ class _ShardedDirtySet:
     Exposes the mutable-set surface the base ingestion path uses
     (``add`` / ``update`` / ``clear`` / iteration / membership), so
     every ``DynamicKnnIndex._absorb_*`` method lands events in the
-    owner shard's slice without knowing about sharding.
+    owner shard's slice without knowing about sharding.  Ownership is
+    read live from the index's :class:`ShardMap`, so a rebalance that
+    swaps the map re-routes subsequent adds without rebuilding this
+    router.
     """
 
-    __slots__ = ("_shards", "_n_shards")
+    __slots__ = ("_shards", "_map_of")
 
-    def __init__(self, shards: list[_Shard]):
+    def __init__(self, shards: list[_Shard], map_of):
         self._shards = shards
-        self._n_shards = len(shards)
+        #: Zero-arg callable yielding the live :class:`ShardMap`.
+        self._map_of = map_of
 
     def add(self, user: int) -> None:
+        """Mark *user* dirty in her owner shard's slice."""
         user = int(user)
-        self._shards[user % self._n_shards].dirty.add(user)
+        self._shards[self._map_of().owner(user)].dirty.add(user)
 
     def update(self, users) -> None:
+        """Mark every user in *users* dirty (routed per owner)."""
         for user in users:
             self.add(user)
 
+    def discard(self, user: int) -> None:
+        """Clear *user*'s dirty mark, if any, from her owner's slice."""
+        user = int(user)
+        self._shards[self._map_of().owner(user)].dirty.discard(user)
+
     def clear(self) -> None:
+        """Empty every shard's dirty slice."""
         for shard in self._shards:
             shard.dirty.clear()
 
@@ -227,7 +399,7 @@ class _ShardedDirtySet:
 
     def __contains__(self, user) -> bool:
         user = int(user)
-        return user in self._shards[user % self._n_shards].dirty
+        return user in self._shards[self._map_of().owner(user)].dirty
 
 
 class _ShardedReverseIndex:
@@ -240,32 +412,38 @@ class _ShardedReverseIndex:
     flat index (the routing is a partition of the rows).
     """
 
-    __slots__ = ("_shards", "_n_shards")
+    __slots__ = ("_shards", "_map_of")
 
-    def __init__(self, shards: list[_Shard]):
+    def __init__(self, shards: list[_Shard], map_of):
         self._shards = shards
-        self._n_shards = len(shards)
+        #: Zero-arg callable yielding the live :class:`ShardMap`.
+        self._map_of = map_of
 
     def rebuild(self, neighbors: np.ndarray) -> None:
+        """Re-derive every shard's row-restricted index from *neighbors*."""
         for shard in self._shards:
             shard.reverse = ReverseNeighborIndex()
         rows, slots = np.nonzero(neighbors != MISSING)
         cited = neighbors[rows, slots]
-        for row, neighbor in zip(rows.tolist(), cited.tolist()):
-            self._shards[row % self._n_shards].reverse.add_referrer(
-                neighbor, row
-            )
+        owners = self._map_of().owners(rows)
+        for row, owner, neighbor in zip(
+            rows.tolist(), owners.tolist(), cited.tolist()
+        ):
+            self._shards[owner].reverse.add_referrer(neighbor, row)
 
     def apply_row(self, row: int, old_ids, new_ids) -> None:
-        self._shards[int(row) % self._n_shards].reverse.apply_row(
+        """Record a merged row's citation diff in the row's owner shard."""
+        self._shards[self._map_of().owner(row)].reverse.apply_row(
             row, old_ids, new_ids
         )
 
     def referrers_of(self, users) -> np.ndarray:
+        """All rows (any shard) citing any of *users*, sorted unique."""
         parts = [shard.reverse.referrers_of(users) for shard in self._shards]
         return np.unique(np.concatenate(parts))
 
     def referrer_count(self) -> int:
+        """Total distinct cited users across every shard's index."""
         return sum(shard.reverse.referrer_count() for shard in self._shards)
 
     def referrer_counts(self, users) -> np.ndarray:
@@ -337,7 +515,7 @@ def score_pairs_chunked(
 
 def plan_shard_pairs(
     shard_id: int,
-    n_shards: int,
+    shard_map: ShardMap,
     affected: np.ndarray,
     affected_mask: np.ndarray,
     truly_dirty: frozenset,
@@ -346,12 +524,13 @@ def plan_shard_pairs(
 ) -> tuple[np.ndarray, np.ndarray, list[ShardOutbox]]:
     """Stage B's pair derivation: local pairs plus cross-shard outboxes.
 
-    Every affected row owned by *shard_id* is paired with its full
-    candidate set; a truly dirty user is additionally *offered* to the
-    rows of her clean candidates (the mirror direction), routed through
-    an outbox when the row belongs to another shard.  Returns
-    ``(rows, candidates, outboxes)``.
+    Every affected row owned by *shard_id* (per *shard_map*) is paired
+    with its full candidate set; a truly dirty user is additionally
+    *offered* to the rows of her clean candidates (the mirror
+    direction), routed through an outbox when the row belongs to
+    another shard.  Returns ``(rows, candidates, outboxes)``.
     """
+    n_shards = shard_map.n_shards
     row_parts: list[np.ndarray] = []
     cand_parts: list[np.ndarray] = []
     out_rows: list[list[np.ndarray]] = [[] for _ in range(n_shards)]
@@ -369,7 +548,7 @@ def plan_shard_pairs(
             mirror = candidates[~affected_mask[candidates]]
             if mirror.size == 0:
                 continue
-            owners = mirror % n_shards
+            owners = shard_map.owners(mirror)
             for target in np.unique(owners).tolist():
                 rows_t = mirror[owners == target]
                 users_t = np.full(rows_t.size, user, dtype=np.int64)
@@ -398,7 +577,7 @@ def plan_shard_pairs(
 
 def merge_shard_pairs(
     shard_id: int,
-    n_shards: int,
+    shard_map: ShardMap,
     pivot: bool,
     plan_rows: np.ndarray,
     plan_candidates: np.ndarray,
@@ -429,7 +608,7 @@ def merge_shard_pairs(
         cand_users = np.concatenate([us, vs])
         cand_ids = np.concatenate([vs, us])
         cand_sims = np.concatenate([pair_sims, pair_sims])
-        owned = (cand_users % n_shards) == shard_id
+        owned = shard_map.owners(cand_users) == shard_id
         cand_users = cand_users[owned]
         cand_ids = cand_ids[owned]
         cand_sims = cand_sims[owned]
@@ -534,9 +713,13 @@ class ShardedKnnIndex(DynamicKnnIndex):
         self._arena = None
         self._delta_buffer: list[tuple] = []
         self._delta_tail: list[tuple] = []
+        #: The authoritative ownership rule; rebalance() swaps it.
+        self._shard_map = ShardMap(self.n_shards)
         self._shards = [_Shard(shard) for shard in range(self.n_shards)]
         #: The cross-shard exchanges of the most recent refresh.
         self.last_outboxes: tuple[ShardOutbox, ...] = ()
+        #: RebalanceStats of every completed rebalance() call.
+        self.rebalance_log: list[RebalanceStats] = []
         super().__init__(
             dataset,
             config,
@@ -549,8 +732,10 @@ class ShardedKnnIndex(DynamicKnnIndex):
         # Swap the flat state containers for the sharded routers; the
         # deferred base build only seeded the dirty set, which is
         # re-seeded below.
-        self._dirty = _ShardedDirtySet(self._shards)
-        self._reverse = _ShardedReverseIndex(self._shards)
+        self._dirty = _ShardedDirtySet(self._shards, lambda: self._shard_map)
+        self._reverse = _ShardedReverseIndex(
+            self._shards, lambda: self._shard_map
+        )
         self._dirty.update(range(dataset.n_users))
         if candidate_cache_size is None:
             self._shard_cache_limit = None
@@ -641,7 +826,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
         ]
         propagate_candidacy_change(
             stores,
-            stores[shard_of(user, self.n_shards)],
+            stores[self._shard_map.owner(user)],
             user,
             item,
             added,
@@ -655,7 +840,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
             # a checkpoint can never serialize a stale multiset (caches
             # are exact-or-absent; absent is always safe).
             return
-        self._shards[shard_of(user, self.n_shards)].cache_insert(
+        self._shards[self._shard_map.owner(user)].cache_insert(
             user, counts, self
         )
 
@@ -664,7 +849,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
             items = [int(item) for item in self.builder.profile(user)]
             self._delta_buffer.append(("evict", int(user), items))
             return
-        self._shards[shard_of(user, self.n_shards)].cache_evict(user, self)
+        self._shards[self._shard_map.owner(user)].cache_evict(user, self)
 
     def _candidate_sets(self, users: np.ndarray) -> dict[int, dict[int, int]]:
         """Serial (main-thread) candidate-set lookup across shards."""
@@ -680,7 +865,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
             )
             self.maintenance.candidate_cache_misses += misses
             return result
-        owners = np.asarray(users, dtype=np.int64) % self.n_shards
+        owners = self._shard_map.owners(np.asarray(users, dtype=np.int64))
         result: dict[int, dict[int, int]] = {}
         for shard in self._shards:
             owned = np.asarray(users, dtype=np.int64)[
@@ -705,6 +890,12 @@ class ShardedKnnIndex(DynamicKnnIndex):
             self._delta_buffer.append(("grow", int(n_users)))
 
     def apply(self, events):
+        """Validate, journal and absorb *events* (see the flat ``apply``).
+
+        Identical contract to :meth:`DynamicKnnIndex.apply`; in
+        ``processes`` mode, compact per-event deltas additionally ship
+        to the workers after each call so their caches stay current.
+        """
         result = super().apply(events)
         if self.executor == "processes":
             # Ship per-event deltas after every apply(), so worker-side
@@ -713,6 +904,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
         return result
 
     def rebuild(self):
+        """Cold-rebuild the graph, then restart worker state from it."""
         result = super().rebuild()
         if self._procpool is not None:
             # Worker row mirrors and reverse indexes predate the rebuilt
@@ -744,6 +936,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
         return dict(
             shard_id=shard_id,
             n_shards=self.n_shards,
+            shard_map=self._shard_map,
             config=self.config,
             metric=self.engine.metric,
             batch_size=self.engine.batch_size,
@@ -774,8 +967,8 @@ class ShardedKnnIndex(DynamicKnnIndex):
     def _event_shard(self, event, n_users: int) -> int:
         """The shard whose segment journals *event* (its primary user)."""
         if isinstance(event, AddUser):
-            return shard_of(n_users, self.n_shards)  # the id being minted
-        return shard_of(int(event.user), self.n_shards)
+            return self._shard_map.owner(n_users)  # the id being minted
+        return self._shard_map.owner(int(event.user))
 
     def _journal(self, primitives) -> None:
         """Route each primitive into its owner shard's WAL segment.
@@ -811,6 +1004,273 @@ class ShardedKnnIndex(DynamicKnnIndex):
                 f"PartitionedWriteAheadLog(directory, n_shards)"
             )
         super().attach_wal(wal)
+
+    # ------------------------------------------------------------------
+    # Live shard re-balancing
+    # ------------------------------------------------------------------
+    @property
+    def shard_map(self) -> ShardMap:
+        """The authoritative user → shard ownership rule."""
+        return self._shard_map
+
+    def rebalance(self, plan: ShardPlan) -> RebalanceStats:
+        """Migrate users between shards live, without stopping ingestion.
+
+        The migration window is WAL-sequenced: a
+        :class:`~repro.streaming.events.MigrateBegin` /
+        :class:`~repro.streaming.events.MigrateCommit` record pair
+        fences the batch in the partitioned log (both in shard 0's
+        segment, at consecutive global sequence numbers), and ownership
+        flips atomically at the commit's covering sequence.  A crash
+        whose surviving log tail holds the begin fence without its
+        commit replays as **no** ownership change — rollback to the
+        fence — while a tail holding both replays the flip at its exact
+        position relative to the surrounding rating events.  Either
+        way the recovered graph stays bit-identical to a cold rebuild,
+        because ownership never affects graph *content*, only where
+        maintenance state lives.
+
+        After the flip every moved user is marked dirty: the next
+        refresh re-derives her row on the destination shard — seeding
+        the destination's candidate cache and row-restricted reverse
+        index from the authoritative rows — and, under a
+        :class:`~repro.scheduling.RefreshScheduler`, the migration
+        counts against the queue bound like any other dirty work.
+        Under ``executor="processes"`` the worker pool is reset instead
+        (the PR 5 crash-respawn path): the next refresh respawns the
+        workers from the authoritative rows with the new map, and the
+        shared-memory arena views republish as usual.
+
+        Parameters
+        ----------
+        plan:
+            The :class:`ShardPlan`: explicit ``(user, shard)`` moves, a
+            new shard count, or both.  A count change rebuilds every
+            per-shard container (dirty set, reverse index; caches are
+            dropped — always safe, they are exact-or-absent) and, when
+            a partitioned WAL is attached, re-opens it at the new
+            segment count under the same global sequence.
+
+        Returns
+        -------
+        RebalanceStats
+            Moved-user count, shard counts, the fence sequence numbers
+            and the wall time of the window.  A plan that changes
+            nothing returns ``users_moved=0`` without journaling.
+
+        Raises
+        ------
+        TypeError
+            *plan* is not a :class:`ShardPlan`.
+        ValueError
+            A move references a user outside ``[0, n_users)`` or a
+            shard outside ``[0, n_shards)``.
+        RuntimeError
+            The index is closed.
+        """
+        self._ensure_open()
+        start = time.perf_counter()
+        if not isinstance(plan, ShardPlan):
+            raise TypeError(
+                f"rebalance takes a ShardPlan, got {type(plan).__name__}"
+            )
+        moves = tuple(
+            (int(user), int(shard)) for user, shard in plan.moves
+        )
+        target = (
+            self.n_shards if plan.n_shards is None else int(plan.n_shards)
+        )
+        if target < 1:
+            raise ValueError(f"n_shards must be >= 1, got {target}")
+        n_users = self.builder.n_users
+        for user, shard in moves:
+            if not 0 <= user < n_users:
+                raise ValueError(
+                    f"cannot move user {user}: outside [0, {n_users})"
+                )
+            if not 0 <= shard < target:
+                raise ValueError(
+                    f"cannot move user {user} to shard {shard}: outside "
+                    f"[0, {target})"
+                )
+        if target == self.n_shards:
+            new_map = self._shard_map.with_moves(moves)
+        else:
+            new_map = ShardMap(target, dict(moves))
+        would_move = self._moved_users(new_map)
+        if not would_move and target == self.n_shards:
+            stats = RebalanceStats(
+                users_moved=0,
+                shards_before=self.n_shards,
+                shards_after=self.n_shards,
+                seq_begin=self._seq,
+                seq_commit=self._seq,
+                wall_time=time.perf_counter() - start,
+            )
+            self.rebalance_log.append(stats)
+            return stats
+        shards_before = self.n_shards
+        seq_begin, seq_commit = self._journal_control(
+            MigrateBegin(moves=moves, n_shards=plan.n_shards),
+            MigrateCommit(moves=moves, n_shards=plan.n_shards),
+        )
+        moved = self._apply_plan_flip(moves, plan.n_shards)
+        if self._snapshot is not None:
+            # Republish under the commit's covering sequence — the rows
+            # are unchanged, so readers keep the same arrays.
+            self._publish_snapshot(unchanged=True)
+        stats = RebalanceStats(
+            users_moved=len(moved),
+            shards_before=shards_before,
+            shards_after=self.n_shards,
+            seq_begin=seq_begin,
+            seq_commit=seq_commit,
+            wall_time=time.perf_counter() - start,
+        )
+        self.rebalance_log.append(stats)
+        return stats
+
+    def _journal_control(self, begin, commit) -> tuple[int, int]:
+        """Journal the fence pair all-or-nothing; returns their seqs."""
+        if self._wal is None:
+            self._seq += 2
+            return self._seq - 1, self._seq
+        mark = self._wal.mark()
+        try:
+            seq_begin = self._wal.append(begin, 0)
+            seq_commit = self._wal.append(commit, 0)
+        except BaseException:
+            self._wal.rollback(mark)
+            self._seq = mark[0]
+            raise
+        self._seq = seq_commit
+        return seq_begin, seq_commit
+
+    def _absorb_control(self, event) -> None:
+        """Replay a journaled migration fence at its sequence position.
+
+        ``MigrateBegin`` is the opening fence only: a log tail ending
+        after a begin without its commit replays as *no* ownership
+        change (the rollback-to-the-fence guarantee).
+        ``MigrateCommit`` re-applies the flip exactly as the live
+        :meth:`rebalance` did.
+        """
+        if isinstance(event, MigrateCommit):
+            self._apply_plan_flip(event.moves, event.n_shards)
+
+    def _moved_users(self, new_map: ShardMap) -> list[int]:
+        """Users whose owner differs between the live map and *new_map*."""
+        users = np.arange(self.builder.n_users, dtype=np.int64)
+        changed = self._shard_map.owners(users) != new_map.owners(users)
+        return users[changed].tolist()
+
+    def _apply_plan_flip(self, moves, n_shards) -> list[int]:
+        """Flip ownership for one commit record; returns the moved users.
+
+        Shared by the live :meth:`rebalance` path and WAL replay
+        (:meth:`_absorb_control`), so both reconstruct the identical
+        :class:`ShardMap` from the record payload alone.
+        """
+        target = self.n_shards if n_shards is None else int(n_shards)
+        if target != self.n_shards:
+            new_map = ShardMap(target, dict(moves))
+            moved = self._moved_users(new_map)
+            self._reshard(new_map)
+        else:
+            new_map = self._shard_map.with_moves(moves)
+            moved = self._moved_users(new_map)
+            self._migrate_users(new_map, moved)
+        return moved
+
+    def _migrate_users(self, new_map: ShardMap, moved) -> None:
+        """Same-count ownership flip: surgical per-user state transfer.
+
+        For each moved user the source shard gives up her dirty-set
+        membership, candidate-cache entry (dropped — exact-or-absent,
+        so eviction is always safe) and her row's citations in its
+        reverse index; after the map swap the destination re-registers
+        the citations and marks her dirty, so the next refresh seeds
+        the destination's cache from the authoritative rows.
+        """
+        if self.executor == "processes":
+            self._shard_map = new_map
+            for user in moved:
+                self._dirty.add(user)
+            if self._procpool is not None:
+                # The owned-row partition changed under the workers;
+                # the next refresh respawns them from the authoritative
+                # rows (plus the preserved delta tail) with the new map.
+                self._procpool.reset()
+            return
+        neighbors, _ = self._rows()
+        transfers: list[tuple[int, np.ndarray]] = []
+        for user in moved:
+            source = self._shards[self._shard_map.owner(user)]
+            source.cache_evict(user, self)
+            source.dirty.discard(user)
+            cited = np.empty(0, dtype=ID_DTYPE)
+            if user < neighbors.shape[0]:
+                row = neighbors[user]
+                cited = row[row != MISSING]
+                if cited.size:
+                    source.reverse.apply_row(user, cited, ())
+            transfers.append((user, cited))
+        self._shard_map = new_map
+        for user, cited in transfers:
+            destination = self._shards[new_map.owner(user)]
+            if cited.size:
+                destination.reverse.apply_row(user, (), cited)
+            destination.dirty.add(user)
+
+    def _reshard(self, new_map: ShardMap) -> None:
+        """Shard-count transition: rebuild every per-shard container.
+
+        The dirty set carries over (re-routed through the new map), the
+        reverse index rebuilds from the authoritative rows, caches are
+        dropped, the per-shard cache budget re-splits, executors reset
+        (thread pool sized per shard; process workers respawn at the
+        next refresh), and an attached partitioned WAL re-opens at the
+        new segment count under the same global sequence (its
+        constructor scans stray segments, so the counter carries over
+        and old segments stay readable by the merged reader).
+        """
+        old_dirty = list(self._dirty)
+        self.n_shards = new_map.n_shards
+        self._shard_map = new_map
+        self._shards = [_Shard(shard) for shard in range(self.n_shards)]
+        self._dirty = _ShardedDirtySet(self._shards, lambda: self._shard_map)
+        self._reverse = _ShardedReverseIndex(
+            self._shards, lambda: self._shard_map
+        )
+        neighbors, _ = self._rows()
+        self._reverse.rebuild(neighbors)
+        self._dirty.update(old_dirty)
+        if self.candidate_cache_size is None:
+            self._shard_cache_limit = None
+        elif self.candidate_cache_size <= 0:
+            self._shard_cache_limit = 0
+        else:
+            self._shard_cache_limit = max(
+                1, self.candidate_cache_size // self.n_shards
+            )
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._procpool is not None:
+            self._procpool.close()
+            self._procpool = None
+        if self._wal is not None and self._wal.n_shards != self.n_shards:
+            from ..persistence import PartitionedWriteAheadLog
+
+            old = self.detach_wal()
+            directory = old.path
+            fsync_every = old.fsync_every
+            old.close()
+            self.attach_wal(
+                PartitionedWriteAheadLog(
+                    directory, self.n_shards, fsync_every=fsync_every
+                )
+            )
 
     # ------------------------------------------------------------------
     # Partitioned durability
@@ -875,7 +1335,10 @@ class ShardedKnnIndex(DynamicKnnIndex):
 
         ``n_shards`` defaults to the checkpoint's shard count (2 for a
         flat layout); any other value re-shards the recovered state
-        exactly, since ownership is a pure function of the user id.
+        exactly, since ownership never affects graph content.  Live
+        re-balancing overrides recorded in the checkpoint are
+        reinstated when restoring at the checkpoint's own shard count
+        and reset (back to the plain modulus) at any other count.
         """
         from ..persistence import restore_sharded_index
 
@@ -1257,7 +1720,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
         cand_sets, hits, misses = shard.candidate_sets(affected, self)
         rows, candidates, outboxes = plan_shard_pairs(
             shard.shard_id,
-            self.n_shards,
+            self._shard_map,
             affected,
             affected_mask,
             truly_dirty,
@@ -1285,7 +1748,7 @@ class ShardedKnnIndex(DynamicKnnIndex):
         """Stage C for one shard: dedupe, evaluate, merge its own rows."""
         evaluations, changes, _, _, _ = merge_shard_pairs(
             shard.shard_id,
-            self.n_shards,
+            self._shard_map,
             self.config.pivot,
             plan.rows,
             plan.candidates,

@@ -1,0 +1,668 @@
+"""Live shard re-balancing: WAL-fenced migration without stopping ingest.
+
+The contract of :meth:`ShardedKnnIndex.rebalance` is that ownership is
+invisible in the result: moving users between shards (or changing the
+shard count) mid-stream leaves the graph **bit-identical** — neighbour
+ids and similarities — to the sequential :class:`DynamicKnnIndex` on
+the same events, at every point of the stream, on every executor.  The
+fence pair (``migrate_begin``/``migrate_commit``) journaled around each
+flip makes the migration crash-safe: recovery replays a committed flip
+at its exact sequence position and rolls an uncommitted one back.
+"""
+
+import asyncio
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import (
+    DynamicKnnIndex,
+    KiffConfig,
+    KnnServer,
+    ShardMap,
+    ShardPlan,
+    ShardedKnnIndex,
+)
+from repro.graph import load_graph
+from repro.persistence import (
+    PartitionedWriteAheadLog,
+    read_partitioned_wal,
+)
+from repro.scheduling import RefreshScheduler, SchedulerPolicy
+from repro.streaming import AddRating, MigrateCommit, RemoveUser
+from tests.conftest import random_dataset
+from tests.streaming.test_sharding import drive, sharded_events
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _plan_for(seed):
+    """A seed-dependent mid-stream plan: moves or a shard-count change."""
+    if seed % 3 == 0:
+        return ShardPlan(moves=((1, 1), (4, 0), (7, 1)))
+    if seed % 3 == 1:
+        return ShardPlan(n_shards=3)
+    return ShardPlan(moves=((0, 1),), n_shards=4)
+
+
+def drive_with_rebalance(index, events, refresh_after, plan, at):
+    """Replay a stream, injecting ``rebalance(plan)`` after event *at*."""
+    for done, (event, refresh) in enumerate(
+        zip(events, refresh_after), start=1
+    ):
+        index.apply(event)
+        if refresh:
+            index.refresh()
+        if done == at:
+            index.rebalance(plan)
+    index.refresh()
+    return index
+
+
+class TestShardMap:
+    def test_modulo_base_and_overrides(self):
+        base = ShardMap(3)
+        assert [base.owner(user) for user in range(6)] == [0, 1, 2, 0, 1, 2]
+        moved = base.with_moves([(4, 2), (5, 0)])
+        assert moved.owner(4) == 2
+        assert moved.owner(5) == 0
+        assert moved.owner(1) == 1  # untouched users keep the modulo rule
+        assert moved.overrides == {4: 2, 5: 0}
+
+    def test_redundant_overrides_normalize_away(self):
+        assert ShardMap(2, {4: 0, 5: 1}).overrides == {}
+        assert ShardMap(2, {4: 0, 5: 0}).overrides == {5: 0}
+
+    def test_owners_matches_owner_elementwise(self):
+        shard_map = ShardMap(3, {1: 2, 9: 0, 14: 1})
+        users = np.arange(20, dtype=np.int64)
+        vectorized = shard_map.owners(users)
+        assert vectorized.tolist() == [
+            shard_map.owner(user) for user in users
+        ]
+
+    def test_owned_rows_partition_the_population(self):
+        shard_map = ShardMap(3, {0: 2, 7: 0})
+        rows = [shard_map.owned_rows(shard, 11).tolist() for shard in (0, 1, 2)]
+        flat = sorted(row for shard_rows in rows for row in shard_rows)
+        assert flat == list(range(11))
+        assert 0 in rows[2] and 7 in rows[0]
+
+    def test_validation_and_equality(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+        with pytest.raises(ValueError):
+            ShardMap(2, {3: 2})
+        assert ShardMap(2, {3: 0}) == ShardMap(2, {3: 0})
+        assert ShardMap(2, {3: 0}) != ShardMap(2)
+        assert hash(ShardMap(2, {3: 0})) == hash(ShardMap(2, {3: 0}))
+
+    def test_pickles_for_worker_transport(self):
+        shard_map = ShardMap(4, {2: 1, 11: 3})
+        clone = pickle.loads(pickle.dumps(shard_map))
+        assert clone == shard_map
+        assert clone.owner(2) == 1
+
+
+class TestRebalanceParity:
+    """Mid-stream rebalance injection over the randomized corpus."""
+
+    @pytest.mark.parametrize("seed", range(13))
+    @pytest.mark.parametrize("metric", ["cosine", "jaccard"])
+    def test_rebalanced_equals_sequential(self, metric, seed):
+        dataset = random_dataset(
+            n_users=18, n_items=14, density=0.15, seed=seed, ratings=True
+        )
+        events, refresh_after = sharded_events(seed, 18)
+        config = KiffConfig(k=4)
+        reference = drive(
+            DynamicKnnIndex(
+                dataset, config, metric=metric, auto_refresh=False
+            ),
+            events,
+            refresh_after,
+        )
+        sharded = drive_with_rebalance(
+            ShardedKnnIndex(
+                dataset,
+                config,
+                metric=metric,
+                auto_refresh=False,
+                n_shards=2,
+                executor="serial",
+            ),
+            events,
+            refresh_after,
+            _plan_for(seed),
+            at=len(events) // 2,
+        )
+        assert sharded.graph == reference.graph  # ids AND sims, exact
+        assert sharded.dataset == reference.dataset
+
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_rebalanced_parity_on_parallel_executors(self, executor):
+        dataset = random_dataset(
+            n_users=18, n_items=14, density=0.15, seed=3, ratings=True
+        )
+        events, refresh_after = sharded_events(3, 18)
+        config = KiffConfig(k=4)
+        reference = drive(
+            DynamicKnnIndex(dataset, config, auto_refresh=False),
+            events,
+            refresh_after,
+        )
+        sharded = ShardedKnnIndex(
+            dataset,
+            config,
+            auto_refresh=False,
+            n_shards=2,
+            executor=executor,
+        )
+        try:
+            third = len(events) // 3
+            for done, (event, refresh) in enumerate(
+                zip(events, refresh_after), start=1
+            ):
+                sharded.apply(event)
+                if refresh:
+                    sharded.refresh()
+                if done == third:
+                    sharded.rebalance(ShardPlan(moves=((2, 1), (5, 0))))
+                if done == 2 * third:
+                    sharded.rebalance(ShardPlan(n_shards=3))
+            sharded.refresh()
+            assert sharded.graph == reference.graph
+        finally:
+            sharded.close()
+            reference.close()
+
+
+class TestRebalanceApi:
+    def _index(self, n_shards=2, n_users=14):
+        dataset = random_dataset(
+            n_users=n_users, n_items=12, density=0.2, seed=5, ratings=True
+        )
+        return ShardedKnnIndex(
+            dataset,
+            KiffConfig(k=3),
+            auto_refresh=False,
+            n_shards=n_shards,
+            executor="serial",
+        )
+
+    def test_noop_plan_neither_moves_nor_journals(self, tmp_path):
+        index = self._index()
+        index.attach_wal(PartitionedWriteAheadLog(tmp_path, 2))
+        stats = index.rebalance(ShardPlan(moves=((0, 0), (3, 1))))
+        assert stats.users_moved == 0
+        assert stats.seq_begin == stats.seq_commit == index.last_seq
+        assert index.wal.last_seq == 0  # no fence pair for a no-op
+        index.close()
+
+    def test_plan_validation(self):
+        index = self._index()
+        with pytest.raises(TypeError):
+            index.rebalance({"n_shards": 3})
+        with pytest.raises(ValueError):
+            index.rebalance(ShardPlan(moves=((0, 7),)))  # shard range
+        with pytest.raises(ValueError):
+            index.rebalance(ShardPlan(moves=((99, 1),)))  # user range
+        with pytest.raises(ValueError):
+            index.rebalance(ShardPlan(n_shards=0))
+        index.close()
+
+    def test_stats_and_log(self):
+        index = self._index()
+        stats = index.rebalance(ShardPlan(moves=((1, 0),)))
+        assert stats.users_moved == 1
+        assert (stats.shards_before, stats.shards_after) == (2, 2)
+        assert stats.wall_time >= 0.0
+        assert index.rebalance_log == [stats]
+        assert index.shard_map.overrides == {1: 0}
+        index.close()
+
+    def test_moved_users_go_dirty_and_reconverge(self):
+        index = self._index()
+        index.refresh()
+        assert not index.dirty_users
+        index.rebalance(ShardPlan(moves=((1, 0), (6, 1))))
+        # The destination shard seeds its candidate cache on the next
+        # refresh; until then the moved users are queued as dirty.
+        assert index.dirty_users == frozenset({1, 6})
+        graph_before = index.graph
+        index.refresh()
+        # Refreshing a converged row is idempotent: bit-identical.
+        assert index.graph == graph_before
+        index.close()
+
+    def test_snapshot_republishes_after_rebalance(self):
+        index = self._index()
+        index.refresh()
+        before = index.pin()
+        index.rebalance(ShardPlan(moves=((1, 0),)))
+        after = index.pin()
+        assert after.version == index.last_seq
+        np.testing.assert_array_equal(
+            before.neighbors_of(1), after.neighbors_of(1)
+        )
+        index.close()
+
+
+class TestRebalanceDurability:
+    def _durable(self, tmp_path, n_shards=2):
+        dataset = random_dataset(
+            n_users=16, n_items=14, density=0.15, seed=5, ratings=True
+        )
+        events, refresh_after = sharded_events(5, 16)
+        state = tmp_path / "state"
+        index = ShardedKnnIndex(
+            dataset,
+            KiffConfig(k=4),
+            auto_refresh=False,
+            n_shards=n_shards,
+            executor="serial",
+            wal=PartitionedWriteAheadLog(state, n_shards, fsync_every=4),
+        )
+        index.checkpoint(state)
+        return index, events, refresh_after, state
+
+    def test_restore_replays_committed_flips(self, tmp_path):
+        index, events, refresh_after, state = self._durable(tmp_path)
+        drive(index, events[:10], refresh_after[:10])
+        index.rebalance(ShardPlan(moves=((0, 1), (3, 0))))
+        drive(index, events[10:18], refresh_after[10:18])
+        index.rebalance(ShardPlan(n_shards=3))
+        drive(index, events[18:], refresh_after[18:])
+        reference_graph = index.graph
+        reference_map = index.shard_map
+        reference_seq = index.last_seq
+        del index  # the crash: in-memory state is gone
+
+        restored = ShardedKnnIndex.restore(state, executor="serial")
+        assert restored.n_shards == 3
+        assert restored.shard_map == reference_map
+        assert restored.graph == reference_graph
+        assert restored.last_seq == reference_seq
+        # The fence pair is journaled as consecutive control records.
+        kinds = [
+            type(event).__name__
+            for _, event in read_partitioned_wal(state)
+        ]
+        assert kinds.count("MigrateBegin") == 2
+        assert kinds.count("MigrateCommit") == 2
+        restored.close()
+
+    def test_checkpoint_carries_overrides(self, tmp_path):
+        index, events, refresh_after, state = self._durable(tmp_path)
+        drive(index, events[:8], refresh_after[:8])
+        index.rebalance(ShardPlan(moves=((0, 1),)))
+        index.refresh()
+        index.checkpoint(state)  # overrides must survive via meta alone
+        drive(index, events[8:14], refresh_after[8:14])
+        reference_graph, reference_seq = index.graph, index.last_seq
+        reference_map = index.shard_map
+        del index
+
+        restored = ShardedKnnIndex.restore(state, executor="serial")
+        assert restored.shard_map == reference_map
+        assert restored.graph == reference_graph
+        assert restored.last_seq == reference_seq
+        restored.close()
+
+    def test_begin_without_commit_rolls_back(self, tmp_path):
+        """A crash between the fences must not flip ownership."""
+        index, events, refresh_after, state = self._durable(tmp_path)
+        drive(index, events[:10], refresh_after[:10])
+        reference_graph = index.graph
+        reference_map = index.shard_map
+        crash_seq = index.last_seq
+        del index
+        dangling = {
+            "seq": crash_seq + 1,
+            "type": "migrate_begin",
+            "moves": [[0, 1], [3, 0]],
+            "n_shards": None,
+        }
+        with open(state / "wal-0.jsonl", "a") as fh:
+            fh.write(json.dumps(dangling) + "\n")
+
+        restored = ShardedKnnIndex.restore(state, executor="serial")
+        assert restored.shard_map == reference_map  # no flip
+        assert restored.graph == reference_graph
+        assert restored.last_seq == crash_seq + 1  # fence consumed
+        # Journaling continues cleanly past the dangling fence.
+        restored.apply(AddRating(1, 3, 4.0))
+        restored.refresh()
+        final_graph, final_seq = restored.graph, restored.last_seq
+        restored.close()
+        again = ShardedKnnIndex.restore(state, executor="serial")
+        assert again.graph == final_graph
+        assert again.last_seq == final_seq
+        again.close()
+
+    def test_explicit_shards_overrides_replayed_flip(self, tmp_path):
+        index, events, refresh_after, state = self._durable(tmp_path)
+        drive(index, events[:10], refresh_after[:10])
+        index.rebalance(ShardPlan(n_shards=3))
+        index.refresh()
+        reference_graph, reference_seq = index.graph, index.last_seq
+        del index
+        restored = ShardedKnnIndex.restore(
+            state, n_shards=4, executor="serial"
+        )
+        assert restored.n_shards == 4
+        assert restored.wal.n_shards == 4  # segments re-homed
+        assert restored.graph == reference_graph
+        assert restored.last_seq == reference_seq
+        restored.close()
+
+    def test_reshard_reopens_wal_at_new_segment_count(self, tmp_path):
+        index, events, refresh_after, state = self._durable(tmp_path)
+        drive(index, events[:6], refresh_after[:6])
+        index.rebalance(ShardPlan(n_shards=4))
+        assert index.wal.n_shards == 4
+        seq_before = index.last_seq
+        index.apply(AddRating(3, 2, 4.0))  # lands in a new-count segment
+        assert index.last_seq == seq_before + 1
+        index.refresh()
+        reference_graph, reference_seq = index.graph, index.last_seq
+        del index
+        restored = ShardedKnnIndex.restore(state)
+        assert restored.n_shards == 4
+        assert restored.graph == reference_graph
+        assert restored.last_seq == reference_seq
+        restored.close()
+
+
+class TestRestoreReshardingEdgeCases:
+    def test_rebalance_down_to_one_shard(self, tmp_path):
+        dataset = random_dataset(
+            n_users=14, n_items=12, density=0.2, seed=9, ratings=True
+        )
+        events, refresh_after = sharded_events(9, 14)
+        state = tmp_path / "state"
+        index = ShardedKnnIndex(
+            dataset,
+            KiffConfig(k=3),
+            auto_refresh=False,
+            n_shards=3,
+            executor="serial",
+            wal=PartitionedWriteAheadLog(state, 3, fsync_every=4),
+        )
+        index.checkpoint(state)
+        drive(index, events[:10], refresh_after[:10])
+        stats = index.rebalance(ShardPlan(n_shards=1))
+        assert stats.shards_after == 1
+        drive(index, events[10:], refresh_after[10:])
+        reference_graph, reference_seq = index.graph, index.last_seq
+        reference = drive(
+            DynamicKnnIndex(dataset, KiffConfig(k=3), auto_refresh=False),
+            events,
+            refresh_after,
+        )
+        assert reference_graph == reference.graph
+        del index
+        restored = ShardedKnnIndex.restore(state)
+        assert restored.n_shards == 1
+        assert restored.graph == reference_graph
+        assert restored.last_seq == reference_seq
+        restored.close()
+
+    def test_tombstoned_users_mid_plan(self, tmp_path):
+        """Moving a removed (tombstoned) user is a harmless no-op row."""
+        dataset = random_dataset(
+            n_users=14, n_items=12, density=0.2, seed=4, ratings=True
+        )
+        state = tmp_path / "state"
+        index = ShardedKnnIndex(
+            dataset,
+            KiffConfig(k=3),
+            auto_refresh=False,
+            n_shards=2,
+            executor="serial",
+            wal=PartitionedWriteAheadLog(state, 2, fsync_every=4),
+        )
+        index.checkpoint(state)
+        index.apply([RemoveUser(3), AddRating(1, 5, 4.0)])
+        index.refresh()
+        stats = index.rebalance(ShardPlan(moves=((3, 0), (1, 0))))
+        assert stats.users_moved >= 1
+        index.refresh()
+        reference = DynamicKnnIndex(
+            dataset, KiffConfig(k=3), auto_refresh=False
+        )
+        reference.apply([RemoveUser(3), AddRating(1, 5, 4.0)])
+        reference.refresh()
+        assert index.graph == reference.graph
+        reference_graph, reference_map = index.graph, index.shard_map
+        del index
+        restored = ShardedKnnIndex.restore(state)
+        assert restored.shard_map == reference_map
+        assert restored.graph == reference_graph
+        restored.close()
+
+    def test_rebalance_immediately_after_legacy_v1_restore(self, tmp_path):
+        """A v1 flat checkpoint adopts as sharded, then rebalances."""
+        from tests.persistence.test_checkpoint_compat import (
+            _converged_index,
+            _write_legacy_v1,
+        )
+
+        index = _converged_index()
+        try:
+            _write_legacy_v1(index, tmp_path)
+            reference_graph = index.graph
+        finally:
+            index.close()
+        adopted = ShardedKnnIndex.restore(tmp_path, executor="serial")
+        stats = adopted.rebalance(ShardPlan(moves=((0, 1),), n_shards=3))
+        assert stats.shards_after == 3
+        adopted.refresh()
+        assert adopted.graph == reference_graph
+        final_graph, final_seq = adopted.graph, adopted.last_seq
+        final_map = adopted.shard_map
+        adopted.close()
+        again = ShardedKnnIndex.restore(tmp_path)
+        assert again.n_shards == 3
+        assert again.shard_map == final_map
+        assert again.graph == final_graph
+        assert again.last_seq == final_seq
+        again.close()
+
+
+class TestSchedulerComposition:
+    def _scheduled(self, queue_bound=None):
+        dataset = random_dataset(
+            n_users=14, n_items=12, density=0.2, seed=6, ratings=True
+        )
+        index = ShardedKnnIndex(
+            dataset,
+            KiffConfig(k=3),
+            auto_refresh=False,
+            n_shards=2,
+            executor="serial",
+        )
+        policy = SchedulerPolicy(
+            max_event_lag=1000, queue_bound=queue_bound
+        )
+        return RefreshScheduler(index, policy)
+
+    def test_migration_counts_against_queue_bound(self):
+        scheduler = self._scheduled(queue_bound=4)
+        index = scheduler.index
+        index.refresh()
+        # Fill the queue right up to the bound, then rebalance: the
+        # scheduler must shed (never reject an operator action) before
+        # admitting the migration's dirty set.
+        for user in range(4):
+            scheduler.submit(AddRating(user, 2, 2.5))
+        assert scheduler.queue_depth == 4
+        signals_before = index.maintenance.scheduler_backpressure
+        stats = scheduler.rebalance(ShardPlan(moves=((1, 0), (6, 1))))
+        assert stats.users_moved == 2
+        assert index.maintenance.scheduler_backpressure == signals_before + 1
+        assert scheduler.queue_depth <= 4  # bound still holds
+        scheduler.drain()
+        assert not index.dirty_users
+        scheduler.close()
+
+    def test_moved_users_are_stamped_and_drain_to_parity(self):
+        scheduler = self._scheduled()
+        index = scheduler.index
+        index.refresh()
+        scheduler.rebalance(ShardPlan(n_shards=3))
+        assert set(scheduler._since) >= set(index.dirty_users)
+        scheduler.drain()
+        reference = DynamicKnnIndex(
+            index.dataset, KiffConfig(k=3), auto_refresh=False
+        )
+        reference.refresh()
+        assert index.graph == reference.graph
+        scheduler.close()
+
+
+class TestServeRebalanceOp:
+    @pytest.fixture
+    def index(self):
+        dataset = random_dataset(
+            n_users=20, n_items=15, density=0.2, seed=12, ratings=True
+        )
+        ix = ShardedKnnIndex(
+            dataset,
+            KiffConfig(k=4),
+            auto_refresh=False,
+            n_shards=2,
+            executor="serial",
+        )
+        yield ix
+        ix.close()
+
+    def _run(self, index, scenario, **kwargs):
+        async def wrapper():
+            server = KnnServer(index, port=0, **kwargs)
+            await server.start()
+            try:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    return await scenario(server, reader, writer)
+                finally:
+                    writer.close()
+            finally:
+                await server.stop()
+
+        return asyncio.run(wrapper())
+
+    @staticmethod
+    async def _ask(reader, writer, request):
+        writer.write(json.dumps(request).encode() + b"\n")
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=10)
+        return json.loads(line)
+
+    def test_rebalance_op_flips_ownership_live(self, index):
+        async def scenario(server, reader, writer):
+            stats = await self._ask(reader, writer, {"op": "stats"})
+            assert stats["sharding"]["n_shards"] == 2
+            assert stats["sharding"]["rebalances"] == 0
+            reply = await self._ask(
+                reader,
+                writer,
+                {"op": "rebalance", "shards": 3, "moves": [[1, 0]]},
+            )
+            assert reply["ok"] is True
+            assert reply["shards_after"] == 3
+            assert reply["users_moved"] > 0
+            stats = await self._ask(reader, writer, {"op": "stats"})
+            assert stats["sharding"]["n_shards"] == 3
+            assert stats["sharding"]["overrides"] == 1
+            assert stats["sharding"]["rebalances"] == 1
+            # Queries keep answering on the republished snapshot.
+            reply = await self._ask(
+                reader, writer, {"op": "neighbors", "user": 1}
+            )
+            assert reply["ok"] is True
+
+        self._run(index, scenario)
+
+    def test_rebalance_op_on_flat_index_errors(self):
+        dataset = random_dataset(
+            n_users=12, n_items=10, density=0.2, seed=1, ratings=True
+        )
+        flat = DynamicKnnIndex(dataset, KiffConfig(k=3), auto_refresh=False)
+
+        async def scenario(server, reader, writer):
+            reply = await self._ask(
+                reader, writer, {"op": "rebalance", "shards": 2}
+            )
+            assert reply["ok"] is False
+            assert "not sharded" in reply["error"]
+
+        try:
+            self._run(flat, scenario)
+        finally:
+            flat.close()
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="needs SIGKILL")
+class TestSigkillMidMigrationHistory:
+    """Real-crash drill through the example script, across a fence."""
+
+    def run_example(self, state_dir, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        return subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "examples" / "streaming_updates.py"),
+                "--state-dir",
+                str(state_dir),
+                "--checkpoint-every",
+                "10",
+                "--seed",
+                "11",
+                "--shards",
+                "2",
+                "--executor",
+                "serial",
+                "--rebalance-after",
+                "20",
+                "--rebalance-to",
+                "3",
+                *extra,
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_sigkill_after_rebalance_recovers_bit_identically(
+        self, tmp_path
+    ):
+        killed_dir = tmp_path / "killed"
+        proc = self.run_example(
+            killed_dir, "--events", "60", "--kill-after", "37"
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        # Uninterrupted reference: same seed, stopped cleanly at event 37.
+        ref_dir = tmp_path / "reference"
+        proc = self.run_example(ref_dir, "--events", "37")
+        assert proc.returncode == 0, proc.stderr
+        restored = ShardedKnnIndex.restore(killed_dir)
+        assert restored.n_shards == 3  # the replayed fence flipped it
+        assert any(
+            isinstance(event, MigrateCommit)
+            for _, event in read_partitioned_wal(killed_dir)
+        )
+        assert restored.graph == load_graph(ref_dir / "final-graph.npz")
+        restored.close()
